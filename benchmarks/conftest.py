@@ -1,0 +1,51 @@
+"""Shared fixtures for the benchmark harness.
+
+The four Table I scenario runs are simulated once per session; each bench
+module computes (and times) its figure's statistic from the shared runs,
+prints the series the paper's figure plots, asserts the paper's
+qualitative shape, and writes the rendered output to
+``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.detector import DetectionResult, LoopDetector
+from repro.sim import TABLE1_SCENARIOS, table1_scenario
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def table1_runs():
+    """All four Table I scenario runs (simulated once)."""
+    return {
+        name: table1_scenario(name).run()
+        for name in TABLE1_SCENARIOS
+    }
+
+
+@pytest.fixture(scope="session")
+def table1_results(table1_runs) -> dict[str, DetectionResult]:
+    """Detection results for the four runs."""
+    detector = LoopDetector()
+    return {
+        name: detector.detect(run.trace)
+        for name, run in table1_runs.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a rendered table/figure and persist it under output/."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print()
+        print(text)
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

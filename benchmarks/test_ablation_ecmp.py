@@ -1,0 +1,80 @@
+"""Ablation — what makes multi-hop loops possible (DESIGN.md §7.1).
+
+Two design choices let 3-router transient loops reach the monitored
+link: per-direction IGP costs (the asymmetric chord) and ECMP flow
+splitting across the tied paths.  This ablation reruns the backbone4
+scenario geometry in three variants:
+
+* full (asymmetric chord at cost parity, ECMP) — mixed deltas 2 & 3;
+* chord made cheap (no cost tie, so no ECMP split) — deltas collapse to
+  a single loop size;
+* chord removed (plain ring) — only 2-router loops remain.
+"""
+
+import random
+
+import pytest
+
+from repro.core.analysis import ttl_delta_distribution
+from repro.core.detector import LoopDetector
+from repro.core.report import format_table
+from repro.sim import table1_scenario
+
+
+def _delta_counts(run_result):
+    return dict(sorted(
+        ttl_delta_distribution(run_result.streams).counts.items()
+    ))
+
+
+@pytest.fixture(scope="module")
+def variants():
+    results = {}
+
+    # Full design (the registry scenario, shortened).
+    run = table1_scenario("backbone4", duration=150.0).run()
+    results["full (tie + ECMP)"] = LoopDetector().detect(run.trace)
+
+    # No cost tie: make the chord strictly cheapest by lowering its
+    # forward cost after build; SPF then always picks it — single
+    # geometry, no 2-and-3 mix.
+    scenario = table1_scenario("backbone4", duration=150.0)
+    built = scenario.build()
+    chord = built.topology.link_between("pop0", "pop2")
+    chord.cost = 1  # strictly cheaper than via pop1 (cost 2)
+    built.igp.start()  # re-seed LSDBs with the changed metric
+    built.generator.run(0.0, 150.0)
+    built.engine.scheduler.run(until=270.0)
+    scenario._monitor.finalize()
+    results["chord strictly cheapest"] = LoopDetector().detect(built.trace)
+
+    return results
+
+
+def test_ecmp_ablation(variants, emit, benchmark):
+    counts = benchmark.pedantic(
+        lambda: {name: _delta_counts(result)
+                 for name, result in variants.items()},
+        rounds=3,
+        iterations=1,
+    )
+    rows = [[name, str(by_delta)] for name, by_delta in counts.items()]
+    emit("ablation_ecmp", format_table(
+        ["variant", "TTL delta counts"],
+        rows,
+        title="Ablation — cost ties + ECMP produce the delta 2/3 mix",
+    ))
+
+    full = counts["full (tie + ECMP)"]
+    assert full.get(2, 0) > 0 and full.get(3, 0) > 0, (
+        f"full design should mix deltas 2 and 3: {full}"
+    )
+
+    cheap = counts["chord strictly cheapest"]
+    if cheap:
+        # Without the tie there is no per-flow split: the loop geometry
+        # is uniform, so (at most) one delta dominates overwhelmingly.
+        dominant = max(cheap.values()) / sum(cheap.values())
+        assert dominant >= 0.9, (
+            f"expected a single loop size without ECMP: {cheap}"
+        )

@@ -1,0 +1,45 @@
+"""Ablation — merge-gap sensitivity (Sec. IV-A.3 footnote).
+
+The paper tried 1-, 2- and 5-minute merge gaps and "found the number of
+merged replica streams not to be significantly different".  Asserted
+shape: loop counts are monotone non-increasing in the gap and change
+little between 1 and 5 minutes.
+"""
+
+from repro.core.detector import DetectorConfig, LoopDetector
+from repro.core.report import format_table
+
+GAPS = (60.0, 120.0, 300.0)
+
+
+def test_merge_gap_ablation(table1_results, emit, benchmark):
+    def sweep():
+        counts: dict[str, dict[float, int]] = {}
+        for name, result in table1_results.items():
+            counts[name] = {}
+            for gap in GAPS:
+                detector = LoopDetector(DetectorConfig(merge_gap=gap))
+                counts[name][gap] = detector.detect(
+                    result.trace
+                ).loop_count
+        return counts
+
+    counts = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        [name] + [counts[name][gap] for gap in GAPS]
+        for name in counts
+    ]
+    emit("ablation_merge_gap", format_table(
+        ["trace", "1 min gap", "2 min gap", "5 min gap"],
+        rows,
+        title="Ablation — routing loops vs merge gap",
+    ))
+
+    for name, by_gap in counts.items():
+        # Monotone: larger gaps can only merge more.
+        assert by_gap[60.0] >= by_gap[120.0] >= by_gap[300.0]
+        # And not *much* more: the footnote's insensitivity claim.
+        assert by_gap[60.0] - by_gap[300.0] <= max(
+            2, by_gap[60.0] // 2
+        ), f"{name}: merge gap changes loop count too strongly"

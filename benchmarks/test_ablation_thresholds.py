@@ -1,0 +1,80 @@
+"""Ablation — detection thresholds (Sec. IV-A.1's choices).
+
+Two knobs the paper fixes by argument rather than sweep:
+
+* ``min_ttl_delta = 2`` — a loop needs two routers, so requiring a
+  larger delta can only discard real streams (here: all the delta-2
+  majority);
+* ``max_replica_gap`` — the chaining window; loop round-trips are
+  milliseconds, so anything from ~0.5 s up finds the same streams, while
+  absurdly small windows break streams apart.
+
+The sweep quantifies both, confirming the defaults sit on a plateau.
+"""
+
+from repro.core.detector import DetectorConfig, LoopDetector
+from repro.core.report import format_table
+
+
+def test_min_ttl_delta_sweep(table1_results, emit, benchmark):
+    def sweep():
+        counts = {}
+        for name, result in table1_results.items():
+            counts[name] = {}
+            for delta in (2, 3, 4):
+                detector = LoopDetector(
+                    DetectorConfig(min_ttl_delta=delta)
+                )
+                counts[name][delta] = detector.detect(
+                    result.trace
+                ).stream_count
+        return counts
+
+    counts = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [[name] + [by_delta[d] for d in (2, 3, 4)]
+            for name, by_delta in counts.items()]
+    emit("ablation_min_delta", format_table(
+        ["trace", "delta >= 2", "delta >= 3", "delta >= 4"],
+        rows,
+        title="Ablation — streams vs minimum TTL delta",
+    ))
+
+    for name, by_delta in counts.items():
+        # Raising the threshold is monotone destructive.
+        assert by_delta[2] >= by_delta[3] >= by_delta[4]
+    # Requiring delta >= 3 wipes out the delta-2 majority everywhere
+    # except the engineered-triangle trace.
+    for name in ("backbone1", "backbone2", "backbone3"):
+        assert counts[name][3] == 0
+    assert counts["backbone4"][3] > 0  # its 3-router loops survive
+
+
+def test_replica_gap_sweep(table1_results, emit, benchmark):
+    def sweep():
+        counts = {}
+        for name, result in table1_results.items():
+            counts[name] = {}
+            for gap in (0.001, 0.5, 5.0, 30.0):
+                detector = LoopDetector(
+                    DetectorConfig(max_replica_gap=gap)
+                )
+                counts[name][gap] = detector.detect(
+                    result.trace
+                ).stream_count
+        return counts
+
+    counts = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [[name] + [by_gap[g] for g in (0.001, 0.5, 5.0, 30.0)]
+            for name, by_gap in counts.items()]
+    emit("ablation_replica_gap", format_table(
+        ["trace", "1 ms", "0.5 s", "5 s (default)", "30 s"],
+        rows,
+        title="Ablation — streams vs replica chaining gap",
+    ))
+
+    for name, by_gap in counts.items():
+        # A 1 ms window is below the loop round-trip: streams shatter
+        # into fragments that fail validation/size rules.
+        assert by_gap[0.001] < max(by_gap[5.0], 1)
+        # The plateau: 0.5 s up to 30 s finds the same streams.
+        assert by_gap[0.5] == by_gap[5.0] == by_gap[30.0]

@@ -1,0 +1,71 @@
+"""Extension — IGP convergence time (the paper's Sec. II-B grounding).
+
+The paper ties loop durations to convergence: detection + flooding +
+SPF + FIB update "typically converge in seconds", with contemporaneous
+measurements of ~5–10 s after a failure, and the observed loop
+durations "mostly under 10 seconds" agree.  This bench measures
+failure-to-consistent-FIBs time across topologies and timer presets:
+
+* with realistic default timers, convergence is seconds (well under
+  10 s) — matching both the cited measurements and Figure 9's loops;
+* with the slow-FIB preset used by the long-loop scenarios, it
+  stretches accordingly, bounding those traces' IGP loop durations.
+"""
+
+import random
+
+from repro.core.report import format_table
+from repro.routing.convergence import convergence_time_distribution
+from repro.routing.linkstate import LinkStateTimers
+from repro.routing.topology import backbone_topology, ring_topology
+from repro.stats.cdf import EmpiricalCdf
+
+
+def test_convergence_time(emit, benchmark):
+    def sweep():
+        presets = {
+            "default": LinkStateTimers(),
+            "slow FIB": LinkStateTimers(fib_update_delay=0.4,
+                                        fib_update_jitter=1.2),
+        }
+        topologies = {
+            "ring-6": lambda rng: ring_topology(
+                6, propagation_delay=0.003
+            ),
+            "backbone-8": lambda rng: backbone_topology(pops=8, rng=rng),
+        }
+        results = {}
+        for preset_name, timers in presets.items():
+            for topo_name, factory in topologies.items():
+                durations = convergence_time_distribution(
+                    factory, timers, trials=8, base_seed=42
+                )
+                results[f"{topo_name} / {preset_name}"] = (
+                    EmpiricalCdf.from_samples(durations)
+                )
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        [name, f"{cdf.median:.2f} s", f"{cdf.quantile(0.9):.2f} s",
+         f"{cdf.max:.2f} s"]
+        for name, cdf in results.items()
+    ]
+    emit("convergence_time", format_table(
+        ["configuration", "median", "p90", "max"],
+        rows,
+        title="Extension — IGP convergence time after a link failure",
+    ))
+
+    for name, cdf in results.items():
+        # "Link-state protocols typically converge in seconds."
+        assert cdf.max < 15.0, f"{name}: convergence too slow"
+        assert cdf.median > 0.05, f"{name}: suspiciously instant"
+    # Default timers: comfortably inside the paper's 5-10 s envelope.
+    for name, cdf in results.items():
+        if "default" in name:
+            assert cdf.quantile(0.9) < 10.0
+    # Slow FIB installs stretch convergence, as the scenarios rely on.
+    assert (results["ring-6 / slow FIB"].median
+            > results["ring-6 / default"].median)

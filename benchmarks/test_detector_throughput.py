@@ -1,0 +1,68 @@
+"""Throughput — detection pipeline performance on large traces.
+
+Not a paper artifact, but the property that made the paper's offline
+analysis feasible on multi-hour OC-12 traces: detection is a linear
+scan.  Benchmarks each pipeline stage on a 100k-record synthetic trace.
+"""
+
+import random
+
+import pytest
+
+from repro.core.detector import LoopDetector
+from repro.core.replica import detect_replicas
+from repro.core.streams import PrefixIndex, validate_streams
+from repro.net.addr import IPv4Prefix
+from repro.traffic.synthetic import SyntheticTraceBuilder
+
+
+@pytest.fixture(scope="module")
+def big_trace():
+    builder = SyntheticTraceBuilder(rng=random.Random(0))
+    prefixes = [
+        IPv4Prefix((198 << 24) | (51 << 16) | (i << 8), 24)
+        for i in range(40)
+    ]
+    builder.add_background(100_000, 0.0, 600.0, prefixes=prefixes)
+    for i in range(20):
+        builder.add_loop(
+            10.0 + i * 25.0,
+            IPv4Prefix((192 << 24) | (i << 8), 24),
+            n_packets=4,
+            replicas_per_packet=8,
+            spacing=0.01,
+            packet_gap=0.012,
+            entry_ttl=40,
+        )
+    return builder.build()
+
+
+def test_replica_detection_throughput(big_trace, benchmark):
+    streams = benchmark.pedantic(
+        lambda: detect_replicas(big_trace), rounds=3, iterations=1
+    )
+    assert len(streams) == 80
+
+
+def test_validation_throughput(big_trace, benchmark):
+    candidates = detect_replicas(big_trace)
+    index = PrefixIndex(big_trace, 24)
+
+    result = benchmark.pedantic(
+        lambda: validate_streams(candidates, big_trace,
+                                 prefix_index=index),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(result.valid) == 80
+
+
+def test_full_pipeline_throughput(big_trace, benchmark):
+    result = benchmark.pedantic(
+        lambda: LoopDetector().detect(big_trace), rounds=3, iterations=1
+    )
+    assert result.stream_count == 80
+    assert result.loop_count == 20
+    # Linear-scan economics: comfortably above 50k records/second even
+    # in pure Python.
+    assert benchmark.stats.stats.mean < len(big_trace) / 50_000

@@ -1,0 +1,45 @@
+"""Figure 2 — TTL delta distribution.
+
+Regenerates the per-trace distribution of replica-stream TTL deltas (the
+number of routers in the loop).  Asserted shape: a TTL delta of 2
+dominates on Backbones 1–3 (adjacent-router loops, the paper's
+explanation of update propagation boundaries); Backbone 4 shows the
+paper's anomalous mix with a large share of delta-3 streams.
+"""
+
+from repro.core.analysis import ttl_delta_distribution
+from repro.core.report import render_distribution
+
+
+def test_fig2(table1_results, emit, benchmark):
+    distributions = benchmark.pedantic(
+        lambda: {
+            name: ttl_delta_distribution(result.streams)
+            for name, result in table1_results.items()
+        },
+        rounds=3,
+        iterations=1,
+    )
+    for name, distribution in distributions.items():
+        emit(f"fig2_{name}", render_distribution(
+            distribution, f"Figure 2 — TTL delta distribution ({name})"
+        ))
+
+    # Deltas are loop sizes: always >= 2, never absurd.
+    for name, distribution in distributions.items():
+        assert distribution.total > 0
+        for delta in distribution.counts:
+            assert 2 <= delta <= 12
+
+    # Backbones 1-3: delta 2 is the mode and the large majority.
+    for name in ("backbone1", "backbone2", "backbone3"):
+        distribution = distributions[name]
+        assert distribution.mode() == 2
+        assert distribution.fraction(2) >= 0.8
+
+    # Backbone 4: a substantial mix of deltas 2 and 3 (the paper's
+    # 55%/35%); both present, together nearly everything.
+    b4 = distributions["backbone4"]
+    assert b4.fraction(2) >= 0.2
+    assert b4.fraction(3) >= 0.2
+    assert b4.fraction(2) + b4.fraction(3) >= 0.9

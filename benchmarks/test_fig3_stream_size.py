@@ -1,0 +1,70 @@
+"""Figure 3 — CDF of the number of replicas in a replica stream.
+
+Asserted shape: sizes are bounded by initial-TTL / TTL-delta; the CDF
+shows concentrated jumps where the popular initial TTLs (64, 128, minus
+upstream hops) run out against the dominant delta — the paper's jumps at
+~31 and ~63 replicas.
+"""
+
+from repro.core.analysis import stream_size_cdf
+from repro.core.report import render_cdf
+
+
+def test_fig3(table1_results, emit, benchmark):
+    cdfs = benchmark.pedantic(
+        lambda: {
+            name: stream_size_cdf(result.streams)
+            for name, result in table1_results.items()
+        },
+        rounds=3,
+        iterations=1,
+    )
+    for name, cdf in cdfs.items():
+        emit(f"fig3_{name}", render_cdf(
+            cdf, f"Figure 3 — replicas per stream ({name})"
+        ))
+
+    for name, cdf in cdfs.items():
+        assert not cdf.empty
+        # Validated streams have >= 3 replicas; a TTL <= 255 with
+        # delta >= 2 bounds the stream at ~128 replicas.
+        assert cdf.min >= 3
+        assert cdf.max <= 130
+
+    # The TTL-runout clusters: a large share of streams exhaust a
+    # 64-base TTL against delta 2 (sizes ~20-32) or a 128-base TTL
+    # (sizes ~50-64), as in the paper's step pattern.
+    pooled = [size for cdf in cdfs.values() for size in cdf.values]
+    in_64_cluster = sum(1 for s in pooled if 18 <= s <= 34)
+    in_128_cluster = sum(1 for s in pooled if 48 <= s <= 66)
+    assert (in_64_cluster + in_128_cluster) / len(pooled) >= 0.3
+    assert in_64_cluster > 0
+    assert in_128_cluster > 0
+
+    # At least one trace shows a visible step (a single size holding
+    # >= 8% of its streams).
+    assert any(cdf.step_sizes(threshold=0.08) for cdf in cdfs.values())
+
+
+def test_fig3_jump_mechanism(table1_results, benchmark):
+    """The paper's explanation of the jumps, verified per stream: a
+    stream's size never exceeds what its entry TTL and loop size allow,
+    and full-runout streams (packet expired in the loop) hit that bound
+    exactly."""
+    from repro.core.analysis import predicted_stream_size_steps
+
+    def check():
+        checked = exact = 0
+        for result in table1_results.values():
+            for stream in result.streams:
+                bound = (stream.first_ttl - 1) // stream.ttl_delta + 1
+                assert stream.size <= bound
+                checked += 1
+                if stream.last_ttl <= stream.ttl_delta:
+                    assert stream.size == bound
+                    exact += 1
+        return checked, exact
+
+    checked, exact = benchmark.pedantic(check, rounds=3, iterations=1)
+    assert checked > 0
+    assert exact > 0  # plenty of packets die in the loop

@@ -1,0 +1,51 @@
+"""Figure 4 — CDF of inter-replica spacing time.
+
+The mean spacing within a stream is one loop round-trip.  Asserted
+shape: spacings are milliseconds (the paper: ~90% under 8-10 ms on the
+fast links, everything under ~220 ms), and larger TTL deltas mean
+longer round-trips (more hops per cycle).
+"""
+
+from repro.core.analysis import spacing_cdf
+from repro.core.report import render_cdf
+
+
+def test_fig4(table1_results, emit, benchmark):
+    cdfs = benchmark.pedantic(
+        lambda: {
+            name: spacing_cdf(result.streams)
+            for name, result in table1_results.items()
+        },
+        rounds=3,
+        iterations=1,
+    )
+    for name, cdf in cdfs.items():
+        emit(f"fig4_{name}", render_cdf(
+            cdf, f"Figure 4 — inter-replica spacing ({name})", unit=" s"
+        ))
+
+    for name, cdf in cdfs.items():
+        assert not cdf.empty
+        # Loop round-trips are milliseconds: everything under 250 ms,
+        # nothing below twice a propagation delay.
+        assert cdf.max < 0.25
+        assert cdf.min > 0.0005
+        # The bulk is fast: 90% under 50 ms.
+        assert cdf.fraction_at_or_below(0.050) >= 0.9
+
+
+def test_fig4_multihop_spacing(table1_results, benchmark):
+    """The paper identifies streams with TTL deltas larger than 2 as
+    having inter-replica spacings beyond the ~5 ms knee (more hops per
+    cycle).  Check that every multi-hop stream clears that bound."""
+    def collect():
+        spacings = []
+        for result in table1_results.values():
+            for stream in result.streams:
+                if stream.ttl_delta >= 3:
+                    spacings.append(stream.mean_spacing)
+        return spacings
+
+    spacings = benchmark.pedantic(collect, rounds=3, iterations=1)
+    assert spacings, "no multi-hop streams found (backbone4 should have them)"
+    assert all(spacing > 0.005 for spacing in spacings)

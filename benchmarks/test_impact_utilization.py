@@ -1,0 +1,79 @@
+"""Extension — utilization overhead and reordering (Sec. VI's remarks).
+
+The paper notes loops inflate link utilization (replica crossings are
+duplicate bytes, raising queueing delay for everyone) and that escaped
+packets arrive out of order.  Asserted shape: overhead is tiny overall
+but concentrated in loop minutes; some looped deliveries are reordered.
+"""
+
+from repro.core.impact import (
+    reordering_impact_from_engine,
+    utilization_overhead,
+)
+from repro.core.report import format_table
+
+
+def test_utilization_overhead(table1_results, emit, benchmark):
+    overheads = benchmark.pedantic(
+        lambda: {
+            name: utilization_overhead(result.trace, result.streams)
+            for name, result in table1_results.items()
+        },
+        rounds=3,
+        iterations=1,
+    )
+    rows = [
+        [name,
+         overhead.overhead_bytes,
+         f"{overhead.overall_overhead_fraction:.4%}",
+         f"{overhead.peak_minute_overhead_fraction:.2%}"]
+        for name, overhead in overheads.items()
+    ]
+    emit("impact_utilization", format_table(
+        ["trace", "overhead bytes", "overall share", "peak minute share"],
+        rows,
+        title="Extension — link utilization overhead of replicas",
+    ))
+
+    for name, overhead in overheads.items():
+        assert overhead.overhead_bytes > 0, f"{name}: no loop bytes?"
+        # Overall the overhead is small...
+        assert overhead.overall_overhead_fraction < 0.25
+        # ...but concentrated: the worst minute's share beats the mean.
+        assert overhead.peak_minute_overhead_fraction >= (
+            overhead.overall_overhead_fraction
+        )
+
+
+def test_reordering(table1_runs, emit, benchmark):
+    impacts = benchmark.pedantic(
+        lambda: {
+            name: reordering_impact_from_engine(run.engine)
+            for name, run in table1_runs.items()
+        },
+        rounds=3,
+        iterations=1,
+    )
+    rows = [
+        [name, impact.total_looped_deliveries,
+         impact.reordered_deliveries,
+         f"{impact.reordering_fraction:.2f}"]
+        for name, impact in impacts.items()
+    ]
+    emit("impact_reordering", format_table(
+        ["trace", "looped deliveries", "reordered", "fraction"],
+        rows,
+        title="Extension — out-of-order delivery of escaped packets",
+    ))
+
+    # Somewhere across the traces, escaped packets do get reordered.
+    total_reordered = sum(
+        impact.reordered_deliveries for impact in impacts.values()
+    )
+    total_looped = sum(
+        impact.total_looped_deliveries for impact in impacts.values()
+    )
+    assert total_looped > 0
+    assert total_reordered > 0
+    for impact in impacts.values():
+        assert impact.reordered_deliveries <= impact.total_looped_deliveries

@@ -1,0 +1,72 @@
+"""Extension — online detection equivalence and throughput.
+
+The streaming detector must produce exactly the offline detector's
+loops on the real scenario traces, at comparable linear-scan speed,
+while holding only window-bounded state.
+"""
+
+import random
+
+import pytest
+
+from repro.core.detector import LoopDetector
+from repro.core.report import format_table
+from repro.core.streaming import StreamingLoopDetector
+from repro.net.addr import IPv4Prefix
+from repro.traffic.synthetic import SyntheticTraceBuilder
+
+
+def _loop_key(loop):
+    return (loop.prefix, round(loop.start, 6), round(loop.end, 6),
+            loop.stream_count, loop.replica_count)
+
+
+def test_streaming_matches_offline_on_scenarios(table1_results, emit,
+                                                benchmark):
+    def run_all():
+        rows = []
+        for name, result in table1_results.items():
+            streaming = StreamingLoopDetector()
+            online = streaming.process_trace(result.trace)
+            rows.append((name, result.loop_count, len(online),
+                         sorted(map(_loop_key, online))
+                         == sorted(map(_loop_key, result.loops))))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit("streaming_equivalence", format_table(
+        ["trace", "offline loops", "streaming loops", "identical"],
+        [list(row) for row in rows],
+        title="Extension — streaming vs offline detection",
+    ))
+    for name, offline_count, online_count, identical in rows:
+        assert identical, f"{name}: streaming diverged from offline"
+
+
+@pytest.fixture(scope="module")
+def big_trace():
+    builder = SyntheticTraceBuilder(rng=random.Random(0))
+    prefixes = [
+        IPv4Prefix((198 << 24) | (51 << 16) | (i << 8), 24)
+        for i in range(40)
+    ]
+    builder.add_background(100_000, 0.0, 600.0, prefixes=prefixes)
+    for i in range(20):
+        builder.add_loop(
+            10.0 + i * 25.0,
+            IPv4Prefix((192 << 24) | (i << 8), 24),
+            n_packets=4, replicas_per_packet=8,
+            spacing=0.01, packet_gap=0.012, entry_ttl=40,
+        )
+    return builder.build()
+
+
+def test_streaming_throughput(big_trace, benchmark):
+    def run():
+        streaming = StreamingLoopDetector()
+        return streaming.process_trace(big_trace)
+
+    loops = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(loops) == 20
+    # Same order of magnitude as the offline linear scan.
+    assert benchmark.stats.stats.mean < len(big_trace) / 25_000

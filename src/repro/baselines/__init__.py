@@ -1,0 +1,19 @@
+"""Active-measurement baselines the paper compares against.
+
+* :mod:`repro.baselines.traceroute` — Paxson-style periodic traceroutes;
+  detects a loop when a router repeats within one probe session.  The
+  paper argues such end-to-end probing is error-prone for transient loops;
+  the baseline bench quantifies exactly how much it misses.
+* :mod:`repro.baselines.probing` — Labovitz-style ICMP echo probing that
+  measures per-interval probe loss and latency around routing events.
+"""
+
+from repro.baselines.traceroute import TracerouteBaseline, TraceroutePath
+from repro.baselines.probing import PingProbe, PingSummary
+
+__all__ = [
+    "TracerouteBaseline",
+    "TraceroutePath",
+    "PingProbe",
+    "PingSummary",
+]

@@ -1,0 +1,197 @@
+"""Traceroute-based loop detection (the Paxson '97 approach).
+
+A prober attached to one router runs periodic traceroute sessions toward a
+set of destinations: one UDP probe per TTL value, watching for ICMP
+time-exceeded responses whose source reveals the router at each hop.  A
+*loop* is a router appearing twice in one session's path.
+
+This is exactly the methodology the paper contrasts with passive trace
+analysis (Sec. III): it can only see a transient loop if a session happens
+to straddle the convergence window, and lost responses (ICMP rate
+limiting) blur even that.  The baseline bench measures its recall against
+the passive detector on identical ground truth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.net.addr import IPv4Address, IPv4Prefix
+from repro.net.packet import (
+    ICMP_TIME_EXCEEDED,
+    IPPROTO_ICMP,
+    IPv4Header,
+    Packet,
+    UdpHeader,
+)
+from repro.routing.bgp import BgpProcess
+from repro.routing.forwarding import ForwardingEngine
+
+
+class TracerouteError(ValueError):
+    """Raised for invalid prober configuration."""
+
+
+@dataclass(slots=True)
+class TraceroutePath:
+    """One completed traceroute session."""
+
+    target: IPv4Address
+    started_at: float
+    hops: dict[int, IPv4Address] = field(default_factory=dict)
+
+    def path(self) -> list[IPv4Address | None]:
+        """Responding router per TTL, ``None`` for missing responses."""
+        if not self.hops:
+            return []
+        max_ttl = max(self.hops)
+        return [self.hops.get(ttl) for ttl in range(1, max_ttl + 1)]
+
+    def has_loop(self) -> bool:
+        """True when some router answered for two different TTLs."""
+        seen: set[int] = set()
+        for address in self.hops.values():
+            if address.value in seen:
+                return True
+            seen.add(address.value)
+        return False
+
+
+@dataclass(slots=True)
+class _Session:
+    path: TraceroutePath
+    pending: int
+
+
+class TracerouteBaseline:
+    """Periodic traceroute prober attached to one router.
+
+    Must be constructed *before* ``bgp.start()`` so its return prefix is
+    originated at the probe router (responses need a route back).
+    """
+
+    #: Classic traceroute destination port base.
+    _BASE_PORT = 33434
+
+    def __init__(
+        self,
+        engine: ForwardingEngine,
+        bgp: BgpProcess,
+        router: str,
+        targets: list[IPv4Address],
+        interval: float = 60.0,
+        max_ttl: int = 24,
+        probe_spacing: float = 0.05,
+        rng: random.Random | None = None,
+        probe_prefix: IPv4Prefix | None = None,
+    ) -> None:
+        if not targets:
+            raise TracerouteError("no targets")
+        if interval <= 0:
+            raise TracerouteError("interval must be positive")
+        if not 1 <= max_ttl <= 255:
+            raise TracerouteError(f"max_ttl out of range: {max_ttl}")
+        self.engine = engine
+        self.router = router
+        self.targets = targets
+        self.interval = interval
+        self.max_ttl = max_ttl
+        self.probe_spacing = probe_spacing
+        self.rng = rng or random.Random(0)
+        self.probe_prefix = probe_prefix or IPv4Prefix.parse("203.0.113.0/24")
+        self.source = self.probe_prefix.random_address(self.rng)
+        bgp.originate(self.probe_prefix, router)
+        engine.add_delivery_listener(self._on_delivery)
+
+        self.sessions: list[TraceroutePath] = []
+        self._open: dict[int, _Session] = {}  # ip id -> session
+        self._next_id = self.rng.randrange(0x8000)
+        self.probes_sent = 0
+        self.responses_received = 0
+
+    # -- scheduling ------------------------------------------------------------
+
+    def run(self, start: float, end: float) -> None:
+        """Schedule sessions every ``interval`` seconds over [start, end)."""
+        when = start
+        while when < end:
+            self.engine.scheduler.schedule_at(
+                when, lambda t=when: self._start_round(t)
+            )
+            when += self.interval
+
+    def _start_round(self, when: float) -> None:
+        for target in self.targets:
+            self._start_session(target)
+
+    def _start_session(self, target: IPv4Address) -> None:
+        now = self.engine.scheduler.now
+        path = TraceroutePath(target=target, started_at=now)
+        session = _Session(path=path, pending=self.max_ttl)
+        offset = 0.0
+        for ttl in range(1, self.max_ttl + 1):
+            probe_id = self._next_probe_id()
+            self._open[probe_id] = session
+            packet = self._probe_packet(target, ttl, probe_id)
+            self.engine.scheduler.schedule(
+                offset, lambda p=packet: self._send(p)
+            )
+            offset += self.probe_spacing
+        # Close the session once all responses had time to return.
+        self.engine.scheduler.schedule(
+            offset + 5.0, lambda s=session: self._close(s)
+        )
+
+    def _send(self, packet: Packet) -> None:
+        self.probes_sent += 1
+        self.engine.inject(packet, self.router)
+
+    def _probe_packet(self, target: IPv4Address, ttl: int,
+                      probe_id: int) -> Packet:
+        ip = IPv4Header(src=self.source, dst=target, ttl=ttl,
+                        identification=probe_id)
+        udp = UdpHeader(src_port=self.rng.randint(32768, 60999),
+                        dst_port=self._BASE_PORT + ttl)
+        return Packet.build(ip, udp, b"")
+
+    def _next_probe_id(self) -> int:
+        self._next_id = (self._next_id + 1) & 0xFFFF
+        return self._next_id
+
+    # -- response handling ----------------------------------------------------------
+
+    def _on_delivery(self, time: float, packet: Packet, router: str) -> None:
+        if router != self.router:
+            return
+        if packet.ip.protocol != IPPROTO_ICMP or packet.l4 is None:
+            return
+        if getattr(packet.l4, "icmp_type", None) != ICMP_TIME_EXCEEDED:
+            return
+        if packet.ip.dst != self.source:
+            return
+        quoted = packet.payload
+        if len(quoted) < 20:
+            return
+        probe_id = int.from_bytes(quoted[4:6], "big")
+        probe_ttl = quoted[8]
+        session = self._open.get(probe_id)
+        if session is None:
+            return
+        self.responses_received += 1
+        # The quoted TTL is the probe's *initial* TTL: probes expire after
+        # exactly that many hops, so it indexes the hop that answered.
+        session.path.hops[probe_ttl] = packet.ip.src
+
+    def _close(self, session: _Session) -> None:
+        stale = [probe_id for probe_id, open_session in self._open.items()
+                 if open_session is session]
+        for probe_id in stale:
+            del self._open[probe_id]
+        self.sessions.append(session.path)
+
+    # -- results -----------------------------------------------------------------------
+
+    def loop_observations(self) -> list[TraceroutePath]:
+        """Sessions whose path shows a repeated router."""
+        return [path for path in self.sessions if path.has_loop()]

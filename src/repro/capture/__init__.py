@@ -1,0 +1,6 @@
+"""Passive capture: link monitors that turn forwarded packets into traces."""
+
+from repro.capture.monitor import LinkMonitor
+from repro.capture.multimonitor import MonitorArray
+
+__all__ = ["LinkMonitor", "MonitorArray"]

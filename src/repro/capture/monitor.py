@@ -1,0 +1,58 @@
+"""Passive link monitor.
+
+Equivalent of the paper's optical taps: attached to one direction of one
+link, it records every packet crossing that direction into a
+:class:`~repro.net.trace.Trace` with a configurable snaplen (40 bytes by
+default, exactly like the Sprint collection infrastructure — IP header
+plus TCP/UDP header, no payload).
+"""
+
+from __future__ import annotations
+
+from repro.net.packet import Packet
+from repro.net.trace import SNAPLEN_40, Trace, TraceRecord
+from repro.routing.forwarding import ForwardingEngine
+
+
+class LinkMonitor:
+    """Captures one direction of a link into a trace."""
+
+    def __init__(
+        self,
+        engine: ForwardingEngine,
+        from_router: str,
+        to_router: str,
+        snaplen: int = SNAPLEN_40,
+    ) -> None:
+        self.from_router = from_router
+        self.to_router = to_router
+        self.snaplen = snaplen
+        link = engine.topology.link_between(from_router, to_router)
+        self.trace = Trace(
+            link_name=f"{from_router}->{to_router}", snaplen=snaplen
+        )
+        self._pending: list[TraceRecord] = []
+        engine.add_tap(from_router, to_router, self._observe)
+
+    def _observe(self, timestamp: float, packet: Packet) -> None:
+        # Taps can fire out of order when queueing reorders departures
+        # across scheduler ties; buffer and sort on finalize.
+        self._pending.append(
+            TraceRecord.capture(timestamp, packet, self.snaplen)
+        )
+
+    def finalize(self) -> Trace:
+        """Sort buffered records into the trace and return it."""
+        if self._pending:
+            self._pending.sort(key=lambda record: record.timestamp)
+            merged = sorted(
+                self.trace.records + self._pending,
+                key=lambda record: record.timestamp,
+            )
+            self.trace.records = merged
+            self._pending = []
+        return self.trace
+
+    @property
+    def packets_seen(self) -> int:
+        return len(self.trace.records) + len(self._pending)

@@ -1,0 +1,47 @@
+"""Monitoring several links at once.
+
+The paper's traces were collected "in parallel over multiple
+uni-directional links"; each was analyzed separately.
+:class:`MonitorArray` packages that setup — one passive monitor per link
+direction on a shared engine — and :mod:`repro.core.vantage` merges the
+per-link detections into AS-wide loop events.
+"""
+
+from __future__ import annotations
+
+from repro.capture.monitor import LinkMonitor
+from repro.net.trace import SNAPLEN_40, Trace
+from repro.routing.forwarding import ForwardingEngine
+
+
+class MonitorArray:
+    """Passive monitors on several link directions of one engine."""
+
+    def __init__(self, engine: ForwardingEngine,
+                 directions: list[tuple[str, str]],
+                 snaplen: int = SNAPLEN_40) -> None:
+        if not directions:
+            raise ValueError("need at least one direction to monitor")
+        seen: set[tuple[str, str]] = set()
+        self._monitors: dict[tuple[str, str], LinkMonitor] = {}
+        for direction in directions:
+            if direction in seen:
+                raise ValueError(f"duplicate monitor direction {direction}")
+            seen.add(direction)
+            self._monitors[direction] = LinkMonitor(
+                engine, direction[0], direction[1], snaplen=snaplen
+            )
+
+    @property
+    def directions(self) -> list[tuple[str, str]]:
+        return list(self._monitors)
+
+    def monitor(self, direction: tuple[str, str]) -> LinkMonitor:
+        return self._monitors[direction]
+
+    def finalize(self) -> dict[str, Trace]:
+        """All traces, keyed by ``"a->b"`` direction names."""
+        return {
+            f"{a}->{b}": monitor.finalize()
+            for (a, b), monitor in self._monitors.items()
+        }

@@ -1,0 +1,232 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    repro-loops detect <trace.pcap>        # run the detector on a pcap
+    repro-loops simulate <scenario>        # run a Table I scenario
+    repro-loops report <scenario>          # scenario + full figure report
+
+``python -m repro`` is equivalent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.analysis import (
+    loop_duration_cdf,
+    looped_traffic_type_distribution,
+    spacing_cdf,
+    stream_duration_cdf,
+    stream_size_cdf,
+    traffic_type_distribution,
+    ttl_delta_distribution,
+)
+from repro.core.detector import DetectorConfig, LoopDetector
+from repro.core.impact import escape_analysis
+from repro.core.report import (
+    render_cdf,
+    render_destination_classes,
+    render_distribution,
+    render_summary,
+    render_traffic_types,
+)
+from repro.net.pcap import read_pcap, write_pcap
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-loops",
+        description="Routing-loop detection in packet traces (IMC 2002 "
+                    "reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    detect = sub.add_parser("detect", help="detect loops in a pcap trace")
+    detect.add_argument("trace", help="pcap file to analyze")
+    detect.add_argument("--merge-gap", type=float, default=60.0,
+                        help="stream merge gap in seconds (default 60)")
+    detect.add_argument("--min-stream-size", type=int, default=3,
+                        help="minimum replicas per stream (default 3)")
+    detect.add_argument("--prefix-length", type=int, default=24,
+                        help="validation prefix length (default 24)")
+    detect.add_argument("--no-validate", action="store_true",
+                        help="skip the prefix-consistency validation")
+    detect.add_argument("--figures", action="store_true",
+                        help="also print the per-figure statistics")
+    detect.add_argument("--json", action="store_true",
+                        help="emit the detection result as JSON")
+    detect.add_argument("--streaming", action="store_true",
+                        help="use the online (streaming) detector")
+
+    simulate = sub.add_parser(
+        "simulate", help="run a Table I backbone scenario"
+    )
+    simulate.add_argument("scenario", help="scenario name (backbone1..4)")
+    simulate.add_argument("--duration", type=float, default=None,
+                          help="override scenario duration in seconds")
+    simulate.add_argument("--pcap", default=None,
+                          help="write the monitor trace to this pcap file")
+
+    report = sub.add_parser(
+        "report", help="scenario run + full per-figure report"
+    )
+    report.add_argument("scenario", help="scenario name (backbone1..4)")
+    report.add_argument("--duration", type=float, default=None,
+                        help="override scenario duration in seconds")
+
+    anonymize = sub.add_parser(
+        "anonymize",
+        help="prefix-preserving anonymization of a pcap trace",
+    )
+    anonymize.add_argument("trace", help="input pcap")
+    anonymize.add_argument("output", help="output pcap")
+    anonymize.add_argument("--key", required=True,
+                           help="secret key (>= 16 characters)")
+    return parser
+
+
+def _detector_from_args(args: argparse.Namespace) -> LoopDetector:
+    config = DetectorConfig(
+        merge_gap=args.merge_gap,
+        min_stream_size=args.min_stream_size,
+        prefix_length=args.prefix_length,
+        check_prefix_consistency=not args.no_validate,
+        check_gap_consistency=not args.no_validate,
+    )
+    return LoopDetector(config)
+
+
+def _print_figures(result) -> None:
+    streams = result.streams
+    print()
+    print(render_distribution(
+        ttl_delta_distribution(streams), "Figure 2 — TTL delta distribution"
+    ))
+    print()
+    print(render_cdf(stream_size_cdf(streams),
+                     "Figure 3 — replicas per stream", unit="",
+                     plot=True))
+    print()
+    print(render_cdf(spacing_cdf(streams),
+                     "Figure 4 — inter-replica spacing", unit=" s",
+                     plot=True, log_x=True))
+    print()
+    print(render_traffic_types(
+        traffic_type_distribution(result.trace),
+        "Figure 5 — traffic types, all traffic",
+    ))
+    print()
+    print(render_traffic_types(
+        looped_traffic_type_distribution(streams),
+        "Figure 6 — traffic types, looped traffic",
+    ))
+    print()
+    print(render_destination_classes(result))
+    from repro.core.report import render_figure7_scatter
+
+    print()
+    print(render_figure7_scatter(result))
+    print()
+    print(render_cdf(stream_duration_cdf(streams),
+                     "Figure 8 — replica stream duration", unit=" s",
+                     plot=True, log_x=True))
+    print()
+    print(render_cdf(loop_duration_cdf(result.loops),
+                     "Figure 9 — routing loop duration", unit=" s",
+                     plot=True))
+    escapes = escape_analysis(streams)
+    print()
+    print(f"escape analysis: {escapes.escaped}/{escapes.total_streams} "
+          f"streams escaped ({escapes.escape_fraction:.1%})")
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    trace = read_pcap(args.trace)
+    detector = _detector_from_args(args)
+    if args.streaming:
+        from repro.core.streaming import StreamingLoopDetector
+
+        streaming = StreamingLoopDetector(detector.config)
+        loops = streaming.process_trace(trace)
+        print(f"records: {streaming.stats.records}")
+        print(f"streams completed: {streaming.stats.streams_completed}")
+        print(f"routing loops: {len(loops)}")
+        for loop in loops:
+            print(f"  {loop.prefix}  {loop.start:.3f}..{loop.end:.3f}s  "
+                  f"delta={loop.ttl_delta} replicas={loop.replica_count}")
+        return 0
+    result = detector.detect(trace)
+    if args.json:
+        from repro.core.serialize import result_to_json
+
+        print(result_to_json(result))
+        return 0
+    print(render_summary(result))
+    if args.figures:
+        _print_figures(result)
+    return 0
+
+
+def _run_scenario(name: str, duration: float | None):
+    from repro.sim import table1_scenario
+
+    overrides = {}
+    if duration is not None:
+        overrides["duration"] = duration
+    scenario = table1_scenario(name, **overrides)
+    return scenario.run()
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    run = _run_scenario(args.scenario, args.duration)
+    detector = LoopDetector()
+    result = detector.detect(run.trace)
+    print(render_summary(result))
+    print(f"ground-truth looped packets (AS-wide): "
+          f"{run.ground_truth_looped}")
+    print(f"ground-truth TTL expiries: {run.ground_truth_expired}")
+    if args.pcap:
+        write_pcap(run.trace, args.pcap)
+        print(f"trace written to {args.pcap}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    run = _run_scenario(args.scenario, args.duration)
+    result = LoopDetector().detect(run.trace)
+    print(render_summary(result))
+    _print_figures(result)
+    return 0
+
+
+def _cmd_anonymize(args: argparse.Namespace) -> int:
+    from repro.net.anonymize import PrefixPreservingAnonymizer
+
+    trace = read_pcap(args.trace)
+    anonymizer = PrefixPreservingAnonymizer(args.key.encode())
+    write_pcap(anonymizer.anonymize_trace(trace), args.output)
+    print(f"{len(trace)} records anonymized -> {args.output}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "detect": _cmd_detect,
+        "simulate": _cmd_simulate,
+        "report": _cmd_report,
+        "anonymize": _cmd_anonymize,
+    }
+    try:
+        return handlers[args.command](args)
+    except (FileNotFoundError, KeyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

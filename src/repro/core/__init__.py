@@ -1,0 +1,125 @@
+"""The paper's contribution: routing-loop detection from packet traces.
+
+The pipeline has the paper's three steps (Sec. IV-A):
+
+1. :mod:`repro.core.replica` — find *replicas*: packets identical except
+   for TTL (differing by >= 2) and IP header checksum, chained into
+   candidate replica streams;
+2. :mod:`repro.core.streams` — validate candidate streams: drop 2-element
+   streams (link-layer duplicates) and streams that coexist with
+   non-looped packets to the same /24;
+3. :mod:`repro.core.merge` — merge validated streams into routing loops
+   per destination /24, joining streams that overlap or sit less than a
+   minute apart.
+
+:mod:`repro.core.detector` wraps the steps into one call;
+:mod:`repro.core.analysis` computes every figure's statistic;
+:mod:`repro.core.impact` quantifies loss/delay effects;
+:mod:`repro.core.report` renders the paper's tables.
+"""
+
+from repro.core.replica import Replica, ReplicaStream, detect_replicas
+from repro.core.streams import ValidationResult, validate_streams
+from repro.core.merge import RoutingLoop, merge_streams
+from repro.core.detector import DetectionResult, DetectorConfig, LoopDetector
+from repro.core.analysis import (
+    classify_record,
+    destination_timeseries,
+    loop_duration_cdf,
+    spacing_cdf,
+    stream_duration_cdf,
+    stream_size_cdf,
+    traffic_type_distribution,
+    ttl_delta_distribution,
+)
+from repro.core.impact import (
+    DelayImpact,
+    LossImpact,
+    QueueingImpact,
+    ReorderingImpact,
+    UtilizationOverhead,
+    delay_impact_from_engine,
+    escape_analysis,
+    loss_impact_from_engine,
+    queueing_impact_from_engine,
+    reordering_impact_from_engine,
+    utilization_overhead,
+)
+from repro.core.streaming import StreamingLoopDetector
+from repro.core.correlate import (
+    LoopAttribution,
+    LoopCause,
+    cause_summary,
+    correlate_loops,
+)
+from repro.core.persistent import (
+    ClassifiedLoop,
+    LoopClass,
+    PersistenceCriteria,
+    classify_loops,
+    inject_static_route_conflict,
+    persistent_fraction,
+)
+from repro.core.serialize import (
+    loops_from_json,
+    result_to_dict,
+    result_to_json,
+)
+from repro.core.vantage import (
+    LoopEvent,
+    VantageSummary,
+    detect_on_all,
+    merge_loop_events,
+    summarize_vantages,
+)
+
+__all__ = [
+    "Replica",
+    "ReplicaStream",
+    "detect_replicas",
+    "ValidationResult",
+    "validate_streams",
+    "RoutingLoop",
+    "merge_streams",
+    "LoopDetector",
+    "DetectorConfig",
+    "DetectionResult",
+    "ttl_delta_distribution",
+    "stream_size_cdf",
+    "spacing_cdf",
+    "stream_duration_cdf",
+    "loop_duration_cdf",
+    "traffic_type_distribution",
+    "destination_timeseries",
+    "classify_record",
+    "escape_analysis",
+    "loss_impact_from_engine",
+    "delay_impact_from_engine",
+    "reordering_impact_from_engine",
+    "utilization_overhead",
+    "LossImpact",
+    "DelayImpact",
+    "ReorderingImpact",
+    "UtilizationOverhead",
+    "QueueingImpact",
+    "queueing_impact_from_engine",
+    "StreamingLoopDetector",
+    "LoopCause",
+    "LoopAttribution",
+    "correlate_loops",
+    "cause_summary",
+    "LoopClass",
+    "ClassifiedLoop",
+    "PersistenceCriteria",
+    "classify_loops",
+    "persistent_fraction",
+    "inject_static_route_conflict",
+    "result_to_dict",
+    "result_to_json",
+    "loops_from_json",
+    "LoopEvent",
+    "VantageSummary",
+    "detect_on_all",
+    "merge_loop_events",
+    "summarize_vantages",
+]

@@ -1,0 +1,261 @@
+"""Characterization statistics — one function per figure of the paper.
+
+All functions take detector output (streams/loops) or raw traces and
+return :mod:`repro.stats` objects; the benchmark harness prints them as
+the figures' series.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.net.addr import IPv4Address
+from repro.net.packet import (
+    ICMP_ECHO_REPLY,
+    ICMP_ECHO_REQUEST,
+    IPPROTO_ICMP,
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+)
+from repro.net.trace import Trace, TraceRecord
+from repro.core.merge import RoutingLoop
+from repro.core.replica import ReplicaStream
+from repro.stats.cdf import EmpiricalCdf
+from repro.stats.hist import CategoricalDistribution
+
+#: Figure 5/6 category labels, in the paper's x-axis order.  A packet can
+#: fall into several (a SYN-ACK counts as TCP, SYN and ACK).
+TRAFFIC_TYPE_LABELS: tuple[str, ...] = (
+    "TCP", "ACK", "PSH", "RST", "URG", "SYN", "FIN",
+    "UDP", "MCAST", "ICMP", "OTHER",
+)
+
+_TCP_FLAG_LABELS: tuple[tuple[int, str], ...] = (
+    (0x10, "ACK"),
+    (0x08, "PSH"),
+    (0x04, "RST"),
+    (0x20, "URG"),
+    (0x02, "SYN"),
+    (0x01, "FIN"),
+)
+
+
+def classify_bytes(data: bytes) -> frozenset[str]:
+    """Figure 5/6 labels for one captured packet's bytes.
+
+    Works from the 40-byte capture alone: protocol at IP offset 9, TCP
+    flags at TCP offset 13 (wire offset 33), class-D destination for
+    MCAST.
+    """
+    if len(data) < 20:
+        return frozenset()
+    labels: set[str] = set()
+    protocol = data[9]
+    dst_top = data[16] >> 4
+    if dst_top == 0xE:
+        labels.add("MCAST")
+    if protocol == IPPROTO_TCP:
+        labels.add("TCP")
+        ihl = (data[0] & 0xF) * 4
+        flags_offset = ihl + 13
+        if len(data) > flags_offset:
+            flags = data[flags_offset]
+            for bit, label in _TCP_FLAG_LABELS:
+                if flags & bit:
+                    labels.add(label)
+    elif protocol == IPPROTO_UDP:
+        if "MCAST" not in labels:
+            labels.add("UDP")
+    elif protocol == IPPROTO_ICMP:
+        labels.add("ICMP")
+    else:
+        labels.add("OTHER")
+    return frozenset(labels)
+
+
+def classify_record(record: TraceRecord) -> frozenset[str]:
+    """Figure 5/6 labels for a trace record."""
+    return classify_bytes(record.data)
+
+
+# -- Figure 2 -----------------------------------------------------------------
+
+
+def ttl_delta_distribution(
+    streams: Sequence[ReplicaStream],
+) -> CategoricalDistribution:
+    """Distribution of per-stream TTL deltas (loop sizes) — Figure 2."""
+    return CategoricalDistribution.from_items(
+        stream.ttl_delta for stream in streams
+    )
+
+
+# -- Figure 3 -----------------------------------------------------------------
+
+
+def stream_size_cdf(streams: Sequence[ReplicaStream]) -> EmpiricalCdf:
+    """CDF of the number of replicas per stream — Figure 3."""
+    return EmpiricalCdf.from_samples(stream.size for stream in streams)
+
+
+# -- Figure 4 -----------------------------------------------------------------
+
+
+def spacing_cdf(streams: Sequence[ReplicaStream]) -> EmpiricalCdf:
+    """CDF of mean inter-replica spacing per stream, in seconds — Figure 4.
+
+    The paper averages the spacings within each stream and plots one value
+    per stream; so do we.
+    """
+    return EmpiricalCdf.from_samples(
+        stream.mean_spacing for stream in streams
+    )
+
+
+# -- Figures 5 and 6 -----------------------------------------------------------
+
+
+def traffic_type_distribution(
+    records: Iterable[TraceRecord] | Trace,
+) -> CategoricalDistribution:
+    """Traffic-type label counts over records — Figure 5 on a whole trace.
+
+    Fractions are of *packets*, so multi-label packets make the label
+    fractions sum to more than 1, exactly as in the paper's bars.
+    """
+    distribution = CategoricalDistribution()
+    total = 0
+    for record in records:
+        total += 1
+        for label in classify_bytes(record.data):
+            distribution.add(label)
+    # The true packet count (multi-label packets count once here).
+    distribution.packets = total  # type: ignore[attr-defined]
+    return distribution
+
+
+def looped_traffic_type_distribution(
+    streams: Sequence[ReplicaStream],
+) -> CategoricalDistribution:
+    """Traffic-type labels of looped packets (one per stream) — Figure 6."""
+    distribution = CategoricalDistribution()
+    for stream in streams:
+        for label in classify_bytes(stream.first_data):
+            distribution.add(label)
+    distribution.packets = len(streams)  # type: ignore[attr-defined]
+    return distribution
+
+
+def traffic_type_fractions(
+    distribution: CategoricalDistribution,
+) -> dict[str, float]:
+    """Per-label fraction of packets (not of label occurrences)."""
+    packets = getattr(distribution, "packets", None)
+    if not packets:
+        return {}
+    return {
+        label: distribution.counts.get(label, 0) / packets
+        for label in TRAFFIC_TYPE_LABELS
+    }
+
+
+# -- Figure 7 -------------------------------------------------------------------
+
+
+def destination_timeseries(
+    streams: Sequence[ReplicaStream],
+) -> list[tuple[float, IPv4Address]]:
+    """(start time, destination) of each stream — Figure 7's scatter."""
+    return [(stream.start, stream.dst) for stream in streams]
+
+
+def destination_class_fractions(
+    streams: Sequence[ReplicaStream],
+) -> dict[str, float]:
+    """Fraction of streams whose destination sits in each classful space."""
+    if not streams:
+        return {}
+    counts = {"A": 0, "B": 0, "C": 0, "other": 0}
+    for stream in streams:
+        dst = stream.dst
+        if dst.is_class_c():
+            counts["C"] += 1
+        elif dst.is_class_b():
+            counts["B"] += 1
+        elif dst.is_class_a():
+            counts["A"] += 1
+        else:
+            counts["other"] += 1
+    total = len(streams)
+    return {name: count / total for name, count in counts.items()}
+
+
+# -- Figure 8 ---------------------------------------------------------------------
+
+
+def stream_duration_cdf(streams: Sequence[ReplicaStream]) -> EmpiricalCdf:
+    """CDF of replica-stream durations in seconds — Figure 8."""
+    return EmpiricalCdf.from_samples(stream.duration for stream in streams)
+
+
+# -- Figure 9 ---------------------------------------------------------------------
+
+
+def loop_duration_cdf(loops: Sequence[RoutingLoop]) -> EmpiricalCdf:
+    """CDF of merged routing-loop durations in seconds — Figure 9."""
+    return EmpiricalCdf.from_samples(loop.duration for loop in loops)
+
+
+# -- initial-TTL inference (the explanation behind Figs. 3 and 8) ----------------
+
+#: Common OS default TTLs, descending.
+INITIAL_TTL_BASES: tuple[int, ...] = (255, 128, 64, 32)
+
+
+def infer_initial_ttl_base(observed_ttl: int) -> int:
+    """The smallest common initial TTL at or above an observed TTL.
+
+    A packet observed with TTL 57 almost surely started at 64 (Linux);
+    117 at 128 (Windows); 250 at 255.  This is the inference the paper
+    uses to explain Figure 3's jumps at ~31 and ~63 replicas.
+    """
+    if not 0 <= observed_ttl <= 255:
+        raise ValueError(f"TTL out of range: {observed_ttl}")
+    for base in reversed(INITIAL_TTL_BASES):
+        if observed_ttl <= base:
+            return base
+    return 255
+
+
+def initial_ttl_base_distribution(
+    records: Iterable[TraceRecord] | Trace,
+) -> CategoricalDistribution:
+    """Distribution of inferred initial-TTL bases over trace records.
+
+    Applied to all traffic it estimates the OS mix feeding the link;
+    applied to looped streams' first replicas it predicts where the
+    stream-size CDF must jump (base / ttl_delta).
+    """
+    distribution = CategoricalDistribution()
+    for record in records:
+        data = record.data
+        if len(data) < 20:
+            continue
+        distribution.add(infer_initial_ttl_base(data[8]))
+    return distribution
+
+
+def predicted_stream_size_steps(
+    streams: Sequence[ReplicaStream],
+) -> dict[int, int]:
+    """For each stream: the stream size its entry TTL and delta predict.
+
+    A packet entering a delta-d loop with TTL t yields
+    ``floor((t - 1) / d) + 1`` crossings.  Returns predicted-size counts;
+    comparing against the actual sizes validates the Figure 3 mechanism.
+    """
+    predicted: dict[int, int] = {}
+    for stream in streams:
+        size = (stream.first_ttl - 1) // stream.ttl_delta + 1
+        predicted[size] = predicted.get(size, 0) + 1
+    return predicted

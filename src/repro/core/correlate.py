@@ -1,0 +1,112 @@
+"""Correlating detected loops with routing data (the paper's future work).
+
+Sec. VI: "we are extending our data collection techniques to include
+complete BGP and IS-IS routing data ... [to] provide explanations of the
+causes and effects of routing loops."  The simulator journals every
+control-plane event (:mod:`repro.routing.journal`), so this module can do
+that correlation: for each detected loop it gathers the BGP activity for
+the loop's prefix and the IGP activity in the surrounding window, and
+attributes the loop to an EGP trigger (a withdrawal/announcement), an IGP
+trigger (a link event), both, or neither.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Sequence
+
+from repro.core.merge import RoutingLoop
+from repro.routing.journal import EventKind, RoutingEvent, RoutingJournal
+
+#: Root-trigger event kinds per protocol family.
+_EGP_TRIGGERS = (EventKind.BGP_WITHDRAW_SENT, EventKind.BGP_ADVERTISE_SENT)
+_IGP_TRIGGERS = (
+    EventKind.LINK_DOWN, EventKind.LINK_UP,
+    EventKind.ADJACENCY_LOST, EventKind.ADJACENCY_FORMED,
+)
+
+
+class LoopCause(Enum):
+    """Attributed root cause of a detected routing loop."""
+
+    EGP = "egp"
+    IGP = "igp"
+    MIXED = "mixed"
+    UNKNOWN = "unknown"
+
+
+@dataclass(slots=True)
+class LoopAttribution:
+    """One loop's correlation with the control plane."""
+
+    loop: RoutingLoop
+    cause: LoopCause
+    egp_triggers: list[RoutingEvent] = field(default_factory=list)
+    igp_triggers: list[RoutingEvent] = field(default_factory=list)
+    prefix_events: list[RoutingEvent] = field(default_factory=list)
+
+    @property
+    def trigger_count(self) -> int:
+        return len(self.egp_triggers) + len(self.igp_triggers)
+
+
+def correlate_loops(
+    loops: Sequence[RoutingLoop],
+    journal: RoutingJournal,
+    egp_lead: float = 40.0,
+    igp_lead: float = 15.0,
+    lag: float = 2.0,
+) -> list[LoopAttribution]:
+    """Attribute each detected loop to control-plane activity.
+
+    ``egp_lead``/``igp_lead`` are how far before the loop's first replica
+    a trigger may lie (BGP convergence is slow, so its window is wider);
+    ``lag`` allows triggers observed just after the first replica (clock
+    ordering between the monitor and the route collector).
+    """
+    if egp_lead < 0 or igp_lead < 0 or lag < 0:
+        raise ValueError("windows must be non-negative")
+    attributions = []
+    for loop in loops:
+        egp_window = journal.window(loop.start - egp_lead, loop.end + lag)
+        egp_triggers = [
+            event for event in egp_window
+            if event.kind in _EGP_TRIGGERS
+            and event.prefix is not None
+            and event.prefix.overlaps(loop.prefix)
+        ]
+        igp_window = journal.window(loop.start - igp_lead, loop.end + lag)
+        igp_triggers = [event for event in igp_window
+                        if event.kind in _IGP_TRIGGERS]
+        prefix_events = [
+            event for event in egp_window
+            if event.prefix is not None
+            and event.prefix.overlaps(loop.prefix)
+        ]
+        if egp_triggers and igp_triggers:
+            cause = LoopCause.MIXED
+        elif egp_triggers:
+            cause = LoopCause.EGP
+        elif igp_triggers:
+            cause = LoopCause.IGP
+        else:
+            cause = LoopCause.UNKNOWN
+        attributions.append(LoopAttribution(
+            loop=loop,
+            cause=cause,
+            egp_triggers=egp_triggers,
+            igp_triggers=igp_triggers,
+            prefix_events=prefix_events,
+        ))
+    return attributions
+
+
+def cause_summary(
+    attributions: Sequence[LoopAttribution],
+) -> dict[LoopCause, int]:
+    """Loop counts per attributed cause."""
+    summary: dict[LoopCause, int] = {cause: 0 for cause in LoopCause}
+    for attribution in attributions:
+        summary[attribution.cause] += 1
+    return summary

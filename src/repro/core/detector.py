@@ -1,0 +1,135 @@
+"""The loop detector facade: all three steps behind one call.
+
+    >>> detector = LoopDetector()
+    >>> result = detector.detect(trace)
+    >>> len(result.loops), result.looped_packet_count
+
+``DetectorConfig`` exposes every knob the paper discusses so ablations
+(merge gap, validation on/off, prefix length) are one-liners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.trace import Trace
+from repro.core.merge import RoutingLoop, merge_streams
+from repro.core.replica import ReplicaScanStats, ReplicaStream, detect_replicas
+from repro.core.streams import PrefixIndex, ValidationResult, validate_streams
+
+
+class DetectorError(ValueError):
+    """Raised for invalid detector configuration."""
+
+
+@dataclass(slots=True, frozen=True)
+class DetectorConfig:
+    """Tunable parameters of the detection pipeline.
+
+    Defaults are the paper's choices: TTL delta >= 2, streams of >= 3
+    replicas, /24 validation granularity, 60-second merge gap.
+    """
+
+    min_ttl_delta: int = 2
+    max_replica_gap: float = 5.0
+    min_stream_size: int = 3
+    prefix_length: int = 24
+    check_prefix_consistency: bool = True
+    merge_gap: float = 60.0
+    check_gap_consistency: bool = True
+    eviction_interval: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.min_ttl_delta < 1:
+            raise DetectorError("min_ttl_delta must be >= 1")
+        if self.min_stream_size < 2:
+            raise DetectorError("min_stream_size must be >= 2")
+        if not 8 <= self.prefix_length <= 32:
+            raise DetectorError("prefix_length must be in [8, 32]")
+        if self.merge_gap < 0:
+            raise DetectorError("merge_gap must be non-negative")
+
+
+@dataclass(slots=True)
+class DetectionResult:
+    """Everything the pipeline produced for one trace."""
+
+    trace: Trace
+    config: DetectorConfig
+    candidate_streams: list[ReplicaStream]
+    validation: ValidationResult
+    loops: list[RoutingLoop]
+    scan_stats: ReplicaScanStats
+
+    @property
+    def streams(self) -> list[ReplicaStream]:
+        """The validated replica streams (Table II's first column)."""
+        return self.validation.valid
+
+    @property
+    def stream_count(self) -> int:
+        return len(self.validation.valid)
+
+    @property
+    def loop_count(self) -> int:
+        """Detected routing loops (Table II's second column)."""
+        return len(self.loops)
+
+    @property
+    def looped_packet_count(self) -> int:
+        """Unique packets caught in loops (Table I's last column): one per
+        validated replica stream, since each stream is one packet."""
+        return len(self.validation.valid)
+
+    @property
+    def looped_record_count(self) -> int:
+        """Trace records that are replicas of validated streams."""
+        return sum(stream.size for stream in self.validation.valid)
+
+
+class LoopDetector:
+    """Runs detect → validate → merge over a trace."""
+
+    def __init__(self, config: DetectorConfig | None = None) -> None:
+        self.config = config or DetectorConfig()
+
+    def detect(self, trace: Trace) -> DetectionResult:
+        """Run the full pipeline on ``trace``."""
+        config = self.config
+        scan_stats = ReplicaScanStats()
+        candidates = detect_replicas(
+            trace,
+            min_ttl_delta=config.min_ttl_delta,
+            max_replica_gap=config.max_replica_gap,
+            eviction_interval=config.eviction_interval,
+            stats=scan_stats,
+        )
+        needs_index = config.check_prefix_consistency or config.check_gap_consistency
+        prefix_index = (
+            PrefixIndex(trace, config.prefix_length) if needs_index else None
+        )
+        validation = validate_streams(
+            candidates,
+            trace,
+            min_stream_size=config.min_stream_size,
+            prefix_length=config.prefix_length,
+            check_prefix_consistency=config.check_prefix_consistency,
+            prefix_index=prefix_index,
+        )
+        loops = merge_streams(
+            validation.valid,
+            trace,
+            merge_gap=config.merge_gap,
+            prefix_length=config.prefix_length,
+            check_gap_consistency=config.check_gap_consistency,
+            prefix_index=prefix_index,
+            candidates=candidates,
+        )
+        return DetectionResult(
+            trace=trace,
+            config=config,
+            candidate_streams=candidates,
+            validation=validation,
+            loops=loops,
+            scan_stats=scan_stats,
+        )

@@ -1,0 +1,317 @@
+"""Loss, delay, reordering and utilization impact of loops (Sec. VI).
+
+Several vantage points:
+
+* **trace-based** (:func:`escape_analysis`,
+  :func:`utilization_overhead`) — what an operator can infer from the
+  monitor alone: a stream whose final replica still had more TTL than
+  one loop round-trip consumed *escaped* the loop; replica crossings
+  beyond each packet's first are pure overhead bytes on the link.
+* **simulator-based** (:func:`loss_impact_from_engine`,
+  :func:`delay_impact_from_engine`,
+  :func:`reordering_impact_from_engine`) — the ground truth the paper
+  could not see: per-minute TTL-expiry loss fractions, exact extra delay
+  of looped-but-delivered packets, and the out-of-order deliveries the
+  paper notes escaped packets cause.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.replica import ReplicaStream
+from repro.net.trace import Trace
+from repro.routing.forwarding import ForwardingEngine, PacketFate
+from repro.stats.cdf import EmpiricalCdf
+from repro.stats.timeseries import BucketSeries
+
+
+@dataclass(slots=True)
+class EscapeAnalysis:
+    """Trace-level escape/expiry split of looping packets."""
+
+    total_streams: int
+    escaped: int
+    expired: int
+    escape_fraction: float
+    extra_delay_cdf: EmpiricalCdf
+
+    @property
+    def expiry_fraction(self) -> float:
+        if self.total_streams == 0:
+            return 0.0
+        return self.expired / self.total_streams
+
+
+def escape_analysis(streams: Sequence[ReplicaStream]) -> EscapeAnalysis:
+    """Classify each stream's packet as escaped or expired, from the trace.
+
+    A packet expires in the loop when its TTL runs out: the last observed
+    replica has ``ttl <= ttl_delta`` (it cannot complete another loop
+    round).  A last replica with more TTL than that means the packet
+    stopped looping while still alive — it escaped when routing converged.
+    The extra delay of an escaped packet is (at least) the time it spent
+    looping: the stream duration plus one final traversal.
+    """
+    escaped = 0
+    expired = 0
+    delays: list[float] = []
+    for stream in streams:
+        delta = stream.ttl_delta
+        if stream.last_ttl <= delta:
+            expired += 1
+        else:
+            escaped += 1
+            if stream.size >= 2:
+                final_round = stream.mean_spacing
+            else:
+                final_round = 0.0
+            delays.append(stream.duration + final_round)
+    total = len(streams)
+    return EscapeAnalysis(
+        total_streams=total,
+        escaped=escaped,
+        expired=expired,
+        escape_fraction=escaped / total if total else 0.0,
+        extra_delay_cdf=EmpiricalCdf.from_samples(delays),
+    )
+
+
+@dataclass(slots=True)
+class LossImpact:
+    """Per-minute loss attribution from the simulator's ground truth."""
+
+    loop_loss_by_minute: BucketSeries
+    total_loss_by_minute: BucketSeries
+    packets_by_minute: BucketSeries
+    overall_loss_fraction: float
+    overall_loop_loss_fraction: float
+    peak_loop_share_of_loss: float
+    peak_loop_loss_rate: float
+
+
+_LOSS_FATES = (
+    PacketFate.TTL_EXPIRED,
+    PacketFate.LINK_DOWN,
+    PacketFate.QUEUE_DROP,
+    PacketFate.NO_ROUTE,
+)
+
+
+def loss_impact_from_engine(engine: ForwardingEngine,
+                            bucket_width: float = 60.0) -> LossImpact:
+    """Attribute packet loss to loops, per minute (Sec. VI's "up to 9% of
+    packet loss per minute"; TTL expiry is loss caused by loops)."""
+    loop_loss = BucketSeries(width=bucket_width)
+    total_loss = BucketSeries(width=bucket_width)
+    packets = BucketSeries(width=bucket_width)
+    for minute, count in engine.injected_by_minute.items():
+        packets.counts[int(minute * 60 // bucket_width)] = float(count)
+    for minute, fates in engine.loss_by_minute.items():
+        bucket = int(minute * 60 // bucket_width)
+        for fate, count in fates.items():
+            if fate is PacketFate.TTL_EXPIRED:
+                loop_loss.add(bucket * bucket_width, count)
+            if fate in _LOSS_FATES:
+                total_loss.add(bucket * bucket_width, count)
+    injected = engine.packets_injected or 1
+    lost = sum(engine.fate_counts[fate] for fate in _LOSS_FATES)
+    loop_lost = engine.fate_counts[PacketFate.TTL_EXPIRED]
+    return LossImpact(
+        loop_loss_by_minute=loop_loss,
+        total_loss_by_minute=total_loss,
+        packets_by_minute=packets,
+        overall_loss_fraction=lost / injected,
+        overall_loop_loss_fraction=loop_lost / injected,
+        peak_loop_share_of_loss=loop_loss.max_ratio(total_loss),
+        peak_loop_loss_rate=loop_loss.max_ratio(packets),
+    )
+
+
+@dataclass(slots=True)
+class DelayImpact:
+    """Delay experienced by packets that escaped a loop (ground truth)."""
+
+    escaped_count: int
+    mean_normal_delay: float
+    extra_delay_cdf: EmpiricalCdf
+
+    @property
+    def mean_extra_delay(self) -> float:
+        if self.extra_delay_cdf.empty:
+            return 0.0
+        return self.extra_delay_cdf.mean()
+
+
+def delay_impact_from_engine(engine: ForwardingEngine) -> DelayImpact:
+    """Extra delay of looped-but-delivered packets vs. the normal transit
+    time (the paper reports 25–300 ms of added delay)."""
+    normal = engine.mean_normal_delay()
+    extras = [
+        max(0.0, delay - normal)
+        for delay, _ in engine.looped_delivered_delays
+    ]
+    return DelayImpact(
+        escaped_count=len(extras),
+        mean_normal_delay=normal,
+        extra_delay_cdf=EmpiricalCdf.from_samples(extras),
+    )
+
+
+@dataclass(slots=True)
+class UtilizationOverhead:
+    """Extra link load caused by replica crossings (trace-based).
+
+    Every crossing of a looping packet beyond its first is a byte-for-
+    byte duplicate the link would not otherwise carry; the paper notes
+    this inflates utilization and the queueing delay of innocent
+    traffic.
+    """
+
+    total_bytes: int
+    overhead_bytes: int
+    overhead_by_minute: BucketSeries
+    bytes_by_minute: BucketSeries
+
+    @property
+    def overall_overhead_fraction(self) -> float:
+        if self.total_bytes == 0:
+            return 0.0
+        return self.overhead_bytes / self.total_bytes
+
+    @property
+    def peak_minute_overhead_fraction(self) -> float:
+        return self.overhead_by_minute.max_ratio(self.bytes_by_minute)
+
+
+def utilization_overhead(
+    trace: Trace,
+    streams: Sequence[ReplicaStream],
+    bucket_width: float = 60.0,
+) -> UtilizationOverhead:
+    """Byte overhead of looping on the monitored link, per minute."""
+    bytes_by_minute = BucketSeries(width=bucket_width)
+    for record in trace:
+        bytes_by_minute.add(record.timestamp, record.wire_length)
+    overhead = BucketSeries(width=bucket_width)
+    overhead_bytes = 0
+    for stream in streams:
+        # All replicas after the first are overhead crossings.
+        for replica in stream.replicas[1:]:
+            wire = trace[replica.index].wire_length
+            overhead.add(replica.timestamp, wire)
+            overhead_bytes += wire
+    return UtilizationOverhead(
+        total_bytes=trace.total_bytes,
+        overhead_bytes=overhead_bytes,
+        overhead_by_minute=overhead,
+        bytes_by_minute=bytes_by_minute,
+    )
+
+
+@dataclass(slots=True)
+class ReorderingImpact:
+    """Out-of-order deliveries caused by loop-delayed packets.
+
+    The paper: "packets that escape a loop can be delivered
+    out-of-order".  A delivered looped packet is *reordered* when a
+    packet of the same flow injected after it was delivered before it.
+    """
+
+    flows_with_looped_deliveries: int
+    reordered_deliveries: int
+    total_looped_deliveries: int
+
+    @property
+    def reordering_fraction(self) -> float:
+        if self.total_looped_deliveries == 0:
+            return 0.0
+        return self.reordered_deliveries / self.total_looped_deliveries
+
+
+def reordering_impact_from_engine(
+    engine: ForwardingEngine,
+) -> ReorderingImpact:
+    """Measure reordering among looped-but-delivered packets.
+
+    Uses the audit channel: for each delivered looped packet, check
+    whether any later-injected packet to the same destination address
+    was delivered earlier (destination address approximates the flow —
+    the audit does not retain ports).
+    """
+    # Delivered packets grouped by destination, in injection order.
+    by_dst: dict[int, list] = {}
+    for audit in engine.audits:
+        if audit.fate is PacketFate.DELIVERED:
+            by_dst.setdefault(audit.dst.value, []).append(audit)
+    flows = set()
+    reordered = 0
+    total = 0
+    for audits in by_dst.values():
+        audits.sort(key=lambda audit: audit.injected_at)
+        for i, audit in enumerate(audits):
+            if not audit.looped:
+                continue
+            total += 1
+            flows.add(audit.dst.value)
+            if any(later.fate_time < audit.fate_time
+                   for later in audits[i + 1:]):
+                reordered += 1
+    return ReorderingImpact(
+        flows_with_looped_deliveries=len(flows),
+        reordered_deliveries=reordered,
+        total_looped_deliveries=total,
+    )
+
+
+@dataclass(slots=True)
+class QueueingImpact:
+    """Queueing delay experienced by transmissions, per minute.
+
+    The paper's companion analysis: replica crossings add load, which
+    raises the queueing delay of packets that are *not* in the loop.
+    """
+
+    mean_queue_delay_by_minute: dict[int, float]
+    loop_loss_by_minute: BucketSeries
+
+    @property
+    def overall_mean_queue_delay(self) -> float:
+        if not self.mean_queue_delay_by_minute:
+            return 0.0
+        return (sum(self.mean_queue_delay_by_minute.values())
+                / len(self.mean_queue_delay_by_minute))
+
+    def loop_minutes_vs_quiet_minutes(self) -> tuple[float, float]:
+        """Mean per-minute queueing delay in (loop-active, quiet) minutes."""
+        active: list[float] = []
+        quiet: list[float] = []
+        for minute, delay in self.mean_queue_delay_by_minute.items():
+            if self.loop_loss_by_minute.get(minute) > 0:
+                active.append(delay)
+            else:
+                quiet.append(delay)
+        mean_active = sum(active) / len(active) if active else 0.0
+        mean_quiet = sum(quiet) / len(quiet) if quiet else 0.0
+        return mean_active, mean_quiet
+
+
+def queueing_impact_from_engine(engine: ForwardingEngine) -> QueueingImpact:
+    """Per-minute mean queue wait, alongside loop activity.
+
+    Loop activity per minute counts packets that revisited a router
+    (whether they later escaped or expired).
+    """
+    means: dict[int, float] = {}
+    for minute, total in engine.queue_delay_by_minute.items():
+        count = engine.transmissions_by_minute.get(minute, 0)
+        if count:
+            means[minute] = total / count
+    loop_activity = BucketSeries(width=60.0)
+    for minute, count in engine.looped_by_minute.items():
+        loop_activity.add(minute * 60.0, count)
+    return QueueingImpact(
+        mean_queue_delay_by_minute=means,
+        loop_loss_by_minute=loop_activity,
+    )

@@ -1,0 +1,147 @@
+"""Persistent-loop classification (the paper's deferred problem).
+
+The paper analyzes transient loops and leaves persistent ones —
+typically router misconfiguration, lasting until a human intervenes —
+to future work.  This module provides the classification layer an
+operator needs on top of the detector: given merged routing loops, label
+each as *transient* (resolves within a convergence-scale horizon) or
+*persistent* (long-lived or chronically recurring on the same prefix).
+
+The simulator can also *create* persistent loops for validation:
+:func:`inject_static_route_conflict` installs the classic
+misconfiguration — two routers with static routes pointing at each
+other for a prefix — which no amount of protocol convergence repairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Sequence
+
+from repro.net.addr import IPv4Prefix
+from repro.core.merge import RoutingLoop
+from repro.routing.bgp import BgpProcess
+from repro.routing.topology import Topology, TopologyError
+
+
+class LoopClass(Enum):
+    """Transient vs. persistent, per the paper's Sec. I taxonomy."""
+
+    TRANSIENT = "transient"
+    PERSISTENT = "persistent"
+
+
+@dataclass(slots=True)
+class ClassifiedLoop:
+    """A routing loop with its transient/persistent label."""
+
+    loop: RoutingLoop
+    loop_class: LoopClass
+    reason: str
+
+
+@dataclass(slots=True, frozen=True)
+class PersistenceCriteria:
+    """Thresholds separating convergence events from misconfiguration.
+
+    ``max_transient_duration`` — any loop outliving the slowest plausible
+    convergence (BGP: minutes) is persistent.  ``recurrence_count`` /
+    ``recurrence_horizon`` — a prefix that keeps looping again and again
+    is persistently broken even if each episode is short (route
+    oscillation).
+    """
+
+    max_transient_duration: float = 180.0
+    recurrence_count: int = 4
+    recurrence_horizon: float = 1800.0
+
+    def __post_init__(self) -> None:
+        if self.max_transient_duration <= 0:
+            raise ValueError("max_transient_duration must be positive")
+        if self.recurrence_count < 2:
+            raise ValueError("recurrence_count must be >= 2")
+
+
+def classify_loops(
+    loops: Sequence[RoutingLoop],
+    criteria: PersistenceCriteria | None = None,
+) -> list[ClassifiedLoop]:
+    """Label each loop transient or persistent."""
+    criteria = criteria or PersistenceCriteria()
+    by_prefix: dict[IPv4Prefix, list[RoutingLoop]] = {}
+    for loop in loops:
+        by_prefix.setdefault(loop.prefix, []).append(loop)
+
+    chronic_prefixes: set[IPv4Prefix] = set()
+    for prefix, group in by_prefix.items():
+        group.sort(key=lambda loop: loop.start)
+        window: list[float] = []
+        for loop in group:
+            window.append(loop.start)
+            window = [t for t in window
+                      if loop.start - t <= criteria.recurrence_horizon]
+            if len(window) >= criteria.recurrence_count:
+                chronic_prefixes.add(prefix)
+                break
+
+    classified = []
+    for loop in loops:
+        if loop.duration > criteria.max_transient_duration:
+            classified.append(ClassifiedLoop(
+                loop=loop,
+                loop_class=LoopClass.PERSISTENT,
+                reason=(f"duration {loop.duration:.1f}s exceeds the "
+                        f"{criteria.max_transient_duration:.0f}s "
+                        f"convergence horizon"),
+            ))
+        elif loop.prefix in chronic_prefixes:
+            classified.append(ClassifiedLoop(
+                loop=loop,
+                loop_class=LoopClass.PERSISTENT,
+                reason=(f"prefix loops chronically "
+                        f"(>= {criteria.recurrence_count} episodes within "
+                        f"{criteria.recurrence_horizon:.0f}s)"),
+            ))
+        else:
+            classified.append(ClassifiedLoop(
+                loop=loop,
+                loop_class=LoopClass.TRANSIENT,
+                reason="resolves within the convergence horizon",
+            ))
+    return classified
+
+
+def persistent_fraction(classified: Sequence[ClassifiedLoop]) -> float:
+    """Share of loops labelled persistent (the paper found these rare)."""
+    if not classified:
+        return 0.0
+    persistent = sum(
+        1 for item in classified
+        if item.loop_class is LoopClass.PERSISTENT
+    )
+    return persistent / len(classified)
+
+
+def inject_static_route_conflict(
+    bgp: BgpProcess,
+    topology: Topology,
+    prefix: IPv4Prefix,
+    router_a: str,
+    router_b: str,
+) -> None:
+    """Misconfigure two adjacent routers into a permanent loop.
+
+    Installs, in each router's prefix FIB, a static route for ``prefix``
+    whose "egress" is the *other* router — the textbook static-route
+    conflict.  Because these entries are static they survive every
+    convergence event; every packet to ``prefix`` entering either router
+    ping-pongs until its TTL dies.  Used to validate persistent-loop
+    classification end to end.
+    """
+    link = topology.link_between(router_a, router_b)  # must be adjacent
+    if not link.up:
+        raise TopologyError(f"link {link.name} is down")
+    now = bgp.scheduler.now
+    bgp.fib(router_a).install(prefix, router_b, now)
+    bgp.fib(router_b).install(prefix, router_a, now)

@@ -1,0 +1,270 @@
+"""Step 1 — replica detection.
+
+Two captured packets are replicas of one looping packet when (Sec. IV-A.1):
+
+* their bytes are identical except for the TTL and IP header checksum
+  fields (offsets 8 and 10–11 of the IP header);
+* the later packet's TTL is lower by at least ``min_ttl_delta`` (2 — a
+  loop needs at least two routers);
+* their payloads are identical — with a 40-byte snaplen this is implied by
+  byte equality of the captured suffix, which includes the TCP/UDP
+  checksum exactly as the paper argues.
+
+A chain of such pairs is a *replica stream*: one packet's repeated
+crossings of the monitored link.  Detection is a single streaming pass;
+singletons older than the chaining gap are evicted periodically so memory
+is bounded by the loop window, not the trace length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mode
+
+from repro.net.addr import IPv4Address, IPv4Prefix
+from repro.net.trace import Trace
+
+#: Wire offsets of the fields a loop legitimately changes.
+_TTL_OFFSET = 8
+_CHECKSUM_OFFSET = 10
+_MASK_PATCH = b"\x00"
+_CHECKSUM_PATCH = b"\x00\x00"
+
+#: Minimum captured bytes for a record to be considered (a full IP header).
+_MIN_CAPTURE = 20
+
+
+class ReplicaError(ValueError):
+    """Raised for invalid detection parameters."""
+
+
+@dataclass(slots=True, frozen=True)
+class Replica:
+    """One observation of a looping packet on the monitored link."""
+
+    index: int
+    timestamp: float
+    ttl: int
+
+
+@dataclass(slots=True)
+class ReplicaStream:
+    """All observations of one unique packet caught in a loop."""
+
+    key: bytes
+    replicas: list[Replica]
+    src: IPv4Address
+    dst: IPv4Address
+    protocol: int
+    first_data: bytes
+
+    @property
+    def size(self) -> int:
+        """Number of replicas (Fig. 3's x-axis)."""
+        return len(self.replicas)
+
+    @property
+    def start(self) -> float:
+        return self.replicas[0].timestamp
+
+    @property
+    def end(self) -> float:
+        return self.replicas[-1].timestamp
+
+    @property
+    def duration(self) -> float:
+        """Time between first and last replica (Fig. 8's x-axis)."""
+        return self.end - self.start
+
+    @property
+    def first_ttl(self) -> int:
+        return self.replicas[0].ttl
+
+    @property
+    def last_ttl(self) -> int:
+        return self.replicas[-1].ttl
+
+    def ttl_deltas(self) -> list[int]:
+        """Per-step TTL decrements along the stream."""
+        return [
+            earlier.ttl - later.ttl
+            for earlier, later in zip(self.replicas, self.replicas[1:])
+        ]
+
+    @property
+    def ttl_delta(self) -> int:
+        """The stream's characteristic TTL delta — the number of routers
+        in the loop (Fig. 2's x-axis).  The modal per-step decrement, so a
+        loop that changes size mid-stream reports its dominant size."""
+        deltas = self.ttl_deltas()
+        if not deltas:
+            raise ReplicaError("singleton stream has no TTL delta")
+        return mode(deltas)
+
+    def spacings(self) -> list[float]:
+        """Per-step inter-replica times."""
+        return [
+            later.timestamp - earlier.timestamp
+            for earlier, later in zip(self.replicas, self.replicas[1:])
+        ]
+
+    @property
+    def mean_spacing(self) -> float:
+        """Average inter-replica spacing — one loop round-trip (Fig. 4)."""
+        spacings = self.spacings()
+        if not spacings:
+            raise ReplicaError("singleton stream has no spacing")
+        return sum(spacings) / len(spacings)
+
+    def dst_prefix(self, length: int = 24) -> IPv4Prefix:
+        """The destination prefix used for validation and merging."""
+        return self.dst.prefix(length)
+
+    def member_indices(self) -> set[int]:
+        return {replica.index for replica in self.replicas}
+
+
+@dataclass(slots=True)
+class _OpenStream:
+    """Builder state for a stream still accepting replicas."""
+
+    key: bytes
+    first_data: bytes
+    replicas: list[Replica]
+
+    @property
+    def last(self) -> Replica:
+        return self.replicas[-1]
+
+
+def mask_mutable_fields(data: bytes) -> bytes:
+    """Zero the TTL and IP-checksum bytes; everything else must match."""
+    return (
+        data[:_TTL_OFFSET]
+        + _MASK_PATCH
+        + data[_TTL_OFFSET + 1:_CHECKSUM_OFFSET]
+        + _CHECKSUM_PATCH
+        + data[_CHECKSUM_OFFSET + 2:]
+    )
+
+
+@dataclass(slots=True)
+class ReplicaScanStats:
+    """Bookkeeping from one detection pass."""
+
+    records_scanned: int = 0
+    records_skipped_short: int = 0
+    singletons_evicted: int = 0
+    candidate_streams: int = 0
+
+
+def detect_replicas(
+    trace: Trace,
+    min_ttl_delta: int = 2,
+    max_replica_gap: float = 5.0,
+    eviction_interval: int = 100_000,
+    stats: ReplicaScanStats | None = None,
+) -> list[ReplicaStream]:
+    """Scan ``trace`` and return all candidate replica streams (size >= 2).
+
+    ``min_ttl_delta`` is the paper's "TTL values differ by at least two";
+    ``max_replica_gap`` bounds the time between consecutive replicas of
+    one stream so that identical packets hours apart never chain (loop
+    round-trips are milliseconds).
+    """
+    if min_ttl_delta < 1:
+        raise ReplicaError(f"min_ttl_delta must be >= 1: {min_ttl_delta}")
+    if max_replica_gap <= 0:
+        raise ReplicaError(f"max_replica_gap must be positive: {max_replica_gap}")
+
+    stats = stats if stats is not None else ReplicaScanStats()
+    # key -> most recent singleton observation (index, timestamp, ttl, data)
+    singletons: dict[bytes, tuple[int, float, int, bytes]] = {}
+    # key -> open multi-replica streams for that key (usually one)
+    open_streams: dict[bytes, list[_OpenStream]] = {}
+    finished: list[ReplicaStream] = []
+
+    def close_stream(stream: _OpenStream) -> None:
+        finished.append(_finalize(stream))
+
+    for index, record in enumerate(trace.records):
+        stats.records_scanned += 1
+        data = record.data
+        if len(data) < _MIN_CAPTURE:
+            stats.records_skipped_short += 1
+            continue
+        key = mask_mutable_fields(data)
+        ttl = data[_TTL_OFFSET]
+        timestamp = record.timestamp
+
+        streams = open_streams.get(key)
+        if streams is not None:
+            attached = False
+            for stream in reversed(streams):
+                last = stream.last
+                if (last.ttl - ttl >= min_ttl_delta
+                        and timestamp - last.timestamp <= max_replica_gap):
+                    stream.replicas.append(
+                        Replica(index=index, timestamp=timestamp, ttl=ttl)
+                    )
+                    attached = True
+                    break
+            if attached:
+                continue
+
+        previous = singletons.get(key)
+        if previous is not None:
+            prev_index, prev_time, prev_ttl, prev_data = previous
+            if (prev_ttl - ttl >= min_ttl_delta
+                    and timestamp - prev_time <= max_replica_gap):
+                stream = _OpenStream(
+                    key=key,
+                    first_data=prev_data,
+                    replicas=[
+                        Replica(index=prev_index, timestamp=prev_time,
+                                ttl=prev_ttl),
+                        Replica(index=index, timestamp=timestamp, ttl=ttl),
+                    ],
+                )
+                open_streams.setdefault(key, []).append(stream)
+                del singletons[key]
+                continue
+        singletons[key] = (index, timestamp, ttl, data)
+
+        if eviction_interval and index and index % eviction_interval == 0:
+            horizon = timestamp - max_replica_gap
+            stale = [k for k, (_, t, _, _) in singletons.items() if t < horizon]
+            for k in stale:
+                del singletons[k]
+            stats.singletons_evicted += len(stale)
+            for k in list(open_streams):
+                remaining = []
+                for stream in open_streams[k]:
+                    if stream.last.timestamp < horizon:
+                        close_stream(stream)
+                    else:
+                        remaining.append(stream)
+                if remaining:
+                    open_streams[k] = remaining
+                else:
+                    del open_streams[k]
+
+    for streams in open_streams.values():
+        for stream in streams:
+            close_stream(stream)
+
+    finished.sort(key=lambda stream: stream.start)
+    stats.candidate_streams = len(finished)
+    return finished
+
+
+def _finalize(stream: _OpenStream) -> ReplicaStream:
+    data = stream.first_data
+    return ReplicaStream(
+        key=stream.key,
+        replicas=stream.replicas,
+        src=IPv4Address.from_bytes(data[12:16]),
+        dst=IPv4Address.from_bytes(data[16:20]),
+        protocol=data[9],
+        first_data=data,
+    )

@@ -1,0 +1,159 @@
+"""Plain-text rendering of the paper's tables and figure series.
+
+The benchmark harness prints these so a run's output can be compared
+side-by-side with the paper's Tables I–II and Figures 2–9.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.analysis import (
+    TRAFFIC_TYPE_LABELS,
+    destination_class_fractions,
+    traffic_type_fractions,
+)
+from repro.core.detector import DetectionResult
+from repro.stats.cdf import EmpiricalCdf
+from repro.stats.hist import CategoricalDistribution
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned text table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [
+        max(len(header), *(len(row[i]) for row in cells)) if cells
+        else len(header)
+        for i, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def table1_row(name: str, result: DetectionResult) -> list[object]:
+    """One Table I row: length, avg bandwidth, packets, looped packets."""
+    trace = result.trace
+    return [
+        name,
+        f"{trace.duration:.1f}",
+        f"{trace.average_bandwidth_bps() / 1e6:.1f}",
+        len(trace),
+        result.looped_packet_count,
+    ]
+
+
+def render_table1(results: dict[str, DetectionResult]) -> str:
+    """Table I: details of traces."""
+    return format_table(
+        ["Trace", "Length (s)", "Avg BW (Mbps)", "Packets", "Looped Packets"],
+        [table1_row(name, result) for name, result in results.items()],
+        title="Table I — details of traces",
+    )
+
+
+def render_table2(results: dict[str, DetectionResult]) -> str:
+    """Table II: replica streams vs. merged routing loops."""
+    return format_table(
+        ["Trace", "Replica Streams", "Routing Loops"],
+        [
+            [name, result.stream_count, result.loop_count]
+            for name, result in results.items()
+        ],
+        title="Table II — number of routing loops",
+    )
+
+
+def render_distribution(distribution: CategoricalDistribution,
+                        title: str) -> str:
+    """A categorical distribution (Fig. 2 style) as value/fraction rows."""
+    total = distribution.total
+    rows = [
+        [category, count, f"{count / total:.3f}" if total else "-"]
+        for category, count in sorted(distribution.counts.items())
+    ]
+    return format_table(["value", "count", "fraction"], rows, title=title)
+
+
+def render_traffic_types(distribution: CategoricalDistribution,
+                         title: str) -> str:
+    """Figure 5/6 style: per-label fraction of packets."""
+    fractions = traffic_type_fractions(distribution)
+    rows = [
+        [label, f"{fractions.get(label, 0.0):.4f}"]
+        for label in TRAFFIC_TYPE_LABELS
+    ]
+    return format_table(["type", "fraction of packets"], rows, title=title)
+
+
+def render_cdf(cdf: EmpiricalCdf, title: str, unit: str = "",
+               quantiles: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9,
+                                             0.95, 0.99),
+               plot: bool = False, log_x: bool = False) -> str:
+    """A CDF (Figs. 3/4/8/9 style) as quantile rows.
+
+    With ``plot=True`` the quantile table is followed by an ASCII
+    rendering of the curve itself (steps included), so the output can be
+    compared to the paper's figure by eye.
+    """
+    if cdf.empty:
+        return f"{title}\n(no samples)"
+    rows = [[f"p{int(q * 100)}", f"{cdf.quantile(q):.6g}{unit}"]
+            for q in quantiles]
+    rows.append(["n", str(cdf.n)])
+    rows.append(["min", f"{cdf.min:.6g}{unit}"])
+    rows.append(["max", f"{cdf.max:.6g}{unit}"])
+    text = format_table(["quantile", "value"], rows, title=title)
+    if plot:
+        from repro.stats.ascii_plot import cdf_plot
+
+        text += "\n" + cdf_plot(cdf, log_x=log_x)
+    return text
+
+
+def render_figure7_scatter(result: DetectionResult,
+                           title: str = "Figure 7 — looped destinations "
+                                        "over time") -> str:
+    """Figure 7's scatter: stream start time vs destination address."""
+    from repro.core.analysis import destination_timeseries
+    from repro.stats.ascii_plot import scatter_plot
+
+    points = [(t, float(dst.value))
+              for t, dst in destination_timeseries(result.streams)]
+    return scatter_plot(points, title=title, x_label="time (s)",
+                        y_label="destination address")
+
+
+def render_destination_classes(result: DetectionResult) -> str:
+    """Figure 7 companion: classful distribution of looped destinations."""
+    fractions = destination_class_fractions(result.streams)
+    rows = [[name, f"{fraction:.3f}"]
+            for name, fraction in sorted(fractions.items())]
+    return format_table(
+        ["address class", "fraction of streams"], rows,
+        title="Figure 7 — looped destination address classes",
+    )
+
+
+def render_summary(result: DetectionResult) -> str:
+    """A one-trace overview used by the CLI."""
+    lines = [
+        f"trace: {result.trace.link_name or '(unnamed)'}",
+        f"records: {len(result.trace)}",
+        f"duration: {result.trace.duration:.3f} s",
+        f"candidate streams: {len(result.candidate_streams)}",
+        f"validated streams: {result.stream_count}",
+        f"  rejected (too small): {result.validation.rejected_too_small}",
+        f"  rejected (prefix conflict): "
+        f"{result.validation.rejected_prefix_conflict}",
+        f"routing loops: {result.loop_count}",
+        f"looped packets: {result.looped_packet_count}",
+        f"looped records: {result.looped_record_count}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,128 @@
+"""JSON serialization of detection results.
+
+Lets operators pipe ``repro-loops detect --json`` into other tooling,
+archive results alongside captures, and reload them for later analysis
+without re-running detection.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.net.addr import IPv4Address, IPv4Prefix
+from repro.core.detector import DetectionResult
+from repro.core.merge import RoutingLoop
+from repro.core.replica import Replica, ReplicaStream
+
+FORMAT_VERSION = 1
+
+
+def stream_to_dict(stream: ReplicaStream) -> dict[str, Any]:
+    """One replica stream as a JSON-ready dict."""
+    return {
+        "src": str(stream.src),
+        "dst": str(stream.dst),
+        "protocol": stream.protocol,
+        "ttl_delta": stream.ttl_delta,
+        "size": stream.size,
+        "start": stream.start,
+        "end": stream.end,
+        "mean_spacing": stream.mean_spacing,
+        "replicas": [
+            {"index": replica.index, "timestamp": replica.timestamp,
+             "ttl": replica.ttl}
+            for replica in stream.replicas
+        ],
+    }
+
+
+def loop_to_dict(loop: RoutingLoop) -> dict[str, Any]:
+    """One routing loop as a JSON-ready dict."""
+    return {
+        "prefix": str(loop.prefix),
+        "start": loop.start,
+        "end": loop.end,
+        "duration": loop.duration,
+        "ttl_delta": loop.ttl_delta,
+        "stream_count": loop.stream_count,
+        "replica_count": loop.replica_count,
+        "streams": [stream_to_dict(stream) for stream in loop.streams],
+    }
+
+
+def result_to_dict(result: DetectionResult) -> dict[str, Any]:
+    """A full detection result as a JSON-ready dict."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "trace": {
+            "link": result.trace.link_name,
+            "records": len(result.trace),
+            "duration": result.trace.duration,
+            "snaplen": result.trace.snaplen,
+        },
+        "config": {
+            "min_ttl_delta": result.config.min_ttl_delta,
+            "max_replica_gap": result.config.max_replica_gap,
+            "min_stream_size": result.config.min_stream_size,
+            "prefix_length": result.config.prefix_length,
+            "merge_gap": result.config.merge_gap,
+        },
+        "summary": {
+            "candidate_streams": len(result.candidate_streams),
+            "validated_streams": result.stream_count,
+            "rejected_too_small": result.validation.rejected_too_small,
+            "rejected_prefix_conflict": (
+                result.validation.rejected_prefix_conflict
+            ),
+            "loops": result.loop_count,
+            "looped_packets": result.looped_packet_count,
+            "looped_records": result.looped_record_count,
+        },
+        "loops": [loop_to_dict(loop) for loop in result.loops],
+    }
+
+
+def result_to_json(result: DetectionResult, indent: int | None = 2) -> str:
+    """Serialize a detection result to a JSON string."""
+    return json.dumps(result_to_dict(result), indent=indent)
+
+
+def loops_from_dict(payload: dict[str, Any]) -> list[RoutingLoop]:
+    """Rebuild :class:`RoutingLoop` objects from a serialized result.
+
+    The trace bytes are not serialized, so the rebuilt streams carry an
+    empty ``key``/``first_data`` — sufficient for every duration/size/
+    delta analysis, but not for re-validation against a trace.
+    """
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported format version: {version!r}")
+    loops = []
+    for loop_dict in payload["loops"]:
+        streams = []
+        for stream_dict in loop_dict["streams"]:
+            streams.append(ReplicaStream(
+                key=b"",
+                replicas=[
+                    Replica(index=replica["index"],
+                            timestamp=replica["timestamp"],
+                            ttl=replica["ttl"])
+                    for replica in stream_dict["replicas"]
+                ],
+                src=IPv4Address.parse(stream_dict["src"]),
+                dst=IPv4Address.parse(stream_dict["dst"]),
+                protocol=stream_dict["protocol"],
+                first_data=b"",
+            ))
+        loops.append(RoutingLoop(
+            prefix=IPv4Prefix.parse(loop_dict["prefix"]),
+            streams=streams,
+        ))
+    return loops
+
+
+def loops_from_json(text: str) -> list[RoutingLoop]:
+    """Rebuild loops from a JSON string produced by
+    :func:`result_to_json`."""
+    return loops_from_dict(json.loads(text))

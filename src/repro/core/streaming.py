@@ -1,0 +1,374 @@
+"""Online (streaming) loop detection.
+
+The paper ran its algorithm offline over recorded traces.  An operator
+monitoring a live link wants the same result incrementally: feed records
+as they are captured, get each routing loop reported shortly after it
+ends, with memory bounded by the loop window rather than the trace.
+
+:class:`StreamingLoopDetector` implements the paper's three steps as an
+event-driven pipeline:
+
+* replicas chain exactly as offline (masked-byte key, TTL delta >= 2,
+  bounded chaining gap), with deadline heaps evicting stale singletons
+  and completing quiescent streams;
+* a completed stream validates against a sliding per-/24 history of
+  recent records (the same all-packets-loop rule);
+* validated streams merge into open loops, which are emitted once no
+  further stream can join them (the merge gap has passed with the
+  prefix quiet).
+
+Given the same configuration, its output matches the offline
+:class:`~repro.core.detector.LoopDetector` on the same records — a
+property the test suite checks on both synthetic and simulated traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.net.addr import IPv4Address
+from repro.core.detector import DetectorConfig
+from repro.core.merge import RoutingLoop
+from repro.core.replica import (
+    Replica,
+    ReplicaStream,
+    mask_mutable_fields,
+)
+
+_MIN_CAPTURE = 20
+
+LoopCallback = Callable[[RoutingLoop], None]
+
+
+@dataclass(slots=True)
+class _OpenStream:
+    key: bytes
+    first_data: bytes
+    replicas: list[Replica]
+
+    @property
+    def last(self) -> Replica:
+        return self.replicas[-1]
+
+
+@dataclass(slots=True)
+class _OpenLoop:
+    prefix_net: int
+    streams: list[ReplicaStream]
+    end: float
+
+
+@dataclass(slots=True)
+class StreamingStats:
+    """Counters kept by the streaming detector."""
+
+    records: int = 0
+    skipped_short: int = 0
+    streams_completed: int = 0
+    streams_rejected_small: int = 0
+    streams_rejected_conflict: int = 0
+    loops_emitted: int = 0
+
+
+class StreamingLoopDetector:
+    """Incremental three-step loop detection over a live record feed."""
+
+    def __init__(
+        self,
+        config: DetectorConfig | None = None,
+        on_loop: LoopCallback | None = None,
+    ) -> None:
+        self.config = config or DetectorConfig()
+        self.on_loop = on_loop
+        self.stats = StreamingStats()
+
+        self._index = 0
+        self._now = float("-inf")
+        shift = 32 - self.config.prefix_length
+        self._shift = shift
+
+        # Step 1 state.
+        self._singletons: dict[bytes, tuple[int, float, int, bytes]] = {}
+        self._open_streams: dict[bytes, list[_OpenStream]] = {}
+        self._stream_deadlines: list[tuple[float, int, _OpenStream]] = []
+        self._singleton_deadlines: list[tuple[float, bytes, int]] = []
+        self._deadline_seq = 0
+
+        # Step 2 state: per-/24 sliding history and member indices.
+        self._history: dict[int, list[tuple[float, int]]] = {}
+        self._members: dict[int, set[int]] = {}
+        self._open_stream_count: dict[int, int] = {}
+
+        # Step 3 state.
+        self._open_loops: dict[int, _OpenLoop] = {}
+        self._loop_deadlines: list[tuple[float, int, int]] = []
+
+        self._emitted: list[RoutingLoop] = []
+
+    # -- public API -----------------------------------------------------------
+
+    def process(self, timestamp: float, data: bytes) -> list[RoutingLoop]:
+        """Feed one captured record; returns loops that just closed."""
+        if timestamp < self._now:
+            raise ValueError(
+                f"records must be time-ordered: {timestamp} < {self._now}"
+            )
+        self._now = timestamp
+        self._emitted = []
+        self.stats.records += 1
+
+        self._expire(timestamp)
+        if self.stats.records % 20_000 == 0:
+            # Global history pruning so quiet prefixes cannot accumulate
+            # unbounded state on long-running feeds.
+            for prefix_net in list(self._history):
+                if prefix_net not in self._open_loops:
+                    self._prune_history(prefix_net, timestamp)
+
+        if len(data) < _MIN_CAPTURE:
+            self.stats.skipped_short += 1
+            return self._emitted
+
+        index = self._index
+        self._index += 1
+        prefix_net = int.from_bytes(data[16:20], "big") >> self._shift
+        self._history.setdefault(prefix_net, []).append((timestamp, index))
+
+        self._chain(index, timestamp, data)
+        return self._emitted
+
+    def process_trace(self, trace) -> list[RoutingLoop]:
+        """Feed a whole :class:`~repro.net.trace.Trace`; returns all loops
+        (including those closed by the final flush)."""
+        loops: list[RoutingLoop] = []
+        for record in trace:
+            loops.extend(self.process(record.timestamp, record.data))
+        loops.extend(self.flush())
+        return loops
+
+    def flush(self) -> list[RoutingLoop]:
+        """End of input: complete every open stream and close every loop."""
+        self._emitted = []
+        infinity = float("inf")
+        self._expire(infinity)
+        return self._emitted
+
+    # -- step 1: chaining -------------------------------------------------------
+
+    def _chain(self, index: int, timestamp: float, data: bytes) -> None:
+        config = self.config
+        key = mask_mutable_fields(data)
+        ttl = data[8]
+
+        streams = self._open_streams.get(key)
+        if streams is not None:
+            for stream in reversed(streams):
+                last = stream.last
+                if (last.ttl - ttl >= config.min_ttl_delta
+                        and timestamp - last.timestamp
+                        <= config.max_replica_gap):
+                    stream.replicas.append(
+                        Replica(index=index, timestamp=timestamp, ttl=ttl)
+                    )
+                    self._add_member(data, index)
+                    self._push_stream_deadline(stream)
+                    return
+
+        previous = self._singletons.get(key)
+        if previous is not None:
+            prev_index, prev_time, prev_ttl, prev_data = previous
+            if (prev_ttl - ttl >= config.min_ttl_delta
+                    and timestamp - prev_time <= config.max_replica_gap):
+                stream = _OpenStream(
+                    key=key,
+                    first_data=prev_data,
+                    replicas=[
+                        Replica(index=prev_index, timestamp=prev_time,
+                                ttl=prev_ttl),
+                        Replica(index=index, timestamp=timestamp, ttl=ttl),
+                    ],
+                )
+                self._open_streams.setdefault(key, []).append(stream)
+                del self._singletons[key]
+                prefix_net = self._prefix_net(prev_data)
+                self._open_stream_count[prefix_net] = (
+                    self._open_stream_count.get(prefix_net, 0) + 1
+                )
+                self._add_member(prev_data, prev_index)
+                self._add_member(data, index)
+                self._push_stream_deadline(stream)
+                return
+
+        self._singletons[key] = (index, timestamp, ttl, data)
+        self._deadline_seq += 1
+        heapq.heappush(
+            self._singleton_deadlines,
+            (timestamp + config.max_replica_gap, key, index),
+        )
+
+    def _prefix_net(self, data: bytes) -> int:
+        return int.from_bytes(data[16:20], "big") >> self._shift
+
+    def _add_member(self, data: bytes, index: int) -> None:
+        self._members.setdefault(self._prefix_net(data), set()).add(index)
+
+    def _push_stream_deadline(self, stream: _OpenStream) -> None:
+        self._deadline_seq += 1
+        heapq.heappush(
+            self._stream_deadlines,
+            (stream.last.timestamp + self.config.max_replica_gap,
+             self._deadline_seq, stream),
+        )
+
+    # -- deadline processing ------------------------------------------------------
+
+    def _expire(self, now: float) -> None:
+        # Evict stale singletons.
+        while (self._singleton_deadlines
+               and self._singleton_deadlines[0][0] <= now):
+            _, key, index = heapq.heappop(self._singleton_deadlines)
+            current = self._singletons.get(key)
+            if current is not None and current[0] == index:
+                del self._singletons[key]
+
+        # Complete quiescent streams.
+        while self._stream_deadlines and self._stream_deadlines[0][0] <= now:
+            deadline, _, stream = heapq.heappop(self._stream_deadlines)
+            true_deadline = (stream.last.timestamp
+                             + self.config.max_replica_gap)
+            if true_deadline > now:
+                continue  # stream was extended; a fresher deadline exists
+            if deadline < true_deadline:
+                continue  # superseded entry
+            streams = self._open_streams.get(stream.key)
+            if streams is None or stream not in streams:
+                continue
+            streams.remove(stream)
+            if not streams:
+                del self._open_streams[stream.key]
+            self._complete_stream(stream)
+
+        # Close loops whose merge window has passed.
+        while self._loop_deadlines and self._loop_deadlines[0][0] <= now:
+            _, _, prefix_net = heapq.heappop(self._loop_deadlines)
+            loop = self._open_loops.get(prefix_net)
+            if loop is None:
+                continue
+            deadline = loop.end + self.config.merge_gap
+            if deadline > now:
+                continue  # extended since this entry was pushed
+            if self._open_stream_count.get(prefix_net, 0) > 0:
+                # A candidate stream for this prefix is still chaining;
+                # re-check once it resolves.
+                self._push_loop_deadline(prefix_net, now)
+                continue
+            del self._open_loops[prefix_net]
+            self._emit(loop)
+            self._prune_history(prefix_net, now)
+
+    def _push_loop_deadline(self, prefix_net: int, now: float) -> None:
+        loop = self._open_loops.get(prefix_net)
+        if loop is None:
+            return
+        deadline = max(loop.end + self.config.merge_gap,
+                       now + self.config.max_replica_gap)
+        if deadline == float("inf"):
+            deadline = now  # flush: fire immediately on the next sweep
+        self._deadline_seq += 1
+        heapq.heappush(self._loop_deadlines,
+                       (deadline, self._deadline_seq, prefix_net))
+
+    # -- steps 2 and 3 ---------------------------------------------------------------
+
+    def _complete_stream(self, open_stream: _OpenStream) -> None:
+        self.stats.streams_completed += 1
+        data = open_stream.first_data
+        prefix_net = self._prefix_net(data)
+        self._open_stream_count[prefix_net] = max(
+            0, self._open_stream_count.get(prefix_net, 0) - 1
+        )
+        config = self.config
+        if len(open_stream.replicas) < config.min_stream_size:
+            self.stats.streams_rejected_small += 1
+            return
+        stream = ReplicaStream(
+            key=open_stream.key,
+            replicas=open_stream.replicas,
+            src=IPv4Address.from_bytes(data[12:16]),
+            dst=IPv4Address.from_bytes(data[16:20]),
+            protocol=data[9],
+            first_data=data,
+        )
+        if config.check_prefix_consistency and self._window_has_non_member(
+            prefix_net, stream.start, stream.end
+        ):
+            self.stats.streams_rejected_conflict += 1
+            return
+        self._merge_stream(prefix_net, stream)
+
+    def _window_has_non_member(self, prefix_net: int, start: float,
+                               end: float) -> bool:
+        members = self._members.get(prefix_net, ())
+        for timestamp, index in self._history.get(prefix_net, ()):
+            if start <= timestamp <= end and index not in members:
+                return True
+        return False
+
+    def _merge_stream(self, prefix_net: int, stream: ReplicaStream) -> None:
+        loop = self._open_loops.get(prefix_net)
+        if loop is not None:
+            gap_start, gap_end = loop.end, stream.start
+            mergeable = (
+                gap_end <= gap_start
+                or (gap_end - gap_start < self.config.merge_gap
+                    and not (self.config.check_gap_consistency
+                             and self._window_has_non_member(
+                                 prefix_net, gap_start, gap_end)))
+            )
+            if mergeable:
+                loop.streams.append(stream)
+                loop.end = max(loop.end, stream.end)
+                self._push_loop_deadline(prefix_net, stream.end)
+                return
+            del self._open_loops[prefix_net]
+            self._emit(loop)
+        self._open_loops[prefix_net] = _OpenLoop(
+            prefix_net=prefix_net, streams=[stream], end=stream.end
+        )
+        self._push_loop_deadline(prefix_net, stream.end)
+
+    def _emit(self, loop: _OpenLoop) -> None:
+        streams = sorted(loop.streams, key=lambda stream: stream.start)
+        routing_loop = RoutingLoop(
+            prefix=streams[0].dst_prefix(self.config.prefix_length),
+            streams=streams,
+        )
+        self.stats.loops_emitted += 1
+        self._emitted.append(routing_loop)
+        if self.on_loop is not None:
+            self.on_loop(routing_loop)
+
+    def _prune_history(self, prefix_net: int, now: float) -> None:
+        """Drop per-prefix history/members no loop can reference anymore."""
+        if now == float("inf"):
+            self._history.pop(prefix_net, None)
+            self._members.pop(prefix_net, None)
+            return
+        horizon = now - (self.config.merge_gap
+                         + self.config.max_replica_gap)
+        history = self._history.get(prefix_net)
+        if not history:
+            return
+        kept = [(t, i) for t, i in history if t >= horizon]
+        dropped = {i for t, i in history if t < horizon}
+        if kept:
+            self._history[prefix_net] = kept
+        else:
+            del self._history[prefix_net]
+        members = self._members.get(prefix_net)
+        if members:
+            members -= dropped
+            if not members:
+                self._members.pop(prefix_net, None)

@@ -1,0 +1,130 @@
+"""Step 2 — replica-stream validation.
+
+Two checks (Sec. IV-A.2):
+
+1. **Size** — streams of only two elements are discarded: the link layer
+   can inject duplicate packets (token-ring drain failures, misconfigured
+   SONET protection), and two observations are not enough evidence of a
+   loop.
+2. **Prefix consistency** — a routing loop captures *all* traffic to the
+   affected destination prefix.  If any packet to the stream's /24 crosses
+   the link during the stream's lifetime without itself being part of a
+   replica stream, the candidate cannot be a routing loop and is dropped.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+
+from repro.net.addr import IPv4Prefix
+from repro.net.trace import Trace
+from repro.core.replica import ReplicaStream
+
+
+@dataclass(slots=True)
+class ValidationResult:
+    """Outcome of the validation pass."""
+
+    valid: list[ReplicaStream] = field(default_factory=list)
+    rejected_too_small: int = 0
+    rejected_prefix_conflict: int = 0
+
+    @property
+    def rejected(self) -> int:
+        return self.rejected_too_small + self.rejected_prefix_conflict
+
+
+class PrefixIndex:
+    """Timestamp index of all trace records, bucketed by destination /24.
+
+    Supports the validation query "did any packet to prefix P cross the
+    link in [t0, t1] that is not a replica-stream member?" in
+    O(log n + answer) time.  Shared by validation (step 2) and merging
+    (step 3), which runs the same query over gap intervals.
+    """
+
+    def __init__(self, trace: Trace, prefix_length: int = 24) -> None:
+        self.prefix_length = prefix_length
+        shift = 32 - prefix_length
+        by_prefix: dict[int, list[tuple[float, int]]] = {}
+        for index, record in enumerate(trace.records):
+            data = record.data
+            if len(data) < 20:
+                continue
+            dst = int.from_bytes(data[16:20], "big")
+            by_prefix.setdefault(dst >> shift, []).append(
+                (record.timestamp, index)
+            )
+        # Traces are time-ordered, so each bucket is already sorted.
+        self._by_prefix = by_prefix
+
+    def _bucket(self, prefix: IPv4Prefix) -> list[tuple[float, int]]:
+        if prefix.length != self.prefix_length:
+            raise ValueError(
+                f"index is /{self.prefix_length}, got /{prefix.length}"
+            )
+        return self._by_prefix.get(prefix.network >> (32 - prefix.length), [])
+
+    def records_in_window(
+        self, prefix: IPv4Prefix, start: float, end: float
+    ) -> list[int]:
+        """Indices of records to ``prefix`` with start <= t <= end."""
+        bucket = self._bucket(prefix)
+        lo = bisect_left(bucket, (start, -1))
+        hi = bisect_right(bucket, (end, 1 << 62))
+        return [index for _, index in bucket[lo:hi]]
+
+    def has_non_member(
+        self,
+        prefix: IPv4Prefix,
+        start: float,
+        end: float,
+        members: set[int],
+    ) -> bool:
+        """True if the window contains a record outside ``members``."""
+        return any(
+            index not in members
+            for index in self.records_in_window(prefix, start, end)
+        )
+
+
+def validate_streams(
+    candidates: list[ReplicaStream],
+    trace: Trace,
+    min_stream_size: int = 3,
+    prefix_length: int = 24,
+    check_prefix_consistency: bool = True,
+    prefix_index: PrefixIndex | None = None,
+) -> ValidationResult:
+    """Apply the paper's two validation rules to candidate streams.
+
+    The membership set used for the prefix-consistency check contains every
+    replica of every *candidate* stream (including 2-element ones): the
+    paper's rule is about packets that show no looping behaviour at all,
+    not about streams that merely failed the size cut.
+    """
+    result = ValidationResult()
+    if not candidates:
+        return result
+    if check_prefix_consistency and prefix_index is None:
+        prefix_index = PrefixIndex(trace, prefix_length)
+
+    members: set[int] = set()
+    for stream in candidates:
+        members.update(stream.member_indices())
+
+    for stream in candidates:
+        if stream.size < min_stream_size:
+            result.rejected_too_small += 1
+            continue
+        if check_prefix_consistency:
+            assert prefix_index is not None
+            prefix = stream.dst_prefix(prefix_length)
+            if prefix_index.has_non_member(
+                prefix, stream.start, stream.end, members
+            ):
+                result.rejected_prefix_conflict += 1
+                continue
+        result.valid.append(stream)
+    return result

@@ -1,0 +1,136 @@
+"""Merging detections from multiple vantage points.
+
+A routing loop is a cycle of links; every monitored link inside the
+cycle records its own replica streams for the same event.  Analyzing
+each trace separately (as the paper did) counts such an event once per
+vantage.  This module de-duplicates: per-link detections are merged
+into AS-wide *loop events* keyed by destination prefix and overlapping
+time windows, listing the vantage points that saw each event.
+
+This quantifies how much a single-link view undercounts — and, run on
+both directions of one link, confirms that a two-router loop is seen
+symmetrically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.net.addr import IPv4Prefix
+from repro.net.trace import Trace
+from repro.core.detector import DetectionResult, DetectorConfig, LoopDetector
+from repro.core.merge import RoutingLoop
+
+
+@dataclass(slots=True)
+class LoopEvent:
+    """One AS-wide loop event, assembled from per-vantage detections."""
+
+    prefix: IPv4Prefix
+    start: float
+    end: float
+    sightings: dict[str, list[RoutingLoop]] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def vantage_count(self) -> int:
+        return len(self.sightings)
+
+    @property
+    def vantages(self) -> list[str]:
+        return sorted(self.sightings)
+
+    @property
+    def total_replicas(self) -> int:
+        return sum(loop.replica_count
+                   for loops in self.sightings.values()
+                   for loop in loops)
+
+
+def detect_on_all(
+    traces: Mapping[str, Trace],
+    config: DetectorConfig | None = None,
+) -> dict[str, DetectionResult]:
+    """Run the detector independently on every vantage's trace."""
+    detector = LoopDetector(config)
+    return {vantage: detector.detect(trace)
+            for vantage, trace in traces.items()}
+
+
+def merge_loop_events(
+    results: Mapping[str, DetectionResult],
+    time_slack: float = 1.0,
+) -> list[LoopEvent]:
+    """Merge per-vantage loops into AS-wide events.
+
+    Two loops belong to the same event when they affect the same
+    destination prefix and their time windows overlap within
+    ``time_slack`` seconds (monitors time-stamp the same cycle at
+    different points of the ring, so exact overlap is not guaranteed for
+    very short events).
+    """
+    if time_slack < 0:
+        raise ValueError("time_slack must be non-negative")
+    # Collect (vantage, loop) pairs grouped by prefix.
+    by_prefix: dict[IPv4Prefix, list[tuple[str, RoutingLoop]]] = {}
+    for vantage, result in results.items():
+        for loop in result.loops:
+            by_prefix.setdefault(loop.prefix, []).append((vantage, loop))
+
+    events: list[LoopEvent] = []
+    for prefix, sightings in by_prefix.items():
+        sightings.sort(key=lambda item: item[1].start)
+        current: LoopEvent | None = None
+        for vantage, loop in sightings:
+            if (current is not None
+                    and loop.start <= current.end + time_slack):
+                current.end = max(current.end, loop.end)
+                current.start = min(current.start, loop.start)
+                current.sightings.setdefault(vantage, []).append(loop)
+                continue
+            current = LoopEvent(prefix=prefix, start=loop.start,
+                                end=loop.end,
+                                sightings={vantage: [loop]})
+            events.append(current)
+    events.sort(key=lambda event: event.start)
+    return events
+
+
+@dataclass(slots=True)
+class VantageSummary:
+    """How much single-link analysis over/undercounts loop events."""
+
+    per_vantage_loops: dict[str, int]
+    events: int
+    multi_vantage_events: int
+
+    @property
+    def naive_total(self) -> int:
+        """Loops summed across vantages (double-counts shared events)."""
+        return sum(self.per_vantage_loops.values())
+
+    @property
+    def overcount_factor(self) -> float:
+        if self.events == 0:
+            return 0.0
+        return self.naive_total / self.events
+
+
+def summarize_vantages(
+    results: Mapping[str, DetectionResult],
+    time_slack: float = 1.0,
+) -> VantageSummary:
+    """Event counts vs. naive per-link loop counts."""
+    events = merge_loop_events(results, time_slack)
+    return VantageSummary(
+        per_vantage_loops={vantage: result.loop_count
+                           for vantage, result in results.items()},
+        events=len(events),
+        multi_vantage_events=sum(
+            1 for event in events if event.vantage_count > 1
+        ),
+    )

@@ -1,0 +1,51 @@
+"""Packet substrate: addresses, checksums, headers, traces, and pcap I/O.
+
+This subpackage is a self-contained packet library built for this
+reproduction.  It provides byte-exact IPv4/TCP/UDP/ICMP header handling so
+that the loop detector can operate on captured bytes exactly the way the
+paper's detector operated on 40-byte snaplen records from the Sprint
+monitors.
+"""
+
+from repro.net.addr import IPv4Address, IPv4Prefix
+from repro.net.checksum import internet_checksum, verify_checksum
+from repro.net.packet import (
+    ICMP_ECHO_REPLY,
+    ICMP_ECHO_REQUEST,
+    ICMP_TIME_EXCEEDED,
+    IPPROTO_ICMP,
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    IcmpHeader,
+    IPv4Header,
+    Packet,
+    TcpHeader,
+    UdpHeader,
+    TcpFlags,
+)
+from repro.net.trace import SNAPLEN_40, Trace, TraceRecord
+from repro.net.pcap import read_pcap, write_pcap
+
+__all__ = [
+    "IPv4Address",
+    "IPv4Prefix",
+    "internet_checksum",
+    "verify_checksum",
+    "IPv4Header",
+    "TcpHeader",
+    "UdpHeader",
+    "IcmpHeader",
+    "TcpFlags",
+    "Packet",
+    "IPPROTO_TCP",
+    "IPPROTO_UDP",
+    "IPPROTO_ICMP",
+    "ICMP_ECHO_REQUEST",
+    "ICMP_ECHO_REPLY",
+    "ICMP_TIME_EXCEEDED",
+    "Trace",
+    "TraceRecord",
+    "SNAPLEN_40",
+    "read_pcap",
+    "write_pcap",
+]

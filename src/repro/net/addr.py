@@ -1,0 +1,217 @@
+"""IPv4 addresses and prefixes.
+
+Small, dependency-free address types.  The detector groups replica streams
+by the 24-bit destination prefix (the longest prefix honored by tier-1 ISPs
+at the time of the paper), so prefix extraction has to be cheap: both types
+wrap a plain ``int`` and support hashing and ordering.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from functools import total_ordering
+from typing import Iterator
+
+_MAX_U32 = 0xFFFFFFFF
+
+
+class AddressError(ValueError):
+    """Raised for malformed addresses or prefixes."""
+
+
+@total_ordering
+@dataclass(frozen=True, slots=True)
+class IPv4Address:
+    """A single IPv4 address backed by an unsigned 32-bit integer."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= _MAX_U32:
+            raise AddressError(f"address out of range: {self.value!r}")
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Address":
+        """Parse dotted-quad notation, e.g. ``"192.0.2.1"``."""
+        parts = text.strip().split(".")
+        if len(parts) != 4:
+            raise AddressError(f"not a dotted quad: {text!r}")
+        value = 0
+        for part in parts:
+            if not part.isdigit():
+                raise AddressError(f"non-numeric octet in {text!r}")
+            octet = int(part)
+            if octet > 255:
+                raise AddressError(f"octet out of range in {text!r}")
+            value = (value << 8) | octet
+        return cls(value)
+
+    @classmethod
+    def from_octets(cls, a: int, b: int, c: int, d: int) -> "IPv4Address":
+        """Build an address from four octets."""
+        for octet in (a, b, c, d):
+            if not 0 <= octet <= 255:
+                raise AddressError(f"octet out of range: {octet}")
+        return cls((a << 24) | (b << 16) | (c << 8) | d)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "IPv4Address":
+        """Build an address from 4 network-order bytes."""
+        if len(data) != 4:
+            raise AddressError(f"need 4 bytes, got {len(data)}")
+        return cls(int.from_bytes(data, "big"))
+
+    @property
+    def octets(self) -> tuple[int, int, int, int]:
+        v = self.value
+        return ((v >> 24) & 0xFF, (v >> 16) & 0xFF, (v >> 8) & 0xFF, v & 0xFF)
+
+    @property
+    def packed(self) -> bytes:
+        """The 4 network-order bytes of the address."""
+        return self.value.to_bytes(4, "big")
+
+    def prefix(self, length: int) -> "IPv4Prefix":
+        """The enclosing prefix of the given length."""
+        return IPv4Prefix.containing(self, length)
+
+    def slash24(self) -> "IPv4Prefix":
+        """The enclosing /24 — the granularity used for stream validation."""
+        return IPv4Prefix.containing(self, 24)
+
+    def is_class_c(self) -> bool:
+        """True for classful class-C space (192.0.0.0 – 223.255.255.255).
+
+        Figure 7 of the paper observes that looped destinations concentrate
+        in class-C space; the analysis module uses this predicate.
+        """
+        top = (self.value >> 29) & 0x7
+        return top == 0b110
+
+    def is_class_a(self) -> bool:
+        """True for classful class-A space (0.0.0.0 – 127.255.255.255)."""
+        return (self.value >> 31) == 0
+
+    def is_class_b(self) -> bool:
+        """True for classful class-B space (128.0.0.0 – 191.255.255.255)."""
+        return (self.value >> 30) == 0b10
+
+    def is_multicast(self) -> bool:
+        """True for class-D multicast space (224.0.0.0 – 239.255.255.255)."""
+        return (self.value >> 28) == 0b1110
+
+    def __str__(self) -> str:
+        return ".".join(str(octet) for octet in self.octets)
+
+    def __repr__(self) -> str:
+        return f"IPv4Address({str(self)!r})"
+
+    def __lt__(self, other: object) -> bool:
+        if not isinstance(other, IPv4Address):
+            return NotImplemented
+        return self.value < other.value
+
+    def __int__(self) -> int:
+        return self.value
+
+
+@total_ordering
+@dataclass(frozen=True, slots=True)
+class IPv4Prefix:
+    """An IPv4 prefix (``network/length``) with a canonical network address."""
+
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise AddressError(f"prefix length out of range: {self.length}")
+        if not 0 <= self.network <= _MAX_U32:
+            raise AddressError(f"network out of range: {self.network!r}")
+        if self.network & ~self.mask:
+            raise AddressError(
+                f"host bits set in {IPv4Address(self.network)}/{self.length}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Prefix":
+        """Parse CIDR notation, e.g. ``"10.1.0.0/16"``."""
+        if "/" not in text:
+            raise AddressError(f"missing '/': {text!r}")
+        addr_text, _, len_text = text.partition("/")
+        if not len_text.isdigit():
+            raise AddressError(f"bad prefix length in {text!r}")
+        address = IPv4Address.parse(addr_text)
+        return cls.containing(address, int(len_text), strict=True)
+
+    @classmethod
+    def containing(
+        cls, address: IPv4Address, length: int, strict: bool = False
+    ) -> "IPv4Prefix":
+        """The prefix of the given length containing ``address``.
+
+        With ``strict=True`` the address must already be the canonical
+        network address (host bits clear).
+        """
+        if not 0 <= length <= 32:
+            raise AddressError(f"prefix length out of range: {length}")
+        mask = (_MAX_U32 << (32 - length)) & _MAX_U32 if length else 0
+        network = address.value & mask
+        if strict and network != address.value:
+            raise AddressError(f"host bits set in {address}/{length}")
+        return cls(network, length)
+
+    @property
+    def mask(self) -> int:
+        """The integer netmask."""
+        if self.length == 0:
+            return 0
+        return (_MAX_U32 << (32 - self.length)) & _MAX_U32
+
+    @property
+    def network_address(self) -> IPv4Address:
+        return IPv4Address(self.network)
+
+    @property
+    def broadcast_address(self) -> IPv4Address:
+        return IPv4Address(self.network | (~self.mask & _MAX_U32))
+
+    @property
+    def num_addresses(self) -> int:
+        return 1 << (32 - self.length)
+
+    def contains(self, address: IPv4Address) -> bool:
+        """True if ``address`` lies inside this prefix."""
+        return (address.value & self.mask) == self.network
+
+    def overlaps(self, other: "IPv4Prefix") -> bool:
+        """True if the two prefixes share any address."""
+        shorter, longer = sorted((self, other), key=lambda p: p.length)
+        return (longer.network & shorter.mask) == shorter.network
+
+    def subnets(self, new_length: int) -> Iterator["IPv4Prefix"]:
+        """Iterate the sub-prefixes of ``new_length`` inside this prefix."""
+        if new_length < self.length:
+            raise AddressError(
+                f"cannot subnet /{self.length} into shorter /{new_length}"
+            )
+        step = 1 << (32 - new_length)
+        for network in range(self.network, self.network + self.num_addresses, step):
+            yield IPv4Prefix(network, new_length)
+
+    def random_address(self, rng: random.Random) -> IPv4Address:
+        """A uniformly random address inside the prefix."""
+        offset = rng.randrange(self.num_addresses)
+        return IPv4Address(self.network + offset)
+
+    def __str__(self) -> str:
+        return f"{self.network_address}/{self.length}"
+
+    def __repr__(self) -> str:
+        return f"IPv4Prefix({str(self)!r})"
+
+    def __lt__(self, other: object) -> bool:
+        if not isinstance(other, IPv4Prefix):
+            return NotImplemented
+        return (self.network, self.length) < (other.network, other.length)

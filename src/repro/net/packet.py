@@ -1,0 +1,437 @@
+"""IPv4, TCP, UDP and ICMP packet model with byte-exact serialization.
+
+The model is deliberately faithful at the byte level: the loop detector
+works on captured bytes (40-byte snaplen, as in the paper), so packets
+must round-trip through ``pack``/``unpack`` without loss, and the fields
+the detector masks out (TTL, IP header checksum) must sit at their real
+wire offsets.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field, replace
+from enum import IntFlag
+
+from repro.net.addr import IPv4Address
+from repro.net.checksum import internet_checksum, pseudo_header
+
+IPPROTO_ICMP = 1
+IPPROTO_TCP = 6
+IPPROTO_UDP = 17
+
+ICMP_ECHO_REPLY = 0
+ICMP_DEST_UNREACHABLE = 3
+ICMP_ECHO_REQUEST = 8
+ICMP_TIME_EXCEEDED = 11
+
+IPV4_HEADER_LEN = 20
+TCP_HEADER_LEN = 20
+UDP_HEADER_LEN = 8
+ICMP_HEADER_LEN = 8
+
+_IPV4_STRUCT = struct.Struct("!BBHHHBBH4s4s")
+_TCP_STRUCT = struct.Struct("!HHIIBBHHH")
+_UDP_STRUCT = struct.Struct("!HHHH")
+_ICMP_STRUCT = struct.Struct("!BBHHH")
+
+
+class PacketError(ValueError):
+    """Raised for malformed packets during pack/unpack."""
+
+
+class TcpFlags(IntFlag):
+    """TCP flag bits at their wire positions."""
+
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+    URG = 0x20
+    ECE = 0x40
+    CWR = 0x80
+
+
+@dataclass(slots=True)
+class IPv4Header:
+    """A (option-free) IPv4 header.
+
+    ``checksum=None`` means "compute on pack"; an explicit integer is
+    emitted verbatim, which lets tests craft packets with bad checksums.
+    """
+
+    src: IPv4Address
+    dst: IPv4Address
+    ttl: int = 64
+    protocol: int = IPPROTO_TCP
+    identification: int = 0
+    tos: int = 0
+    total_length: int = IPV4_HEADER_LEN
+    flags: int = 0
+    fragment_offset: int = 0
+    checksum: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.ttl <= 255:
+            raise PacketError(f"TTL out of range: {self.ttl}")
+        if not 0 <= self.identification <= 0xFFFF:
+            raise PacketError(f"identification out of range: {self.identification}")
+        if not 0 <= self.protocol <= 0xFF:
+            raise PacketError(f"protocol out of range: {self.protocol}")
+        if not IPV4_HEADER_LEN <= self.total_length <= 0xFFFF:
+            raise PacketError(f"total length out of range: {self.total_length}")
+        if not 0 <= self.flags <= 0x7:
+            raise PacketError(f"flags out of range: {self.flags}")
+        if not 0 <= self.fragment_offset <= 0x1FFF:
+            raise PacketError(f"fragment offset out of range: {self.fragment_offset}")
+
+    def pack(self) -> bytes:
+        """Serialize to 20 wire bytes, computing the checksum if unset."""
+        version_ihl = (4 << 4) | 5
+        flags_frag = (self.flags << 13) | self.fragment_offset
+        checksum = self.checksum
+        if checksum is None:
+            header = _IPV4_STRUCT.pack(
+                version_ihl,
+                self.tos,
+                self.total_length,
+                self.identification,
+                flags_frag,
+                self.ttl,
+                self.protocol,
+                0,
+                self.src.packed,
+                self.dst.packed,
+            )
+            checksum = internet_checksum(header)
+        return _IPV4_STRUCT.pack(
+            version_ihl,
+            self.tos,
+            self.total_length,
+            self.identification,
+            flags_frag,
+            self.ttl,
+            self.protocol,
+            checksum,
+            self.src.packed,
+            self.dst.packed,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "IPv4Header":
+        """Parse 20 wire bytes; the stored checksum is kept verbatim."""
+        if len(data) < IPV4_HEADER_LEN:
+            raise PacketError(f"short IPv4 header: {len(data)} bytes")
+        (
+            version_ihl,
+            tos,
+            total_length,
+            identification,
+            flags_frag,
+            ttl,
+            protocol,
+            checksum,
+            src,
+            dst,
+        ) = _IPV4_STRUCT.unpack(data[:IPV4_HEADER_LEN])
+        version = version_ihl >> 4
+        ihl = version_ihl & 0xF
+        if version != 4:
+            raise PacketError(f"not IPv4: version={version}")
+        if ihl != 5:
+            raise PacketError(f"IP options unsupported: ihl={ihl}")
+        return cls(
+            src=IPv4Address.from_bytes(src),
+            dst=IPv4Address.from_bytes(dst),
+            ttl=ttl,
+            protocol=protocol,
+            identification=identification,
+            tos=tos,
+            total_length=total_length,
+            flags=flags_frag >> 13,
+            fragment_offset=flags_frag & 0x1FFF,
+            checksum=checksum,
+        )
+
+    def header_valid(self) -> bool:
+        """True if the stored checksum matches the header contents."""
+        if self.checksum is None:
+            return True
+        return internet_checksum(self.pack()) == 0
+
+
+@dataclass(slots=True)
+class TcpHeader:
+    """A (option-free) TCP header."""
+
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    ack: int = 0
+    flags: TcpFlags = TcpFlags(0)
+    window: int = 65535
+    checksum: int | None = None
+    urgent: int = 0
+
+    def __post_init__(self) -> None:
+        for name, port in (("src", self.src_port), ("dst", self.dst_port)):
+            if not 0 <= port <= 0xFFFF:
+                raise PacketError(f"{name} port out of range: {port}")
+        if not 0 <= self.seq <= 0xFFFFFFFF or not 0 <= self.ack <= 0xFFFFFFFF:
+            raise PacketError("seq/ack out of range")
+
+    @property
+    def protocol(self) -> int:
+        return IPPROTO_TCP
+
+    def pack(self, src: IPv4Address | None = None, dst: IPv4Address | None = None,
+             payload: bytes = b"") -> bytes:
+        """Serialize to 20 wire bytes.
+
+        When the checksum is unset, ``src``/``dst`` are required so the
+        pseudo-header checksum can be computed over ``payload``.
+        """
+        checksum = self.checksum
+        if checksum is None:
+            if src is None or dst is None:
+                raise PacketError("src/dst needed to compute TCP checksum")
+            header = self._pack_with_checksum(0)
+            segment = header + payload
+            pseudo = pseudo_header(src.packed, dst.packed, IPPROTO_TCP, len(segment))
+            checksum = internet_checksum(pseudo + segment)
+        return self._pack_with_checksum(checksum)
+
+    def _pack_with_checksum(self, checksum: int) -> bytes:
+        data_offset = (5 << 4)
+        return _TCP_STRUCT.pack(
+            self.src_port,
+            self.dst_port,
+            self.seq,
+            self.ack,
+            data_offset,
+            int(self.flags),
+            self.window,
+            checksum,
+            self.urgent,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "TcpHeader":
+        if len(data) < TCP_HEADER_LEN:
+            raise PacketError(f"short TCP header: {len(data)} bytes")
+        (src_port, dst_port, seq, ack, data_offset, flags, window, checksum,
+         urgent) = _TCP_STRUCT.unpack(data[:TCP_HEADER_LEN])
+        if (data_offset >> 4) != 5:
+            raise PacketError(f"TCP options unsupported: offset={data_offset >> 4}")
+        return cls(
+            src_port=src_port,
+            dst_port=dst_port,
+            seq=seq,
+            ack=ack,
+            flags=TcpFlags(flags),
+            window=window,
+            checksum=checksum,
+            urgent=urgent,
+        )
+
+
+@dataclass(slots=True)
+class UdpHeader:
+    """A UDP header."""
+
+    src_port: int
+    dst_port: int
+    length: int = UDP_HEADER_LEN
+    checksum: int | None = None
+
+    def __post_init__(self) -> None:
+        for name, port in (("src", self.src_port), ("dst", self.dst_port)):
+            if not 0 <= port <= 0xFFFF:
+                raise PacketError(f"{name} port out of range: {port}")
+        if not UDP_HEADER_LEN <= self.length <= 0xFFFF:
+            raise PacketError(f"UDP length out of range: {self.length}")
+
+    @property
+    def protocol(self) -> int:
+        return IPPROTO_UDP
+
+    def pack(self, src: IPv4Address | None = None, dst: IPv4Address | None = None,
+             payload: bytes = b"") -> bytes:
+        checksum = self.checksum
+        if checksum is None:
+            if src is None or dst is None:
+                raise PacketError("src/dst needed to compute UDP checksum")
+            header = _UDP_STRUCT.pack(self.src_port, self.dst_port, self.length, 0)
+            datagram = header + payload
+            pseudo = pseudo_header(src.packed, dst.packed, IPPROTO_UDP, len(datagram))
+            checksum = internet_checksum(pseudo + datagram)
+            if checksum == 0:
+                checksum = 0xFFFF  # RFC 768: zero means "no checksum"
+        return _UDP_STRUCT.pack(self.src_port, self.dst_port, self.length, checksum)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "UdpHeader":
+        if len(data) < UDP_HEADER_LEN:
+            raise PacketError(f"short UDP header: {len(data)} bytes")
+        src_port, dst_port, length, checksum = _UDP_STRUCT.unpack(
+            data[:UDP_HEADER_LEN]
+        )
+        return cls(src_port=src_port, dst_port=dst_port, length=length,
+                   checksum=checksum)
+
+
+@dataclass(slots=True)
+class IcmpHeader:
+    """An ICMP header (echo and time-exceeded style messages)."""
+
+    icmp_type: int
+    code: int = 0
+    identifier: int = 0
+    sequence: int = 0
+    checksum: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.icmp_type <= 0xFF:
+            raise PacketError(f"ICMP type out of range: {self.icmp_type}")
+        if not 0 <= self.code <= 0xFF:
+            raise PacketError(f"ICMP code out of range: {self.code}")
+
+    @property
+    def protocol(self) -> int:
+        return IPPROTO_ICMP
+
+    def pack(self, src: IPv4Address | None = None, dst: IPv4Address | None = None,
+             payload: bytes = b"") -> bytes:
+        checksum = self.checksum
+        if checksum is None:
+            header = _ICMP_STRUCT.pack(self.icmp_type, self.code, 0,
+                                       self.identifier, self.sequence)
+            checksum = internet_checksum(header + payload)
+        return _ICMP_STRUCT.pack(self.icmp_type, self.code, checksum,
+                                 self.identifier, self.sequence)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "IcmpHeader":
+        if len(data) < ICMP_HEADER_LEN:
+            raise PacketError(f"short ICMP header: {len(data)} bytes")
+        icmp_type, code, checksum, identifier, sequence = _ICMP_STRUCT.unpack(
+            data[:ICMP_HEADER_LEN]
+        )
+        return cls(icmp_type=icmp_type, code=code, identifier=identifier,
+                   sequence=sequence, checksum=checksum)
+
+
+L4Header = TcpHeader | UdpHeader | IcmpHeader
+
+
+@dataclass(slots=True)
+class Packet:
+    """An IPv4 packet: IP header, optional L4 header, payload bytes.
+
+    ``payload`` is the L4 payload (after the transport header).  The IP
+    ``total_length`` is kept consistent by :meth:`build`.
+    """
+
+    ip: IPv4Header
+    l4: L4Header | None = None
+    payload: bytes = b""
+
+    @classmethod
+    def build(
+        cls,
+        ip: IPv4Header,
+        l4: L4Header | None = None,
+        payload: bytes = b"",
+    ) -> "Packet":
+        """Create a packet, fixing ``total_length`` and UDP length fields."""
+        l4_len = 0
+        if isinstance(l4, TcpHeader):
+            l4_len = TCP_HEADER_LEN
+        elif isinstance(l4, UdpHeader):
+            l4_len = UDP_HEADER_LEN
+            l4 = replace(l4, length=UDP_HEADER_LEN + len(payload))
+        elif isinstance(l4, IcmpHeader):
+            l4_len = ICMP_HEADER_LEN
+        ip = replace(
+            ip,
+            total_length=IPV4_HEADER_LEN + l4_len + len(payload),
+            protocol=l4.protocol if l4 is not None else ip.protocol,
+        )
+        return cls(ip=ip, l4=l4, payload=payload)
+
+    def pack(self) -> bytes:
+        """Serialize the full packet, computing any unset checksums."""
+        if self.l4 is None:
+            return self.ip.pack() + self.payload
+        l4_bytes = self.l4.pack(self.ip.src, self.ip.dst, self.payload)
+        return self.ip.pack() + l4_bytes + self.payload
+
+    @classmethod
+    def unpack(cls, data: bytes, allow_truncated: bool = True) -> "Packet":
+        """Parse wire bytes into a packet.
+
+        With ``allow_truncated`` (the default — traces keep only 40 bytes),
+        the payload may be shorter than ``total_length`` implies, and a
+        missing or short L4 header yields ``l4=None`` with the raw bytes
+        kept in ``payload``.
+        """
+        ip = IPv4Header.unpack(data)
+        rest = data[IPV4_HEADER_LEN:]
+        if not allow_truncated and len(data) < ip.total_length:
+            raise PacketError(
+                f"truncated packet: {len(data)} < total_length {ip.total_length}"
+            )
+        l4: L4Header | None = None
+        payload = rest
+        if ip.protocol == IPPROTO_TCP and len(rest) >= TCP_HEADER_LEN:
+            l4 = TcpHeader.unpack(rest)
+            payload = rest[TCP_HEADER_LEN:]
+        elif ip.protocol == IPPROTO_UDP and len(rest) >= UDP_HEADER_LEN:
+            l4 = UdpHeader.unpack(rest)
+            payload = rest[UDP_HEADER_LEN:]
+        elif ip.protocol == IPPROTO_ICMP and len(rest) >= ICMP_HEADER_LEN:
+            l4 = IcmpHeader.unpack(rest)
+            payload = rest[ICMP_HEADER_LEN:]
+        return cls(ip=ip, l4=l4, payload=payload)
+
+    @property
+    def l4_checksum(self) -> int | None:
+        """The transport checksum, the paper's payload-equality surrogate."""
+        if self.l4 is None or self.l4.checksum is None:
+            return None
+        return self.l4.checksum
+
+    def forwarded(self, hops: int = 1) -> "Packet":
+        """The packet as it looks after traversing ``hops`` routers.
+
+        TTL decremented and IP checksum cleared for recompute — exactly the
+        two fields the paper's replica definition masks.
+        """
+        if self.ip.ttl < hops:
+            raise PacketError(f"TTL {self.ip.ttl} cannot survive {hops} hops")
+        new_ip = replace(self.ip, ttl=self.ip.ttl - hops, checksum=None)
+        return Packet(ip=new_ip, l4=self.l4, payload=self.payload)
+
+
+def icmp_time_exceeded(
+    original: Packet,
+    router_address: IPv4Address,
+    identification: int = 0,
+) -> Packet:
+    """Build the ICMP time-exceeded message a router emits on TTL expiry.
+
+    Carries the original IP header + first 8 payload bytes, per RFC 792.
+    The paper observes these messages looping too (Sec. V-B), so the
+    simulator generates them for realism.
+    """
+    quoted = original.ip.pack() + original.pack()[IPV4_HEADER_LEN:IPV4_HEADER_LEN + 8]
+    icmp = IcmpHeader(icmp_type=ICMP_TIME_EXCEEDED, code=0)
+    ip = IPv4Header(
+        src=router_address,
+        dst=original.ip.src,
+        ttl=255,
+        protocol=IPPROTO_ICMP,
+        identification=identification,
+    )
+    return Packet.build(ip, icmp, quoted)

@@ -1,0 +1,109 @@
+"""libpcap file format reader/writer.
+
+Traces round-trip through the classic pcap format (magic ``0xa1b2c3d4``,
+microsecond timestamps, ``LINKTYPE_RAW`` so each record body is a bare IPv4
+packet).  This makes the detector usable on real captures converted with
+``tcpdump -w``/``tshark`` as well as on simulator output.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import BinaryIO
+
+from repro.net.trace import SNAPLEN_40, Trace, TraceRecord
+
+PCAP_MAGIC = 0xA1B2C3D4
+PCAP_MAGIC_SWAPPED = 0xD4C3B2A1
+PCAP_MAGIC_NS = 0xA1B23C4D
+LINKTYPE_RAW = 101
+
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_GLOBAL_HEADER_BE = struct.Struct(">IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+_RECORD_HEADER_BE = struct.Struct(">IIII")
+
+
+class PcapError(ValueError):
+    """Raised for malformed pcap files."""
+
+
+def write_pcap(trace: Trace, path: str | Path) -> None:
+    """Write ``trace`` to ``path`` in classic little-endian pcap format."""
+    with open(path, "wb") as stream:
+        _write_stream(trace, stream)
+
+
+def _write_stream(trace: Trace, stream: BinaryIO) -> None:
+    stream.write(
+        _GLOBAL_HEADER.pack(
+            PCAP_MAGIC, 2, 4, 0, 0, max(trace.snaplen, SNAPLEN_40), LINKTYPE_RAW
+        )
+    )
+    for record in trace.records:
+        seconds = int(record.timestamp)
+        micros = int(round((record.timestamp - seconds) * 1_000_000))
+        if micros >= 1_000_000:
+            seconds += 1
+            micros -= 1_000_000
+        stream.write(
+            _RECORD_HEADER.pack(seconds, micros, len(record.data),
+                                record.wire_length)
+        )
+        stream.write(record.data)
+
+
+def read_pcap(path: str | Path, link_name: str = "") -> Trace:
+    """Read a pcap file into a :class:`Trace`.
+
+    Handles both byte orders and nanosecond-magic files.  Records are
+    assumed to be raw IPv4 (``LINKTYPE_RAW``); Ethernet (``LINKTYPE 1``)
+    frames have their 14-byte MAC header stripped.
+    """
+    with open(path, "rb") as stream:
+        return _read_stream(stream, link_name)
+
+
+def _read_stream(stream: BinaryIO, link_name: str) -> Trace:
+    raw_header = stream.read(_GLOBAL_HEADER.size)
+    if len(raw_header) < _GLOBAL_HEADER.size:
+        raise PcapError("truncated pcap global header")
+    magic_le = struct.unpack("<I", raw_header[:4])[0]
+    if magic_le in (PCAP_MAGIC, PCAP_MAGIC_NS):
+        header_struct, record_struct = _GLOBAL_HEADER, _RECORD_HEADER
+        nanos = magic_le == PCAP_MAGIC_NS
+    else:
+        magic_be = struct.unpack(">I", raw_header[:4])[0]
+        if magic_be not in (PCAP_MAGIC, PCAP_MAGIC_NS):
+            raise PcapError(f"bad pcap magic: {raw_header[:4].hex()}")
+        header_struct, record_struct = _GLOBAL_HEADER_BE, _RECORD_HEADER_BE
+        nanos = magic_be == PCAP_MAGIC_NS
+    (_, major, minor, _, _, snaplen, linktype) = header_struct.unpack(raw_header)
+    if (major, minor) != (2, 4):
+        raise PcapError(f"unsupported pcap version {major}.{minor}")
+    if linktype not in (LINKTYPE_RAW, 1):
+        raise PcapError(f"unsupported linktype {linktype}")
+    mac_header = 14 if linktype == 1 else 0
+    divisor = 1_000_000_000 if nanos else 1_000_000
+
+    trace = Trace(link_name=link_name, snaplen=snaplen or SNAPLEN_40)
+    while True:
+        raw_record = stream.read(record_struct.size)
+        if not raw_record:
+            break
+        if len(raw_record) < record_struct.size:
+            raise PcapError("truncated pcap record header")
+        seconds, fraction, captured_len, wire_len = record_struct.unpack(raw_record)
+        data = stream.read(captured_len)
+        if len(data) < captured_len:
+            raise PcapError("truncated pcap record body")
+        timestamp = seconds + fraction / divisor
+        trace.append(
+            TraceRecord(
+                timestamp=timestamp,
+                data=data[mac_header:],
+                wire_length=max(wire_len - mac_header, len(data) - mac_header),
+            )
+        )
+    return trace

@@ -1,0 +1,171 @@
+"""Packet-trace containers with snaplen semantics.
+
+A :class:`Trace` models what the paper's monitors produced: a time-ordered
+sequence of records, each holding the capture timestamp, the on-wire length,
+and the first ``snaplen`` bytes of the packet (40 in the Sprint traces — IP
+header plus TCP/UDP header for option-free packets).
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.net.packet import Packet
+
+SNAPLEN_40 = 40
+
+
+class TraceError(ValueError):
+    """Raised for malformed traces."""
+
+
+@dataclass(slots=True, frozen=True)
+class TraceRecord:
+    """One captured packet.
+
+    ``data`` holds at most ``snaplen`` bytes of the packet; ``wire_length``
+    is the length of the packet on the wire (the IP total length), which may
+    exceed ``len(data)``.
+    """
+
+    timestamp: float
+    data: bytes
+    wire_length: int
+
+    def __post_init__(self) -> None:
+        if self.wire_length < len(self.data):
+            raise TraceError(
+                f"wire_length {self.wire_length} < captured {len(self.data)}"
+            )
+
+    @classmethod
+    def capture(
+        cls, timestamp: float, packet: Packet, snaplen: int = SNAPLEN_40
+    ) -> "TraceRecord":
+        """Capture ``packet`` at ``timestamp``, truncating to ``snaplen``."""
+        wire = packet.pack()
+        return cls(timestamp=timestamp, data=wire[:snaplen], wire_length=len(wire))
+
+    def parse(self) -> Packet:
+        """Parse the captured bytes (tolerating snaplen truncation)."""
+        return Packet.unpack(self.data, allow_truncated=True)
+
+    @property
+    def truncated(self) -> bool:
+        return self.wire_length > len(self.data)
+
+
+@dataclass(slots=True)
+class Trace:
+    """A time-ordered packet trace from a single monitored link."""
+
+    records: list[TraceRecord] = field(default_factory=list)
+    link_name: str = ""
+    snaplen: int = SNAPLEN_40
+
+    def append(self, record: TraceRecord) -> None:
+        """Append a record; timestamps must be non-decreasing."""
+        if self.records and record.timestamp < self.records[-1].timestamp:
+            raise TraceError(
+                f"out-of-order record: {record.timestamp} after "
+                f"{self.records[-1].timestamp}"
+            )
+        self.records.append(record)
+
+    def capture(self, timestamp: float, packet: Packet) -> None:
+        """Capture a packet directly into the trace."""
+        self.append(TraceRecord.capture(timestamp, packet, self.snaplen))
+
+    def extend(self, records: Iterable[TraceRecord]) -> None:
+        for record in records:
+            self.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> TraceRecord:
+        return self.records[index]
+
+    @property
+    def empty(self) -> bool:
+        return not self.records
+
+    @property
+    def start_time(self) -> float:
+        if self.empty:
+            raise TraceError("empty trace has no start time")
+        return self.records[0].timestamp
+
+    @property
+    def end_time(self) -> float:
+        if self.empty:
+            raise TraceError("empty trace has no end time")
+        return self.records[-1].timestamp
+
+    @property
+    def duration(self) -> float:
+        """Trace duration in seconds (0.0 for traces of < 2 packets)."""
+        if len(self.records) < 2:
+            return 0.0
+        return self.end_time - self.start_time
+
+    @property
+    def total_bytes(self) -> int:
+        """Total on-wire bytes across all records."""
+        return sum(record.wire_length for record in self.records)
+
+    def average_bandwidth_bps(self) -> float:
+        """Average link load in bits per second (Table I's "Avg BW")."""
+        if self.duration <= 0:
+            return 0.0
+        return self.total_bytes * 8 / self.duration
+
+    def time_slice(self, start: float, end: float) -> "Trace":
+        """Records with ``start <= timestamp < end`` as a new trace."""
+        timestamps = [record.timestamp for record in self.records]
+        lo = bisect_left(timestamps, start)
+        hi = bisect_left(timestamps, end)
+        return Trace(records=self.records[lo:hi], link_name=self.link_name,
+                     snaplen=self.snaplen)
+
+    def filter(self, predicate: Callable[[TraceRecord], bool]) -> "Trace":
+        """Records satisfying ``predicate`` as a new trace."""
+        return Trace(
+            records=[record for record in self.records if predicate(record)],
+            link_name=self.link_name,
+            snaplen=self.snaplen,
+        )
+
+    def sample(self, keep_one_in: int, rng: "random.Random") -> "Trace":
+        """Uniform 1-in-N packet sampling, as monitoring hardware does.
+
+        Sampling breaks replica chains (consecutive kept replicas of one
+        stream have TTL deltas that are multiples of the loop size and
+        far fewer observations), so loop detection degrades sharply —
+        the experiment behind the paper's full-capture requirement.
+        """
+        if keep_one_in < 1:
+            raise TraceError(f"keep_one_in must be >= 1: {keep_one_in}")
+        if keep_one_in == 1:
+            return Trace(records=list(self.records),
+                         link_name=self.link_name, snaplen=self.snaplen)
+        kept = [record for record in self.records
+                if rng.randrange(keep_one_in) == 0]
+        return Trace(records=kept, link_name=self.link_name,
+                     snaplen=self.snaplen)
+
+    @classmethod
+    def merge(cls, traces: Sequence["Trace"], link_name: str = "") -> "Trace":
+        """Merge several traces into one time-ordered trace."""
+        merged = sorted(
+            (record for trace in traces for record in trace.records),
+            key=lambda record: record.timestamp,
+        )
+        snaplen = min((trace.snaplen for trace in traces), default=SNAPLEN_40)
+        return cls(records=merged, link_name=link_name, snaplen=snaplen)

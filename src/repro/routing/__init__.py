@@ -1,0 +1,46 @@
+"""Routing and forwarding substrate.
+
+A discrete-event simulation of an AS backbone: a link-state IGP
+(OSPF/IS-IS-like) with realistic convergence delays, a simplified BGP layer
+for externally-learned prefixes, per-router FIBs, and a packet-level
+forwarding engine with real TTL semantics.  Transient routing loops *emerge*
+from FIB inconsistency during convergence — they are never scripted — which
+is what makes the traces this substrate produces a faithful substitute for
+the paper's backbone captures.
+"""
+
+from repro.routing.events import EventScheduler
+from repro.routing.topology import Link, Topology
+from repro.routing.fib import Fib, FibEntry
+from repro.routing.linkstate import LinkStateProtocol, LinkStateTimers
+from repro.routing.bgp import BgpProcess, BgpTimers, EgressAdvertisement
+from repro.routing.forwarding import (
+    ForwardingEngine,
+    PacketFate,
+    PacketAudit,
+    LinkTap,
+)
+from repro.routing.failures import FailureEvent, FailureSchedule
+from repro.routing.journal import EventKind, RoutingEvent, RoutingJournal
+
+__all__ = [
+    "EventScheduler",
+    "Topology",
+    "Link",
+    "Fib",
+    "FibEntry",
+    "LinkStateProtocol",
+    "LinkStateTimers",
+    "BgpProcess",
+    "BgpTimers",
+    "EgressAdvertisement",
+    "ForwardingEngine",
+    "PacketFate",
+    "PacketAudit",
+    "LinkTap",
+    "FailureEvent",
+    "FailureSchedule",
+    "RoutingJournal",
+    "RoutingEvent",
+    "EventKind",
+]

@@ -1,0 +1,247 @@
+"""Simplified I-BGP layer: externally-learned prefixes and hot-potato exits.
+
+Every backbone router learns, over a full I-BGP mesh, which egress routers
+currently advertise each external prefix, and picks the closest advertised
+egress by installed IGP distance (hot-potato routing), tie-broken by router
+name.  Two convergence processes create forwarding inconsistency for these
+prefixes:
+
+* **BGP events** — an egress withdrawing a prefix propagates to peers with
+  per-peer delays on the order of seconds (the paper cites BGP convergence
+  of seconds to tens of minutes), so routers switch egress at different
+  times;
+* **IGP events** — a router whose IGP distances just changed re-runs the
+  hot-potato decision, while its neighbor still uses the old exit.
+
+Either way, neighbor FIBs can briefly point at each other and packets for
+the affected prefixes loop — the EGP-triggered loops of Sec. II.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.net.addr import IPv4Address, IPv4Prefix
+from repro.routing.events import EventScheduler
+from repro.routing.fib import Fib
+from repro.routing.journal import EventKind, RoutingJournal
+from repro.routing.linkstate import LinkStateProtocol
+from repro.routing.topology import Topology, TopologyError
+
+
+@dataclass(slots=True)
+class BgpTimers:
+    """I-BGP propagation and processing delays, in seconds."""
+
+    propagation_delay: float = 0.5
+    propagation_jitter: float = 3.0
+    decision_delay: float = 0.050
+    decision_jitter: float = 0.150
+    fib_update_delay: float = 0.100
+    fib_update_jitter: float = 0.400
+
+    def sample_propagation(self, rng: random.Random) -> float:
+        return self.propagation_delay + rng.uniform(0, self.propagation_jitter)
+
+    def sample_decision(self, rng: random.Random) -> float:
+        return self.decision_delay + rng.uniform(0, self.decision_jitter)
+
+    def sample_fib(self, rng: random.Random) -> float:
+        return self.fib_update_delay + rng.uniform(0, self.fib_update_jitter)
+
+
+@dataclass(slots=True, frozen=True)
+class EgressAdvertisement:
+    """A static origination: ``prefix`` is reachable via ``egress``."""
+
+    prefix: IPv4Prefix
+    egress: str
+
+
+@dataclass(slots=True)
+class _PrefixState:
+    """One router's view of a prefix: which egresses advertise it now."""
+
+    available: set[str] = field(default_factory=set)
+    chosen: str | None = None
+
+
+class BgpProcess:
+    """The AS-wide collection of I-BGP speakers (one per router)."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        scheduler: EventScheduler,
+        igp: LinkStateProtocol,
+        timers: BgpTimers | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.topology = topology
+        self.scheduler = scheduler
+        self.igp = igp
+        self.timers = timers or BgpTimers()
+        self.rng = rng or random.Random(0)
+        self.journal = igp.journal
+        self._fibs: dict[str, Fib] = {
+            name: Fib(name) for name in topology.routers
+        }
+        self._views: dict[str, dict[IPv4Prefix, _PrefixState]] = {
+            name: {} for name in topology.routers
+        }
+        self._prefixes: set[IPv4Prefix] = set()
+        self.updates_sent = 0
+        igp.on_fib_update(self._igp_changed)
+
+    # -- configuration (pre-start) ---------------------------------------------
+
+    def originate(self, prefix: IPv4Prefix, egress: str) -> None:
+        """Statically originate ``prefix`` at ``egress`` (applied by start)."""
+        if not self.topology.has_router(egress):
+            raise TopologyError(f"unknown egress {egress!r}")
+        self._prefixes.add(prefix)
+        for view in self._views.values():
+            view.setdefault(prefix, _PrefixState()).available.add(egress)
+
+    def start(self) -> None:
+        """Converge every router instantly on the configured originations.
+
+        Loopback /32s are also installed so internal destinations resolve
+        through the same longest-prefix-match path as external ones.
+        """
+        now = self.scheduler.now
+        for router, view in self._views.items():
+            fib = self._fibs[router]
+            for name in self.topology.routers:
+                fib.install(self.topology.loopback(name).prefix(32), name, now)
+            for prefix, state in view.items():
+                state.chosen = self._decide(router, state.available)
+                if state.chosen is not None:
+                    fib.install(prefix, state.chosen, now)
+
+    # -- runtime events ----------------------------------------------------------
+
+    def withdraw(self, prefix: IPv4Prefix, egress: str) -> None:
+        """``egress`` stops advertising ``prefix``; peers learn with delay."""
+        self._propagate(prefix, egress, advertise=False)
+
+    def advertise(self, prefix: IPv4Prefix, egress: str) -> None:
+        """``egress`` (re-)advertises ``prefix``; peers learn with delay."""
+        self._prefixes.add(prefix)
+        for view in self._views.values():
+            view.setdefault(prefix, _PrefixState())
+        self._propagate(prefix, egress, advertise=True)
+
+    def _propagate(self, prefix: IPv4Prefix, egress: str,
+                   advertise: bool) -> None:
+        if not self.topology.has_router(egress):
+            raise TopologyError(f"unknown egress {egress!r}")
+        if self.journal is not None:
+            kind = (EventKind.BGP_ADVERTISE_SENT if advertise
+                    else EventKind.BGP_WITHDRAW_SENT)
+            self.journal.record(self.scheduler.now, kind, egress,
+                                prefix=prefix)
+        for router in self.topology.routers:
+            self.updates_sent += 1
+            delay = (0.0 if router == egress
+                     else self.timers.sample_propagation(self.rng))
+            self.scheduler.schedule(
+                delay,
+                lambda target=router, p=prefix, e=egress, adv=advertise:
+                    self._receive(target, p, e, adv),
+            )
+
+    # -- forwarding-plane queries --------------------------------------------------
+
+    def fib(self, router: str) -> Fib:
+        """The router's prefix FIB (prefix → chosen egress router)."""
+        try:
+            return self._fibs[router]
+        except KeyError:
+            raise TopologyError(f"unknown router {router!r}") from None
+
+    def chosen_egress(self, router: str, prefix: IPv4Prefix) -> str | None:
+        state = self._views[router].get(prefix)
+        return state.chosen if state is not None else None
+
+    @property
+    def prefixes(self) -> set[IPv4Prefix]:
+        return set(self._prefixes)
+
+    # -- internals -------------------------------------------------------------------
+
+    def _decide(self, router: str, available: set[str]) -> str | None:
+        """Hot-potato choice: nearest advertised egress by installed IGP
+        distance, ties broken by name; an egress the router currently has
+        no IGP route to is unusable (except the router itself)."""
+        best: tuple[int, str] | None = None
+        for egress in available:
+            distance = self.igp.distance(router, egress)
+            if distance is None:
+                continue
+            candidate = (distance, egress)
+            if best is None or candidate < best:
+                best = candidate
+        return best[1] if best is not None else None
+
+    def _receive(self, router: str, prefix: IPv4Prefix, egress: str,
+                 advertise: bool) -> None:
+        if self.journal is not None:
+            self.journal.record(self.scheduler.now,
+                                EventKind.BGP_UPDATE_RECEIVED, router,
+                                detail=egress, prefix=prefix)
+        state = self._views[router].setdefault(prefix, _PrefixState())
+        if advertise:
+            state.available.add(egress)
+        else:
+            state.available.discard(egress)
+        delay = self.timers.sample_decision(self.rng)
+        self.scheduler.schedule(
+            delay, lambda r=router, p=prefix: self._redecide(r, p)
+        )
+
+    def _redecide(self, router: str, prefix: IPv4Prefix) -> None:
+        state = self._views[router].get(prefix)
+        if state is None:
+            return
+        new_choice = self._decide(router, state.available)
+        if new_choice == state.chosen:
+            return
+        if self.journal is not None:
+            self.journal.record(
+                self.scheduler.now, EventKind.BGP_EGRESS_CHANGED, router,
+                detail=f"{state.chosen}->{new_choice}", prefix=prefix,
+            )
+        state.chosen = new_choice
+        delay = self.timers.sample_fib(self.rng)
+        self.scheduler.schedule(
+            delay,
+            lambda r=router, p=prefix, choice=new_choice:
+                self._install(r, p, choice),
+        )
+
+    def _install(self, router: str, prefix: IPv4Prefix,
+                 choice: str | None) -> None:
+        """Install the decision made earlier; skip if superseded since."""
+        state = self._views[router].get(prefix)
+        if state is None or state.chosen != choice:
+            return
+        fib = self._fibs[router]
+        if self.journal is not None:
+            self.journal.record(
+                self.scheduler.now, EventKind.BGP_ROUTE_INSTALLED, router,
+                detail=str(choice), prefix=prefix,
+            )
+        if choice is None:
+            fib.withdraw(prefix)
+        else:
+            fib.install(prefix, choice, self.scheduler.now)
+
+    def _igp_changed(self, router: str, now: float) -> None:
+        """IGP distances at ``router`` changed: re-run hot potato there."""
+        for prefix in self._views[router]:
+            delay = self.timers.sample_decision(self.rng)
+            self.scheduler.schedule(
+                delay, lambda r=router, p=prefix: self._redecide(r, p)
+            )

@@ -1,0 +1,122 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic scheduler: events are ``(time, sequence, action)``
+triples ordered by time with FIFO tie-breaking, so two events scheduled for
+the same instant fire in scheduling order.  All simulator components (IGP
+timers, BGP propagation, per-hop packet forwarding, failure injection) share
+one scheduler, which is what lets packets in flight observe FIBs mid-update.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+Action = Callable[[], None]
+
+
+class SchedulerError(RuntimeError):
+    """Raised on invalid scheduler usage (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    action: Action = field(compare=False)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`EventScheduler.schedule`; allows cancel."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Cancel the event if it has not fired yet (idempotent)."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+
+class EventScheduler:
+    """A time-ordered event queue with deterministic tie-breaking."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = start_time
+        self._sequence = 0
+        self._queue: list[_ScheduledEvent] = []
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    def schedule(self, delay: float, action: Action) -> EventHandle:
+        """Schedule ``action`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SchedulerError(f"cannot schedule in the past: delay={delay}")
+        return self.schedule_at(self._now + delay, action)
+
+    def schedule_at(self, time: float, action: Action) -> EventHandle:
+        """Schedule ``action`` at an absolute simulation time."""
+        if time < self._now:
+            raise SchedulerError(
+                f"cannot schedule in the past: {time} < now {self._now}"
+            )
+        event = _ScheduledEvent(time=time, sequence=self._sequence, action=action)
+        self._sequence += 1
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run events in order until the queue drains or limits are hit.
+
+        ``until`` is inclusive: events at exactly ``until`` still fire, and
+        on return ``now`` equals ``until`` if it was given (even when the
+        queue drained earlier), so repeated bounded runs compose.
+        """
+        processed = 0
+        while self._queue:
+            event = self._queue[0]
+            if until is not None and event.time > until:
+                break
+            if max_events is not None and processed >= max_events:
+                return
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            processed += 1
+            event.action()
+        if until is not None and until > self._now:
+            self._now = until
+
+    def run_all(self, max_events: int = 10_000_000) -> None:
+        """Run until the queue is empty; guard against runaway loops."""
+        self.run(max_events=max_events)
+        if self._queue and not all(event.cancelled for event in self._queue):
+            raise SchedulerError(
+                f"event limit {max_events} reached with events still pending"
+            )

@@ -1,0 +1,115 @@
+"""Link-failure injection.
+
+A :class:`FailureSchedule` is a list of timed link down/up events applied
+to the topology and announced to the control plane.  Transient loops are
+the *consequence* of these events playing out through the protocols'
+convergence timers — the schedule itself knows nothing about loops.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.routing.events import EventScheduler
+from repro.routing.linkstate import LinkStateProtocol
+from repro.routing.topology import Link, Topology, TopologyError
+
+
+@dataclass(slots=True, frozen=True)
+class FailureEvent:
+    """One link state change at an absolute simulation time."""
+
+    time: float
+    link_name: str
+    up: bool
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"negative event time: {self.time}")
+
+
+class FailureSchedule:
+    """A timed sequence of link failures and repairs."""
+
+    def __init__(self, events: list[FailureEvent] | None = None) -> None:
+        self.events: list[FailureEvent] = sorted(
+            events or [], key=lambda event: event.time
+        )
+
+    def fail(self, time: float, link_name: str) -> "FailureSchedule":
+        """Add a link-down event (chainable)."""
+        self.events.append(FailureEvent(time=time, link_name=link_name, up=False))
+        self.events.sort(key=lambda event: event.time)
+        return self
+
+    def repair(self, time: float, link_name: str) -> "FailureSchedule":
+        """Add a link-up event (chainable)."""
+        self.events.append(FailureEvent(time=time, link_name=link_name, up=True))
+        self.events.sort(key=lambda event: event.time)
+        return self
+
+    def flap(self, time: float, link_name: str,
+             downtime: float) -> "FailureSchedule":
+        """Fail a link at ``time`` and repair it ``downtime`` later."""
+        return self.fail(time, link_name).repair(time + downtime, link_name)
+
+    def apply(
+        self,
+        topology: Topology,
+        scheduler: EventScheduler,
+        igp: LinkStateProtocol,
+    ) -> None:
+        """Schedule every event: flip the physical state, tell the IGP."""
+        for event in self.events:
+            topology.link_by_name(event.link_name)  # validate early
+            scheduler.schedule_at(
+                event.time,
+                lambda ev=event: _apply_event(topology, igp, ev),
+            )
+
+    @classmethod
+    def random_flaps(
+        cls,
+        topology: Topology,
+        rng: random.Random,
+        count: int,
+        start: float,
+        end: float,
+        downtime_range: tuple[float, float] = (5.0, 60.0),
+        eligible_links: list[str] | None = None,
+    ) -> "FailureSchedule":
+        """Random link flaps in ``[start, end)``, like a maintenance window.
+
+        Restricting ``eligible_links`` lets a scenario steer failures onto
+        paths whose repair detours cross the monitored link.
+        """
+        if end <= start:
+            raise ValueError("end must exceed start")
+        names = eligible_links or [link.name for link in topology.links]
+        if not names:
+            raise TopologyError("no links to fail")
+        schedule = cls()
+        for _ in range(count):
+            when = rng.uniform(start, end)
+            downtime = rng.uniform(*downtime_range)
+            schedule.flap(when, rng.choice(names), downtime)
+        return schedule
+
+
+def _apply_event(topology: Topology, igp: LinkStateProtocol,
+                 event: FailureEvent) -> None:
+    link = topology.link_by_name(event.link_name)
+    if link.up == event.up:
+        return  # flap overlap: already in the requested state
+    link.up = event.up
+    if igp.journal is not None:
+        from repro.routing.journal import EventKind
+
+        kind = EventKind.LINK_UP if event.up else EventKind.LINK_DOWN
+        igp.journal.record(igp.scheduler.now, kind, link.a,
+                           detail=link.name)
+    if event.up:
+        igp.notify_link_up(link)
+    else:
+        igp.notify_link_down(link)

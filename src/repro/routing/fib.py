@@ -1,0 +1,89 @@
+"""Per-router Forwarding Information Base.
+
+A FIB maps destination prefixes to next-hop routers via longest-prefix
+match.  FIB updates are what the routing protocols schedule — the window
+between one router's update and its neighbor's is where transient loops
+live, so the FIB keeps update timestamps for the audit trail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.net.addr import IPv4Address, IPv4Prefix
+
+
+class FibError(ValueError):
+    """Raised for invalid FIB operations."""
+
+
+@dataclass(slots=True, frozen=True)
+class FibEntry:
+    """One FIB route: prefix → next-hop router (by name)."""
+
+    prefix: IPv4Prefix
+    next_hop: str
+    updated_at: float = 0.0
+
+
+class Fib:
+    """Longest-prefix-match forwarding table.
+
+    Implemented as one hash table per prefix length, probed from /32 down;
+    lookup is O(32) dict probes worst case, O(#distinct lengths) typical.
+    """
+
+    def __init__(self, router: str) -> None:
+        self.router = router
+        self._tables: dict[int, dict[int, FibEntry]] = {}
+        self._lengths_desc: list[int] = []
+
+    def install(self, prefix: IPv4Prefix, next_hop: str, now: float = 0.0) -> None:
+        """Install or replace the route for ``prefix``."""
+        table = self._tables.get(prefix.length)
+        if table is None:
+            table = {}
+            self._tables[prefix.length] = table
+            self._lengths_desc = sorted(self._tables, reverse=True)
+        table[prefix.network] = FibEntry(prefix=prefix, next_hop=next_hop,
+                                         updated_at=now)
+
+    def withdraw(self, prefix: IPv4Prefix) -> bool:
+        """Remove the route for ``prefix``; True if it existed."""
+        table = self._tables.get(prefix.length)
+        if table is None:
+            return False
+        removed = table.pop(prefix.network, None) is not None
+        if removed and not table:
+            del self._tables[prefix.length]
+            self._lengths_desc = sorted(self._tables, reverse=True)
+        return removed
+
+    def lookup(self, address: IPv4Address) -> FibEntry | None:
+        """Longest-prefix-match lookup; None when no route covers it."""
+        value = address.value
+        for length in self._lengths_desc:
+            mask = (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF if length else 0
+            entry = self._tables[length].get(value & mask)
+            if entry is not None:
+                return entry
+        return None
+
+    def exact(self, prefix: IPv4Prefix) -> FibEntry | None:
+        """The entry for exactly ``prefix``, ignoring longer/shorter routes."""
+        table = self._tables.get(prefix.length)
+        if table is None:
+            return None
+        return table.get(prefix.network)
+
+    def entries(self) -> Iterator[FibEntry]:
+        """All entries, longest prefixes first."""
+        for length in self._lengths_desc:
+            yield from self._tables[length].values()
+
+    def __len__(self) -> int:
+        return sum(len(table) for table in self._tables.values())
+
+    def __contains__(self, prefix: IPv4Prefix) -> bool:
+        return self.exact(prefix) is not None

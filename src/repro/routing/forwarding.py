@@ -1,0 +1,370 @@
+"""Packet-level forwarding engine.
+
+Packets travel hop by hop through the event scheduler; at each hop the
+router consults its *current* FIBs (BGP prefix table resolved through the
+IGP next-hop table), decrements the TTL, and transmits across the link
+with serialization + propagation delay and FIFO queueing.  Because lookups
+happen at forwarding time against live protocol state, packets in flight
+during convergence loop exactly as the paper describes — and the monitor
+taps on a link see each crossing as a replica with a decremented TTL.
+
+The engine also maintains a ground-truth audit channel (per-packet hop
+records and loop flags) that the detector never sees; tests use it to
+score detector precision and recall.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable
+
+from repro.net.addr import IPv4Address
+from repro.net.packet import Packet, icmp_time_exceeded
+from repro.routing.bgp import BgpProcess
+from repro.routing.events import EventScheduler
+from repro.routing.linkstate import LinkStateProtocol
+from repro.routing.topology import Link, Topology, TopologyError
+
+
+class PacketFate(Enum):
+    """Terminal outcome of a packet's transit through the AS."""
+
+    DELIVERED = "delivered"
+    TTL_EXPIRED = "ttl_expired"
+    NO_ROUTE = "no_route"
+    LINK_DOWN = "link_down"
+    QUEUE_DROP = "queue_drop"
+    IN_FLIGHT = "in_flight"
+
+
+@dataclass(slots=True)
+class PacketAudit:
+    """Ground truth for one packet (never visible to the detector)."""
+
+    packet_id: int
+    injected_at: float
+    ingress: str
+    dst: IPv4Address
+    fate: PacketFate = PacketFate.IN_FLIGHT
+    fate_time: float = 0.0
+    fate_router: str = ""
+    hops: int = 0
+    looped: bool = False
+    crossings: list[tuple[float, str, str, int]] = field(default_factory=list)
+    # crossings: (departure time, link name, "a->b" direction, on-wire TTL)
+
+    @property
+    def transit_time(self) -> float:
+        return self.fate_time - self.injected_at
+
+
+TapCallback = Callable[[float, Packet], None]
+
+
+@dataclass(slots=True)
+class LinkTap:
+    """A passive monitor on one direction of one link."""
+
+    link_name: str
+    from_router: str
+    to_router: str
+    callback: TapCallback
+
+
+@dataclass(slots=True)
+class _Transit:
+    """Mutable in-flight packet state."""
+
+    packet: Packet
+    ttl: int
+    audit: PacketAudit | None
+    visited: dict[str, int]
+    injected_at: float = 0.0
+    is_icmp_error: bool = False
+    flow_hash: int = 0
+
+
+@dataclass(slots=True)
+class _DirectionState:
+    """FIFO transmit state for one direction of one link."""
+
+    next_free: float = 0.0
+
+
+def _flow_hash(packet: Packet) -> int:
+    """Deterministic per-flow hash for ECMP next-hop selection.
+
+    Mixes the classic five-tuple the way router line cards do, so all
+    packets of one flow take one path through equal-cost choices.
+    """
+    l4 = packet.l4
+    src_port = getattr(l4, "src_port", 0) or 0
+    dst_port = getattr(l4, "dst_port", 0) or 0
+    key = (packet.ip.src.value * 0x9E3779B1
+           ^ packet.ip.dst.value * 0x85EBCA77
+           ^ (packet.ip.protocol << 16)
+           ^ (src_port << 8) ^ dst_port)
+    key ^= key >> 13
+    return key & 0x7FFFFFFF
+
+
+class ForwardingEngine:
+    """Forwards packets through the simulated AS."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        scheduler: EventScheduler,
+        igp: LinkStateProtocol,
+        bgp: BgpProcess,
+        rng: random.Random | None = None,
+        keep_audits: bool = True,
+        record_crossings: bool = False,
+        icmp_time_exceeded_probability: float = 0.5,
+    ) -> None:
+        self.topology = topology
+        self.scheduler = scheduler
+        self.igp = igp
+        self.bgp = bgp
+        self.rng = rng or random.Random(0)
+        self.keep_audits = keep_audits
+        self.record_crossings = record_crossings
+        self.icmp_time_exceeded_probability = icmp_time_exceeded_probability
+
+        self._taps: dict[tuple[str, str], list[LinkTap]] = {}
+        self._directions: dict[tuple[str, str], _DirectionState] = {}
+        self._delivery_listeners: list[Callable[[float, Packet, str], None]] = []
+        self._drop_listeners: list[
+            Callable[[float, Packet, str, PacketFate], None]
+        ] = []
+        self._next_packet_id = 0
+        self._next_icmp_id = 1
+
+        self.audits: list[PacketAudit] = []
+        self.fate_counts: dict[PacketFate, int] = {fate: 0 for fate in PacketFate}
+        self.loss_by_minute: dict[int, dict[PacketFate, int]] = {}
+        self.injected_by_minute: dict[int, int] = {}
+        # Per-minute queueing telemetry: summed queue wait and number of
+        # transmissions, for the Sec. VI queueing-delay analysis.
+        self.queue_delay_by_minute: dict[int, float] = {}
+        self.transmissions_by_minute: dict[int, int] = {}
+        self.looped_by_minute: dict[int, int] = {}
+        self.looped_delivered_delays: list[tuple[float, int]] = []
+        self._normal_delay_sum = 0.0
+        self._normal_delay_count = 0
+
+    # -- taps ---------------------------------------------------------------
+
+    def add_delivery_listener(
+        self, callback: Callable[[float, Packet, str], None]
+    ) -> None:
+        """Register ``callback(time, packet, router)`` fired on delivery.
+
+        Active-measurement baselines use this to receive their probe
+        responses (the simulated AS has no end hosts).
+        """
+        self._delivery_listeners.append(callback)
+
+    def add_drop_listener(
+        self, callback: Callable[[float, Packet, str, PacketFate], None]
+    ) -> None:
+        """Register ``callback(time, packet, router, fate)`` fired when a
+        packet is lost (any fate except DELIVERED).
+
+        The connection-aware workload generator uses this as its loss
+        signal: flows whose packets die re-enter connection setup, which
+        is what concentrates SYNs (and diagnostic pings) in loop windows.
+        """
+        self._drop_listeners.append(callback)
+
+    def add_tap(self, from_router: str, to_router: str,
+                callback: TapCallback) -> LinkTap:
+        """Attach a passive monitor to the ``from → to`` link direction."""
+        link = self.topology.link_between(from_router, to_router)
+        tap = LinkTap(link_name=link.name, from_router=from_router,
+                      to_router=to_router, callback=callback)
+        self._taps.setdefault((from_router, to_router), []).append(tap)
+        return tap
+
+    # -- injection ------------------------------------------------------------
+
+    def inject(self, packet: Packet, ingress: str,
+               is_icmp_error: bool = False) -> PacketAudit | None:
+        """Hand a packet to ``ingress`` at the current simulation time."""
+        if not self.topology.has_router(ingress):
+            raise TopologyError(f"unknown router {ingress!r}")
+        now = self.scheduler.now
+        audit: PacketAudit | None = None
+        if self.keep_audits:
+            audit = PacketAudit(
+                packet_id=self._next_packet_id,
+                injected_at=now,
+                ingress=ingress,
+                dst=packet.ip.dst,
+            )
+            self.audits.append(audit)
+        self._next_packet_id += 1
+        minute = int(now // 60)
+        self.injected_by_minute[minute] = self.injected_by_minute.get(minute, 0) + 1
+        transit = _Transit(
+            packet=packet,
+            ttl=packet.ip.ttl,
+            audit=audit,
+            visited={},
+            injected_at=now,
+            is_icmp_error=is_icmp_error,
+            flow_hash=_flow_hash(packet),
+        )
+        self._arrive(transit, ingress)
+        return audit
+
+    def inject_at(self, time: float, packet: Packet, ingress: str) -> None:
+        """Schedule an injection at a future simulation time."""
+        self.scheduler.schedule_at(
+            time, lambda p=packet, r=ingress: self.inject(p, r)
+        )
+
+    # -- statistics ------------------------------------------------------------
+
+    @property
+    def packets_injected(self) -> int:
+        return self._next_packet_id
+
+    def loss_fraction(self, fate: PacketFate) -> float:
+        """Fraction of injected packets that met ``fate``."""
+        if self._next_packet_id == 0:
+            return 0.0
+        return self.fate_counts[fate] / self._next_packet_id
+
+    def mean_normal_delay(self) -> float:
+        """Mean transit time of delivered packets that never looped."""
+        if self._normal_delay_count == 0:
+            return 0.0
+        return self._normal_delay_sum / self._normal_delay_count
+
+    # -- per-hop machinery -------------------------------------------------------
+
+    def _arrive(self, transit: _Transit, router: str) -> None:
+        """Packet arrives at ``router``; look up, maybe deliver or drop."""
+        count = transit.visited.get(router, 0) + 1
+        transit.visited[router] = count
+        if count > 1 and transit.audit is not None:
+            transit.audit.looped = True
+
+        entry = self.bgp.fib(router).lookup(transit.packet.ip.dst)
+        if entry is None:
+            self._finish(transit, router, PacketFate.NO_ROUTE)
+            return
+        egress = entry.next_hop
+        if egress == router:
+            self._finish(transit, router, PacketFate.DELIVERED)
+            return
+        next_router = self.igp.next_hop(router, egress, transit.flow_hash)
+        if next_router is None:
+            self._finish(transit, router, PacketFate.NO_ROUTE)
+            return
+        if transit.ttl <= 1:
+            self._expire(transit, router)
+            return
+        link = self.topology.link_between(router, next_router)
+        if not link.up:
+            # Failure not yet detected by the control plane: black hole.
+            self._finish(transit, router, PacketFate.LINK_DOWN)
+            return
+        self._transmit(transit, router, next_router, link)
+
+    def _transmit(self, transit: _Transit, router: str, next_router: str,
+                  link: Link) -> None:
+        now = self.scheduler.now
+        direction = self._directions.setdefault(
+            (router, next_router), _DirectionState()
+        )
+        queue_delay = max(0.0, direction.next_free - now)
+        minute = int(now // 60)
+        self.queue_delay_by_minute[minute] = (
+            self.queue_delay_by_minute.get(minute, 0.0) + queue_delay
+        )
+        self.transmissions_by_minute[minute] = (
+            self.transmissions_by_minute.get(minute, 0) + 1
+        )
+        if queue_delay > link.max_queue_delay:
+            self._finish(transit, router, PacketFate.QUEUE_DROP)
+            return
+        wire_bytes = transit.packet.ip.total_length
+        departure = now + queue_delay + link.transmission_delay(wire_bytes)
+        direction.next_free = departure
+
+        transit.ttl -= 1
+        if transit.audit is not None:
+            transit.audit.hops += 1
+            if self.record_crossings:
+                transit.audit.crossings.append(
+                    (departure, link.name, f"{router}->{next_router}",
+                     transit.ttl)
+                )
+
+        taps = self._taps.get((router, next_router))
+        if taps:
+            on_wire = self._materialize(transit)
+            for tap in taps:
+                self.scheduler.schedule_at(
+                    departure,
+                    lambda cb=tap.callback, t=departure, p=on_wire: cb(t, p),
+                )
+
+        arrival = departure + link.propagation_delay
+        self.scheduler.schedule_at(
+            arrival, lambda tr=transit, r=next_router: self._arrive(tr, r)
+        )
+
+    def _materialize(self, transit: _Transit) -> Packet:
+        """The packet as it appears on the wire right now: original bytes
+        with the current TTL and a recomputed IP checksum."""
+        hops = transit.packet.ip.ttl - transit.ttl
+        return transit.packet.forwarded(hops)
+
+    def _expire(self, transit: _Transit, router: str) -> None:
+        self._finish(transit, router, PacketFate.TTL_EXPIRED)
+        if transit.is_icmp_error:
+            return  # ICMP errors never beget ICMP errors (RFC 1122)
+        if self.rng.random() >= self.icmp_time_exceeded_probability:
+            return  # router ICMP rate limiting
+        reply = icmp_time_exceeded(
+            transit.packet,
+            self.topology.loopback(router),
+            identification=self._next_icmp_id & 0xFFFF,
+        )
+        self._next_icmp_id += 1
+        self.inject(reply, router, is_icmp_error=True)
+
+    def _finish(self, transit: _Transit, router: str, fate: PacketFate) -> None:
+        now = self.scheduler.now
+        self.fate_counts[fate] += 1
+        minute = int(now // 60)
+        bucket = self.loss_by_minute.setdefault(minute, {})
+        bucket[fate] = bucket.get(fate, 0) + 1
+        audit = transit.audit
+        if audit is not None:
+            audit.fate = fate
+            audit.fate_time = now
+            audit.fate_router = router
+        if max(transit.visited.values(), default=0) > 1:
+            self.looped_by_minute[minute] = (
+                self.looped_by_minute.get(minute, 0) + 1
+            )
+        if fate is not PacketFate.DELIVERED:
+            for drop_listener in self._drop_listeners:
+                drop_listener(now, transit.packet, router, fate)
+        if fate is PacketFate.DELIVERED:
+            for listener in self._delivery_listeners:
+                listener(now, transit.packet, router)
+            looped = max(transit.visited.values(), default=0) > 1
+            delay = now - transit.injected_at
+            if looped:
+                hops = transit.packet.ip.ttl - transit.ttl
+                self.looped_delivered_delays.append((delay, hops))
+            else:
+                self._normal_delay_sum += delay
+                self._normal_delay_count += 1

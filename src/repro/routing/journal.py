@@ -1,0 +1,119 @@
+"""Control-plane event journal.
+
+The paper's future work is to correlate detected loops with "complete
+BGP and IS-IS routing data".  The simulator can provide exactly that: a
+:class:`RoutingJournal` records every control-plane event — link state
+changes, LSA originations, SPF runs, FIB installs, BGP updates and
+egress changes — with timestamps, so the correlator in
+:mod:`repro.core.correlate` can attribute each detected loop to the
+routing activity that caused it.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterator
+
+from repro.net.addr import IPv4Prefix
+
+
+class EventKind(Enum):
+    """Control-plane event categories."""
+
+    LINK_DOWN = "link_down"
+    LINK_UP = "link_up"
+    ADJACENCY_LOST = "adjacency_lost"
+    ADJACENCY_FORMED = "adjacency_formed"
+    LSA_ORIGINATED = "lsa_originated"
+    SPF_RUN = "spf_run"
+    IGP_FIB_INSTALLED = "igp_fib_installed"
+    BGP_WITHDRAW_SENT = "bgp_withdraw_sent"
+    BGP_ADVERTISE_SENT = "bgp_advertise_sent"
+    BGP_UPDATE_RECEIVED = "bgp_update_received"
+    BGP_EGRESS_CHANGED = "bgp_egress_changed"
+    BGP_ROUTE_INSTALLED = "bgp_route_installed"
+
+    @property
+    def is_igp(self) -> bool:
+        return self in (
+            EventKind.LINK_DOWN, EventKind.LINK_UP,
+            EventKind.ADJACENCY_LOST, EventKind.ADJACENCY_FORMED,
+            EventKind.LSA_ORIGINATED, EventKind.SPF_RUN,
+            EventKind.IGP_FIB_INSTALLED,
+        )
+
+    @property
+    def is_bgp(self) -> bool:
+        return self.name.startswith("BGP_")
+
+
+@dataclass(slots=True, frozen=True)
+class RoutingEvent:
+    """One journaled control-plane event."""
+
+    time: float
+    kind: EventKind
+    router: str
+    detail: str = ""
+    prefix: IPv4Prefix | None = None
+
+
+class RoutingJournal:
+    """Append-only, time-ordered log of control-plane events."""
+
+    def __init__(self) -> None:
+        self._events: list[RoutingEvent] = []
+        self._times: list[float] = []
+
+    def record(
+        self,
+        time: float,
+        kind: EventKind,
+        router: str,
+        detail: str = "",
+        prefix: IPv4Prefix | None = None,
+    ) -> None:
+        """Append an event (times must be non-decreasing, as in a sim)."""
+        if self._times and time < self._times[-1] - 1e-9:
+            raise ValueError(
+                f"journal time went backwards: {time} < {self._times[-1]}"
+            )
+        self._events.append(RoutingEvent(
+            time=time, kind=kind, router=router, detail=detail, prefix=prefix
+        ))
+        self._times.append(time)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[RoutingEvent]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> list[RoutingEvent]:
+        return list(self._events)
+
+    def window(self, start: float, end: float) -> list[RoutingEvent]:
+        """Events with ``start <= time <= end``."""
+        lo = bisect_left(self._times, start)
+        hi = bisect_right(self._times, end)
+        return self._events[lo:hi]
+
+    def events_for_prefix(self, prefix: IPv4Prefix, start: float,
+                          end: float) -> list[RoutingEvent]:
+        """BGP events in the window affecting exactly ``prefix``."""
+        return [event for event in self.window(start, end)
+                if event.prefix == prefix]
+
+    def igp_events(self, start: float, end: float) -> list[RoutingEvent]:
+        """IGP events (topology/SPF/FIB) in the window."""
+        return [event for event in self.window(start, end)
+                if event.kind.is_igp]
+
+    def counts(self) -> dict[EventKind, int]:
+        out: dict[EventKind, int] = {}
+        for event in self._events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out

@@ -1,0 +1,369 @@
+"""Link-state IGP (OSPF/IS-IS-like) with realistic convergence timing.
+
+The paper (Sec. II-B) decomposes IGP convergence into: link-failure
+detection, LSA flooding, SPF recomputation (behind a damping timer), and
+FIB update — with FIB-update time a significant, per-router-variable
+contribution [Iannaccone et al. 2002].  Each stage here is an explicit,
+jittered timer on the shared event scheduler.  Because routers finish the
+pipeline at different times, there are windows in which neighboring FIBs
+disagree; packets forwarded during such a window loop.  That is the sole
+loop-production mechanism in this codebase — nothing ever fabricates a
+replica.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.routing.events import EventHandle, EventScheduler
+from repro.routing.journal import EventKind, RoutingJournal
+from repro.routing.topology import (
+    Link,
+    Topology,
+    TopologyError,
+    dijkstra_ecmp,
+)
+
+
+@dataclass(slots=True)
+class LinkStateTimers:
+    """Convergence timer model; all values in seconds.
+
+    Defaults follow the ranges the paper cites: milliseconds-scale failure
+    detection on point-to-point links, per-hop flooding delays, an SPF
+    damping delay, and FIB update times of hundreds of milliseconds with
+    large per-router variation.
+    """
+
+    detection_delay: float = 0.020
+    detection_jitter: float = 0.030
+    flooding_hop_delay: float = 0.010
+    flooding_jitter: float = 0.005
+    spf_delay: float = 0.100
+    spf_jitter: float = 0.050
+    spf_compute_time: float = 0.010
+    fib_update_delay: float = 0.200
+    fib_update_jitter: float = 0.400
+    adjacency_up_delay: float = 1.0
+    adjacency_up_jitter: float = 0.5
+
+    def sample_detection(self, rng: random.Random) -> float:
+        return self.detection_delay + rng.uniform(0, self.detection_jitter)
+
+    def sample_flooding(self, rng: random.Random) -> float:
+        return self.flooding_hop_delay + rng.uniform(0, self.flooding_jitter)
+
+    def sample_spf(self, rng: random.Random) -> float:
+        return (self.spf_delay + rng.uniform(0, self.spf_jitter)
+                + self.spf_compute_time)
+
+    def sample_fib(self, rng: random.Random) -> float:
+        return self.fib_update_delay + rng.uniform(0, self.fib_update_jitter)
+
+    def sample_adjacency_up(self, rng: random.Random) -> float:
+        return self.adjacency_up_delay + rng.uniform(0, self.adjacency_up_jitter)
+
+
+@dataclass(slots=True, frozen=True)
+class Lsa:
+    """A link-state advertisement: one router's view of its adjacencies."""
+
+    origin: str
+    sequence: int
+    adjacencies: frozenset[tuple[str, int]]  # (neighbor, cost)
+
+
+@dataclass(slots=True)
+class _RouterState:
+    """Per-router protocol state."""
+
+    name: str
+    lsdb: dict[str, Lsa] = field(default_factory=dict)
+    # Known-up adjacencies from this router's own (local) perspective.
+    local_adjacencies: dict[str, int] = field(default_factory=dict)
+    sequence: int = 0
+    # Installed forwarding state (the IGP portion of the FIB).  Each
+    # destination maps to its equal-cost next-hop set (ECMP).
+    next_hops: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    distance: dict[str, int] = field(default_factory=dict)
+    spf_pending: bool = False
+    pending_fib: EventHandle | None = None
+    fib_updates: int = 0
+
+
+FibUpdateCallback = Callable[[str, float], None]
+
+
+class LinkStateProtocol:
+    """The IGP instance covering every router in a topology."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        scheduler: EventScheduler,
+        timers: LinkStateTimers | None = None,
+        rng: random.Random | None = None,
+        journal: RoutingJournal | None = None,
+    ) -> None:
+        self.topology = topology
+        self.scheduler = scheduler
+        self.timers = timers or LinkStateTimers()
+        self.rng = rng or random.Random(0)
+        self.journal = journal
+        self._routers: dict[str, _RouterState] = {
+            name: _RouterState(name=name) for name in topology.routers
+        }
+        self._fib_callbacks: list[FibUpdateCallback] = []
+        self.lsas_flooded = 0
+        self.spf_runs = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Initialize every router converged on the current topology.
+
+        The paper analyzes loops triggered by *changes*; the steady state
+        before the first event is consistent by construction.
+        """
+        for state in self._routers.values():
+            state.local_adjacencies = {
+                link.other(state.name): link.cost_from(state.name)
+                for link in self.topology.adjacent_links(state.name)
+                if link.up
+            }
+            state.sequence = 1
+        lsas = {
+            name: Lsa(
+                origin=name,
+                sequence=1,
+                adjacencies=frozenset(state.local_adjacencies.items()),
+            )
+            for name, state in self._routers.items()
+        }
+        for state in self._routers.values():
+            state.lsdb = dict(lsas)
+            self._install_spf_result(state, now=self.scheduler.now, notify=False)
+
+    def on_fib_update(self, callback: FibUpdateCallback) -> None:
+        """Register a hook fired as ``callback(router, now)`` after each
+        FIB install (the BGP layer uses it for hot-potato re-decision)."""
+        self._fib_callbacks.append(callback)
+
+    # -- events from the failure injector -------------------------------------
+
+    def notify_link_down(self, link: Link) -> None:
+        """The physical link just went down; endpoints detect after a delay."""
+        for endpoint in link.endpoints():
+            delay = self.timers.sample_detection(self.rng)
+            self.scheduler.schedule(
+                delay,
+                lambda router=endpoint, neighbor=link.other(endpoint):
+                    self._adjacency_changed(router, neighbor, cost=None),
+            )
+
+    def notify_link_up(self, link: Link) -> None:
+        """The physical link came back; adjacency forms after hellos."""
+        for endpoint in link.endpoints():
+            delay = self.timers.sample_adjacency_up(self.rng)
+            self.scheduler.schedule(
+                delay,
+                lambda router=endpoint, neighbor=link.other(endpoint),
+                       cost=link.cost_from(endpoint):
+                    self._adjacency_changed(router, neighbor, cost=cost),
+            )
+
+    # -- forwarding-plane queries ---------------------------------------------
+
+    def next_hop(self, router: str, dest_router: str,
+                 flow_hash: int = 0) -> str | None:
+        """The *installed* next hop (may be stale during convergence).
+
+        With multiple equal-cost next hops installed, ``flow_hash``
+        selects one deterministically — per-flow ECMP load sharing, so
+        one flow's packets always take the same path.
+        """
+        state = self._state(router)
+        if dest_router == router:
+            return None
+        hops = state.next_hops.get(dest_router)
+        if not hops:
+            return None
+        return hops[flow_hash % len(hops)]
+
+    def next_hop_set(self, router: str, dest_router: str) -> tuple[str, ...]:
+        """All installed equal-cost next hops toward ``dest_router``."""
+        state = self._state(router)
+        if dest_router == router:
+            return ()
+        return state.next_hops.get(dest_router, ())
+
+    def distance(self, router: str, dest_router: str) -> int | None:
+        """Installed IGP distance from ``router`` to ``dest_router``."""
+        state = self._state(router)
+        if dest_router == router:
+            return 0
+        return state.distance.get(dest_router)
+
+    def fib_update_count(self, router: str) -> int:
+        return self._state(router).fib_updates
+
+    def is_converged(self) -> bool:
+        """True when all LSDBs agree and all FIBs match their LSDB's SPF."""
+        reference: dict[str, Lsa] | None = None
+        for state in self._routers.values():
+            if reference is None:
+                reference = state.lsdb
+            elif state.lsdb != reference:
+                return False
+            if state.spf_pending or state.pending_fib is not None:
+                return False
+        return True
+
+    # -- internals -------------------------------------------------------------
+
+    def _state(self, router: str) -> _RouterState:
+        try:
+            return self._routers[router]
+        except KeyError:
+            raise TopologyError(f"unknown router {router!r}") from None
+
+    def _adjacency_changed(self, router: str, neighbor: str,
+                           cost: int | None) -> None:
+        """A router detected a local adjacency change; originate an LSA."""
+        state = self._state(router)
+        if cost is None:
+            if neighbor not in state.local_adjacencies:
+                return
+            del state.local_adjacencies[neighbor]
+        else:
+            if state.local_adjacencies.get(neighbor) == cost:
+                return
+            state.local_adjacencies[neighbor] = cost
+        if self.journal is not None:
+            kind = (EventKind.ADJACENCY_FORMED if cost is not None
+                    else EventKind.ADJACENCY_LOST)
+            self.journal.record(self.scheduler.now, kind, router,
+                                detail=neighbor)
+        state.sequence += 1
+        lsa = Lsa(
+            origin=router,
+            sequence=state.sequence,
+            adjacencies=frozenset(state.local_adjacencies.items()),
+        )
+        if self.journal is not None:
+            self.journal.record(self.scheduler.now,
+                                EventKind.LSA_ORIGINATED, router,
+                                detail=f"seq={state.sequence}")
+        self._receive_lsa(router, lsa, from_neighbor=None)
+        if cost is not None:
+            # Database exchange: a newly formed adjacency synchronizes
+            # the two LSDBs (OSPF's DBD/LSR procedure).  Without this, a
+            # router partitioned during an outage would never learn the
+            # LSAs originated while it was unreachable.
+            self._synchronize_database(router, neighbor)
+
+    def _synchronize_database(self, router: str, neighbor: str) -> None:
+        """Send this router's full LSDB to a newly adjacent neighbor."""
+        state = self._state(router)
+        for lsa in list(state.lsdb.values()):
+            delay = self.timers.sample_flooding(self.rng)
+            self.scheduler.schedule(
+                delay,
+                lambda target=neighbor, payload=lsa, sender=router:
+                    self._receive_lsa(target, payload,
+                                      from_neighbor=sender),
+            )
+
+    def _receive_lsa(self, router: str, lsa: Lsa,
+                     from_neighbor: str | None) -> None:
+        """Install an LSA if newer, re-flood it, and schedule SPF."""
+        state = self._state(router)
+        known = state.lsdb.get(lsa.origin)
+        if known is not None and known.sequence >= lsa.sequence:
+            return
+        state.lsdb[lsa.origin] = lsa
+        self._flood(router, lsa, exclude=from_neighbor)
+        self._schedule_spf(state)
+
+    def _flood(self, router: str, lsa: Lsa, exclude: str | None) -> None:
+        """Forward the LSA to all up-neighbors except the sender."""
+        for neighbor in self.topology.neighbors(router, only_up=True):
+            if neighbor == exclude:
+                continue
+            self.lsas_flooded += 1
+            delay = self.timers.sample_flooding(self.rng)
+            self.scheduler.schedule(
+                delay,
+                lambda target=neighbor, payload=lsa, sender=router:
+                    self._receive_lsa(target, payload, from_neighbor=sender),
+            )
+
+    def _schedule_spf(self, state: _RouterState) -> None:
+        """Damped SPF: one run covers all LSAs arriving before it fires."""
+        if state.spf_pending:
+            return
+        state.spf_pending = True
+        delay = self.timers.sample_spf(self.rng)
+        self.scheduler.schedule(
+            delay, lambda router=state.name: self._run_spf(router)
+        )
+
+    def _run_spf(self, router: str) -> None:
+        state = self._state(router)
+        state.spf_pending = False
+        self.spf_runs += 1
+        if self.journal is not None:
+            self.journal.record(self.scheduler.now, EventKind.SPF_RUN,
+                                router)
+        # The new tree is computed now but *installed* after the FIB delay;
+        # a newer SPF supersedes a pending install.
+        if state.pending_fib is not None:
+            state.pending_fib.cancel()
+        delay = self.timers.sample_fib(self.rng)
+        state.pending_fib = self.scheduler.schedule(
+            delay, lambda name=router: self._complete_fib_update(name)
+        )
+
+    def _complete_fib_update(self, router: str) -> None:
+        state = self._state(router)
+        state.pending_fib = None
+        self._install_spf_result(state, now=self.scheduler.now, notify=True)
+
+    def _install_spf_result(self, state: _RouterState, now: float,
+                            notify: bool) -> None:
+        """Run SPF over the router's LSDB view and install the result."""
+        tree = dijkstra_ecmp(state.name, self._view_edges(state),
+                             self._routers.keys())
+        state.next_hops = {
+            node: hops
+            for node, (_, hops) in tree.items()
+            if hops
+        }
+        state.distance = {node: dist for node, (dist, _) in tree.items()}
+        state.fib_updates += 1
+        if notify:
+            if self.journal is not None:
+                self.journal.record(now, EventKind.IGP_FIB_INSTALLED,
+                                    state.name)
+            for callback in self._fib_callbacks:
+                callback(state.name, now)
+
+    def _view_edges(self, state: _RouterState):
+        """Edge function over the router's LSDB, requiring two-way
+        advertisement (the standard SPF bidirectionality check)."""
+        lsdb = state.lsdb
+
+        def edges(node: str):
+            lsa = lsdb.get(node)
+            if lsa is None:
+                return
+            for neighbor, cost in lsa.adjacencies:
+                back = lsdb.get(neighbor)
+                if back is None:
+                    continue
+                if any(peer == node for peer, _ in back.adjacencies):
+                    yield neighbor, cost
+
+        return edges

@@ -1,0 +1,125 @@
+"""Topology serialization: load/store POP-level maps as JSON.
+
+Lets users describe their own backbone (or export a generated one) and
+run the full scenario stack against it, instead of the built-in
+generators.  The format is deliberately plain::
+
+    {
+      "routers": [{"name": "pop0", "loopback": "10.255.0.1"}, ...],
+      "links": [
+        {"a": "pop0", "b": "pop1", "cost": 2, "cost_ba": 3,
+         "propagation_delay": 0.004, "capacity_bps": 622080000.0},
+        ...
+      ]
+    }
+
+Router entries may also be bare strings (loopbacks auto-assigned).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.net.addr import IPv4Address
+from repro.routing.topology import Link, Topology, TopologyError
+
+
+class TopologyFileError(ValueError):
+    """Raised for malformed topology files."""
+
+
+def topology_from_dict(payload: dict[str, Any]) -> Topology:
+    """Build a :class:`Topology` from its dict form."""
+    if not isinstance(payload, dict):
+        raise TopologyFileError("topology document must be an object")
+    routers = payload.get("routers")
+    links = payload.get("links")
+    if not isinstance(routers, list) or not routers:
+        raise TopologyFileError("'routers' must be a non-empty list")
+    if not isinstance(links, list):
+        raise TopologyFileError("'links' must be a list")
+
+    topology = Topology()
+    for entry in routers:
+        if isinstance(entry, str):
+            topology.add_router(entry)
+            continue
+        if not isinstance(entry, dict) or "name" not in entry:
+            raise TopologyFileError(f"bad router entry: {entry!r}")
+        loopback = entry.get("loopback")
+        topology.add_router(
+            entry["name"],
+            loopback=IPv4Address.parse(loopback) if loopback else None,
+        )
+
+    for entry in links:
+        if not isinstance(entry, dict):
+            raise TopologyFileError(f"bad link entry: {entry!r}")
+        try:
+            a, b = entry["a"], entry["b"]
+        except KeyError as missing:
+            raise TopologyFileError(
+                f"link entry missing {missing}: {entry!r}"
+            ) from None
+        try:
+            link = topology.add_link(
+                a,
+                b,
+                cost=int(entry.get("cost", 1)),
+                cost_ba=(int(entry["cost_ba"])
+                         if "cost_ba" in entry else None),
+                propagation_delay=float(
+                    entry.get("propagation_delay", 0.001)
+                ),
+                capacity_bps=float(
+                    entry.get("capacity_bps", 622_080_000.0)
+                ),
+                max_queue_delay=float(entry.get("max_queue_delay", 0.5)),
+            )
+        except TopologyError as error:
+            raise TopologyFileError(str(error)) from error
+        if entry.get("up") is False:
+            link.up = False
+    return topology
+
+
+def topology_to_dict(topology: Topology) -> dict[str, Any]:
+    """A :class:`Topology` as its JSON-ready dict form (round-trips)."""
+    return {
+        "routers": [
+            {"name": name, "loopback": str(topology.loopback(name))}
+            for name in topology.routers
+        ],
+        "links": [
+            {
+                "a": link.a,
+                "b": link.b,
+                "cost": link.cost,
+                **({"cost_ba": link.cost_ba}
+                   if link.cost_ba is not None else {}),
+                "propagation_delay": link.propagation_delay,
+                "capacity_bps": link.capacity_bps,
+                "max_queue_delay": link.max_queue_delay,
+                **({} if link.up else {"up": False}),
+            }
+            for link in topology.links
+        ],
+    }
+
+
+def load_topology(path: str | Path) -> Topology:
+    """Read a topology from a JSON file."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as error:
+        raise TopologyFileError(f"invalid JSON in {path}: {error}") from error
+    return topology_from_dict(payload)
+
+
+def save_topology(topology: Topology, path: str | Path) -> None:
+    """Write a topology to a JSON file."""
+    Path(path).write_text(
+        json.dumps(topology_to_dict(topology), indent=2) + "\n"
+    )

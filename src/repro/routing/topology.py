@@ -1,0 +1,417 @@
+"""Backbone topology model.
+
+Routers are named nodes; links are bidirectional with per-direction state
+(both directions fail together, as with a fiber cut).  Each link carries an
+IGP cost, a propagation delay, and a capacity used by the forwarding engine
+for transmission delay and queueing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.net.addr import IPv4Address, IPv4Prefix
+
+
+class TopologyError(ValueError):
+    """Raised for malformed topologies or unknown routers/links."""
+
+
+@dataclass(slots=True)
+class Link:
+    """A bidirectional link between two routers.
+
+    IGP costs are per direction, as in deployed OSPF/IS-IS (each router
+    configures the metric of its own outgoing interface).  ``cost`` is
+    the a→b metric; ``cost_ba`` the b→a metric (defaults to symmetric).
+    Cost asymmetry matters: it is what makes transient loops longer than
+    two routers geometrically possible (with symmetric costs, the
+    fork-skip motif behind 3-router micro-loops is metrically
+    contradictory).
+    """
+
+    a: str
+    b: str
+    cost: int = 1
+    propagation_delay: float = 0.001
+    capacity_bps: float = 622_080_000.0  # OC-12, as in the paper's traces
+    max_queue_delay: float = 0.5
+    up: bool = True
+    cost_ba: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise TopologyError(f"self-loop link at {self.a!r}")
+        if self.cost <= 0:
+            raise TopologyError(f"link cost must be positive: {self.cost}")
+        if self.cost_ba is not None and self.cost_ba <= 0:
+            raise TopologyError(
+                f"link cost must be positive: {self.cost_ba}"
+            )
+        if self.propagation_delay < 0:
+            raise TopologyError("negative propagation delay")
+        if self.capacity_bps <= 0:
+            raise TopologyError("capacity must be positive")
+
+    def cost_from(self, router: str) -> int:
+        """The IGP metric of the direction leaving ``router``."""
+        if router == self.a:
+            return self.cost
+        if router == self.b:
+            return self.cost_ba if self.cost_ba is not None else self.cost
+        raise TopologyError(f"{router!r} is not an endpoint of {self.name}")
+
+    @property
+    def name(self) -> str:
+        """Canonical link name, endpoint-order independent."""
+        lo, hi = sorted((self.a, self.b))
+        return f"{lo}--{hi}"
+
+    def other(self, router: str) -> str:
+        """The endpoint opposite ``router``."""
+        if router == self.a:
+            return self.b
+        if router == self.b:
+            return self.a
+        raise TopologyError(f"{router!r} is not an endpoint of {self.name}")
+
+    def endpoints(self) -> tuple[str, str]:
+        return (self.a, self.b)
+
+    def transmission_delay(self, wire_bytes: int) -> float:
+        """Serialization delay for a packet of ``wire_bytes`` bytes."""
+        return wire_bytes * 8 / self.capacity_bps
+
+
+class Topology:
+    """A set of routers and the links between them."""
+
+    def __init__(self) -> None:
+        self._routers: dict[str, IPv4Address] = {}
+        self._links: dict[str, Link] = {}
+        self._adjacency: dict[str, dict[str, Link]] = {}
+        self._next_loopback = IPv4Address.parse("10.255.0.1").value
+
+    # -- construction ------------------------------------------------------
+
+    def add_router(self, name: str, loopback: IPv4Address | None = None) -> None:
+        """Add a router; a loopback address is assigned if not given."""
+        if name in self._routers:
+            raise TopologyError(f"duplicate router {name!r}")
+        if loopback is None:
+            loopback = IPv4Address(self._next_loopback)
+            self._next_loopback += 1
+        self._routers[name] = loopback
+        self._adjacency[name] = {}
+
+    def add_link(
+        self,
+        a: str,
+        b: str,
+        cost: int = 1,
+        propagation_delay: float = 0.001,
+        capacity_bps: float = 622_080_000.0,
+        max_queue_delay: float = 0.5,
+        cost_ba: int | None = None,
+    ) -> Link:
+        """Add a bidirectional link between existing routers."""
+        for router in (a, b):
+            if router not in self._routers:
+                raise TopologyError(f"unknown router {router!r}")
+        link = Link(a=a, b=b, cost=cost, propagation_delay=propagation_delay,
+                    capacity_bps=capacity_bps, max_queue_delay=max_queue_delay,
+                    cost_ba=cost_ba)
+        if link.name in self._links:
+            raise TopologyError(f"duplicate link {link.name}")
+        self._links[link.name] = link
+        self._adjacency[a][b] = link
+        self._adjacency[b][a] = link
+        return link
+
+    # -- lookup ------------------------------------------------------------
+
+    @property
+    def routers(self) -> list[str]:
+        return list(self._routers)
+
+    @property
+    def links(self) -> list[Link]:
+        return list(self._links.values())
+
+    def loopback(self, router: str) -> IPv4Address:
+        try:
+            return self._routers[router]
+        except KeyError:
+            raise TopologyError(f"unknown router {router!r}") from None
+
+    def has_router(self, name: str) -> bool:
+        return name in self._routers
+
+    def link_between(self, a: str, b: str) -> Link:
+        try:
+            return self._adjacency[a][b]
+        except KeyError:
+            raise TopologyError(f"no link between {a!r} and {b!r}") from None
+
+    def link_by_name(self, name: str) -> Link:
+        try:
+            return self._links[name]
+        except KeyError:
+            raise TopologyError(f"unknown link {name!r}") from None
+
+    def neighbors(self, router: str, only_up: bool = True) -> list[str]:
+        """Adjacent routers, by default only across links that are up."""
+        if router not in self._adjacency:
+            raise TopologyError(f"unknown router {router!r}")
+        return [
+            neighbor
+            for neighbor, link in self._adjacency[router].items()
+            if link.up or not only_up
+        ]
+
+    def adjacent_links(self, router: str) -> list[Link]:
+        if router not in self._adjacency:
+            raise TopologyError(f"unknown router {router!r}")
+        return list(self._adjacency[router].values())
+
+    # -- shortest paths (the "oracle" view; protocols keep their own) -------
+
+    def shortest_paths(self, source: str) -> dict[str, tuple[int, str | None]]:
+        """Dijkstra over *currently up* links.
+
+        Returns ``{router: (distance, first_hop)}`` for reachable routers;
+        the source maps to ``(0, None)``.  Used by tests as ground truth
+        and by protocols as the SPF core (they run it over their own view).
+        """
+        return dijkstra(
+            source,
+            lambda router: (
+                (link.other(router), link.cost_from(router))
+                for link in self._adjacency[router].values()
+                if link.up
+            ),
+            self._routers.keys(),
+        )
+
+
+def dijkstra(
+    source: str,
+    edges: "callable",
+    nodes: Iterable[str],
+) -> dict[str, tuple[int, str | None]]:
+    """Dijkstra with deterministic tie-breaking on (distance, node name).
+
+    ``edges(router)`` yields ``(neighbor, cost)`` pairs.  Ties between
+    equal-cost paths are broken by the lexicographically smallest first
+    hop, so every router computes the same tree given the same view —
+    mirroring deployed SPF implementations' deterministic behaviour.
+    """
+    import heapq
+
+    if source not in set(nodes):
+        raise TopologyError(f"unknown source {source!r}")
+    # best[node] = (distance, first_hop_name); "" sorts first, marks source
+    best: dict[str, tuple[int, str]] = {source: (0, "")}
+    heap: list[tuple[int, str, str]] = [(0, "", source)]
+    settled: set[str] = set()
+    while heap:
+        dist, first_hop, node = heapq.heappop(heap)
+        if node in settled:
+            continue
+        settled.add(node)
+        for neighbor, cost in edges(node):
+            if neighbor in settled:
+                continue
+            candidate = (dist + cost, neighbor if node == source else first_hop)
+            if neighbor not in best or candidate < best[neighbor]:
+                best[neighbor] = candidate
+                heapq.heappush(heap, (candidate[0], candidate[1], neighbor))
+    return {
+        node: (dist, first_hop or None)
+        for node, (dist, first_hop) in best.items()
+        if node in settled
+    }
+
+
+def dijkstra_ecmp(
+    source: str,
+    edges: "callable",
+    nodes: Iterable[str],
+) -> dict[str, tuple[int, tuple[str, ...]]]:
+    """Dijkstra keeping *all* equal-cost first hops per destination.
+
+    Returns ``{node: (distance, (first_hop, ...))}`` with the first hops
+    sorted by name; the source maps to ``(0, ())``.  Deployed routers
+    install every equal-cost next hop and hash flows across them (ECMP);
+    the forwarding engine picks by flow hash so packets of one flow stay
+    on one path.
+    """
+    import heapq
+
+    if source not in set(nodes):
+        raise TopologyError(f"unknown source {source!r}")
+    distances: dict[str, int] = {source: 0}
+    first_hops: dict[str, set[str]] = {source: set()}
+    heap: list[tuple[int, str]] = [(0, source)]
+    settled: set[str] = set()
+    while heap:
+        dist, node = heapq.heappop(heap)
+        if node in settled or dist > distances.get(node, dist):
+            continue
+        settled.add(node)
+        for neighbor, cost in edges(node):
+            if neighbor in settled:
+                continue
+            new_dist = dist + cost
+            inherited = first_hops[node] or {neighbor}
+            known = distances.get(neighbor)
+            if known is None or new_dist < known:
+                distances[neighbor] = new_dist
+                first_hops[neighbor] = set(inherited)
+                heapq.heappush(heap, (new_dist, neighbor))
+            elif new_dist == known:
+                first_hops[neighbor].update(inherited)
+    return {
+        node: (distances[node], tuple(sorted(first_hops[node])))
+        for node in settled
+    }
+
+
+def triangle_backbone_topology(
+    pops: int = 10,
+    rng: random.Random | None = None,
+    extra_edges: int = 2,
+    capacity_bps: float = 622_080_000.0,
+) -> Topology:
+    """A ring backbone with an engineered micro-loop triangle at pop0.
+
+    The motif: a chord pop0–pop2 that is cheap in the pop0→pop2
+    direction (1) and expensive the other way (9), with cost-1 ring links
+    around pop0 and cost-2 ring links on the far side.  When the link
+    pop0–pop(n-1) fails, pop0's recomputed path to far-side destinations
+    leaves via the chord, while pop1 and pop2 still forward through
+    pop0 — a three-router transient cycle pop1→pop0→pop2→pop1 whenever
+    pop0's FIB updates first.  Two-router cycles form as before, so a
+    monitor on pop1→pop0 sees the mixed TTL-delta population of the
+    paper's Figure 2 (Backbone 4's 2-and-3 mix).
+
+    Directional metrics like this are ordinary in deployed IGPs, where
+    interface costs are configured per direction.
+    """
+    if pops < 6:
+        raise TopologyError("triangle backbone needs at least 6 POPs")
+    rng = rng or random.Random(0)
+    topo = Topology()
+    names = [f"pop{i}" for i in range(pops)]
+    for name in names:
+        topo.add_router(name)
+    # Cost-1 ring links in the pop(n-1)–pop0–pop1–pop2 neighbourhood,
+    # cost-2 elsewhere, so near-pop0 ingress traffic to far-side egresses
+    # transits pop0 and the failing link.
+    cheap = {(pops - 1, 0), (0, 1), (1, 2), (pops - 2, pops - 1)}
+    for i in range(pops):
+        cost = 1 if (i, (i + 1) % pops) in cheap else 2
+        topo.add_link(
+            names[i],
+            names[(i + 1) % pops],
+            cost=cost,
+            cost_ba=cost,
+            propagation_delay=rng.uniform(0.001, 0.010),
+            capacity_bps=capacity_bps,
+        )
+    # The asymmetric chord that enables the 3-router cycle.  Its cost
+    # ties with the pop0→pop1→pop2 path, so ECMP splits flows between
+    # the chord (3-router cycles) and pop1 (2-router cycles) — the mixed
+    # TTL-delta population of the paper's Backbone 4.
+    topo.add_link(names[0], names[2], cost=2, cost_ba=9,
+                  propagation_delay=rng.uniform(0.001, 0.006),
+                  capacity_bps=capacity_bps)
+    # Extra chords on the far side only, so they cannot shortcut the
+    # motif geometry around pop0.
+    middle = names[3:pops - 2]
+    added = 0
+    attempts = 0
+    while added < extra_edges and attempts < 50 and len(middle) >= 2:
+        attempts += 1
+        a, b = rng.sample(middle, 2)
+        try:
+            topo.add_link(a, b, cost=rng.randint(4, 8),
+                          cost_ba=rng.randint(4, 8),
+                          propagation_delay=rng.uniform(0.002, 0.012),
+                          capacity_bps=capacity_bps)
+        except TopologyError:
+            continue
+        added += 1
+    return topo
+
+
+def line_topology(n: int, **link_kwargs: object) -> Topology:
+    """A chain R0 – R1 – … – R(n-1); the simplest loop-capable shape."""
+    topo = Topology()
+    for i in range(n):
+        topo.add_router(f"R{i}")
+    for i in range(n - 1):
+        topo.add_link(f"R{i}", f"R{i + 1}", **link_kwargs)  # type: ignore[arg-type]
+    return topo
+
+
+def ring_topology(n: int, **link_kwargs: object) -> Topology:
+    """A ring of ``n`` routers; failures create multi-hop detours."""
+    if n < 3:
+        raise TopologyError("ring needs at least 3 routers")
+    topo = line_topology(n, **link_kwargs)
+    topo.add_link(f"R{n - 1}", "R0", **link_kwargs)  # type: ignore[arg-type]
+    return topo
+
+
+def backbone_topology(
+    pops: int = 8,
+    rng: random.Random | None = None,
+    extra_edges: int = 4,
+    capacity_bps: float = 622_080_000.0,
+) -> Topology:
+    """A POP-level backbone: a ring with random chords, like tier-1 maps.
+
+    Deterministic for a given ``rng`` seed.  Propagation delays are drawn
+    in the 1–12 ms range (continental distances), which sets realistic
+    loop round-trip times and hence inter-replica spacings (Fig. 4).
+    """
+    rng = rng or random.Random(0)
+    topo = Topology()
+    names = [f"pop{i}" for i in range(pops)]
+    for name in names:
+        topo.add_router(name)
+    # Wide cost ranges make metric "triangle violations" (a two-hop path
+    # cheaper than the direct link) common, as in real backbones where
+    # costs track latency or inverse capacity rather than hop count.
+    # Those triangles are what allow transient loops longer than two
+    # routers (the paper's TTL deltas of 3–8).
+    for i in range(pops):
+        topo.add_link(
+            names[i],
+            names[(i + 1) % pops],
+            cost=rng.randint(1, 6),
+            cost_ba=rng.randint(1, 6),
+            propagation_delay=rng.uniform(0.001, 0.012),
+            capacity_bps=capacity_bps,
+        )
+    added = 0
+    attempts = 0
+    while added < extra_edges and attempts < 100:
+        attempts += 1
+        a, b = rng.sample(names, 2)
+        try:
+            topo.add_link(
+                a,
+                b,
+                cost=rng.randint(2, 10),
+                cost_ba=rng.randint(2, 10),
+                propagation_delay=rng.uniform(0.002, 0.015),
+                capacity_bps=capacity_bps,
+            )
+        except TopologyError:
+            continue
+        added += 1
+    return topo

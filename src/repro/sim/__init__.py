@@ -1,0 +1,17 @@
+"""End-to-end backbone scenarios.
+
+Each scenario wires topology + IGP + BGP + workload + failures + monitor
+into one reproducible run, standing in for one of the paper's Sprint
+traces.  :data:`TABLE1_SCENARIOS` holds the four rows of Table I.
+"""
+
+from repro.sim.backbone import BackboneScenario, ScenarioConfig, ScenarioRun
+from repro.sim.scenarios import TABLE1_SCENARIOS, table1_scenario
+
+__all__ = [
+    "BackboneScenario",
+    "ScenarioConfig",
+    "ScenarioRun",
+    "TABLE1_SCENARIOS",
+    "table1_scenario",
+]

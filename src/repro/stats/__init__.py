@@ -1,0 +1,15 @@
+"""Small statistics toolkit used by the analysis and benchmark harnesses."""
+
+from repro.stats.cdf import EmpiricalCdf
+from repro.stats.hist import CategoricalDistribution
+from repro.stats.timeseries import BucketSeries
+from repro.stats.ascii_plot import bar_chart, cdf_plot, scatter_plot
+
+__all__ = [
+    "EmpiricalCdf",
+    "CategoricalDistribution",
+    "BucketSeries",
+    "cdf_plot",
+    "bar_chart",
+    "scatter_plot",
+]

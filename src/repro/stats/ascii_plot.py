@@ -1,0 +1,144 @@
+"""Terminal plotting: CDF curves, bar charts and scatters as text.
+
+The paper's figures are CDFs, bars and a scatter; rendering them as
+ASCII lets ``repro-loops report`` and the benchmark outputs show the
+*curve*, not just quantile tables, with no plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Mapping, Sequence
+
+from repro.stats.cdf import EmpiricalCdf
+
+
+def _format_x(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.01:
+        return f"{value:.2g}"
+    return f"{value:.3g}"
+
+
+def cdf_plot(
+    cdf: EmpiricalCdf,
+    title: str = "",
+    width: int = 60,
+    height: int = 12,
+    log_x: bool = False,
+) -> str:
+    """Render a CDF as an ASCII curve (y: 0..1, x: value range)."""
+    if cdf.empty:
+        return f"{title}\n(no samples)"
+    lo, hi = cdf.min, cdf.max
+    if log_x:
+        lo = max(lo, 1e-9)
+        hi = max(hi, lo * 1.0001)
+    if hi <= lo:
+        hi = lo + 1.0
+
+    def x_at(column: int) -> float:
+        fraction = column / (width - 1)
+        if log_x:
+            return math.exp(
+                math.log(lo) + fraction * (math.log(hi) - math.log(lo))
+            )
+        return lo + fraction * (hi - lo)
+
+    grid = [[" "] * width for _ in range(height)]
+    for column in range(width):
+        y = cdf.fraction_at_or_below(x_at(column))
+        row = height - 1 - min(height - 1, int(y * (height - 1) + 0.5))
+        grid[row][column] = "*"
+        # Fill vertical jumps so steps read as steps.
+        if column:
+            prev_y = cdf.fraction_at_or_below(x_at(column - 1))
+            prev_row = height - 1 - min(
+                height - 1, int(prev_y * (height - 1) + 0.5)
+            )
+            step = 1 if prev_row < row else -1
+            for r in range(prev_row, row, step):
+                grid[r][column] = "|" if grid[r][column] == " " else "*"
+
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        y_label = 1.0 - i / (height - 1)
+        lines.append(f"{y_label:4.2f} |" + "".join(row))
+    axis = "     +" + "-" * width
+    lines.append(axis)
+    left = _format_x(lo)
+    right = _format_x(hi)
+    mid = _format_x(x_at(width // 2))
+    pad = width - len(left) - len(mid) - len(right)
+    half = max(1, pad // 2)
+    lines.append("      " + left + " " * half + mid
+                 + " " * max(1, pad - half) + right
+                 + ("  (log x)" if log_x else ""))
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Mapping[Hashable, float],
+    title: str = "",
+    width: int = 50,
+    sort_keys: bool = True,
+) -> str:
+    """Render a categorical distribution as horizontal bars."""
+    if not values:
+        return f"{title}\n(no data)"
+    items = list(values.items())
+    if sort_keys:
+        items.sort(key=lambda item: str(item[0]))
+    peak = max(value for _, value in items) or 1.0
+    label_width = max(len(str(key)) for key, _ in items)
+    lines = [title] if title else []
+    for key, value in items:
+        bar = "#" * max(0, int(round(value / peak * width)))
+        if value > 0 and not bar:
+            bar = "."
+        lines.append(f"{str(key):>{label_width}} |{bar} {value:g}")
+    return "\n".join(lines)
+
+
+def scatter_plot(
+    points: Sequence[tuple[float, float]],
+    title: str = "",
+    width: int = 60,
+    height: int = 14,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render (x, y) points as an ASCII scatter (the Figure 7 shape)."""
+    if not points:
+        return f"{title}\n(no points)"
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        column = min(width - 1,
+                     int((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+        row = height - 1 - min(
+            height - 1, int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        )
+        grid[row][column] = "o" if grid[row][column] == " " else "@"
+    lines = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append(y_label)
+    for row in grid:
+        lines.append("  |" + "".join(row))
+    lines.append("  +" + "-" * width)
+    lines.append(f"   {_format_x(x_lo)}"
+                 + " " * max(1, width - 14)
+                 + f"{_format_x(x_hi)}  {x_label}")
+    return "\n".join(lines)

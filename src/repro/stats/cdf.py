@@ -1,0 +1,111 @@
+"""Empirical cumulative distribution functions.
+
+Every CDF figure in the paper (Figs. 3, 4, 8, 9) is reproduced as an
+:class:`EmpiricalCdf`; the benchmark harness prints its points as the
+series the figure plots.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+class CdfError(ValueError):
+    """Raised for invalid CDF queries (e.g. on empty data)."""
+
+
+@dataclass(frozen=True)
+class EmpiricalCdf:
+    """An immutable empirical CDF over a sample."""
+
+    values: tuple[float, ...]
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[float]) -> "EmpiricalCdf":
+        return cls(values=tuple(sorted(samples)))
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def empty(self) -> bool:
+        return not self.values
+
+    def fraction_at_or_below(self, x: float) -> float:
+        """F(x) = P[X <= x]."""
+        if self.empty:
+            raise CdfError("empty CDF")
+        return bisect_right(self.values, x) / self.n
+
+    def fraction_below(self, x: float) -> float:
+        """P[X < x]."""
+        if self.empty:
+            raise CdfError("empty CDF")
+        return bisect_left(self.values, x) / self.n
+
+    def quantile(self, q: float) -> float:
+        """The smallest x with F(x) >= q, for q in (0, 1]."""
+        if self.empty:
+            raise CdfError("empty CDF")
+        if not 0 < q <= 1:
+            raise CdfError(f"quantile out of range: {q}")
+        index = max(0, min(self.n - 1, int(q * self.n + 0.999999) - 1))
+        return self.values[index]
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    @property
+    def min(self) -> float:
+        if self.empty:
+            raise CdfError("empty CDF")
+        return self.values[0]
+
+    @property
+    def max(self) -> float:
+        if self.empty:
+            raise CdfError("empty CDF")
+        return self.values[-1]
+
+    def mean(self) -> float:
+        if self.empty:
+            raise CdfError("empty CDF")
+        return sum(self.values) / self.n
+
+    def points(self, max_points: int = 200) -> list[tuple[float, float]]:
+        """(x, F(x)) pairs suitable for plotting, thinned to ``max_points``."""
+        if self.empty:
+            return []
+        step = max(1, self.n // max_points)
+        pts = [
+            (self.values[i], (i + 1) / self.n)
+            for i in range(0, self.n, step)
+        ]
+        if pts[-1][0] != self.values[-1]:
+            pts.append((self.values[-1], 1.0))
+        return pts
+
+    def step_sizes(self, threshold: float = 0.05) -> list[tuple[float, float]]:
+        """Locations where the CDF jumps by at least ``threshold``.
+
+        Used to verify the paper's step-pattern observations (e.g. Fig. 3's
+        jumps at ~31 and ~63 replicas).  Returns (value, jump size) pairs;
+        repeated identical values accumulate into one jump.
+        """
+        if self.empty:
+            return []
+        jumps: list[tuple[float, float]] = []
+        i = 0
+        while i < self.n:
+            j = i
+            while j < self.n and self.values[j] == self.values[i]:
+                j += 1
+            size = (j - i) / self.n
+            if size >= threshold:
+                jumps.append((self.values[i], size))
+            i = j
+        return jumps

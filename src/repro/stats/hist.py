@@ -1,0 +1,59 @@
+"""Categorical distributions (normalized histograms).
+
+Figures 2, 5 and 6 of the paper are bar charts over discrete categories
+(TTL deltas; traffic types).  :class:`CategoricalDistribution` holds the
+counts and exposes fractions, which the report layer renders as rows.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Mapping
+
+
+@dataclass
+class CategoricalDistribution:
+    """Counts over hashable categories with normalized access."""
+
+    counts: Counter = field(default_factory=Counter)
+
+    @classmethod
+    def from_items(cls, items: Iterable[Hashable]) -> "CategoricalDistribution":
+        return cls(counts=Counter(items))
+
+    @classmethod
+    def from_counts(cls, counts: Mapping[Hashable, int]) -> "CategoricalDistribution":
+        return cls(counts=Counter(counts))
+
+    def add(self, category: Hashable, count: int = 1) -> None:
+        self.counts[category] += count
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def fraction(self, category: Hashable) -> float:
+        total = self.total
+        if total == 0:
+            return 0.0
+        return self.counts.get(category, 0) / total
+
+    def fractions(self) -> dict[Hashable, float]:
+        total = self.total
+        if total == 0:
+            return {}
+        return {category: count / total
+                for category, count in self.counts.items()}
+
+    def mode(self) -> Hashable:
+        if not self.counts:
+            raise ValueError("empty distribution has no mode")
+        return self.counts.most_common(1)[0][0]
+
+    def sorted_items(self) -> list[tuple[Hashable, int]]:
+        """Items sorted by category (for stable table rendering)."""
+        return sorted(self.counts.items(), key=lambda item: str(item[0]))
+
+    def __len__(self) -> int:
+        return len(self.counts)

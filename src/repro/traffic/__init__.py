@@ -1,0 +1,28 @@
+"""Traffic workload generation.
+
+Synthesizes backbone-like packet populations: the protocol/flag mix of
+Figure 5 (>80% TCP, 5–15% UDP, ICMP, multicast, other), the initial-TTL
+population behind Figures 3/8 (64 and 128 dominant, minus upstream hops),
+trimodal packet sizes, Zipf-popular destination prefixes concentrated in
+class-C space (Figure 7), and Poisson packet arrivals fed into the
+forwarding engine.
+"""
+
+from repro.traffic.mix import DEFAULT_MIX, PacketCategory, TrafficMix
+from repro.traffic.ttl import DEFAULT_TTL_MODEL, InitialTtlModel
+from repro.traffic.flows import Flow, PrefixPopulation
+from repro.traffic.generator import WorkloadGenerator
+from repro.traffic.synthetic import SyntheticLoop, SyntheticTraceBuilder
+
+__all__ = [
+    "TrafficMix",
+    "PacketCategory",
+    "DEFAULT_MIX",
+    "InitialTtlModel",
+    "DEFAULT_TTL_MODEL",
+    "PrefixPopulation",
+    "Flow",
+    "WorkloadGenerator",
+    "SyntheticTraceBuilder",
+    "SyntheticLoop",
+]

@@ -1,0 +1,185 @@
+"""Destination prefix populations and flows.
+
+External destinations are /24 prefixes (the longest prefix tier-1 ISPs
+honored, and the granularity at which the detector validates and merges
+replica streams).  The population skews toward classful class-C space,
+matching Figure 7's observation that looped destinations concentrate
+there, with Zipf popularity so a handful of prefixes carry most traffic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.net.addr import IPv4Address, IPv4Prefix
+
+
+class FlowError(ValueError):
+    """Raised for invalid flow/population parameters."""
+
+
+@dataclass(slots=True, frozen=True)
+class Flow:
+    """A five-tuple flow plus the category-independent identity fields."""
+
+    src: IPv4Address
+    dst: IPv4Address
+    src_port: int
+    dst_port: int
+
+    def __post_init__(self) -> None:
+        for port in (self.src_port, self.dst_port):
+            if not 0 <= port <= 0xFFFF:
+                raise FlowError(f"port out of range: {port}")
+
+
+_WELL_KNOWN_PORTS = (80, 80, 80, 443, 25, 53, 53, 110, 119, 21, 8080, 6667)
+
+
+class PrefixPopulation:
+    """A weighted population of destination /24s assigned to egresses.
+
+    * class mix: 60% class-C, 25% class-B, 15% class-A space by default;
+    * Zipf(s) popularity over prefixes;
+    * each prefix is reachable via one **primary** egress router and, with
+      ``multihomed_fraction`` probability, a backup egress — withdrawal of
+      the primary then triggers an AS-wide egress shift, the paper's
+      EGP-loop scenario.
+    """
+
+    def __init__(
+        self,
+        egresses: list[str],
+        n_prefixes: int = 200,
+        rng: random.Random | None = None,
+        zipf_s: float = 1.1,
+        class_mix: tuple[float, float, float] = (0.15, 0.25, 0.60),
+        multihomed_fraction: float = 0.5,
+    ) -> None:
+        if not egresses:
+            raise FlowError("need at least one egress router")
+        if n_prefixes <= 0:
+            raise FlowError("need a positive number of prefixes")
+        if abs(sum(class_mix) - 1.0) > 1e-9:
+            raise FlowError(f"class mix must sum to 1: {class_mix}")
+        self.rng = rng or random.Random(0)
+        self.prefixes: list[IPv4Prefix] = []
+        self.primary_egress: dict[IPv4Prefix, str] = {}
+        self.backup_egress: dict[IPv4Prefix, str] = {}
+        seen: set[IPv4Prefix] = set()
+        class_a, class_b, _ = class_mix
+        while len(self.prefixes) < n_prefixes:
+            prefix = self._random_slash24(class_a, class_b)
+            if prefix in seen:
+                continue
+            seen.add(prefix)
+            self.prefixes.append(prefix)
+            primary = self.rng.choice(egresses)
+            self.primary_egress[prefix] = primary
+            if len(egresses) > 1 and self.rng.random() < multihomed_fraction:
+                backup = self.rng.choice(
+                    [name for name in egresses if name != primary]
+                )
+                self.backup_egress[prefix] = backup
+        weights = [1.0 / (rank + 1) ** zipf_s
+                   for rank in range(len(self.prefixes))]
+        total = sum(weights)
+        self._weights = [weight / total for weight in weights]
+        self._cumulative: list[float] = []
+        acc = 0.0
+        for weight in self._weights:
+            acc += weight
+            self._cumulative.append(acc)
+
+    def _random_slash24(self, class_a: float, class_b: float) -> IPv4Prefix:
+        draw = self.rng.random()
+        if draw < class_a:
+            first = self.rng.randint(1, 126)
+        elif draw < class_a + class_b:
+            first = self.rng.randint(128, 191)
+        else:
+            first = self.rng.randint(192, 223)
+        return IPv4Prefix(
+            (first << 24) | (self.rng.randint(0, 255) << 16)
+            | (self.rng.randint(0, 255) << 8),
+            24,
+        )
+
+    def sample_prefix(self, rng: random.Random | None = None) -> IPv4Prefix:
+        """Draw a destination prefix by Zipf popularity (bisection)."""
+        import bisect
+
+        rng = rng or self.rng
+        index = bisect.bisect_left(self._cumulative, rng.random())
+        return self.prefixes[min(index, len(self.prefixes) - 1)]
+
+    def popularity(self, prefix: IPv4Prefix) -> float:
+        """The sampling probability of ``prefix``."""
+        try:
+            index = self.prefixes.index(prefix)
+        except ValueError:
+            return 0.0
+        return self._weights[index]
+
+    def originations(self) -> list[tuple[IPv4Prefix, str]]:
+        """All (prefix, egress) pairs to feed into the BGP layer."""
+        pairs = [(prefix, egress)
+                 for prefix, egress in self.primary_egress.items()]
+        pairs.extend(
+            (prefix, egress) for prefix, egress in self.backup_egress.items()
+        )
+        return pairs
+
+    def multihomed_prefixes(self) -> list[IPv4Prefix]:
+        """Prefixes that survive a primary-egress withdrawal."""
+        return list(self.backup_egress)
+
+
+class FlowPool:
+    """A fixed pool of flows over a prefix population.
+
+    Arrivals pick a flow from the pool, giving temporal locality (many
+    packets per flow) while IP identification counters advance per source
+    host — both properties the replica detector's false-positive guards
+    depend on (same-flow packets are *not* replicas because their IP ids
+    and checksums differ).
+    """
+
+    def __init__(
+        self,
+        population: PrefixPopulation,
+        n_flows: int = 2000,
+        rng: random.Random | None = None,
+        source_pool: IPv4Prefix | None = None,
+    ) -> None:
+        if n_flows <= 0:
+            raise FlowError("need a positive number of flows")
+        self.rng = rng or random.Random(0)
+        self.population = population
+        source_pool = source_pool or IPv4Prefix.parse("24.0.0.0/8")
+        self.flows: list[Flow] = []
+        for _ in range(n_flows):
+            prefix = population.sample_prefix(self.rng)
+            self.flows.append(
+                Flow(
+                    src=source_pool.random_address(self.rng),
+                    dst=prefix.random_address(self.rng),
+                    src_port=self.rng.randint(1024, 65535),
+                    dst_port=self.rng.choice(_WELL_KNOWN_PORTS),
+                )
+            )
+        self._ip_id: dict[int, int] = {}
+
+    def sample_flow(self) -> Flow:
+        """Draw a flow; mild popularity skew via two-choice minimum."""
+        first = self.rng.randrange(len(self.flows))
+        second = self.rng.randrange(len(self.flows))
+        return self.flows[min(first, second)]
+
+    def next_ip_id(self, src: IPv4Address) -> int:
+        """The next IP identification value for packets from ``src``."""
+        key = src.value
+        value = self._ip_id.get(key, self.rng.randrange(0x10000))
+        self._ip_id[key] = (value + 1) & 0xFFFF
+        return value

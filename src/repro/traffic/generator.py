@@ -1,0 +1,298 @@
+"""Workload generator: Poisson packet arrivals into the forwarding engine.
+
+Each arrival draws a category from the traffic mix, a flow from the pool,
+an entry TTL from the TTL model, and a size from a trimodal packet-size
+distribution, then injects the packet at a weighted-random ingress router.
+The generator keeps exactly one pending arrival event, so memory stays
+flat regardless of trace length.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.net.addr import IPv4Address, IPv4Prefix
+from repro.net.packet import (
+    ICMP_ECHO_REPLY,
+    ICMP_ECHO_REQUEST,
+    IcmpHeader,
+    IPv4Header,
+    Packet,
+    TcpHeader,
+    UdpHeader,
+)
+from repro.routing.forwarding import ForwardingEngine
+from repro.traffic.flows import FlowPool, PrefixPopulation
+from repro.traffic.mix import DEFAULT_MIX, PacketCategory, TrafficMix
+from repro.traffic.ttl import DEFAULT_TTL_MODEL, InitialTtlModel
+
+
+class GeneratorError(ValueError):
+    """Raised for invalid generator configuration."""
+
+
+#: Classic trimodal backbone packet sizes: (payload bytes above IP, weight).
+#: 40/576/1500-byte wire sizes dominate real mixes.
+_SIZE_MODES: tuple[tuple[int, float], ...] = ((0, 0.45), (536, 0.30), (1460, 0.25))
+
+#: Multicast groups used for the MULTICAST category.
+_MCAST_GROUPS = tuple(
+    IPv4Address.parse(addr) for addr in
+    ("224.2.127.254", "224.0.1.1", "233.2.171.1", "239.255.255.250")
+)
+
+
+@dataclass(slots=True)
+class GeneratorStats:
+    """Counters the generator keeps while running."""
+
+    packets: int = 0
+    by_category: dict[PacketCategory, int] | None = None
+
+    def __post_init__(self) -> None:
+        if self.by_category is None:
+            self.by_category = {}
+
+    def count(self, category: PacketCategory) -> None:
+        self.packets += 1
+        self.by_category[category] = self.by_category.get(category, 0) + 1
+
+
+class WorkloadGenerator:
+    """Feeds a Poisson packet stream into a forwarding engine.
+
+    With ``connection_aware=True`` (the default) the generator closes the
+    loop the paper describes for looped traffic (Sec. V-B): when a TCP
+    flow's packet is lost, the flow's connection is considered broken —
+    subsequent packets for it are SYN retries (and, with some
+    probability, a diagnostic ICMP echo) until a SYN is delivered again.
+    During a routing loop, flows to the affected prefix keep re-SYNing
+    into the loop, which is exactly why the paper finds SYN and ICMP
+    over-represented among looped packets (Fig. 6).
+    """
+
+    def __init__(
+        self,
+        engine: ForwardingEngine,
+        population: PrefixPopulation,
+        rate_pps: float,
+        rng: random.Random | None = None,
+        mix: TrafficMix = DEFAULT_MIX,
+        ttl_model: InitialTtlModel = DEFAULT_TTL_MODEL,
+        n_flows: int = 2000,
+        ingress_weights: dict[str, float] | None = None,
+        connection_aware: bool = True,
+        ping_on_loss_probability: float = 0.4,
+        break_probability: float = 0.35,
+    ) -> None:
+        if rate_pps <= 0:
+            raise GeneratorError(f"rate must be positive: {rate_pps}")
+        self.engine = engine
+        self.population = population
+        self.rate_pps = rate_pps
+        self.rng = rng or random.Random(0)
+        self.mix = mix
+        self.ttl_model = ttl_model
+        self.flows = FlowPool(population, n_flows=n_flows, rng=self.rng)
+        self.stats = GeneratorStats()
+        self._draw_category = mix.sampler(self.rng)
+        self.connection_aware = connection_aware
+        self.ping_on_loss_probability = ping_on_loss_probability
+        self.break_probability = break_probability
+        self.broken_flows: set[int] = set()
+        self._flow_index: dict[tuple[int, int, int, int], int] = {
+            (flow.src.value, flow.dst.value, flow.src_port, flow.dst_port):
+                index
+            for index, flow in enumerate(self.flows.flows)
+        }
+        if connection_aware:
+            engine.add_drop_listener(self._on_drop)
+            engine.add_delivery_listener(self._on_delivery)
+
+        routers = engine.topology.routers
+        if ingress_weights is None:
+            ingress_weights = {name: 1.0 for name in routers}
+        unknown = set(ingress_weights) - set(routers)
+        if unknown:
+            raise GeneratorError(f"unknown ingress routers: {sorted(unknown)}")
+        self._ingress_names = list(ingress_weights)
+        self._ingress_weights = [ingress_weights[name]
+                                 for name in self._ingress_names]
+        self._end_time = 0.0
+
+    # -- scheduling ------------------------------------------------------------
+
+    def run(self, start: float, end: float) -> None:
+        """Schedule Poisson arrivals over ``[start, end)``.
+
+        Only one arrival event is pending at a time; each arrival
+        schedules the next, so this composes with very long runs.
+        """
+        if end <= start:
+            raise GeneratorError("end must exceed start")
+        self._end_time = end
+        first = start + self.rng.expovariate(self.rate_pps)
+        if first < end:
+            self.engine.scheduler.schedule_at(first, self._arrival)
+
+    def _arrival(self) -> None:
+        packet, ingress = self.next_packet()
+        self.engine.inject(packet, ingress)
+        next_time = self.engine.scheduler.now + self.rng.expovariate(self.rate_pps)
+        if next_time < self._end_time:
+            self.engine.scheduler.schedule_at(next_time, self._arrival)
+
+    # -- connection-state feedback ----------------------------------------------
+
+    def _flow_of(self, packet: Packet) -> int | None:
+        l4 = packet.l4
+        src_port = getattr(l4, "src_port", None)
+        dst_port = getattr(l4, "dst_port", None)
+        if src_port is None or dst_port is None:
+            return None
+        key = (packet.ip.src.value, packet.ip.dst.value, src_port, dst_port)
+        return self._flow_index.get(key)
+
+    def _on_drop(self, time: float, packet: Packet, router: str,
+                 fate: object) -> None:
+        index = self._flow_of(packet)
+        if index is None:
+            return
+        if index not in self.broken_flows:
+            # One lost segment rarely kills a TCP connection (it
+            # retransmits); only a fraction of losses break the flow.
+            if self.rng.random() >= self.break_probability:
+                return
+        newly_broken = index not in self.broken_flows
+        self.broken_flows.add(index)
+        if newly_broken and self.rng.random() < self.ping_on_loss_probability:
+            # The end host notices the stall and pings the destination —
+            # the paper's hypothesis for looped echo-request traffic.
+            flow = self.flows.flows[index]
+            delay = self.rng.uniform(0.5, 2.0)
+            self.engine.scheduler.schedule(
+                delay, lambda f=flow: self._send_diagnostic_ping(f)
+            )
+
+    def _send_diagnostic_ping(self, flow) -> None:
+        self.stats.count(PacketCategory.ICMP_ECHO)
+        ip = IPv4Header(src=flow.src, dst=flow.dst,
+                        ttl=self.ttl_model.sample(self.rng),
+                        identification=self.flows.next_ip_id(flow.src))
+        icmp = IcmpHeader(icmp_type=ICMP_ECHO_REQUEST,
+                          identifier=self.rng.randrange(0x10000),
+                          sequence=self.rng.randrange(0x10000))
+        packet = Packet.build(ip, icmp, b"\x00" * 48)
+        ingress = self.rng.choices(
+            self._ingress_names, weights=self._ingress_weights, k=1
+        )[0]
+        self.engine.inject(packet, ingress)
+
+    def _on_delivery(self, time: float, packet: Packet, router: str) -> None:
+        if not self.broken_flows:
+            return
+        l4 = packet.l4
+        if not isinstance(l4, TcpHeader) or not (l4.flags & 0x02):
+            return
+        index = self._flow_of(packet)
+        if index is not None:
+            # A SYN got through: the connection re-establishes.
+            self.broken_flows.discard(index)
+
+    # -- packet construction ------------------------------------------------------
+
+    def next_packet(self) -> tuple[Packet, str]:
+        """Build one packet and pick its ingress router."""
+        category = self._draw_category()
+        flow = self.flows.sample_flow()
+        if (self.connection_aware
+                and category.is_tcp
+                and category is not PacketCategory.TCP_SYN
+                and self._flow_index.get(
+                    (flow.src.value, flow.dst.value, flow.src_port,
+                     flow.dst_port)
+                ) in self.broken_flows):
+            # Broken connection: the host is retrying its handshake.
+            category = PacketCategory.TCP_SYN
+        self.stats.count(category)
+        ingress = self.rng.choices(
+            self._ingress_names, weights=self._ingress_weights, k=1
+        )[0]
+        return self._build(category, flow), ingress
+
+    def _build(self, category: PacketCategory, flow) -> Packet:
+        ttl = self.ttl_model.sample(self.rng)
+        ip_id = self.flows.next_ip_id(flow.src)
+        payload_len = self._sample_payload_len(category)
+        payload = self._payload_bytes(payload_len)
+        ip = IPv4Header(src=flow.src, dst=flow.dst, ttl=ttl,
+                        identification=ip_id)
+
+        if category.is_tcp:
+            flags = category.tcp_flags()
+            if category is PacketCategory.TCP_DATA and payload:
+                # Roughly a third of data segments end an application
+                # write and carry PSH, as in real backbone mixes.
+                if self.rng.random() < 0.35:
+                    from repro.net.packet import TcpFlags
+
+                    flags |= TcpFlags.PSH
+            l4 = TcpHeader(
+                src_port=flow.src_port,
+                dst_port=flow.dst_port,
+                seq=self.rng.randrange(1 << 32),
+                ack=self.rng.randrange(1 << 32),
+                flags=flags,
+                window=self.rng.choice((8760, 16384, 32768, 65535)),
+            )
+            return Packet.build(ip, l4, payload)
+
+        if category is PacketCategory.UDP:
+            l4 = UdpHeader(src_port=flow.src_port, dst_port=flow.dst_port)
+            return Packet.build(ip, l4, payload)
+
+        if category is PacketCategory.MULTICAST:
+            from dataclasses import replace
+
+            group = self.rng.choice(_MCAST_GROUPS)
+            mcast_ip = replace(ip, dst=group, ttl=min(ttl, 32))
+            l4 = UdpHeader(src_port=flow.src_port, dst_port=9875)
+            return Packet.build(mcast_ip, l4, payload)
+
+        if category.is_icmp:
+            icmp_type = (ICMP_ECHO_REQUEST
+                         if category is PacketCategory.ICMP_ECHO
+                         else ICMP_ECHO_REPLY)
+            l4 = IcmpHeader(
+                icmp_type=icmp_type,
+                identifier=self.rng.randrange(0x10000),
+                sequence=self.rng.randrange(0x10000),
+            )
+            return Packet.build(ip, l4, payload[:56])
+
+        # OTHER: a raw-protocol packet (GRE or ESP); no L4 header model.
+        from dataclasses import replace
+
+        other_ip = replace(ip, protocol=self.rng.choice((47, 50)))
+        return Packet.build(other_ip, None, payload)
+
+    def _sample_payload_len(self, category: PacketCategory) -> int:
+        if category in (PacketCategory.TCP_SYN, PacketCategory.TCP_SYNACK,
+                        PacketCategory.TCP_FIN, PacketCategory.TCP_RST):
+            return 0
+        modes = [size for size, _ in _SIZE_MODES]
+        weights = [weight for _, weight in _SIZE_MODES]
+        size = self.rng.choices(modes, weights=weights, k=1)[0]
+        if category is PacketCategory.UDP:
+            size = min(size, 512)
+        return size
+
+    def _payload_bytes(self, length: int) -> bytes:
+        """Pseudo-random payload; only a 16-byte seed is random, the rest
+        repeats — payload *content* never matters, only its checksum."""
+        if length == 0:
+            return b""
+        seed = self.rng.getrandbits(128).to_bytes(16, "big")
+        repeats = length // 16 + 1
+        return (seed * repeats)[:length]

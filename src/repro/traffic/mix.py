@@ -1,0 +1,127 @@
+"""Traffic type mix: which kinds of packets make up the workload.
+
+The categories follow Figure 5 of the paper (TCP with its flag breakdown,
+UDP, multicast, ICMP, other).  A :class:`TrafficMix` is a categorical
+distribution over :class:`PacketCategory`; the defaults are set to the
+proportions the paper reports for the Sprint links.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.net.packet import TcpFlags
+
+
+class PacketCategory(Enum):
+    """Workload packet categories, mirroring Figure 5's x-axis."""
+
+    TCP_DATA = "tcp_data"          # plain ACK / ACK+PSH data segments
+    TCP_SYN = "tcp_syn"
+    TCP_SYNACK = "tcp_synack"
+    TCP_FIN = "tcp_fin"
+    TCP_RST = "tcp_rst"
+    TCP_URG = "tcp_urg"
+    UDP = "udp"
+    MULTICAST = "multicast"        # UDP to class-D destinations
+    ICMP_ECHO = "icmp_echo"
+    ICMP_ECHO_REPLY = "icmp_echo_reply"
+    OTHER = "other"                # non-TCP/UDP/ICMP protocols (GRE, ESP, ...)
+
+    @property
+    def is_tcp(self) -> bool:
+        return self.name.startswith("TCP_")
+
+    @property
+    def is_icmp(self) -> bool:
+        return self.name.startswith("ICMP_")
+
+    def tcp_flags(self) -> TcpFlags:
+        """The TCP flags carried by packets of this category."""
+        table = {
+            PacketCategory.TCP_DATA: TcpFlags.ACK,
+            PacketCategory.TCP_SYN: TcpFlags.SYN,
+            PacketCategory.TCP_SYNACK: TcpFlags.SYN | TcpFlags.ACK,
+            PacketCategory.TCP_FIN: TcpFlags.FIN | TcpFlags.ACK,
+            PacketCategory.TCP_RST: TcpFlags.RST,
+            PacketCategory.TCP_URG: TcpFlags.URG | TcpFlags.ACK,
+        }
+        if self not in table:
+            raise ValueError(f"{self} is not a TCP category")
+        return table[self]
+
+
+class MixError(ValueError):
+    """Raised for invalid mixes (negative or all-zero weights)."""
+
+
+@dataclass(frozen=True)
+class TrafficMix:
+    """A categorical distribution over packet categories."""
+
+    weights: dict[PacketCategory, float]
+
+    def __post_init__(self) -> None:
+        if not self.weights:
+            raise MixError("empty mix")
+        if any(weight < 0 for weight in self.weights.values()):
+            raise MixError("negative weight")
+        if sum(self.weights.values()) <= 0:
+            raise MixError("all-zero mix")
+
+    @property
+    def normalized(self) -> dict[PacketCategory, float]:
+        total = sum(self.weights.values())
+        return {category: weight / total
+                for category, weight in self.weights.items()}
+
+    def sample(self, rng: random.Random) -> PacketCategory:
+        """Draw one category."""
+        categories = list(self.weights)
+        weights = [self.weights[category] for category in categories]
+        return rng.choices(categories, weights=weights, k=1)[0]
+
+    def sampler(self, rng: random.Random):
+        """A bound fast sampler (precomputes cumulative weights)."""
+        import itertools
+
+        categories = list(self.weights)
+        cumulative = list(itertools.accumulate(
+            self.weights[category] for category in categories
+        ))
+        total = cumulative[-1]
+
+        def draw() -> PacketCategory:
+            x = rng.random() * total
+            # Linear scan: the category list is tiny (≤ 12 entries).
+            for category, bound in zip(categories, cumulative):
+                if x < bound:
+                    return category
+            return categories[-1]
+
+        return draw
+
+    def fraction(self, category: PacketCategory) -> float:
+        return self.normalized.get(category, 0.0)
+
+
+#: Default backbone mix, set to the proportions of Figure 5: TCP > 80%
+#: (almost all plain data/ACK; SYN and FIN well under 1% each), UDP ~ 10%,
+#: small ICMP / multicast / other shares.
+DEFAULT_MIX = TrafficMix(
+    weights={
+        PacketCategory.TCP_DATA: 80.0,
+        PacketCategory.TCP_SYN: 0.7,
+        PacketCategory.TCP_SYNACK: 0.5,
+        PacketCategory.TCP_FIN: 0.6,
+        PacketCategory.TCP_RST: 0.3,
+        PacketCategory.TCP_URG: 0.05,
+        PacketCategory.UDP: 12.0,
+        PacketCategory.MULTICAST: 0.8,
+        PacketCategory.ICMP_ECHO: 1.2,
+        PacketCategory.ICMP_ECHO_REPLY: 0.8,
+        PacketCategory.OTHER: 1.0,
+    }
+)

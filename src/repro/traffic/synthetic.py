@@ -1,0 +1,199 @@
+"""Synthetic trace construction with *known* replica streams.
+
+The simulator produces loops mechanistically; this module instead writes
+traces whose loop content is specified exactly — ground truth by
+construction.  It exists for detector unit tests, property-based tests
+(hypothesis drives the parameters), and micro-benchmarks of detector
+throughput, where the paper's algorithm must recover precisely the streams
+that were planted.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.net.addr import IPv4Address, IPv4Prefix
+from repro.net.packet import IPv4Header, Packet, TcpHeader, TcpFlags, UdpHeader
+from repro.net.trace import SNAPLEN_40, Trace, TraceRecord
+
+
+class SyntheticError(ValueError):
+    """Raised for unsatisfiable synthetic-loop parameters."""
+
+
+@dataclass(slots=True)
+class SyntheticLoop:
+    """Ground truth for one planted loop event.
+
+    ``streams`` lists, per looped packet, the (timestamp, ttl) pairs of its
+    replicas as they were written into the trace.
+    """
+
+    prefix: IPv4Prefix
+    start: float
+    ttl_delta: int
+    streams: list[list[tuple[float, int]]] = field(default_factory=list)
+
+    @property
+    def end(self) -> float:
+        return max((replicas[-1][0] for replicas in self.streams),
+                   default=self.start)
+
+
+class SyntheticTraceBuilder:
+    """Builds a trace from background packets plus planted replica streams.
+
+    Records are accumulated unordered and sorted at :meth:`build` time, so
+    loops and background can interleave freely.
+    """
+
+    def __init__(self, rng: random.Random | None = None,
+                 snaplen: int = SNAPLEN_40) -> None:
+        self.rng = rng or random.Random(0)
+        self.snaplen = snaplen
+        self._records: list[TraceRecord] = []
+        self.loops: list[SyntheticLoop] = []
+        self._ip_id = 0
+
+    # -- background ------------------------------------------------------------
+
+    def add_background(
+        self,
+        count: int,
+        start: float,
+        end: float,
+        prefixes: list[IPv4Prefix] | None = None,
+        ttl_choices: tuple[int, ...] = (55, 58, 60, 118, 120, 124, 244),
+    ) -> None:
+        """Add ``count`` ordinary (non-looped) packets over ``[start, end)``."""
+        if count < 0:
+            raise SyntheticError("negative count")
+        if count and end <= start:
+            raise SyntheticError("end must exceed start")
+        prefixes = prefixes or [IPv4Prefix.parse("198.51.100.0/24")]
+        for _ in range(count):
+            timestamp = self.rng.uniform(start, end)
+            packet = self._make_packet(
+                dst=self.rng.choice(prefixes).random_address(self.rng),
+                ttl=self.rng.choice(ttl_choices),
+            )
+            self._capture(timestamp, packet)
+
+    def add_duplicate_pair(self, timestamp: float,
+                           prefix: IPv4Prefix | None = None,
+                           gap: float = 0.0001) -> None:
+        """A link-layer duplicate: two byte-identical copies (same TTL).
+
+        The validation step must *reject* these (they are not loops); SONET
+        protection-switch duplication is the paper's example.
+        """
+        prefix = prefix or IPv4Prefix.parse("198.51.100.0/24")
+        packet = self._make_packet(dst=prefix.random_address(self.rng), ttl=60)
+        self._capture(timestamp, packet)
+        self._capture(timestamp + gap, packet)
+
+    # -- planted loops -----------------------------------------------------------
+
+    def add_loop(
+        self,
+        start: float,
+        prefix: IPv4Prefix,
+        ttl_delta: int = 2,
+        n_packets: int = 4,
+        replicas_per_packet: int | None = None,
+        spacing: float = 0.004,
+        packet_gap: float = 0.050,
+        entry_ttl: int = 60,
+        jitter: float = 0.0002,
+    ) -> SyntheticLoop:
+        """Plant one routing loop affecting ``n_packets`` packets to
+        ``prefix``.
+
+        Each packet contributes a replica stream: copies every ``spacing``
+        seconds (the loop round-trip), TTL decreasing by ``ttl_delta``,
+        until the TTL would expire or ``replicas_per_packet`` is reached.
+        """
+        if ttl_delta < 1:
+            raise SyntheticError(f"ttl_delta must be >= 1: {ttl_delta}")
+        if n_packets < 1:
+            raise SyntheticError("need at least one packet")
+        if spacing <= 0:
+            raise SyntheticError("spacing must be positive")
+        max_replicas = (entry_ttl - 1) // ttl_delta + 1
+        if replicas_per_packet is None:
+            replicas_per_packet = max_replicas
+        if replicas_per_packet > max_replicas:
+            raise SyntheticError(
+                f"{replicas_per_packet} replicas need TTL > "
+                f"{(replicas_per_packet - 1) * ttl_delta}, have {entry_ttl}"
+            )
+        loop = SyntheticLoop(prefix=prefix, start=start, ttl_delta=ttl_delta)
+        for packet_index in range(n_packets):
+            base_time = start + packet_index * packet_gap
+            packet = self._make_packet(
+                dst=prefix.random_address(self.rng), ttl=entry_ttl
+            )
+            stream: list[tuple[float, int]] = []
+            for replica_index in range(replicas_per_packet):
+                ttl = entry_ttl - replica_index * ttl_delta
+                timestamp = (base_time + replica_index * spacing
+                             + self.rng.uniform(0, jitter))
+                replica = Packet(
+                    ip=self._with_ttl(packet.ip, ttl),
+                    l4=packet.l4,
+                    payload=packet.payload,
+                )
+                self._capture(timestamp, replica)
+                stream.append((timestamp, ttl))
+            loop.streams.append(stream)
+        self.loops.append(loop)
+        return loop
+
+    # -- output ---------------------------------------------------------------------
+
+    def build(self, link_name: str = "synthetic") -> Trace:
+        """The assembled, time-sorted trace."""
+        trace = Trace(link_name=link_name, snaplen=self.snaplen)
+        for record in sorted(self._records, key=lambda r: r.timestamp):
+            trace.append(record)
+        return trace
+
+    # -- internals --------------------------------------------------------------------
+
+    def _capture(self, timestamp: float, packet: Packet) -> None:
+        self._records.append(
+            TraceRecord.capture(timestamp, packet, self.snaplen)
+        )
+
+    def _next_ip_id(self) -> int:
+        self._ip_id = (self._ip_id + 1) & 0xFFFF
+        return self._ip_id
+
+    def _make_packet(self, dst: IPv4Address, ttl: int) -> Packet:
+        src = IPv4Address.from_octets(
+            24, self.rng.randint(0, 255), self.rng.randint(0, 255),
+            self.rng.randint(1, 254),
+        )
+        ip = IPv4Header(src=src, dst=dst, ttl=ttl,
+                        identification=self._next_ip_id())
+        use_tcp = self.rng.random() < 0.85
+        if use_tcp:
+            l4 = TcpHeader(
+                src_port=self.rng.randint(1024, 65535),
+                dst_port=self.rng.choice((80, 443, 25)),
+                seq=self.rng.randrange(1 << 32),
+                flags=TcpFlags.ACK,
+            )
+        else:
+            l4 = UdpHeader(
+                src_port=self.rng.randint(1024, 65535), dst_port=53
+            )
+        payload = self.rng.getrandbits(64).to_bytes(8, "big") * 4
+        return Packet.build(ip, l4, payload)
+
+    @staticmethod
+    def _with_ttl(ip: IPv4Header, ttl: int) -> IPv4Header:
+        from dataclasses import replace
+
+        return replace(ip, ttl=ttl, checksum=None)

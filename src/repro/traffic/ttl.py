@@ -1,0 +1,68 @@
+"""Initial TTL population.
+
+Packets arrive at a backbone link having already crossed some upstream
+hops, so the TTL observed there is an OS default (64 for Linux, 128 for
+Windows 2000, 255 for some routers/Solaris, 32 for old Windows) minus the
+upstream path length.  This distribution drives two of the paper's
+signature shapes: the number of replicas a loop generates (≈ TTL /
+ttl-delta, producing Figure 3's jumps at ~31 and ~63) and the step pattern
+in stream durations (Figure 8).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+class TtlModelError(ValueError):
+    """Raised for invalid TTL model parameters."""
+
+
+@dataclass(frozen=True)
+class InitialTtlModel:
+    """OS-default TTL bases minus a random upstream hop count.
+
+    ``bases`` maps TTL base → weight; ``upstream_hops`` is the inclusive
+    range of hops already traversed before the packet enters the simulated
+    AS.
+    """
+
+    bases: dict[int, float] = field(
+        default_factory=lambda: {64: 55.0, 128: 35.0, 255: 8.0, 32: 2.0}
+    )
+    upstream_hops: tuple[int, int] = (3, 18)
+
+    def __post_init__(self) -> None:
+        if not self.bases:
+            raise TtlModelError("no TTL bases")
+        for base, weight in self.bases.items():
+            if not 1 <= base <= 255:
+                raise TtlModelError(f"TTL base out of range: {base}")
+            if weight < 0:
+                raise TtlModelError(f"negative weight for base {base}")
+        if sum(self.bases.values()) <= 0:
+            raise TtlModelError("all-zero base weights")
+        lo, hi = self.upstream_hops
+        if lo < 0 or hi < lo:
+            raise TtlModelError(f"bad upstream hop range: {self.upstream_hops}")
+        if hi >= min(self.bases):
+            raise TtlModelError(
+                "upstream hops may exhaust the smallest TTL base"
+            )
+
+    def sample_base(self, rng: random.Random) -> int:
+        bases = list(self.bases)
+        weights = [self.bases[base] for base in bases]
+        return rng.choices(bases, weights=weights, k=1)[0]
+
+    def sample(self, rng: random.Random) -> int:
+        """The TTL with which a packet enters the monitored AS."""
+        base = self.sample_base(rng)
+        lo, hi = self.upstream_hops
+        return base - rng.randint(lo, hi)
+
+
+#: Default model: Linux-dominant with a large Windows share, per the
+#: paper's observation that 64 and 128 are the popular initial values.
+DEFAULT_TTL_MODEL = InitialTtlModel()

@@ -1,0 +1,96 @@
+"""Tests for the ICMP-echo probing baseline."""
+
+import random
+
+import pytest
+
+from repro.net.addr import IPv4Address, IPv4Prefix
+from repro.baselines.probing import PingProbe, ProbingError
+from repro.routing.bgp import BgpProcess
+from repro.routing.events import EventScheduler
+from repro.routing.failures import FailureSchedule
+from repro.routing.forwarding import ForwardingEngine
+from repro.routing.linkstate import LinkStateProtocol
+from repro.routing.topology import line_topology, ring_topology
+
+PREFIX = IPv4Prefix.parse("192.0.2.0/24")
+TARGET = IPv4Address.parse("192.0.2.9")
+
+
+def _stack(topo, egress, seed=1):
+    scheduler = EventScheduler()
+    igp = LinkStateProtocol(topo, scheduler, rng=random.Random(seed))
+    bgp = BgpProcess(topo, scheduler, igp, rng=random.Random(seed + 1))
+    bgp.originate(PREFIX, egress)
+    igp.start()
+    bgp.start()
+    engine = ForwardingEngine(topo, scheduler, igp, bgp,
+                              rng=random.Random(seed + 2))
+    return scheduler, igp, engine
+
+
+class TestPingProbe:
+    def test_all_delivered_on_healthy_network(self):
+        topo = line_topology(3)
+        scheduler, _, engine = _stack(topo, "R2")
+        probe = PingProbe(engine, "R0", [TARGET], rate_pps=5.0,
+                          bucket_width=5.0)
+        probe.run(0.0, 20.0)
+        scheduler.run(until=60.0)
+        summary = probe.summary()
+        # Float accumulation can land one probe just inside the window.
+        assert summary.sent in (100, 101)
+        assert summary.delivery_fraction == 1.0
+        assert summary.peak_loss == 0.0
+
+    def test_loss_spike_during_outage(self):
+        topo = ring_topology(5)
+        scheduler, igp, engine = _stack(topo, "R0")
+        # Slow reconvergence: probes are lost while the detour settles.
+        igp.timers.fib_update_delay = 1.5
+        igp.timers.fib_update_jitter = 1.0
+        probe = PingProbe(engine, "R2", [TARGET], rate_pps=10.0,
+                          bucket_width=2.0)
+        probe.run(0.0, 30.0)
+        FailureSchedule().fail(10.0, "R0--R1").apply(topo, scheduler, igp)
+        FailureSchedule().fail(10.0, "R0--R4").apply(topo, scheduler, igp)
+        scheduler.run(until=120.0)
+        summary = probe.summary()
+        # Both links to the egress die: loss must spike to 100% in some
+        # bucket (the prefix becomes unreachable).
+        assert summary.peak_loss == 1.0
+        assert summary.delivery_fraction < 1.0
+
+    def test_mean_delay_recorded(self):
+        topo = line_topology(4, propagation_delay=0.01)
+        scheduler, _, engine = _stack(topo, "R3")
+        probe = PingProbe(engine, "R0", [TARGET], rate_pps=2.0,
+                          bucket_width=10.0)
+        probe.run(0.0, 10.0)
+        scheduler.run(until=60.0)
+        summary = probe.summary()
+        delays = list(summary.mean_delay_by_bucket.values())
+        assert delays
+        assert all(delay >= 0.03 for delay in delays)
+
+    def test_round_robin_targets(self):
+        topo = line_topology(2)
+        scheduler, _, engine = _stack(topo, "R1")
+        targets = [IPv4Address.parse("192.0.2.1"),
+                   IPv4Address.parse("192.0.2.2")]
+        probe = PingProbe(engine, "R0", targets, rate_pps=4.0)
+        probe.run(0.0, 2.0)
+        scheduler.run(until=30.0)
+        dsts = {a.dst for a in engine.audits}
+        assert dsts == set(targets)
+
+    def test_validation(self):
+        topo = line_topology(2)
+        scheduler, _, engine = _stack(topo, "R1")
+        with pytest.raises(ProbingError):
+            PingProbe(engine, "R0", [], rate_pps=1.0)
+        with pytest.raises(ProbingError):
+            PingProbe(engine, "R0", [TARGET], rate_pps=0.0)
+        probe = PingProbe(engine, "R0", [TARGET])
+        with pytest.raises(ProbingError):
+            probe.run(5.0, 5.0)

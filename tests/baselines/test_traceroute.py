@@ -1,0 +1,127 @@
+"""Tests for the traceroute baseline."""
+
+import random
+
+import pytest
+
+from repro.net.addr import IPv4Address, IPv4Prefix
+from repro.baselines.traceroute import TracerouteBaseline, TracerouteError, TraceroutePath
+from repro.routing.bgp import BgpProcess
+from repro.routing.events import EventScheduler
+from repro.routing.failures import FailureSchedule
+from repro.routing.forwarding import ForwardingEngine
+from repro.routing.linkstate import LinkStateProtocol
+from repro.routing.topology import line_topology, ring_topology
+
+TARGET_PREFIX = IPv4Prefix.parse("192.0.2.0/24")
+TARGET = IPv4Address.parse("192.0.2.50")
+
+
+def _stack(topo, egress, seed=1):
+    scheduler = EventScheduler()
+    igp = LinkStateProtocol(topo, scheduler, rng=random.Random(seed))
+    bgp = BgpProcess(topo, scheduler, igp, rng=random.Random(seed + 1))
+    bgp.originate(TARGET_PREFIX, egress)
+    engine = ForwardingEngine(topo, scheduler, igp, bgp,
+                              rng=random.Random(seed + 2),
+                              icmp_time_exceeded_probability=1.0)
+    return scheduler, igp, bgp, engine
+
+
+class TestTraceroutePath:
+    def test_path_with_gaps(self):
+        path = TraceroutePath(target=TARGET, started_at=0.0,
+                              hops={1: IPv4Address.parse("10.0.0.1"),
+                                    3: IPv4Address.parse("10.0.0.3")})
+        assert path.path() == [IPv4Address.parse("10.0.0.1"), None,
+                               IPv4Address.parse("10.0.0.3")]
+
+    def test_loop_detection(self):
+        a = IPv4Address.parse("10.0.0.1")
+        b = IPv4Address.parse("10.0.0.2")
+        assert TraceroutePath(TARGET, 0.0, {1: a, 2: b, 3: a}).has_loop()
+        assert not TraceroutePath(TARGET, 0.0, {1: a, 2: b}).has_loop()
+
+    def test_empty_path(self):
+        path = TraceroutePath(TARGET, 0.0)
+        assert path.path() == []
+        assert not path.has_loop()
+
+
+class TestProbing:
+    def test_maps_stable_path(self):
+        topo = line_topology(4)
+        scheduler, igp, bgp, engine = _stack(topo, "R3")
+        prober = TracerouteBaseline(engine, bgp, "R0", [TARGET],
+                                    interval=30.0, max_ttl=6,
+                                    rng=random.Random(5))
+        igp.start()
+        bgp.start()
+        prober.run(1.0, 20.0)
+        scheduler.run(until=60.0)
+        assert len(prober.sessions) == 1
+        session = prober.sessions[0]
+        # The TTL-1 probe expires at the ingress router itself (it
+        # decrements first), TTL-2 at the next hop, and so on.
+        assert session.hops[1] == topo.loopback("R0")
+        assert session.hops[2] == topo.loopback("R1")
+        assert session.hops[3] == topo.loopback("R2")
+        assert not session.has_loop()
+
+    def test_periodic_sessions(self):
+        topo = line_topology(3)
+        scheduler, igp, bgp, engine = _stack(topo, "R2")
+        prober = TracerouteBaseline(engine, bgp, "R0", [TARGET],
+                                    interval=10.0, max_ttl=4,
+                                    rng=random.Random(6))
+        igp.start()
+        bgp.start()
+        prober.run(0.0, 35.0)
+        scheduler.run(until=120.0)
+        assert len(prober.sessions) == 4  # t = 0, 10, 20, 30
+
+    def test_detects_loop_when_probing_during_convergence(self):
+        topo = ring_topology(5, propagation_delay=0.002)
+        scheduler, igp, bgp, engine = _stack(topo, "R0")
+        # Slow the FIB path so the loop outlives a probe burst.
+        igp.timers.fib_update_delay = 1.0
+        igp.timers.fib_update_jitter = 2.0
+        prober = TracerouteBaseline(engine, bgp, "R3", [TARGET],
+                                    interval=0.5, max_ttl=10,
+                                    probe_spacing=0.01,
+                                    rng=random.Random(7))
+        igp.start()
+        bgp.start()
+        FailureSchedule().fail(5.0, "R0--R4").apply(topo, scheduler, igp)
+        prober.run(4.0, 10.0)
+        scheduler.run(until=60.0)
+        assert prober.loop_observations(), (
+            "dense probing through a slow convergence window should "
+            "catch the loop"
+        )
+
+    def test_misses_loop_with_sparse_probing(self):
+        """Paxson-style sparse probing (minutes apart) misses a loop that
+        lasts only a convergence window."""
+        topo = ring_topology(5, propagation_delay=0.002)
+        scheduler, igp, bgp, engine = _stack(topo, "R0")
+        prober = TracerouteBaseline(engine, bgp, "R3", [TARGET],
+                                    interval=120.0, max_ttl=10,
+                                    rng=random.Random(8))
+        igp.start()
+        bgp.start()
+        # Fail long after the only probe session completed.
+        FailureSchedule().fail(30.0, "R0--R4").apply(topo, scheduler, igp)
+        prober.run(1.0, 60.0)
+        scheduler.run(until=200.0)
+        assert not prober.loop_observations()
+
+    def test_validation(self):
+        topo = line_topology(2)
+        scheduler, igp, bgp, engine = _stack(topo, "R1")
+        with pytest.raises(TracerouteError):
+            TracerouteBaseline(engine, bgp, "R0", [], interval=10.0)
+        with pytest.raises(TracerouteError):
+            TracerouteBaseline(engine, bgp, "R0", [TARGET], interval=0.0)
+        with pytest.raises(TracerouteError):
+            TracerouteBaseline(engine, bgp, "R0", [TARGET], max_ttl=0)

@@ -1,0 +1,154 @@
+"""Tests for the per-figure analysis functions."""
+
+import random
+
+import pytest
+
+from repro.net.addr import IPv4Address, IPv4Prefix
+from repro.net.packet import IPv4Header, Packet, TcpFlags, TcpHeader, UdpHeader, IcmpHeader
+from repro.net.trace import Trace, TraceRecord
+from repro.core.analysis import (
+    classify_bytes,
+    classify_record,
+    destination_class_fractions,
+    destination_timeseries,
+    loop_duration_cdf,
+    looped_traffic_type_distribution,
+    spacing_cdf,
+    stream_duration_cdf,
+    stream_size_cdf,
+    traffic_type_distribution,
+    traffic_type_fractions,
+    ttl_delta_distribution,
+)
+from repro.core.detector import LoopDetector
+from repro.traffic.synthetic import SyntheticTraceBuilder
+
+PREFIX = IPv4Prefix.parse("192.0.2.0/24")
+
+
+def _record(packet: Packet) -> TraceRecord:
+    return TraceRecord.capture(0.0, packet, snaplen=40)
+
+
+def _ip(dst="192.0.2.1", proto=6):
+    return IPv4Header(src=IPv4Address.parse("10.0.0.1"),
+                      dst=IPv4Address.parse(dst), ttl=64, protocol=proto)
+
+
+class TestClassification:
+    def test_tcp_synack_multi_label(self):
+        packet = Packet.build(_ip(), TcpHeader(
+            src_port=1, dst_port=2, flags=TcpFlags.SYN | TcpFlags.ACK
+        ))
+        labels = classify_record(_record(packet))
+        assert labels == {"TCP", "SYN", "ACK"}
+
+    def test_plain_data_segment(self):
+        packet = Packet.build(_ip(), TcpHeader(
+            src_port=1, dst_port=2, flags=TcpFlags.ACK | TcpFlags.PSH
+        ))
+        assert classify_record(_record(packet)) == {"TCP", "ACK", "PSH"}
+
+    def test_udp(self):
+        packet = Packet.build(_ip(), UdpHeader(src_port=1, dst_port=2))
+        assert classify_record(_record(packet)) == {"UDP"}
+
+    def test_multicast_udp_labelled_mcast(self):
+        packet = Packet.build(_ip(dst="224.0.1.1"),
+                              UdpHeader(src_port=1, dst_port=2))
+        assert classify_record(_record(packet)) == {"MCAST"}
+
+    def test_icmp(self):
+        packet = Packet.build(_ip(proto=1), IcmpHeader(icmp_type=8))
+        assert classify_record(_record(packet)) == {"ICMP"}
+
+    def test_other_protocol(self):
+        packet = Packet.build(_ip(proto=47), None, b"gre-payload")
+        assert classify_record(_record(packet)) == {"OTHER"}
+
+    def test_short_capture_unclassified(self):
+        assert classify_bytes(b"\x45\x00") == frozenset()
+
+    def test_truncated_tcp_header_still_tcp(self):
+        packet = Packet.build(_ip(), TcpHeader(src_port=1, dst_port=2,
+                                               flags=TcpFlags.SYN))
+        record = TraceRecord.capture(0.0, packet, snaplen=30)
+        labels = classify_record(record)
+        assert "TCP" in labels
+        assert "SYN" not in labels  # flags byte not captured
+
+
+class TestDistributions:
+    @pytest.fixture
+    def detection(self):
+        builder = SyntheticTraceBuilder(rng=random.Random(0))
+        builder.add_background(100, 0.0, 60.0,
+                               prefixes=[IPv4Prefix.parse("198.51.100.0/24")])
+        builder.add_loop(5.0, PREFIX, ttl_delta=2, n_packets=4,
+                         replicas_per_packet=6, spacing=0.01,
+                         packet_gap=0.012, entry_ttl=40)
+        builder.add_loop(40.0, IPv4Prefix.parse("203.0.113.0/24"),
+                         ttl_delta=3, n_packets=2, replicas_per_packet=4,
+                         spacing=0.015, packet_gap=0.02, entry_ttl=30)
+        return LoopDetector().detect(builder.build())
+
+    def test_ttl_delta_distribution(self, detection):
+        dist = ttl_delta_distribution(detection.streams)
+        assert dist.counts[2] == 4
+        assert dist.counts[3] == 2
+        assert dist.mode() == 2
+
+    def test_stream_size_cdf(self, detection):
+        cdf = stream_size_cdf(detection.streams)
+        assert cdf.n == 6
+        assert cdf.max == 6
+        assert cdf.min == 4
+
+    def test_spacing_cdf(self, detection):
+        cdf = spacing_cdf(detection.streams)
+        assert 0.009 < cdf.min < 0.011
+        assert 0.014 < cdf.max < 0.017
+
+    def test_stream_duration_cdf(self, detection):
+        cdf = stream_duration_cdf(detection.streams)
+        assert cdf.n == 6
+        assert cdf.max < 0.1
+
+    def test_loop_duration_cdf(self, detection):
+        cdf = loop_duration_cdf(detection.loops)
+        assert cdf.n == len(detection.loops) == 2
+
+    def test_traffic_type_distribution_all(self, detection):
+        dist = traffic_type_distribution(detection.trace)
+        fractions = traffic_type_fractions(dist)
+        assert fractions["TCP"] + fractions["UDP"] > 0.8
+        assert fractions["TCP"] >= fractions["SYN"]
+
+    def test_looped_traffic_type_distribution(self, detection):
+        dist = looped_traffic_type_distribution(detection.streams)
+        fractions = traffic_type_fractions(dist)
+        assert sum(
+            fractions[label] for label in ("TCP", "UDP", "MCAST", "ICMP",
+                                           "OTHER")
+        ) >= 1.0 - 1e-9
+
+    def test_traffic_type_fractions_empty(self):
+        from repro.stats.hist import CategoricalDistribution
+
+        assert traffic_type_fractions(CategoricalDistribution()) == {}
+
+    def test_destination_timeseries(self, detection):
+        series = destination_timeseries(detection.streams)
+        assert len(series) == 6
+        times = [t for t, _ in series]
+        assert all(0.0 <= t <= 60.0 for t in times)
+        for _, dst in series:
+            assert isinstance(dst, IPv4Address)
+
+    def test_destination_class_fractions(self, detection):
+        fractions = destination_class_fractions(detection.streams)
+        assert fractions["C"] == pytest.approx(1.0)  # both prefixes class C
+
+    def test_destination_class_fractions_empty(self):
+        assert destination_class_fractions([]) == {}

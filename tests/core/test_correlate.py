@@ -1,0 +1,125 @@
+"""Tests for loop–routing-data correlation."""
+
+import random
+
+import pytest
+
+from repro.core.correlate import (
+    LoopCause,
+    cause_summary,
+    correlate_loops,
+)
+from repro.core.detector import LoopDetector
+from repro.net.addr import IPv4Prefix
+from repro.routing.journal import EventKind, RoutingJournal
+
+
+def _loop(prefix_text: str, start: float, end: float):
+    """A minimal RoutingLoop carcass for unit tests."""
+    from repro.core.merge import RoutingLoop
+    from repro.core.replica import Replica, ReplicaStream
+    from repro.net.addr import IPv4Address
+
+    prefix = IPv4Prefix.parse(prefix_text)
+    dst = prefix.random_address(random.Random(0))
+    stream = ReplicaStream(
+        key=b"",
+        replicas=[Replica(0, start, 40), Replica(1, end, 38)],
+        src=IPv4Address.parse("10.0.0.1"),
+        dst=dst,
+        protocol=6,
+        first_data=b"",
+    )
+    return RoutingLoop(prefix=prefix, streams=[stream])
+
+
+class TestAttribution:
+    def test_egp_trigger(self):
+        journal = RoutingJournal()
+        prefix = IPv4Prefix.parse("192.0.2.0/24")
+        journal.record(95.0, EventKind.BGP_WITHDRAW_SENT, "pop0",
+                       prefix=prefix)
+        loops = [_loop("192.0.2.0/24", 100.0, 101.0)]
+        [attribution] = correlate_loops(loops, journal)
+        assert attribution.cause is LoopCause.EGP
+        assert len(attribution.egp_triggers) == 1
+
+    def test_igp_trigger(self):
+        journal = RoutingJournal()
+        journal.record(99.0, EventKind.LINK_DOWN, "pop0", detail="a--b")
+        loops = [_loop("192.0.2.0/24", 100.0, 101.0)]
+        [attribution] = correlate_loops(loops, journal)
+        assert attribution.cause is LoopCause.IGP
+
+    def test_mixed(self):
+        journal = RoutingJournal()
+        prefix = IPv4Prefix.parse("192.0.2.0/24")
+        journal.record(95.0, EventKind.BGP_WITHDRAW_SENT, "pop0",
+                       prefix=prefix)
+        journal.record(99.0, EventKind.LINK_DOWN, "pop0")
+        loops = [_loop("192.0.2.0/24", 100.0, 101.0)]
+        [attribution] = correlate_loops(loops, journal)
+        assert attribution.cause is LoopCause.MIXED
+
+    def test_unknown_when_quiet(self):
+        journal = RoutingJournal()
+        journal.record(1.0, EventKind.SPF_RUN, "pop0")  # not a trigger
+        loops = [_loop("192.0.2.0/24", 100.0, 101.0)]
+        [attribution] = correlate_loops(loops, journal)
+        assert attribution.cause is LoopCause.UNKNOWN
+
+    def test_wrong_prefix_not_attributed_to_egp(self):
+        journal = RoutingJournal()
+        other = IPv4Prefix.parse("198.51.100.0/24")
+        journal.record(99.0, EventKind.BGP_WITHDRAW_SENT, "pop0",
+                       prefix=other)
+        loops = [_loop("192.0.2.0/24", 100.0, 101.0)]
+        [attribution] = correlate_loops(loops, journal)
+        assert attribution.cause is LoopCause.UNKNOWN
+
+    def test_trigger_outside_window_ignored(self):
+        journal = RoutingJournal()
+        prefix = IPv4Prefix.parse("192.0.2.0/24")
+        journal.record(10.0, EventKind.BGP_WITHDRAW_SENT, "pop0",
+                       prefix=prefix)
+        loops = [_loop("192.0.2.0/24", 100.0, 101.0)]
+        [attribution] = correlate_loops(loops, journal, egp_lead=40.0)
+        assert attribution.cause is LoopCause.UNKNOWN
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            correlate_loops([], RoutingJournal(), egp_lead=-1.0)
+
+    def test_cause_summary(self):
+        journal = RoutingJournal()
+        journal.record(99.0, EventKind.LINK_DOWN, "pop0")
+        loops = [_loop("192.0.2.0/24", 100.0, 101.0),
+                 _loop("198.51.100.0/24", 100.5, 101.5)]
+        summary = cause_summary(correlate_loops(loops, journal))
+        assert summary[LoopCause.IGP] == 2
+        assert summary[LoopCause.EGP] == 0
+
+
+class TestScenarioCorrelation:
+    @pytest.fixture(scope="class")
+    def attributed(self):
+        from tests.conftest import small_sim
+
+        run = small_sim(seed=11, duration=90.0)
+        detection = LoopDetector().detect(run.trace)
+        return run, correlate_loops(detection.loops, run.journal)
+
+    def test_every_loop_attributed(self, attributed):
+        run, attributions = attributed
+        assert attributions
+        summary = cause_summary(attributions)
+        # In a simulation where every loop comes from an injected event,
+        # no loop should be UNKNOWN.
+        assert summary[LoopCause.UNKNOWN] == 0
+
+    def test_triggers_precede_or_overlap_loops(self, attributed):
+        _, attributions = attributed
+        for attribution in attributions:
+            for event in (attribution.egp_triggers
+                          + attribution.igp_triggers):
+                assert event.time <= attribution.loop.end + 2.0

@@ -1,0 +1,91 @@
+"""Tests for the loss/delay impact analysis."""
+
+import random
+
+import pytest
+
+from repro.net.addr import IPv4Prefix
+from repro.core.detector import LoopDetector
+from repro.core.impact import (
+    delay_impact_from_engine,
+    escape_analysis,
+    loss_impact_from_engine,
+)
+from repro.routing.forwarding import PacketFate
+from repro.traffic.synthetic import SyntheticTraceBuilder
+
+PREFIX = IPv4Prefix.parse("192.0.2.0/24")
+
+
+class TestEscapeAnalysis:
+    def _streams(self, *, entry_ttl, replicas, ttl_delta=2):
+        builder = SyntheticTraceBuilder(rng=random.Random(0))
+        builder.add_loop(1.0, PREFIX, ttl_delta=ttl_delta, n_packets=1,
+                         replicas_per_packet=replicas, spacing=0.02,
+                         entry_ttl=entry_ttl)
+        return LoopDetector().detect(builder.build()).streams
+
+    def test_expired_packet_classified(self):
+        # TTL 10, delta 2: replicas at 10,8,6,4,2 — last TTL 2 <= delta,
+        # the packet died in the loop.
+        streams = self._streams(entry_ttl=10, replicas=5)
+        analysis = escape_analysis(streams)
+        assert analysis.expired == 1
+        assert analysis.escaped == 0
+        assert analysis.expiry_fraction == 1.0
+
+    def test_escaped_packet_classified(self):
+        # TTL 40 but only 5 replicas: stream stops with TTL 32 > delta —
+        # the packet left the loop alive.
+        streams = self._streams(entry_ttl=40, replicas=5)
+        analysis = escape_analysis(streams)
+        assert analysis.escaped == 1
+        assert analysis.expired == 0
+        assert analysis.escape_fraction == 1.0
+
+    def test_extra_delay_at_least_stream_duration(self):
+        streams = self._streams(entry_ttl=40, replicas=5)
+        analysis = escape_analysis(streams)
+        duration = streams[0].duration
+        assert analysis.extra_delay_cdf.min >= duration
+
+    def test_empty_input(self):
+        analysis = escape_analysis([])
+        assert analysis.total_streams == 0
+        assert analysis.escape_fraction == 0.0
+        assert analysis.extra_delay_cdf.empty
+
+
+class TestEngineImpact:
+    @pytest.fixture(scope="class")
+    def run(self):
+        from tests.conftest import small_sim
+
+        return small_sim(seed=11, duration=90.0)
+
+    def test_loss_impact_shapes(self, run):
+        impact = loss_impact_from_engine(run.engine)
+        assert 0.0 <= impact.overall_loss_fraction <= 1.0
+        assert impact.overall_loop_loss_fraction <= impact.overall_loss_fraction
+        assert 0.0 <= impact.peak_loop_share_of_loss <= 1.0
+        assert impact.peak_loop_loss_rate <= 1.0
+
+    def test_loop_loss_matches_fate_counts(self, run):
+        impact = loss_impact_from_engine(run.engine)
+        assert impact.loop_loss_by_minute.total == (
+            run.engine.fate_counts[PacketFate.TTL_EXPIRED]
+        )
+
+    def test_packets_by_minute_total(self, run):
+        impact = loss_impact_from_engine(run.engine)
+        assert impact.packets_by_minute.total == run.engine.packets_injected
+
+    def test_delay_impact(self, run):
+        impact = delay_impact_from_engine(run.engine)
+        assert impact.mean_normal_delay > 0.0
+        assert impact.escaped_count == len(
+            run.engine.looped_delivered_delays
+        )
+        if impact.escaped_count:
+            # Escaped-loop packets were delayed beyond the normal transit.
+            assert impact.mean_extra_delay >= 0.0

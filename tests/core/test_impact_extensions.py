@@ -1,0 +1,114 @@
+"""Tests for utilization overhead and reordering impact."""
+
+import random
+
+import pytest
+
+from repro.core.detector import LoopDetector
+from repro.core.impact import (
+    reordering_impact_from_engine,
+    utilization_overhead,
+)
+from repro.net.addr import IPv4Prefix
+from repro.traffic.synthetic import SyntheticTraceBuilder
+
+PREFIX = IPv4Prefix.parse("192.0.2.0/24")
+
+
+class TestUtilizationOverhead:
+    def _detection(self, replicas=6, n_packets=3):
+        builder = SyntheticTraceBuilder(rng=random.Random(0))
+        builder.add_background(200, 0.0, 120.0,
+                               prefixes=[IPv4Prefix.parse(
+                                   "198.51.100.0/24")])
+        builder.add_loop(30.0, PREFIX, n_packets=n_packets,
+                         replicas_per_packet=replicas, spacing=0.01,
+                         packet_gap=0.012, entry_ttl=40)
+        return LoopDetector().detect(builder.build())
+
+    def test_overhead_counts_extra_crossings_only(self):
+        result = self._detection(replicas=6, n_packets=3)
+        overhead = utilization_overhead(result.trace, result.streams)
+        # 3 packets x 6 replicas: 3 first crossings are legitimate,
+        # 15 are overhead.
+        overhead_records = sum(
+            stream.size - 1 for stream in result.streams
+        )
+        assert overhead_records == 15
+        assert overhead.overhead_bytes > 0
+        assert overhead.overall_overhead_fraction < 0.5
+
+    def test_overhead_localized_in_time(self):
+        result = self._detection()
+        overhead = utilization_overhead(result.trace, result.streams,
+                                        bucket_width=60.0)
+        # All loop activity is at t=30: only bucket 0 has overhead.
+        assert set(overhead.overhead_by_minute.counts) == {0}
+        assert overhead.peak_minute_overhead_fraction > (
+            overhead.overall_overhead_fraction
+        )
+
+    def test_no_streams_no_overhead(self):
+        builder = SyntheticTraceBuilder(rng=random.Random(1))
+        builder.add_background(100, 0.0, 60.0)
+        trace = builder.build()
+        overhead = utilization_overhead(trace, [])
+        assert overhead.overhead_bytes == 0
+        assert overhead.overall_overhead_fraction == 0.0
+
+
+class TestReorderingImpact:
+    @pytest.fixture(scope="class")
+    def run(self):
+        from tests.conftest import small_sim
+
+        return small_sim(seed=11, duration=90.0)
+
+    def test_shape(self, run):
+        impact = reordering_impact_from_engine(run.engine)
+        assert impact.reordered_deliveries <= impact.total_looped_deliveries
+        assert 0.0 <= impact.reordering_fraction <= 1.0
+
+    def test_escaped_packets_get_reordered(self, run):
+        """Looped deliveries are delayed by hundreds of ms while their
+        destination keeps receiving: some must arrive out of order (the
+        paper's observation).  Not all — a looped packet delivered at the
+        tail of an episode has nothing overtaking it."""
+        impact = reordering_impact_from_engine(run.engine)
+        if impact.total_looped_deliveries >= 5:
+            assert impact.reordered_deliveries >= 1
+            assert impact.reordering_fraction > 0.05
+
+    def test_no_loops_no_reordering(self):
+        import random as random_module
+
+        from repro.net.addr import IPv4Address
+        from repro.net.packet import IPv4Header, Packet, UdpHeader
+        from repro.routing import (
+            BgpProcess,
+            EventScheduler,
+            ForwardingEngine,
+            LinkStateProtocol,
+        )
+        from repro.routing.topology import line_topology
+
+        topo = line_topology(3)
+        scheduler = EventScheduler()
+        igp = LinkStateProtocol(topo, scheduler,
+                                rng=random_module.Random(1))
+        bgp = BgpProcess(topo, scheduler, igp, rng=random_module.Random(2))
+        bgp.originate(PREFIX, "R2")
+        igp.start()
+        bgp.start()
+        engine = ForwardingEngine(topo, scheduler, igp, bgp,
+                                  rng=random_module.Random(3))
+        for i in range(20):
+            ip = IPv4Header(src=IPv4Address.parse("10.0.0.1"),
+                            dst=IPv4Address.parse("192.0.2.5"),
+                            ttl=64, identification=i)
+            engine.inject(Packet.build(
+                ip, UdpHeader(src_port=1, dst_port=2), b""), "R0")
+        scheduler.run(until=10.0)
+        impact = reordering_impact_from_engine(engine)
+        assert impact.total_looped_deliveries == 0
+        assert impact.reordering_fraction == 0.0

@@ -1,0 +1,112 @@
+"""Tests for queueing impact and packet-sampling degradation."""
+
+import random
+
+import pytest
+
+from repro.core.detector import LoopDetector
+from repro.core.impact import queueing_impact_from_engine
+from repro.net.addr import IPv4Address, IPv4Prefix
+from repro.net.packet import IPv4Header, Packet, UdpHeader
+from repro.net.trace import TraceError
+from repro.routing import (
+    BgpProcess,
+    EventScheduler,
+    FailureSchedule,
+    ForwardingEngine,
+    LinkStateProtocol,
+    LinkStateTimers,
+)
+from repro.routing.topology import ring_topology
+from repro.traffic.synthetic import SyntheticTraceBuilder
+
+PREFIX = IPv4Prefix.parse("192.0.2.0/24")
+
+
+class TestQueueingImpact:
+    def _congested_loop_run(self):
+        """A slow link so replica load visibly queues."""
+        topo = ring_topology(5, propagation_delay=0.002,
+                             capacity_bps=600_000.0,  # a slow 600 kbit/s link
+                             max_queue_delay=2.0)
+        scheduler = EventScheduler()
+        igp = LinkStateProtocol(
+            topo, scheduler,
+            timers=LinkStateTimers(fib_update_delay=1.5,
+                                   fib_update_jitter=1.5),
+            rng=random.Random(1),
+        )
+        bgp = BgpProcess(topo, scheduler, igp, rng=random.Random(2))
+        bgp.originate(PREFIX, "R0")
+        igp.start()
+        bgp.start()
+        engine = ForwardingEngine(topo, scheduler, igp, bgp,
+                                  rng=random.Random(3))
+        FailureSchedule().fail(65.0, "R0--R4").apply(topo, scheduler, igp)
+        rng = random.Random(4)
+        t = 0.5
+        for i in range(4000):
+            ip = IPv4Header(src=IPv4Address.parse("10.2.2.2"),
+                            dst=PREFIX.random_address(rng), ttl=200,
+                            identification=i & 0xFFFF)
+            packet = Packet.build(
+                ip, UdpHeader(src_port=7, dst_port=7), b"q" * 400)
+            engine.inject_at(t, packet, "R3")
+            t += 0.03
+        scheduler.run(until=180.0)
+        return engine
+
+    def test_loop_minutes_have_higher_queueing_delay(self):
+        engine = self._congested_loop_run()
+        impact = queueing_impact_from_engine(engine)
+        assert impact.loop_loss_by_minute.total > 0, "no loop happened"
+        active, quiet = impact.loop_minutes_vs_quiet_minutes()
+        # Replica load congests the slow link: queueing in loop minutes
+        # clearly exceeds quiet minutes (Sec. VI's utilization remark).
+        assert active > quiet * 2
+
+    def test_counters_consistent(self):
+        engine = self._congested_loop_run()
+        assert sum(engine.transmissions_by_minute.values()) > 0
+        impact = queueing_impact_from_engine(engine)
+        assert impact.overall_mean_queue_delay >= 0.0
+        for minute in impact.mean_queue_delay_by_minute:
+            assert engine.transmissions_by_minute.get(minute, 0) > 0
+
+
+class TestSampling:
+    def _trace(self):
+        builder = SyntheticTraceBuilder(rng=random.Random(0))
+        builder.add_background(3000, 0.0, 120.0,
+                               prefixes=[IPv4Prefix.parse(
+                                   "198.51.100.0/24")])
+        for i in range(5):
+            builder.add_loop(10.0 + i * 20.0, PREFIX, n_packets=3,
+                             replicas_per_packet=8, spacing=0.01,
+                             packet_gap=0.012, entry_ttl=40)
+        return builder.build()
+
+    def test_sample_validation(self):
+        trace = self._trace()
+        with pytest.raises(TraceError):
+            trace.sample(0, random.Random(1))
+
+    def test_sample_of_one_is_identity(self):
+        trace = self._trace()
+        sampled = trace.sample(1, random.Random(1))
+        assert len(sampled) == len(trace)
+
+    def test_sampling_rate(self):
+        trace = self._trace()
+        sampled = trace.sample(4, random.Random(1))
+        assert len(sampled) == pytest.approx(len(trace) / 4, rel=0.2)
+
+    def test_sampling_destroys_detection(self):
+        """Even light sampling collapses replica streams — the reason
+        the paper needed every-packet traces."""
+        trace = self._trace()
+        full = LoopDetector().detect(trace)
+        assert full.stream_count == 15
+        sampled = trace.sample(8, random.Random(2))
+        degraded = LoopDetector().detect(sampled)
+        assert degraded.stream_count < full.stream_count / 3

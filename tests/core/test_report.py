@@ -1,0 +1,100 @@
+"""Tests for text rendering of tables and figures."""
+
+import random
+
+import pytest
+
+from repro.net.addr import IPv4Prefix
+from repro.core.analysis import (
+    traffic_type_distribution,
+    ttl_delta_distribution,
+)
+from repro.core.detector import LoopDetector
+from repro.core.report import (
+    format_table,
+    render_cdf,
+    render_destination_classes,
+    render_distribution,
+    render_summary,
+    render_table1,
+    render_table2,
+    render_traffic_types,
+)
+from repro.stats.cdf import EmpiricalCdf
+from repro.traffic.synthetic import SyntheticTraceBuilder
+
+PREFIX = IPv4Prefix.parse("192.0.2.0/24")
+
+
+@pytest.fixture
+def detection():
+    builder = SyntheticTraceBuilder(rng=random.Random(0))
+    builder.add_background(50, 0.0, 30.0,
+                           prefixes=[IPv4Prefix.parse("198.51.100.0/24")])
+    builder.add_loop(5.0, PREFIX, n_packets=2, replicas_per_packet=5,
+                     spacing=0.01, packet_gap=0.012, entry_ttl=40)
+    return LoopDetector().detect(builder.build())
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["a", "long header"], [[1, 2], [333, 4]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:2])
+
+    def test_title(self):
+        table = format_table(["x"], [[1]], title="My Table")
+        assert table.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        table = format_table(["col"], [])
+        assert "col" in table
+
+
+class TestRenderers:
+    def test_table1(self, detection):
+        text = render_table1({"backbone1": detection})
+        assert "Table I" in text
+        assert "backbone1" in text
+        assert str(len(detection.trace)) in text
+
+    def test_table2(self, detection):
+        text = render_table2({"t": detection})
+        assert "Table II" in text
+        assert str(detection.stream_count) in text
+        assert str(detection.loop_count) in text
+
+    def test_render_distribution(self, detection):
+        text = render_distribution(
+            ttl_delta_distribution(detection.streams), "Fig 2"
+        )
+        assert "Fig 2" in text
+        assert "1.000" in text  # all streams delta 2
+
+    def test_render_traffic_types(self, detection):
+        text = render_traffic_types(
+            traffic_type_distribution(detection.trace), "Fig 5"
+        )
+        assert "TCP" in text
+        assert "MCAST" in text
+
+    def test_render_cdf(self):
+        cdf = EmpiricalCdf.from_samples([1.0, 2.0, 3.0, 4.0])
+        text = render_cdf(cdf, "Fig X", unit=" s")
+        assert "p50" in text
+        assert "Fig X" in text
+        assert "4 s" in text
+
+    def test_render_cdf_empty(self):
+        text = render_cdf(EmpiricalCdf.from_samples([]), "Empty")
+        assert "no samples" in text
+
+    def test_render_destination_classes(self, detection):
+        text = render_destination_classes(detection)
+        assert "Figure 7" in text
+
+    def test_render_summary(self, detection):
+        text = render_summary(detection)
+        assert "routing loops: 1" in text
+        assert "validated streams: 2" in text

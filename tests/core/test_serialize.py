@@ -1,0 +1,110 @@
+"""Tests for JSON serialization of detection results."""
+
+import json
+import random
+
+import pytest
+
+from repro.core.detector import LoopDetector
+from repro.core.serialize import (
+    FORMAT_VERSION,
+    loops_from_dict,
+    loops_from_json,
+    result_to_dict,
+    result_to_json,
+)
+from repro.net.addr import IPv4Prefix
+from repro.traffic.synthetic import SyntheticTraceBuilder
+
+PREFIX = IPv4Prefix.parse("192.0.2.0/24")
+
+
+@pytest.fixture
+def detection():
+    builder = SyntheticTraceBuilder(rng=random.Random(0))
+    builder.add_background(100, 0.0, 60.0,
+                           prefixes=[IPv4Prefix.parse("198.51.100.0/24")])
+    builder.add_loop(10.0, PREFIX, n_packets=2, replicas_per_packet=5,
+                     spacing=0.01, packet_gap=0.012, entry_ttl=40)
+    return LoopDetector().detect(builder.build(link_name="testlink"))
+
+
+class TestSerialization:
+    def test_dict_structure(self, detection):
+        payload = result_to_dict(detection)
+        assert payload["format_version"] == FORMAT_VERSION
+        assert payload["trace"]["link"] == "testlink"
+        assert payload["summary"]["loops"] == 1
+        assert payload["summary"]["validated_streams"] == 2
+        assert len(payload["loops"]) == 1
+        loop = payload["loops"][0]
+        assert loop["prefix"] == "192.0.2.0/24"
+        assert loop["ttl_delta"] == 2
+        assert len(loop["streams"]) == 2
+
+    def test_json_round_trip_is_valid_json(self, detection):
+        text = result_to_json(detection)
+        payload = json.loads(text)
+        assert payload["summary"]["loops"] == 1
+
+    def test_loops_reloadable(self, detection):
+        text = result_to_json(detection)
+        loops = loops_from_json(text)
+        assert len(loops) == 1
+        original = detection.loops[0]
+        reloaded = loops[0]
+        assert reloaded.prefix == original.prefix
+        assert reloaded.start == pytest.approx(original.start)
+        assert reloaded.end == pytest.approx(original.end)
+        assert reloaded.ttl_delta == original.ttl_delta
+        assert reloaded.replica_count == original.replica_count
+
+    def test_reloaded_streams_support_analysis(self, detection):
+        from repro.core.analysis import (
+            stream_size_cdf,
+            ttl_delta_distribution,
+        )
+
+        loops = loops_from_json(result_to_json(detection))
+        streams = [stream for loop in loops for stream in loop.streams]
+        assert ttl_delta_distribution(streams).mode() == 2
+        assert stream_size_cdf(streams).max == 5
+
+    def test_version_checked(self, detection):
+        payload = result_to_dict(detection)
+        payload["format_version"] = 99
+        with pytest.raises(ValueError):
+            loops_from_dict(payload)
+
+    def test_empty_result(self):
+        from repro.net.trace import Trace
+
+        result = LoopDetector().detect(Trace())
+        payload = result_to_dict(result)
+        assert payload["loops"] == []
+        assert loops_from_dict(payload) == []
+
+
+class TestCliJson:
+    def test_detect_json_flag(self, detection, tmp_path, capsys):
+        from repro.cli import main
+        from repro.net.pcap import write_pcap
+
+        path = tmp_path / "t.pcap"
+        write_pcap(detection.trace, path)
+        code = main(["detect", str(path), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["loops"] == 1
+
+    def test_detect_streaming_flag(self, detection, tmp_path, capsys):
+        from repro.cli import main
+        from repro.net.pcap import write_pcap
+
+        path = tmp_path / "t.pcap"
+        write_pcap(detection.trace, path)
+        code = main(["detect", str(path), "--streaming"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "routing loops: 1" in out
+        assert "192.0.2.0/24" in out

@@ -1,0 +1,144 @@
+"""Tests for the streaming (online) detector."""
+
+import random
+
+import pytest
+
+from repro.core.detector import DetectorConfig, LoopDetector
+from repro.core.streaming import StreamingLoopDetector
+from repro.net.addr import IPv4Prefix
+from repro.traffic.synthetic import SyntheticTraceBuilder
+
+PREFIX = IPv4Prefix.parse("192.0.2.0/24")
+OTHER = IPv4Prefix.parse("198.51.100.0/24")
+
+
+def _loop_trace(seed=0, loops=2, background=500):
+    builder = SyntheticTraceBuilder(rng=random.Random(seed))
+    builder.add_background(background, 0.0, 400.0, prefixes=[OTHER])
+    for i in range(loops):
+        builder.add_loop(20.0 + i * 150.0, PREFIX, n_packets=3,
+                         replicas_per_packet=6, spacing=0.01,
+                         packet_gap=0.012, entry_ttl=40)
+    return builder.build()
+
+
+def _compare(trace, config=None):
+    offline = LoopDetector(config).detect(trace)
+    streaming = StreamingLoopDetector(config)
+    online_loops = streaming.process_trace(trace)
+    return offline, online_loops, streaming
+
+
+def _loop_key(loop):
+    return (loop.prefix, round(loop.start, 6), round(loop.end, 6),
+            loop.stream_count, loop.replica_count)
+
+
+class TestEquivalenceWithOffline:
+    def test_synthetic_trace(self):
+        trace = _loop_trace()
+        offline, online, _ = _compare(trace)
+        assert sorted(map(_loop_key, online)) == sorted(
+            map(_loop_key, offline.loops)
+        )
+
+    def test_clean_trace_detects_nothing(self):
+        builder = SyntheticTraceBuilder(rng=random.Random(1))
+        builder.add_background(1000, 0.0, 100.0)
+        trace = builder.build()
+        offline, online, streaming = _compare(trace)
+        assert online == []
+        assert offline.loop_count == 0
+        assert streaming.stats.loops_emitted == 0
+
+    def test_duplicates_rejected(self):
+        builder = SyntheticTraceBuilder(rng=random.Random(2))
+        builder.add_background(200, 0.0, 60.0, prefixes=[OTHER])
+        for i in range(10):
+            builder.add_duplicate_pair(5.0 + i * 3.0)
+        trace = builder.build()
+        _, online, _ = _compare(trace)
+        assert online == []
+
+    def test_prefix_conflict_rejected(self):
+        builder = SyntheticTraceBuilder(rng=random.Random(3))
+        builder.add_loop(10.0, PREFIX, n_packets=1, replicas_per_packet=5,
+                         spacing=0.01, entry_ttl=40)
+        builder.add_background(1, 10.02, 10.03, prefixes=[PREFIX])
+        trace = builder.build()
+        offline, online, streaming = _compare(trace)
+        assert offline.loop_count == 0
+        assert online == []
+        assert streaming.stats.streams_rejected_conflict == 1
+
+    def test_merge_gap_respected(self):
+        trace = _loop_trace(loops=2)  # episodes 150 s apart
+        config = DetectorConfig(merge_gap=200.0)
+        offline, online, _ = _compare(trace, config)
+        assert offline.loop_count == 1
+        assert len(online) == 1
+
+    def test_simulated_trace(self):
+        from tests.conftest import small_sim
+
+        run = small_sim(seed=11, duration=90.0)
+        offline, online, _ = _compare(run.trace)
+        assert sorted(map(_loop_key, online)) == sorted(
+            map(_loop_key, offline.loops)
+        )
+
+
+class TestStreamingBehaviour:
+    def test_loops_emitted_incrementally(self):
+        trace = _loop_trace(loops=2)
+        streaming = StreamingLoopDetector()
+        emitted_during = []
+        for record in trace:
+            emitted_during.extend(
+                streaming.process(record.timestamp, record.data)
+            )
+        # The first episode (t≈20) closes during the feed: the second
+        # episode starts 150 s later, past the 60 s merge gap.
+        assert len(emitted_during) >= 1
+        tail = streaming.flush()
+        assert len(emitted_during) + len(tail) == 2
+
+    def test_callback_invoked(self):
+        trace = _loop_trace(loops=1)
+        seen = []
+        streaming = StreamingLoopDetector(on_loop=seen.append)
+        streaming.process_trace(trace)
+        assert len(seen) == 1
+        assert seen[0].prefix == PREFIX
+
+    def test_out_of_order_records_rejected(self):
+        streaming = StreamingLoopDetector()
+        streaming.process(5.0, b"\x00" * 20)
+        with pytest.raises(ValueError):
+            streaming.process(4.0, b"\x00" * 20)
+
+    def test_short_records_counted(self):
+        streaming = StreamingLoopDetector()
+        streaming.process(1.0, b"\x45\x00")
+        assert streaming.stats.skipped_short == 1
+
+    def test_flush_is_idempotent(self):
+        trace = _loop_trace(loops=1)
+        streaming = StreamingLoopDetector()
+        streaming.process_trace(trace)
+        assert streaming.flush() == []
+
+    def test_memory_bounded_state(self):
+        """After quiet time passes, per-prefix state is pruned."""
+        builder = SyntheticTraceBuilder(rng=random.Random(4))
+        builder.add_background(60_000, 0.0, 6000.0, prefixes=[OTHER])
+        trace = builder.build()
+        streaming = StreamingLoopDetector()
+        streaming.process_trace(trace)
+        # History is pruned to the sliding horizon at worst every
+        # 20k records, so retained state stays far below the feed size.
+        total_history = sum(
+            len(entries) for entries in streaming._history.values()
+        )
+        assert total_history < 21_000

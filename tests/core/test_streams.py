@@ -1,0 +1,161 @@
+"""Tests for step 2: replica-stream validation."""
+
+import random
+
+import pytest
+
+from repro.net.addr import IPv4Prefix
+from repro.core.replica import detect_replicas
+from repro.core.streams import PrefixIndex, validate_streams
+from repro.traffic.synthetic import SyntheticTraceBuilder
+
+PREFIX = IPv4Prefix.parse("192.0.2.0/24")
+OTHER = IPv4Prefix.parse("198.51.100.0/24")
+
+
+def _build(rng_seed=0):
+    return SyntheticTraceBuilder(rng=random.Random(rng_seed))
+
+
+class TestSizeRule:
+    def test_two_element_streams_rejected(self):
+        builder = _build()
+        builder.add_loop(1.0, PREFIX, n_packets=1, replicas_per_packet=2,
+                         entry_ttl=40)
+        trace = builder.build()
+        candidates = detect_replicas(trace)
+        assert len(candidates) == 1
+        result = validate_streams(candidates, trace)
+        assert result.valid == []
+        assert result.rejected_too_small == 1
+
+    def test_three_element_streams_kept(self):
+        builder = _build()
+        builder.add_loop(1.0, PREFIX, n_packets=1, replicas_per_packet=3,
+                         entry_ttl=40)
+        trace = builder.build()
+        result = validate_streams(detect_replicas(trace), trace)
+        assert len(result.valid) == 1
+        assert result.rejected == 0
+
+    def test_min_stream_size_configurable(self):
+        builder = _build()
+        builder.add_loop(1.0, PREFIX, n_packets=1, replicas_per_packet=4,
+                         entry_ttl=40)
+        trace = builder.build()
+        candidates = detect_replicas(trace)
+        result = validate_streams(candidates, trace, min_stream_size=5)
+        assert result.rejected_too_small == 1
+
+
+class TestPrefixConsistencyRule:
+    def test_non_looped_packet_in_window_rejects_stream(self):
+        builder = _build()
+        builder.add_loop(1.0, PREFIX, n_packets=1, replicas_per_packet=5,
+                         spacing=0.01, entry_ttl=40)
+        # A normal (single) packet to the same /24 inside the loop window.
+        builder.add_background(1, 1.02, 1.03, prefixes=[PREFIX])
+        trace = builder.build()
+        candidates = detect_replicas(trace)
+        result = validate_streams(candidates, trace)
+        assert result.valid == []
+        assert result.rejected_prefix_conflict == 1
+
+    def test_non_looped_packet_outside_window_is_fine(self):
+        builder = _build()
+        builder.add_loop(1.0, PREFIX, n_packets=1, replicas_per_packet=5,
+                         spacing=0.01, entry_ttl=40)
+        builder.add_background(5, 10.0, 11.0, prefixes=[PREFIX])
+        trace = builder.build()
+        result = validate_streams(detect_replicas(trace), trace)
+        assert len(result.valid) == 1
+
+    def test_other_prefix_traffic_never_conflicts(self):
+        builder = _build()
+        builder.add_loop(1.0, PREFIX, n_packets=1, replicas_per_packet=5,
+                         spacing=0.01, entry_ttl=40)
+        builder.add_background(50, 0.9, 1.2, prefixes=[OTHER])
+        trace = builder.build()
+        result = validate_streams(detect_replicas(trace), trace)
+        assert len(result.valid) == 1
+
+    def test_concurrent_streams_same_prefix_support_each_other(self):
+        """All packets to the prefix loop, in overlapping streams: all
+        valid — each stream's members cover the others' windows."""
+        builder = _build()
+        builder.add_loop(1.0, PREFIX, n_packets=4, replicas_per_packet=5,
+                         spacing=0.01, packet_gap=0.015, entry_ttl=40)
+        trace = builder.build()
+        result = validate_streams(detect_replicas(trace), trace)
+        assert len(result.valid) == 4
+
+    def test_two_element_streams_still_count_as_members(self):
+        """A 2-replica stream fails the size rule but its packets are
+        still 'looping', so they must not invalidate neighbors."""
+        builder = _build()
+        builder.add_loop(1.0, PREFIX, n_packets=1, replicas_per_packet=5,
+                         spacing=0.01, entry_ttl=40)
+        builder.add_loop(1.015, PREFIX, n_packets=1, replicas_per_packet=2,
+                         spacing=0.01, entry_ttl=30)
+        trace = builder.build()
+        candidates = detect_replicas(trace)
+        assert len(candidates) == 2
+        result = validate_streams(candidates, trace)
+        assert len(result.valid) == 1
+        assert result.rejected_too_small == 1
+        assert result.rejected_prefix_conflict == 0
+
+    def test_check_can_be_disabled(self):
+        builder = _build()
+        builder.add_loop(1.0, PREFIX, n_packets=1, replicas_per_packet=5,
+                         spacing=0.01, entry_ttl=40)
+        builder.add_background(1, 1.02, 1.03, prefixes=[PREFIX])
+        trace = builder.build()
+        result = validate_streams(detect_replicas(trace), trace,
+                                  check_prefix_consistency=False)
+        assert len(result.valid) == 1
+
+    def test_empty_candidates(self):
+        builder = _build()
+        builder.add_background(10, 0.0, 1.0)
+        trace = builder.build()
+        result = validate_streams([], trace)
+        assert result.valid == []
+        assert result.rejected == 0
+
+
+class TestPrefixIndex:
+    def test_window_query(self):
+        builder = _build()
+        builder.add_background(20, 0.0, 10.0, prefixes=[PREFIX])
+        trace = builder.build()
+        index = PrefixIndex(trace, 24)
+        all_records = index.records_in_window(PREFIX, 0.0, 10.0)
+        assert len(all_records) == 20
+        early = index.records_in_window(PREFIX, 0.0, 5.0)
+        assert 0 < len(early) < 20
+
+    def test_window_is_inclusive(self):
+        builder = _build()
+        builder.add_background(1, 1.0, 1.0001, prefixes=[PREFIX])
+        trace = builder.build()
+        t = trace[0].timestamp
+        index = PrefixIndex(trace, 24)
+        assert index.records_in_window(PREFIX, t, t) == [0]
+
+    def test_has_non_member(self):
+        builder = _build()
+        builder.add_background(3, 0.0, 1.0, prefixes=[PREFIX])
+        trace = builder.build()
+        index = PrefixIndex(trace, 24)
+        assert index.has_non_member(PREFIX, 0.0, 1.0, members=set())
+        assert not index.has_non_member(PREFIX, 0.0, 1.0,
+                                        members={0, 1, 2})
+
+    def test_wrong_length_query_rejected(self):
+        builder = _build()
+        builder.add_background(1, 0.0, 1.0)
+        index = PrefixIndex(builder.build(), 24)
+        with pytest.raises(ValueError):
+            index.records_in_window(IPv4Prefix.parse("10.0.0.0/16"),
+                                    0.0, 1.0)

@@ -1,0 +1,76 @@
+"""Tests for initial-TTL inference (the Figure 3 mechanism check)."""
+
+import random
+
+import pytest
+
+from repro.core.analysis import (
+    infer_initial_ttl_base,
+    initial_ttl_base_distribution,
+    predicted_stream_size_steps,
+)
+from repro.core.detector import LoopDetector
+from repro.net.addr import IPv4Prefix
+from repro.traffic.synthetic import SyntheticTraceBuilder
+
+PREFIX = IPv4Prefix.parse("192.0.2.0/24")
+
+
+class TestInference:
+    @pytest.mark.parametrize(
+        "observed, base",
+        [(64, 64), (57, 64), (33, 64), (32, 32), (20, 32), (1, 32),
+         (65, 128), (117, 128), (128, 128), (129, 255), (255, 255),
+         (0, 32)],
+    )
+    def test_base_inference(self, observed, base):
+        assert infer_initial_ttl_base(observed) == base
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            infer_initial_ttl_base(256)
+        with pytest.raises(ValueError):
+            infer_initial_ttl_base(-1)
+
+    def test_distribution_over_trace(self):
+        builder = SyntheticTraceBuilder(rng=random.Random(0))
+        builder.add_background(300, 0.0, 10.0,
+                               ttl_choices=(55, 60, 118, 120, 250))
+        distribution = initial_ttl_base_distribution(builder.build())
+        fractions = distribution.fractions()
+        assert set(fractions) == {64, 128, 255}
+        assert fractions[64] == pytest.approx(0.4, abs=0.08)
+
+    def test_skips_short_records(self):
+        from repro.net.trace import Trace, TraceRecord
+
+        trace = Trace()
+        trace.append(TraceRecord(timestamp=0.0, data=b"\x45",
+                                 wire_length=1))
+        assert initial_ttl_base_distribution(trace).total == 0
+
+
+class TestPredictedSteps:
+    def test_prediction_matches_full_runout(self):
+        """Streams that run their TTL out hit exactly the predicted
+        size: the Figure 3 jump mechanism, verified per stream."""
+        builder = SyntheticTraceBuilder(rng=random.Random(1))
+        builder.add_loop(5.0, PREFIX, ttl_delta=2, n_packets=3,
+                         entry_ttl=57, spacing=0.01, packet_gap=0.012)
+        result = LoopDetector().detect(builder.build())
+        predicted = predicted_stream_size_steps(result.streams)
+        # entry 57, delta 2 -> floor(56/2)+1 = 29 replicas.
+        assert predicted == {29: 3}
+        assert all(stream.size == 29 for stream in result.streams)
+
+    def test_prediction_upper_bounds_truncated_streams(self):
+        """A stream cut short by loop resolution stays below the
+        prediction."""
+        builder = SyntheticTraceBuilder(rng=random.Random(2))
+        builder.add_loop(5.0, PREFIX, ttl_delta=2, n_packets=2,
+                         entry_ttl=57, replicas_per_packet=10,
+                         spacing=0.01, packet_gap=0.012)
+        result = LoopDetector().detect(builder.build())
+        for stream in result.streams:
+            predicted_size = (stream.first_ttl - 1) // stream.ttl_delta + 1
+            assert stream.size <= predicted_size

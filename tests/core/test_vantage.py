@@ -1,0 +1,141 @@
+"""Tests for multi-vantage monitoring and loop-event merging."""
+
+import random
+
+import pytest
+
+from repro.capture.multimonitor import MonitorArray
+from repro.core.detector import LoopDetector
+from repro.core.vantage import (
+    detect_on_all,
+    merge_loop_events,
+    summarize_vantages,
+)
+from repro.net.addr import IPv4Address, IPv4Prefix
+from repro.net.packet import IPv4Header, Packet, UdpHeader
+from repro.routing import (
+    BgpProcess,
+    EventScheduler,
+    FailureSchedule,
+    ForwardingEngine,
+    LinkStateProtocol,
+    LinkStateTimers,
+)
+from repro.routing.topology import ring_topology
+
+PREFIX = IPv4Prefix.parse("192.0.2.0/24")
+
+
+def _two_sided_loop_run():
+    """A 2-router loop watched from both directions of its link."""
+    topo = ring_topology(5, propagation_delay=0.002)
+    scheduler = EventScheduler()
+    igp = LinkStateProtocol(
+        topo, scheduler,
+        timers=LinkStateTimers(fib_update_delay=0.6, fib_update_jitter=1.2),
+        rng=random.Random(1),
+    )
+    bgp = BgpProcess(topo, scheduler, igp, rng=random.Random(2))
+    bgp.originate(PREFIX, "R0")
+    igp.start()
+    bgp.start()
+    engine = ForwardingEngine(topo, scheduler, igp, bgp,
+                              rng=random.Random(3))
+    array = MonitorArray(engine, [("R4", "R3"), ("R3", "R4"),
+                                  ("R1", "R0")])
+    FailureSchedule().fail(5.0, "R0--R4").apply(topo, scheduler, igp)
+    rng = random.Random(4)
+    t = 4.9
+    for i in range(400):
+        ip = IPv4Header(src=IPv4Address.parse("10.0.0.3"),
+                        dst=PREFIX.random_address(rng), ttl=60,
+                        identification=i)
+        engine.inject_at(
+            t, Packet.build(ip, UdpHeader(src_port=99, dst_port=53), b"z"),
+            "R3",
+        )
+        t += 0.01
+    scheduler.run(until=60.0)
+    return array.finalize()
+
+
+class TestMonitorArray:
+    def test_rejects_empty_and_duplicates(self):
+        topo = ring_topology(4)
+        scheduler = EventScheduler()
+        igp = LinkStateProtocol(topo, scheduler, rng=random.Random(0))
+        bgp = BgpProcess(topo, scheduler, igp, rng=random.Random(1))
+        igp.start()
+        bgp.start()
+        engine = ForwardingEngine(topo, scheduler, igp, bgp)
+        with pytest.raises(ValueError):
+            MonitorArray(engine, [])
+        with pytest.raises(ValueError):
+            MonitorArray(engine, [("R0", "R1"), ("R0", "R1")])
+
+    def test_traces_keyed_by_direction(self):
+        traces = _two_sided_loop_run()
+        assert set(traces) == {"R4->R3", "R3->R4", "R1->R0"}
+        for trace in traces.values():
+            assert trace.snaplen == 40
+
+
+class TestEventMerging:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return detect_on_all(_two_sided_loop_run())
+
+    def test_loop_seen_from_both_directions(self, results):
+        # The 2-router loop on R3--R4 shows in both directions' traces.
+        assert results["R4->R3"].loop_count >= 1
+        assert results["R3->R4"].loop_count >= 1
+
+    def test_merged_into_one_event(self, results):
+        events = merge_loop_events(results)
+        loop_events = [event for event in events
+                       if event.vantage_count >= 2]
+        assert loop_events, "the shared loop should merge across vantages"
+        event = loop_events[0]
+        assert {"R4->R3", "R3->R4"} <= set(event.vantages)
+
+    def test_summary_overcount(self, results):
+        summary = summarize_vantages(results)
+        assert summary.events >= 1
+        assert summary.naive_total >= summary.events
+        assert summary.multi_vantage_events >= 1
+        assert summary.overcount_factor >= 1.0
+
+    def test_event_window_covers_sightings(self, results):
+        for event in merge_loop_events(results):
+            for loops in event.sightings.values():
+                for loop in loops:
+                    assert event.start <= loop.start
+                    assert loop.end <= event.end
+
+    def test_time_slack_validation(self, results):
+        with pytest.raises(ValueError):
+            merge_loop_events(results, time_slack=-1.0)
+
+    def test_disjoint_events_stay_separate(self):
+        """Loops to the same prefix hours apart are separate events."""
+        from repro.core.merge import RoutingLoop
+        from repro.core.replica import Replica, ReplicaStream
+
+        def fake_result(start):
+            stream = ReplicaStream(
+                key=b"", replicas=[Replica(0, start, 40),
+                                   Replica(1, start + 0.5, 38)],
+                src=IPv4Address.parse("1.1.1.1"),
+                dst=IPv4Address.parse("192.0.2.5"),
+                protocol=6, first_data=b"",
+            )
+
+            class FakeResult:
+                loops = [RoutingLoop(prefix=PREFIX, streams=[stream])]
+
+            return FakeResult()
+
+        results = {"a": fake_result(100.0), "b": fake_result(5000.0)}
+        events = merge_loop_events(results)
+        assert len(events) == 2
+        assert all(event.vantage_count == 1 for event in events)

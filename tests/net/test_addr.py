@@ -1,0 +1,140 @@
+"""Tests for IPv4 addresses and prefixes."""
+
+import random
+
+import pytest
+
+from repro.net.addr import AddressError, IPv4Address, IPv4Prefix
+
+
+class TestIPv4Address:
+    def test_parse_round_trip(self):
+        address = IPv4Address.parse("192.0.2.1")
+        assert str(address) == "192.0.2.1"
+        assert address.value == 0xC0000201
+
+    def test_parse_extremes(self):
+        assert IPv4Address.parse("0.0.0.0").value == 0
+        assert IPv4Address.parse("255.255.255.255").value == 0xFFFFFFFF
+
+    @pytest.mark.parametrize(
+        "text", ["1.2.3", "1.2.3.4.5", "1.2.3.256", "a.b.c.d", "", "1..2.3",
+                 "-1.2.3.4"]
+    )
+    def test_parse_rejects_malformed(self, text):
+        with pytest.raises(AddressError):
+            IPv4Address.parse(text)
+
+    def test_value_range_checked(self):
+        with pytest.raises(AddressError):
+            IPv4Address(-1)
+        with pytest.raises(AddressError):
+            IPv4Address(1 << 32)
+
+    def test_octets_and_from_octets(self):
+        address = IPv4Address.from_octets(10, 20, 30, 40)
+        assert address.octets == (10, 20, 30, 40)
+        assert str(address) == "10.20.30.40"
+
+    def test_from_octets_rejects_out_of_range(self):
+        with pytest.raises(AddressError):
+            IPv4Address.from_octets(256, 0, 0, 0)
+
+    def test_packed_round_trip(self):
+        address = IPv4Address.parse("203.0.113.45")
+        assert IPv4Address.from_bytes(address.packed) == address
+        assert len(address.packed) == 4
+
+    def test_from_bytes_rejects_wrong_length(self):
+        with pytest.raises(AddressError):
+            IPv4Address.from_bytes(b"\x01\x02\x03")
+
+    def test_ordering_and_hashing(self):
+        a = IPv4Address.parse("10.0.0.1")
+        b = IPv4Address.parse("10.0.0.2")
+        assert a < b
+        assert len({a, b, IPv4Address.parse("10.0.0.1")}) == 2
+
+    def test_classful_predicates(self):
+        assert IPv4Address.parse("10.0.0.1").is_class_a()
+        assert IPv4Address.parse("150.1.2.3").is_class_b()
+        assert IPv4Address.parse("192.0.2.1").is_class_c()
+        assert IPv4Address.parse("223.255.255.255").is_class_c()
+        assert IPv4Address.parse("224.0.0.1").is_multicast()
+        assert not IPv4Address.parse("224.0.0.1").is_class_c()
+
+    def test_slash24(self):
+        address = IPv4Address.parse("192.0.2.99")
+        assert str(address.slash24()) == "192.0.2.0/24"
+
+    def test_int_conversion(self):
+        assert int(IPv4Address.parse("0.0.0.7")) == 7
+
+
+class TestIPv4Prefix:
+    def test_parse_round_trip(self):
+        prefix = IPv4Prefix.parse("10.1.0.0/16")
+        assert str(prefix) == "10.1.0.0/16"
+        assert prefix.length == 16
+
+    def test_parse_rejects_host_bits(self):
+        with pytest.raises(AddressError):
+            IPv4Prefix.parse("10.1.0.1/16")
+
+    @pytest.mark.parametrize("text", ["10.0.0.0", "10.0.0.0/33", "10.0.0.0/x"])
+    def test_parse_rejects_malformed(self, text):
+        with pytest.raises(AddressError):
+            IPv4Prefix.parse(text)
+
+    def test_containing_masks_host_bits(self):
+        prefix = IPv4Prefix.containing(IPv4Address.parse("192.0.2.200"), 24)
+        assert str(prefix) == "192.0.2.0/24"
+
+    def test_contains(self):
+        prefix = IPv4Prefix.parse("192.0.2.0/24")
+        assert prefix.contains(IPv4Address.parse("192.0.2.255"))
+        assert not prefix.contains(IPv4Address.parse("192.0.3.0"))
+
+    def test_zero_length_prefix_contains_everything(self):
+        default = IPv4Prefix.parse("0.0.0.0/0")
+        assert default.contains(IPv4Address.parse("255.1.2.3"))
+        assert default.num_addresses == 1 << 32
+
+    def test_slash32(self):
+        host = IPv4Prefix.containing(IPv4Address.parse("10.0.0.1"), 32)
+        assert host.num_addresses == 1
+        assert host.contains(IPv4Address.parse("10.0.0.1"))
+        assert not host.contains(IPv4Address.parse("10.0.0.2"))
+
+    def test_broadcast_address(self):
+        prefix = IPv4Prefix.parse("192.0.2.0/24")
+        assert str(prefix.broadcast_address) == "192.0.2.255"
+
+    def test_overlaps(self):
+        a = IPv4Prefix.parse("10.0.0.0/8")
+        b = IPv4Prefix.parse("10.5.0.0/16")
+        c = IPv4Prefix.parse("11.0.0.0/8")
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_subnets(self):
+        subnets = list(IPv4Prefix.parse("10.0.0.0/30").subnets(32))
+        assert len(subnets) == 4
+        assert str(subnets[0]) == "10.0.0.0/32"
+        assert str(subnets[-1]) == "10.0.0.3/32"
+
+    def test_subnets_rejects_shorter(self):
+        with pytest.raises(AddressError):
+            list(IPv4Prefix.parse("10.0.0.0/24").subnets(16))
+
+    def test_random_address_inside(self):
+        prefix = IPv4Prefix.parse("198.51.100.0/24")
+        rng = random.Random(0)
+        for _ in range(50):
+            assert prefix.contains(prefix.random_address(rng))
+
+    def test_ordering(self):
+        a = IPv4Prefix.parse("10.0.0.0/8")
+        b = IPv4Prefix.parse("10.0.0.0/16")
+        assert a < b  # same network, shorter first

@@ -1,0 +1,108 @@
+"""Tests for prefix-preserving anonymization."""
+
+import random
+
+import pytest
+
+from repro.net.addr import IPv4Address, IPv4Prefix
+from repro.net.anonymize import AnonymizerError, PrefixPreservingAnonymizer
+from repro.net.checksum import internet_checksum, pseudo_header
+from repro.net.packet import IPPROTO_TCP, Packet
+from repro.net.trace import TraceRecord
+
+KEY = b"0123456789abcdef0123456789abcdef"
+
+
+def _common_prefix_len(a: int, b: int) -> int:
+    for i in range(32):
+        shift = 31 - i
+        if (a >> shift) & 1 != (b >> shift) & 1:
+            return i
+    return 32
+
+
+class TestAddressMapping:
+    def test_deterministic(self):
+        anonymizer = PrefixPreservingAnonymizer(KEY)
+        address = IPv4Address.parse("192.0.2.55")
+        assert anonymizer.anonymize_address(address) == (
+            anonymizer.anonymize_address(address)
+        )
+
+    def test_different_keys_differ(self):
+        a = PrefixPreservingAnonymizer(KEY)
+        b = PrefixPreservingAnonymizer(b"another-secret-key-of-32-bytes!!")
+        address = IPv4Address.parse("192.0.2.55")
+        assert a.anonymize_address(address) != b.anonymize_address(address)
+
+    def test_injective_on_sample(self):
+        anonymizer = PrefixPreservingAnonymizer(KEY)
+        rng = random.Random(0)
+        originals = {IPv4Address(rng.randrange(1 << 32)) for _ in range(500)}
+        mapped = {anonymizer.anonymize_address(a) for a in originals}
+        assert len(mapped) == len(originals)
+
+    def test_prefix_preservation(self):
+        anonymizer = PrefixPreservingAnonymizer(KEY)
+        rng = random.Random(1)
+        for _ in range(100):
+            a = rng.randrange(1 << 32)
+            flip_at = rng.randrange(32)
+            b = a ^ (1 << (31 - flip_at))  # differ first at bit flip_at
+            mapped_a = anonymizer.anonymize_address(IPv4Address(a)).value
+            mapped_b = anonymizer.anonymize_address(IPv4Address(b)).value
+            assert _common_prefix_len(a, b) == _common_prefix_len(
+                mapped_a, mapped_b
+            )
+
+    def test_key_length_enforced(self):
+        with pytest.raises(AnonymizerError):
+            PrefixPreservingAnonymizer(b"short")
+
+
+class TestRecordRewriting:
+    def test_addresses_rewritten_checksums_valid(self, sample_tcp_packet):
+        anonymizer = PrefixPreservingAnonymizer(KEY)
+        record = TraceRecord.capture(1.0, sample_tcp_packet, snaplen=200)
+        rewritten = anonymizer.anonymize_record(record)
+        assert rewritten.data[12:16] != record.data[12:16]
+        assert rewritten.data[16:20] != record.data[16:20]
+        # IP header checksum still verifies.
+        assert internet_checksum(rewritten.data[:20]) == 0
+
+    def test_tcp_checksum_still_valid(self, sample_tcp_packet):
+        anonymizer = PrefixPreservingAnonymizer(KEY)
+        record = TraceRecord.capture(1.0, sample_tcp_packet, snaplen=200)
+        rewritten = anonymizer.anonymize_record(record)
+        parsed = Packet.unpack(rewritten.data)
+        segment = rewritten.data[20:]
+        pseudo = pseudo_header(parsed.ip.src.packed, parsed.ip.dst.packed,
+                               IPPROTO_TCP, len(segment))
+        assert internet_checksum(pseudo + segment) == 0
+
+    def test_everything_else_untouched(self, sample_tcp_packet):
+        anonymizer = PrefixPreservingAnonymizer(KEY)
+        record = TraceRecord.capture(1.0, sample_tcp_packet, snaplen=200)
+        rewritten = anonymizer.anonymize_record(record)
+        before, after = record.data, rewritten.data
+        changed = {i for i in range(len(before)) if before[i] != after[i]}
+        # src (12-15), dst (16-19), IP checksum (10-11), TCP checksum
+        # (36-37) only.
+        assert changed <= {10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 36, 37}
+
+    def test_short_record_passthrough(self):
+        anonymizer = PrefixPreservingAnonymizer(KEY)
+        record = TraceRecord(timestamp=0.0, data=b"\x45\x00", wire_length=2)
+        assert anonymizer.anonymize_record(record) is record
+
+    def test_trace_rewriting(self, sample_tcp_packet, sample_udp_packet):
+        from repro.net.trace import Trace
+
+        anonymizer = PrefixPreservingAnonymizer(KEY)
+        trace = Trace(snaplen=200)
+        trace.capture(1.0, sample_tcp_packet)
+        trace.capture(2.0, sample_udp_packet)
+        rewritten = anonymizer.anonymize_trace(trace)
+        assert len(rewritten) == 2
+        assert [r.timestamp for r in rewritten] == [1.0, 2.0]
+        assert rewritten.snaplen == 200

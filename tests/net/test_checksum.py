@@ -1,0 +1,92 @@
+"""Tests for the RFC 1071 checksum and incremental updates."""
+
+import pytest
+
+from repro.net.checksum import (
+    incremental_update,
+    internet_checksum,
+    pseudo_header,
+    verify_checksum,
+)
+
+
+class TestInternetChecksum:
+    def test_rfc1071_worked_example(self):
+        # The classic example from RFC 1071 section 3.
+        data = bytes((0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7))
+        assert internet_checksum(data) == (~0xDDF2) & 0xFFFF
+
+    def test_empty_input(self):
+        assert internet_checksum(b"") == 0xFFFF
+
+    def test_odd_length_padding(self):
+        # Odd input is padded with a zero byte on the right.
+        assert internet_checksum(b"\xab") == internet_checksum(b"\xab\x00")
+
+    def test_verify_with_embedded_checksum(self):
+        data = b"\x45\x00\x00\x28" * 4
+        checksum = internet_checksum(data)
+        full = data + checksum.to_bytes(2, "big")
+        assert verify_checksum(full)
+
+    def test_verify_detects_corruption(self):
+        data = b"\x45\x00\x00\x28" * 4
+        checksum = internet_checksum(data)
+        full = bytearray(data + checksum.to_bytes(2, "big"))
+        full[0] ^= 0xFF
+        assert not verify_checksum(bytes(full))
+
+    def test_carry_folding(self):
+        # Many 0xFFFF words force repeated carry folds.
+        assert internet_checksum(b"\xff\xff" * 1000) == 0
+
+
+class TestIncrementalUpdate:
+    def test_matches_full_recompute_for_ttl_change(self):
+        # Decrementing the TTL is the canonical RFC 1624 use case.
+        header = bytearray(
+            b"\x45\x00\x00\x54\x12\x34\x00\x00\x40\x06\x00\x00"
+            b"\x0a\x00\x00\x01\xc0\x00\x02\x09"
+        )
+        checksum = internet_checksum(bytes(header))
+        header[10:12] = checksum.to_bytes(2, "big")
+        old_word = (header[8] << 8) | header[9]
+        header[8] -= 1  # TTL decrement
+        new_word = (header[8] << 8) | header[9]
+        updated = incremental_update(checksum, old_word, new_word)
+        header[10:12] = b"\x00\x00"
+        assert updated == internet_checksum(bytes(header))
+
+    def test_identity_update(self):
+        assert incremental_update(0x1234, 0x5678, 0x5678) == 0x1234
+
+    @pytest.mark.parametrize("bad", [-1, 0x10000])
+    def test_rejects_out_of_range_checksum(self, bad):
+        with pytest.raises(ValueError):
+            incremental_update(bad, 0, 0)
+
+    def test_rejects_out_of_range_words(self):
+        with pytest.raises(ValueError):
+            incremental_update(0, 0x10000, 0)
+
+
+class TestPseudoHeader:
+    def test_layout(self):
+        pseudo = pseudo_header(b"\x0a\x00\x00\x01", b"\xc0\x00\x02\x01",
+                               6, 20)
+        assert len(pseudo) == 12
+        assert pseudo[8] == 0
+        assert pseudo[9] == 6
+        assert pseudo[10:12] == (20).to_bytes(2, "big")
+
+    def test_rejects_bad_addresses(self):
+        with pytest.raises(ValueError):
+            pseudo_header(b"\x0a", b"\xc0\x00\x02\x01", 6, 20)
+
+    def test_rejects_bad_protocol(self):
+        with pytest.raises(ValueError):
+            pseudo_header(b"\x00" * 4, b"\x00" * 4, 300, 20)
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            pseudo_header(b"\x00" * 4, b"\x00" * 4, 6, -5)

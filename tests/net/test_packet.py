@@ -1,0 +1,251 @@
+"""Tests for the packet model: headers, checksums, wire round-trips."""
+
+import pytest
+
+from repro.net.addr import IPv4Address
+from repro.net.checksum import internet_checksum, pseudo_header
+from repro.net.packet import (
+    ICMP_TIME_EXCEEDED,
+    IPPROTO_ICMP,
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    IcmpHeader,
+    IPv4Header,
+    Packet,
+    PacketError,
+    TcpFlags,
+    TcpHeader,
+    UdpHeader,
+    icmp_time_exceeded,
+)
+
+
+def _addr(text: str) -> IPv4Address:
+    return IPv4Address.parse(text)
+
+
+class TestIPv4Header:
+    def test_pack_length_and_version(self):
+        header = IPv4Header(src=_addr("10.0.0.1"), dst=_addr("10.0.0.2"))
+        wire = header.pack()
+        assert len(wire) == 20
+        assert wire[0] == 0x45
+
+    def test_checksum_computed_and_valid(self):
+        header = IPv4Header(src=_addr("10.0.0.1"), dst=_addr("10.0.0.2"),
+                            ttl=64, identification=99)
+        wire = header.pack()
+        assert internet_checksum(wire) == 0
+
+    def test_unpack_round_trip(self):
+        header = IPv4Header(src=_addr("172.16.5.5"), dst=_addr("192.0.2.9"),
+                            ttl=77, protocol=IPPROTO_UDP,
+                            identification=0xBEEF, tos=0x10,
+                            flags=0x2, fragment_offset=100)
+        parsed = IPv4Header.unpack(header.pack())
+        assert parsed.src == header.src
+        assert parsed.dst == header.dst
+        assert parsed.ttl == 77
+        assert parsed.protocol == IPPROTO_UDP
+        assert parsed.identification == 0xBEEF
+        assert parsed.tos == 0x10
+        assert parsed.flags == 0x2
+        assert parsed.fragment_offset == 100
+        assert parsed.header_valid()
+
+    def test_explicit_checksum_emitted_verbatim(self):
+        header = IPv4Header(src=_addr("10.0.0.1"), dst=_addr("10.0.0.2"),
+                            checksum=0xDEAD)
+        wire = header.pack()
+        assert wire[10:12] == b"\xde\xad"
+        assert not IPv4Header.unpack(wire).header_valid()
+
+    def test_ttl_field_position(self):
+        header = IPv4Header(src=_addr("1.1.1.1"), dst=_addr("2.2.2.2"),
+                            ttl=123)
+        assert header.pack()[8] == 123
+
+    def test_unpack_rejects_short_input(self):
+        with pytest.raises(PacketError):
+            IPv4Header.unpack(b"\x45\x00")
+
+    def test_unpack_rejects_non_ipv4(self):
+        wire = bytearray(IPv4Header(src=_addr("1.1.1.1"),
+                                    dst=_addr("2.2.2.2")).pack())
+        wire[0] = 0x65  # version 6
+        with pytest.raises(PacketError):
+            IPv4Header.unpack(bytes(wire))
+
+    def test_unpack_rejects_options(self):
+        wire = bytearray(IPv4Header(src=_addr("1.1.1.1"),
+                                    dst=_addr("2.2.2.2")).pack())
+        wire[0] = 0x46  # ihl 6
+        with pytest.raises(PacketError):
+            IPv4Header.unpack(bytes(wire))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"ttl": 256},
+            {"ttl": -1},
+            {"identification": 0x10000},
+            {"protocol": 300},
+            {"total_length": 10},
+            {"flags": 8},
+            {"fragment_offset": 0x2000},
+        ],
+    )
+    def test_field_validation(self, kwargs):
+        with pytest.raises(PacketError):
+            IPv4Header(src=_addr("1.1.1.1"), dst=_addr("2.2.2.2"), **kwargs)
+
+
+class TestTcpHeader:
+    def test_pack_needs_addresses_for_checksum(self):
+        tcp = TcpHeader(src_port=1234, dst_port=80)
+        with pytest.raises(PacketError):
+            tcp.pack()
+
+    def test_round_trip(self):
+        tcp = TcpHeader(src_port=1234, dst_port=80, seq=111, ack=222,
+                        flags=TcpFlags.SYN | TcpFlags.ACK, window=4096,
+                        urgent=7)
+        wire = tcp.pack(_addr("10.0.0.1"), _addr("10.0.0.2"), b"payload")
+        parsed = TcpHeader.unpack(wire)
+        assert parsed.src_port == 1234
+        assert parsed.dst_port == 80
+        assert parsed.seq == 111
+        assert parsed.ack == 222
+        assert parsed.flags == TcpFlags.SYN | TcpFlags.ACK
+        assert parsed.window == 4096
+        assert parsed.urgent == 7
+
+    def test_checksum_covers_pseudo_header_and_payload(self):
+        tcp = TcpHeader(src_port=5, dst_port=6)
+        src, dst = _addr("10.0.0.1"), _addr("10.0.0.2")
+        payload = b"hello world!"
+        wire = tcp.pack(src, dst, payload)
+        pseudo = pseudo_header(src.packed, dst.packed, IPPROTO_TCP,
+                               len(wire) + len(payload))
+        assert internet_checksum(pseudo + wire + payload) == 0
+
+    def test_checksum_differs_for_different_payloads(self):
+        tcp = TcpHeader(src_port=5, dst_port=6)
+        src, dst = _addr("10.0.0.1"), _addr("10.0.0.2")
+        wire_a = tcp.pack(src, dst, b"payload-a")
+        wire_b = tcp.pack(src, dst, b"payload-b")
+        assert wire_a[16:18] != wire_b[16:18]
+
+    def test_port_validation(self):
+        with pytest.raises(PacketError):
+            TcpHeader(src_port=-1, dst_port=80)
+        with pytest.raises(PacketError):
+            TcpHeader(src_port=80, dst_port=70000)
+
+
+class TestUdpHeader:
+    def test_round_trip(self):
+        udp = UdpHeader(src_port=53, dst_port=5353)
+        wire = udp.pack(_addr("10.0.0.1"), _addr("10.0.0.2"), b"abc")
+        parsed = UdpHeader.unpack(wire)
+        assert parsed.src_port == 53
+        assert parsed.dst_port == 5353
+
+    def test_zero_checksum_becomes_ffff(self):
+        # RFC 768: a computed checksum of zero is sent as all-ones.
+        udp = UdpHeader(src_port=0, dst_port=0, length=8)
+        # Find a payload yielding checksum 0 is fiddly; instead check the
+        # invariant on the packed result: never 0 when computed.
+        wire = udp.pack(_addr("0.0.0.0"), _addr("0.0.0.0"), b"")
+        assert wire[6:8] != b"\x00\x00"
+
+    def test_length_validation(self):
+        with pytest.raises(PacketError):
+            UdpHeader(src_port=1, dst_port=2, length=4)
+
+
+class TestIcmpHeader:
+    def test_round_trip(self):
+        icmp = IcmpHeader(icmp_type=8, code=0, identifier=42, sequence=7)
+        parsed = IcmpHeader.unpack(icmp.pack())
+        assert parsed.icmp_type == 8
+        assert parsed.identifier == 42
+        assert parsed.sequence == 7
+
+    def test_checksum_covers_payload(self):
+        icmp = IcmpHeader(icmp_type=8)
+        wire_a = icmp.pack(payload=b"aaaa")
+        wire_b = icmp.pack(payload=b"bbbb")
+        assert wire_a[2:4] != wire_b[2:4]
+
+    def test_type_validation(self):
+        with pytest.raises(PacketError):
+            IcmpHeader(icmp_type=256)
+
+
+class TestPacket:
+    def test_build_fixes_total_length(self, sample_tcp_packet):
+        expected = 20 + 20 + len(sample_tcp_packet.payload)
+        assert sample_tcp_packet.ip.total_length == expected
+
+    def test_build_fixes_udp_length(self, sample_udp_packet):
+        assert sample_udp_packet.l4.length == 8 + len(
+            sample_udp_packet.payload
+        )
+
+    def test_pack_unpack_round_trip(self, sample_tcp_packet):
+        wire = sample_tcp_packet.pack()
+        parsed = Packet.unpack(wire)
+        assert parsed.ip.src == sample_tcp_packet.ip.src
+        assert parsed.l4.src_port == sample_tcp_packet.l4.src_port
+        assert parsed.payload == sample_tcp_packet.payload
+
+    def test_unpack_truncated_keeps_partial_payload(self, sample_tcp_packet):
+        wire = sample_tcp_packet.pack()[:40]
+        parsed = Packet.unpack(wire)
+        assert parsed.l4 is not None  # 40 bytes cover IP + TCP headers
+        assert parsed.payload == b""
+
+    def test_unpack_strict_rejects_truncation(self, sample_tcp_packet):
+        wire = sample_tcp_packet.pack()[:40]
+        with pytest.raises(PacketError):
+            Packet.unpack(wire, allow_truncated=False)
+
+    def test_forwarded_changes_only_ttl_and_checksum(self, sample_tcp_packet):
+        before = sample_tcp_packet.pack()
+        after = sample_tcp_packet.forwarded(3).pack()
+        assert len(before) == len(after)
+        diff = [i for i in range(len(before)) if before[i] != after[i]]
+        assert set(diff) <= {8, 10, 11}
+        assert after[8] == before[8] - 3
+
+    def test_forwarded_rejects_ttl_exhaustion(self, sample_tcp_packet):
+        with pytest.raises(PacketError):
+            sample_tcp_packet.forwarded(sample_tcp_packet.ip.ttl + 1)
+
+    def test_l4_checksum_exposed(self, sample_udp_packet):
+        wire = sample_udp_packet.pack()
+        parsed = Packet.unpack(wire)
+        assert parsed.l4_checksum == int.from_bytes(wire[26:28], "big")
+
+
+class TestIcmpTimeExceeded:
+    def test_reply_shape(self, sample_tcp_packet):
+        router = _addr("10.99.99.1")
+        reply = icmp_time_exceeded(sample_tcp_packet, router,
+                                   identification=5)
+        assert reply.ip.src == router
+        assert reply.ip.dst == sample_tcp_packet.ip.src
+        assert reply.ip.protocol == IPPROTO_ICMP
+        assert reply.l4.icmp_type == ICMP_TIME_EXCEEDED
+
+    def test_quotes_original_header_and_8_bytes(self, sample_tcp_packet):
+        reply = icmp_time_exceeded(sample_tcp_packet, _addr("10.99.99.1"))
+        quoted = reply.payload
+        assert quoted[:20] == sample_tcp_packet.ip.pack()
+        assert len(quoted) == 28
+
+    def test_quoted_identification_recoverable(self, sample_tcp_packet):
+        reply = icmp_time_exceeded(sample_tcp_packet, _addr("10.99.99.1"))
+        quoted_id = int.from_bytes(reply.payload[4:6], "big")
+        assert quoted_id == sample_tcp_packet.ip.identification

@@ -1,0 +1,105 @@
+"""Tests for trace records and trace containers."""
+
+import pytest
+
+from repro.net.trace import SNAPLEN_40, Trace, TraceError, TraceRecord
+
+
+class TestTraceRecord:
+    def test_capture_truncates_to_snaplen(self, sample_tcp_packet):
+        record = TraceRecord.capture(1.0, sample_tcp_packet, snaplen=40)
+        assert len(record.data) == 40
+        assert record.wire_length == len(sample_tcp_packet.pack())
+        assert record.truncated
+
+    def test_capture_small_packet_not_truncated(self, sample_udp_packet):
+        record = TraceRecord.capture(1.0, sample_udp_packet, snaplen=200)
+        assert not record.truncated
+        assert len(record.data) == sample_udp_packet.ip.total_length
+
+    def test_parse_round_trip(self, sample_udp_packet):
+        record = TraceRecord.capture(0.5, sample_udp_packet, snaplen=200)
+        parsed = record.parse()
+        assert parsed.ip.dst == sample_udp_packet.ip.dst
+        assert parsed.l4.dst_port == sample_udp_packet.l4.dst_port
+
+    def test_wire_length_validation(self):
+        with pytest.raises(TraceError):
+            TraceRecord(timestamp=0.0, data=b"x" * 40, wire_length=20)
+
+
+class TestTrace:
+    def test_append_enforces_time_order(self, sample_tcp_packet):
+        trace = Trace()
+        trace.capture(2.0, sample_tcp_packet)
+        with pytest.raises(TraceError):
+            trace.capture(1.0, sample_tcp_packet)
+
+    def test_equal_timestamps_allowed(self, sample_tcp_packet):
+        trace = Trace()
+        trace.capture(1.0, sample_tcp_packet)
+        trace.capture(1.0, sample_tcp_packet)
+        assert len(trace) == 2
+
+    def test_duration_and_bounds(self, sample_tcp_packet):
+        trace = Trace()
+        trace.capture(10.0, sample_tcp_packet)
+        trace.capture(25.0, sample_tcp_packet)
+        assert trace.start_time == 10.0
+        assert trace.end_time == 25.0
+        assert trace.duration == 15.0
+
+    def test_empty_trace_properties(self):
+        trace = Trace()
+        assert trace.empty
+        assert trace.duration == 0.0
+        with pytest.raises(TraceError):
+            _ = trace.start_time
+
+    def test_single_record_duration_zero(self, sample_tcp_packet):
+        trace = Trace()
+        trace.capture(5.0, sample_tcp_packet)
+        assert trace.duration == 0.0
+
+    def test_average_bandwidth(self, sample_tcp_packet):
+        trace = Trace()
+        trace.capture(0.0, sample_tcp_packet)
+        trace.capture(1.0, sample_tcp_packet)
+        wire_bytes = len(sample_tcp_packet.pack())
+        assert trace.average_bandwidth_bps() == pytest.approx(
+            2 * wire_bytes * 8 / 1.0
+        )
+
+    def test_time_slice_half_open(self, sample_tcp_packet):
+        trace = Trace()
+        for t in (0.0, 1.0, 2.0, 3.0):
+            trace.capture(t, sample_tcp_packet)
+        sliced = trace.time_slice(1.0, 3.0)
+        assert [r.timestamp for r in sliced] == [1.0, 2.0]
+
+    def test_filter(self, sample_tcp_packet, sample_udp_packet):
+        trace = Trace(snaplen=200)
+        trace.capture(0.0, sample_tcp_packet)
+        trace.capture(1.0, sample_udp_packet)
+        udp_only = trace.filter(lambda r: r.data[9] == 17)
+        assert len(udp_only) == 1
+        assert udp_only[0].timestamp == 1.0
+
+    def test_merge_orders_records(self, sample_tcp_packet, sample_udp_packet):
+        a = Trace()
+        a.capture(0.0, sample_tcp_packet)
+        a.capture(2.0, sample_tcp_packet)
+        b = Trace()
+        b.capture(1.0, sample_udp_packet)
+        merged = Trace.merge([a, b], link_name="both")
+        assert [r.timestamp for r in merged] == [0.0, 1.0, 2.0]
+        assert merged.link_name == "both"
+
+    def test_default_snaplen_is_40(self):
+        assert Trace().snaplen == SNAPLEN_40
+
+    def test_indexing_and_iteration(self, sample_tcp_packet):
+        trace = Trace()
+        trace.capture(0.0, sample_tcp_packet)
+        assert trace[0].timestamp == 0.0
+        assert [r.timestamp for r in trace] == [0.0]

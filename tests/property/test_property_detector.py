@@ -1,0 +1,121 @@
+"""Property-based tests: the detector recovers whatever loops are planted.
+
+Hypothesis drives the loop geometry (delta, replica count, spacing,
+packet count, background volume); the invariants must hold for all of it.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.addr import IPv4Prefix
+from repro.core.detector import DetectorConfig, LoopDetector
+from repro.core.replica import detect_replicas
+from repro.traffic.synthetic import SyntheticTraceBuilder
+
+PREFIX = IPv4Prefix.parse("192.0.2.0/24")
+BACKGROUND_PREFIX = IPv4Prefix.parse("198.51.100.0/24")
+
+loop_params = st.fixed_dictionaries(
+    {
+        "ttl_delta": st.integers(min_value=2, max_value=6),
+        "replicas_per_packet": st.integers(min_value=3, max_value=12),
+        "n_packets": st.integers(min_value=1, max_value=5),
+        "spacing": st.floats(min_value=0.001, max_value=0.1),
+        "seed": st.integers(min_value=0, max_value=10_000),
+        "background": st.integers(min_value=0, max_value=300),
+    }
+)
+
+
+def _build(params):
+    builder = SyntheticTraceBuilder(rng=random.Random(params["seed"]))
+    if params["background"]:
+        builder.add_background(params["background"], 0.0, 60.0,
+                               prefixes=[BACKGROUND_PREFIX])
+    entry_ttl = params["ttl_delta"] * (params["replicas_per_packet"] - 1) + 2
+    builder.add_loop(
+        10.0,
+        PREFIX,
+        ttl_delta=params["ttl_delta"],
+        n_packets=params["n_packets"],
+        replicas_per_packet=params["replicas_per_packet"],
+        spacing=params["spacing"],
+        packet_gap=params["spacing"] * 1.5,
+        entry_ttl=entry_ttl,
+    )
+    return builder.build()
+
+
+class TestPlantedLoopRecovery:
+    @given(loop_params)
+    @settings(max_examples=40, deadline=None)
+    def test_all_planted_streams_recovered(self, params):
+        trace = _build(params)
+        result = LoopDetector().detect(trace)
+        assert result.stream_count == params["n_packets"]
+        for stream in result.streams:
+            assert stream.size == params["replicas_per_packet"]
+            assert stream.ttl_delta == params["ttl_delta"]
+
+    @given(loop_params)
+    @settings(max_examples=40, deadline=None)
+    def test_streams_merge_to_one_loop(self, params):
+        trace = _build(params)
+        result = LoopDetector().detect(trace)
+        assert result.loop_count == 1
+        assert result.loops[0].prefix == PREFIX
+
+    @given(loop_params)
+    @settings(max_examples=30, deadline=None)
+    def test_background_never_detected(self, params):
+        builder = SyntheticTraceBuilder(rng=random.Random(params["seed"]))
+        builder.add_background(max(params["background"], 50), 0.0, 60.0)
+        result = LoopDetector().detect(builder.build())
+        assert result.stream_count == 0
+
+    @given(loop_params)
+    @settings(max_examples=30, deadline=None)
+    def test_replica_indices_unique_across_streams(self, params):
+        trace = _build(params)
+        streams = detect_replicas(trace)
+        seen = set()
+        for stream in streams:
+            indices = stream.member_indices()
+            assert not (indices & seen)
+            seen |= indices
+
+    @given(loop_params)
+    @settings(max_examples=30, deadline=None)
+    def test_stream_invariants(self, params):
+        trace = _build(params)
+        for stream in detect_replicas(trace):
+            timestamps = [replica.timestamp for replica in stream.replicas]
+            assert timestamps == sorted(timestamps)
+            ttls = [replica.ttl for replica in stream.replicas]
+            assert all(a - b >= 2 for a, b in zip(ttls, ttls[1:]))
+            assert stream.duration >= 0
+
+
+class TestDetectorConfigProperties:
+    @given(loop_params, st.floats(min_value=0.0, max_value=600.0))
+    @settings(max_examples=25, deadline=None)
+    def test_loop_count_monotone_in_merge_gap(self, params, gap):
+        """A larger merge gap can only merge more: fewer or equal loops."""
+        trace = _build(params)
+        small = LoopDetector(DetectorConfig(merge_gap=gap)).detect(trace)
+        large = LoopDetector(
+            DetectorConfig(merge_gap=gap + 60.0)
+        ).detect(trace)
+        assert large.loop_count <= small.loop_count
+
+    @given(loop_params, st.integers(min_value=2, max_value=15))
+    @settings(max_examples=25, deadline=None)
+    def test_stream_count_monotone_in_min_size(self, params, size):
+        trace = _build(params)
+        strict = LoopDetector(
+            DetectorConfig(min_stream_size=size + 1)
+        ).detect(trace)
+        lax = LoopDetector(DetectorConfig(min_stream_size=size)).detect(trace)
+        assert strict.stream_count <= lax.stream_count

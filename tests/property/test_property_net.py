@@ -1,0 +1,128 @@
+"""Property-based tests for the packet substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.addr import IPv4Address, IPv4Prefix
+from repro.net.checksum import incremental_update, internet_checksum
+from repro.net.packet import IPv4Header, Packet, TcpFlags, TcpHeader, UdpHeader
+
+addresses = st.integers(min_value=0, max_value=0xFFFFFFFF).map(IPv4Address)
+ports = st.integers(min_value=0, max_value=0xFFFF)
+
+
+class TestAddressProperties:
+    @given(addresses)
+    def test_parse_str_round_trip(self, address):
+        assert IPv4Address.parse(str(address)) == address
+
+    @given(addresses)
+    def test_packed_round_trip(self, address):
+        assert IPv4Address.from_bytes(address.packed) == address
+
+    @given(addresses, st.integers(min_value=0, max_value=32))
+    def test_prefix_contains_its_address(self, address, length):
+        assert address.prefix(length).contains(address)
+
+    @given(addresses, st.integers(min_value=0, max_value=32))
+    def test_prefix_parse_round_trip(self, address, length):
+        prefix = address.prefix(length)
+        assert IPv4Prefix.parse(str(prefix)) == prefix
+
+    @given(addresses)
+    def test_exactly_one_classful_space(self, address):
+        flags = [address.is_class_a(), address.is_class_b(),
+                 address.is_class_c(), address.is_multicast()]
+        # Class E (240/4) is none of them; otherwise exactly one.
+        assert sum(flags) <= 1
+
+
+class TestChecksumProperties:
+    @given(st.binary(max_size=200))
+    def test_appending_checksum_verifies(self, data):
+        if len(data) % 2:
+            data += b"\x00"
+        checksum = internet_checksum(data)
+        assert internet_checksum(data + checksum.to_bytes(2, "big")) == 0
+
+    @given(st.binary(max_size=100), st.integers(0, 0xFFFF),
+           st.integers(0, 0xFFFF))
+    def test_incremental_matches_full(self, tail, old_word, new_word):
+        if len(tail) % 2:
+            tail += b"\x00"
+        old_data = old_word.to_bytes(2, "big") + tail
+        new_data = new_word.to_bytes(2, "big") + tail
+        old_checksum = internet_checksum(old_data)
+        updated = incremental_update(old_checksum, old_word, new_word)
+        full = internet_checksum(new_data)
+        # 0x0000 and 0xFFFF are the two ones-complement representations
+        # of zero; they are interchangeable as checksum values.
+        assert updated == full or {updated, full} == {0x0000, 0xFFFF}
+
+    @given(st.binary(min_size=2, max_size=100).filter(
+        lambda d: any(d)), st.integers(0, 0xFFFF))
+    def test_incremental_update_verifies(self, data, new_word):
+        """A header updated incrementally still passes verification."""
+        if len(data) % 2:
+            data += b"\x00"
+        checksum = internet_checksum(data)
+        old_word = int.from_bytes(data[:2], "big")
+        new_data = new_word.to_bytes(2, "big") + data[2:]
+        updated = incremental_update(checksum, old_word, new_word)
+        whole = new_data + updated.to_bytes(2, "big")
+        if any(new_data):
+            assert internet_checksum(whole) == 0
+
+
+class TestHeaderProperties:
+    @given(
+        src=addresses, dst=addresses,
+        ttl=st.integers(1, 255),
+        ident=st.integers(0, 0xFFFF),
+        tos=st.integers(0, 255),
+    )
+    def test_ipv4_round_trip(self, src, dst, ttl, ident, tos):
+        header = IPv4Header(src=src, dst=dst, ttl=ttl,
+                            identification=ident, tos=tos)
+        parsed = IPv4Header.unpack(header.pack())
+        assert (parsed.src, parsed.dst, parsed.ttl, parsed.identification,
+                parsed.tos) == (src, dst, ttl, ident, tos)
+        assert parsed.header_valid()
+
+    @given(
+        src=addresses, dst=addresses,
+        sport=ports, dport=ports,
+        seq=st.integers(0, 0xFFFFFFFF),
+        flags=st.integers(0, 255),
+        payload=st.binary(max_size=64),
+    )
+    @settings(max_examples=50)
+    def test_tcp_packet_round_trip(self, src, dst, sport, dport, seq,
+                                   flags, payload):
+        ip = IPv4Header(src=src, dst=dst, ttl=64)
+        tcp = TcpHeader(src_port=sport, dst_port=dport, seq=seq,
+                        flags=TcpFlags(flags))
+        packet = Packet.build(ip, tcp, payload)
+        parsed = Packet.unpack(packet.pack())
+        assert parsed.l4.src_port == sport
+        assert parsed.l4.flags == TcpFlags(flags)
+        assert parsed.payload == payload
+
+    @given(
+        src=addresses, dst=addresses,
+        ttl=st.integers(10, 255),
+        hops=st.integers(1, 9),
+        payload=st.binary(max_size=32),
+    )
+    @settings(max_examples=50)
+    def test_forwarding_invariant(self, src, dst, ttl, hops, payload):
+        """forwarded(h) changes exactly the TTL byte and IP checksum."""
+        ip = IPv4Header(src=src, dst=dst, ttl=ttl, identification=7)
+        packet = Packet.build(ip, UdpHeader(src_port=1, dst_port=2),
+                              payload)
+        before = packet.pack()
+        after = packet.forwarded(hops).pack()
+        diff = {i for i in range(len(before)) if before[i] != after[i]}
+        assert diff <= {8, 10, 11}
+        assert after[8] == ttl - hops
+        assert internet_checksum(after[:20]) == 0

@@ -1,0 +1,105 @@
+"""Property-based tests for the stats toolkit and the FIB."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.addr import IPv4Address, IPv4Prefix
+from repro.routing.fib import Fib
+from repro.stats.cdf import EmpiricalCdf
+
+samples = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=1, max_size=200,
+)
+
+
+class TestCdfProperties:
+    @given(samples)
+    def test_cdf_is_monotone(self, values):
+        cdf = EmpiricalCdf.from_samples(values)
+        points = cdf.points(max_points=50)
+        ys = [y for _, y in points]
+        assert ys == sorted(ys)
+        assert 0 < ys[-1] <= 1.0
+
+    @given(samples)
+    def test_quantiles_monotone(self, values):
+        cdf = EmpiricalCdf.from_samples(values)
+        quantiles = [cdf.quantile(q) for q in (0.1, 0.3, 0.5, 0.7, 0.9, 1.0)]
+        assert quantiles == sorted(quantiles)
+
+    @given(samples)
+    def test_quantile_inverts_fraction(self, values):
+        cdf = EmpiricalCdf.from_samples(values)
+        for q in (0.25, 0.5, 0.75):
+            x = cdf.quantile(q)
+            assert cdf.fraction_at_or_below(x) >= q
+
+    @given(samples)
+    def test_extremes(self, values):
+        cdf = EmpiricalCdf.from_samples(values)
+        assert cdf.fraction_at_or_below(cdf.max) == 1.0
+        assert cdf.fraction_below(cdf.min) == 0.0
+        epsilon = 1e-9 * max(1.0, abs(cdf.max))
+        assert cdf.min - epsilon <= cdf.mean() <= cdf.max + epsilon
+
+    @given(samples)
+    def test_step_sizes_sum_below_one(self, values):
+        cdf = EmpiricalCdf.from_samples(values)
+        total = sum(size for _, size in cdf.step_sizes(threshold=0.01))
+        assert total <= 1.0 + 1e-9
+
+
+prefixes = st.builds(
+    lambda value, length: IPv4Prefix(
+        value & ((0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF if length
+                 else 0),
+        length,
+    ),
+    st.integers(0, 0xFFFFFFFF),
+    st.integers(8, 32),
+)
+
+
+class TestFibProperties:
+    @given(
+        routes=st.dictionaries(prefixes, st.sampled_from(["a", "b", "c"]),
+                               min_size=1, max_size=40),
+        probe=st.integers(0, 0xFFFFFFFF),
+    )
+    @settings(max_examples=100)
+    def test_lookup_is_longest_matching_route(self, routes, probe):
+        fib = Fib("r")
+        for prefix, next_hop in routes.items():
+            fib.install(prefix, next_hop)
+        address = IPv4Address(probe)
+        entry = fib.lookup(address)
+        matching = [prefix for prefix in routes if prefix.contains(address)]
+        if not matching:
+            assert entry is None
+        else:
+            best = max(matching, key=lambda p: p.length)
+            assert entry.prefix == best
+            assert entry.next_hop == routes[best]
+
+    @given(
+        routes=st.dictionaries(prefixes, st.sampled_from(["a", "b"]),
+                               min_size=2, max_size=20),
+    )
+    @settings(max_examples=50)
+    def test_withdraw_restores_previous_best(self, routes):
+        fib = Fib("r")
+        for prefix, next_hop in routes.items():
+            fib.install(prefix, next_hop)
+        victim = max(routes, key=lambda p: p.length)
+        fib.withdraw(victim)
+        address = victim.network_address
+        entry = fib.lookup(address)
+        remaining = [p for p in routes if p != victim and p.contains(address)]
+        if remaining:
+            assert entry is not None
+            assert entry.prefix == max(remaining, key=lambda p: p.length)
+        else:
+            assert entry is None

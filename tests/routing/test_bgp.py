@@ -1,0 +1,180 @@
+"""Tests for the simplified I-BGP layer and hot-potato routing."""
+
+import random
+
+import pytest
+
+from repro.net.addr import IPv4Address, IPv4Prefix
+from repro.routing.bgp import BgpProcess, BgpTimers
+from repro.routing.events import EventScheduler
+from repro.routing.linkstate import LinkStateProtocol
+from repro.routing.topology import TopologyError, line_topology, ring_topology
+
+
+def _p(text: str) -> IPv4Prefix:
+    return IPv4Prefix.parse(text)
+
+
+def _stack(topo, seed=1, timers=None):
+    scheduler = EventScheduler()
+    igp = LinkStateProtocol(topo, scheduler, rng=random.Random(seed))
+    bgp = BgpProcess(topo, scheduler, igp, timers=timers,
+                     rng=random.Random(seed + 1))
+    return scheduler, igp, bgp
+
+
+class TestStartup:
+    def test_loopbacks_installed(self):
+        topo = line_topology(3)
+        scheduler, igp, bgp = _stack(topo)
+        igp.start()
+        bgp.start()
+        loopback = topo.loopback("R2")
+        entry = bgp.fib("R0").lookup(loopback)
+        assert entry is not None
+        assert entry.next_hop == "R2"
+
+    def test_hot_potato_picks_nearest_egress(self):
+        topo = line_topology(5)
+        scheduler, igp, bgp = _stack(topo)
+        prefix = _p("192.0.2.0/24")
+        bgp.originate(prefix, "R0")
+        bgp.originate(prefix, "R4")
+        igp.start()
+        bgp.start()
+        assert bgp.chosen_egress("R1", prefix) == "R0"
+        assert bgp.chosen_egress("R3", prefix) == "R4"
+
+    def test_tie_broken_by_name(self):
+        topo = line_topology(3)
+        scheduler, igp, bgp = _stack(topo)
+        prefix = _p("192.0.2.0/24")
+        bgp.originate(prefix, "R0")
+        bgp.originate(prefix, "R2")
+        igp.start()
+        bgp.start()
+        # R1 is equidistant: name order picks R0.
+        assert bgp.chosen_egress("R1", prefix) == "R0"
+
+    def test_originate_unknown_egress_rejected(self):
+        topo = line_topology(2)
+        _, _, bgp = _stack(topo)
+        with pytest.raises(TopologyError):
+            bgp.originate(_p("192.0.2.0/24"), "ghost")
+
+    def test_unadvertised_prefix_unroutable(self):
+        topo = line_topology(2)
+        scheduler, igp, bgp = _stack(topo)
+        igp.start()
+        bgp.start()
+        assert bgp.fib("R0").lookup(IPv4Address.parse("192.0.2.1")) is None
+
+
+class TestWithdrawal:
+    def test_withdrawal_switches_to_backup(self):
+        topo = line_topology(4)
+        scheduler, igp, bgp = _stack(topo)
+        prefix = _p("192.0.2.0/24")
+        bgp.originate(prefix, "R0")
+        bgp.originate(prefix, "R3")
+        igp.start()
+        bgp.start()
+        assert bgp.chosen_egress("R1", prefix) == "R0"
+        bgp.withdraw(prefix, "R0")
+        scheduler.run(until=60.0)
+        for router in topo.routers:
+            assert bgp.chosen_egress(router, prefix) == "R3"
+            assert bgp.fib(router).exact(prefix).next_hop == "R3"
+
+    def test_withdrawal_of_only_egress_removes_route(self):
+        topo = line_topology(3)
+        scheduler, igp, bgp = _stack(topo)
+        prefix = _p("192.0.2.0/24")
+        bgp.originate(prefix, "R0")
+        igp.start()
+        bgp.start()
+        bgp.withdraw(prefix, "R0")
+        scheduler.run(until=60.0)
+        assert bgp.chosen_egress("R2", prefix) is None
+        assert bgp.fib("R2").exact(prefix) is None
+
+    def test_readvertisement_restores(self):
+        topo = line_topology(4)
+        scheduler, igp, bgp = _stack(topo)
+        prefix = _p("192.0.2.0/24")
+        bgp.originate(prefix, "R0")
+        bgp.originate(prefix, "R3")
+        igp.start()
+        bgp.start()
+        bgp.withdraw(prefix, "R0")
+        scheduler.run(until=60.0)
+        bgp.advertise(prefix, "R0")
+        scheduler.run(until=120.0)
+        assert bgp.chosen_egress("R1", prefix) == "R0"
+
+    def test_convergence_is_not_instant(self):
+        """Per-peer propagation delays mean routers switch at different
+        times — the inconsistency window that creates EGP loops."""
+        topo = ring_topology(6)
+        timers = BgpTimers(propagation_delay=1.0, propagation_jitter=5.0)
+        scheduler, igp, bgp = _stack(topo, timers=timers)
+        prefix = _p("192.0.2.0/24")
+        bgp.originate(prefix, "R0")
+        bgp.originate(prefix, "R3")
+        igp.start()
+        bgp.start()
+        bgp.withdraw(prefix, "R0")
+        # Shortly after the withdrawal, some routers still use R0.
+        scheduler.run(until=1.5)
+        choices = {bgp.chosen_egress(r, prefix) for r in topo.routers}
+        assert "R0" in choices or "R3" in choices
+        mixed_seen = len(choices) > 1
+        scheduler.run(until=120.0)
+        final = {bgp.chosen_egress(r, prefix) for r in topo.routers}
+        assert final == {"R3"}
+        assert mixed_seen
+
+    def test_advertise_new_prefix_at_runtime(self):
+        topo = line_topology(3)
+        scheduler, igp, bgp = _stack(topo)
+        igp.start()
+        bgp.start()
+        prefix = _p("198.51.100.0/24")
+        bgp.advertise(prefix, "R2")
+        scheduler.run(until=60.0)
+        assert bgp.chosen_egress("R0", prefix) == "R2"
+
+
+class TestIgpInteraction:
+    def test_igp_change_shifts_hot_potato(self):
+        """When the IGP distance to the chosen egress grows past the
+        alternative, routers re-decide — the EGP/IGP coupling loop
+        mechanism."""
+        topo = ring_topology(6)
+        scheduler, igp, bgp = _stack(topo)
+        prefix = _p("192.0.2.0/24")
+        bgp.originate(prefix, "R0")
+        bgp.originate(prefix, "R3")
+        igp.start()
+        bgp.start()
+        assert bgp.chosen_egress("R1", prefix) == "R0"
+        link = topo.link_between("R0", "R1")
+        link.up = False
+        igp.notify_link_down(link)
+        scheduler.run(until=60.0)
+        # R1's distance to R0 is now 5 (around the ring) vs 2 to R3.
+        assert bgp.chosen_egress("R1", prefix) == "R3"
+
+    def test_unreachable_egress_unusable(self):
+        topo = line_topology(4)
+        scheduler, igp, bgp = _stack(topo)
+        prefix = _p("192.0.2.0/24")
+        bgp.originate(prefix, "R0")
+        bgp.originate(prefix, "R3")
+        igp.start()
+        bgp.start()
+        link = topo.link_between("R0", "R1")
+        link.up = False
+        igp.notify_link_down(link)
+        scheduler.run(until=60.0)
+        assert bgp.chosen_egress("R1", prefix) == "R3"

@@ -1,0 +1,54 @@
+"""Tests for convergence-time measurement."""
+
+import random
+
+import pytest
+
+from repro.routing.convergence import (
+    convergence_time_distribution,
+    measure_convergence,
+)
+from repro.routing.linkstate import LinkStateTimers
+from repro.routing.topology import backbone_topology, ring_topology
+
+
+def _ring_factory(rng):
+    return ring_topology(5, propagation_delay=0.002)
+
+
+class TestMeasureConvergence:
+    def test_returns_down_and_up_samples(self):
+        samples = measure_convergence(_ring_factory, LinkStateTimers(),
+                                      seed=3)
+        assert [sample.event for sample in samples] == ["down", "up"]
+        for sample in samples:
+            assert 0 < sample.duration < 120.0
+            assert sample.spf_runs > 0
+
+    def test_durations_scale_with_fib_timers(self):
+        fast = LinkStateTimers(fib_update_delay=0.05,
+                               fib_update_jitter=0.05)
+        slow = LinkStateTimers(fib_update_delay=2.0,
+                               fib_update_jitter=2.0)
+        fast_samples = measure_convergence(_ring_factory, fast, seed=7)
+        slow_samples = measure_convergence(_ring_factory, slow, seed=7)
+        fast_down = fast_samples[0].duration
+        slow_down = slow_samples[0].duration
+        assert slow_down > fast_down
+
+    def test_default_timers_converge_in_seconds(self):
+        samples = measure_convergence(
+            lambda rng: backbone_topology(pops=8, rng=rng),
+            LinkStateTimers(), seed=11,
+        )
+        for sample in samples:
+            assert sample.duration < 10.0
+
+
+class TestDistribution:
+    def test_distribution_shape(self):
+        durations = convergence_time_distribution(
+            _ring_factory, LinkStateTimers(), trials=5, base_seed=1
+        )
+        assert len(durations) == 5
+        assert all(0 < duration < 30.0 for duration in durations)

@@ -1,0 +1,127 @@
+"""Tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.routing.events import EventScheduler, SchedulerError
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule(3.0, lambda: order.append("c"))
+        scheduler.schedule(1.0, lambda: order.append("a"))
+        scheduler.schedule(2.0, lambda: order.append("b"))
+        scheduler.run_all()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_tie_breaking(self):
+        scheduler = EventScheduler()
+        order = []
+        for name in "abc":
+            scheduler.schedule(1.0, lambda n=name: order.append(n))
+        scheduler.run_all()
+        assert order == ["a", "b", "c"]
+
+    def test_now_advances_to_event_time(self):
+        scheduler = EventScheduler()
+        seen = []
+        scheduler.schedule(2.5, lambda: seen.append(scheduler.now))
+        scheduler.run_all()
+        assert seen == [2.5]
+
+    def test_events_scheduled_during_run_fire(self):
+        scheduler = EventScheduler()
+        order = []
+
+        def first():
+            order.append("first")
+            scheduler.schedule(1.0, lambda: order.append("second"))
+
+        scheduler.schedule(1.0, first)
+        scheduler.run_all()
+        assert order == ["first", "second"]
+        assert scheduler.now == 2.0
+
+    def test_schedule_in_past_rejected(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(1.0, lambda: None)
+        scheduler.run_all()
+        with pytest.raises(SchedulerError):
+            scheduler.schedule_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SchedulerError):
+            EventScheduler().schedule(-1.0, lambda: None)
+
+    def test_start_time(self):
+        scheduler = EventScheduler(start_time=100.0)
+        assert scheduler.now == 100.0
+        fired = []
+        scheduler.schedule(5.0, lambda: fired.append(scheduler.now))
+        scheduler.run_all()
+        assert fired == [105.0]
+
+
+class TestBoundedRuns:
+    def test_run_until_inclusive(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule(1.0, lambda: fired.append(1))
+        scheduler.schedule(2.0, lambda: fired.append(2))
+        scheduler.schedule(3.0, lambda: fired.append(3))
+        scheduler.run(until=2.0)
+        assert fired == [1, 2]
+        assert scheduler.now == 2.0
+        scheduler.run(until=5.0)
+        assert fired == [1, 2, 3]
+        assert scheduler.now == 5.0
+
+    def test_run_until_advances_clock_when_queue_drains(self):
+        scheduler = EventScheduler()
+        scheduler.run(until=10.0)
+        assert scheduler.now == 10.0
+
+    def test_max_events(self):
+        scheduler = EventScheduler()
+        fired = []
+        for i in range(5):
+            scheduler.schedule(float(i + 1), lambda i=i: fired.append(i))
+        scheduler.run(max_events=2)
+        assert fired == [0, 1]
+
+    def test_run_all_guards_against_runaway(self):
+        scheduler = EventScheduler()
+
+        def reschedule():
+            scheduler.schedule(1.0, reschedule)
+
+        scheduler.schedule(1.0, reschedule)
+        with pytest.raises(SchedulerError):
+            scheduler.run_all(max_events=100)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        scheduler = EventScheduler()
+        fired = []
+        handle = scheduler.schedule(1.0, lambda: fired.append(1))
+        handle.cancel()
+        scheduler.run_all()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self):
+        scheduler = EventScheduler()
+        handle = scheduler.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        scheduler.run_all()
+
+    def test_events_processed_counter(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(1.0, lambda: None)
+        handle = scheduler.schedule(2.0, lambda: None)
+        handle.cancel()
+        scheduler.run_all()
+        assert scheduler.events_processed == 1

@@ -1,0 +1,108 @@
+"""Tests for failure scheduling and injection."""
+
+import random
+
+import pytest
+
+from repro.routing.events import EventScheduler
+from repro.routing.failures import FailureEvent, FailureSchedule
+from repro.routing.linkstate import LinkStateProtocol
+from repro.routing.topology import TopologyError, ring_topology
+
+
+def _stack(topo, seed=1):
+    scheduler = EventScheduler()
+    igp = LinkStateProtocol(topo, scheduler, rng=random.Random(seed))
+    igp.start()
+    return scheduler, igp
+
+
+class TestSchedule:
+    def test_events_sorted(self):
+        schedule = FailureSchedule()
+        schedule.fail(10.0, "x").repair(5.0, "y")
+        assert [event.time for event in schedule.events] == [5.0, 10.0]
+
+    def test_flap_adds_down_and_up(self):
+        schedule = FailureSchedule().flap(2.0, "link", downtime=3.0)
+        assert [(e.time, e.up) for e in schedule.events] == [
+            (2.0, False), (5.0, True)
+        ]
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            FailureEvent(time=-1.0, link_name="x", up=False)
+
+    def test_apply_validates_link_names(self):
+        topo = ring_topology(4)
+        scheduler, igp = _stack(topo)
+        schedule = FailureSchedule().fail(1.0, "no--such")
+        with pytest.raises(TopologyError):
+            schedule.apply(topo, scheduler, igp)
+
+
+class TestApplication:
+    def test_fail_flips_physical_state_and_notifies(self):
+        topo = ring_topology(4)
+        scheduler, igp = _stack(topo)
+        FailureSchedule().fail(1.0, "R0--R1").apply(topo, scheduler, igp)
+        scheduler.run(until=30.0)
+        assert not topo.link_between("R0", "R1").up
+        assert igp.next_hop("R0", "R1") == "R3"
+
+    def test_flap_restores_state(self):
+        topo = ring_topology(4)
+        scheduler, igp = _stack(topo)
+        FailureSchedule().flap(1.0, "R0--R1", downtime=5.0).apply(
+            topo, scheduler, igp
+        )
+        scheduler.run(until=60.0)
+        assert topo.link_between("R0", "R1").up
+        assert igp.is_converged()
+        assert igp.next_hop("R0", "R1") == "R1"
+
+    def test_redundant_event_ignored(self):
+        topo = ring_topology(4)
+        scheduler, igp = _stack(topo)
+        schedule = FailureSchedule()
+        schedule.fail(1.0, "R0--R1")
+        schedule.fail(2.0, "R0--R1")  # already down: no-op
+        schedule.apply(topo, scheduler, igp)
+        scheduler.run(until=30.0)
+        assert not topo.link_between("R0", "R1").up
+        assert igp.is_converged()
+
+
+class TestRandomFlaps:
+    def test_respects_count_and_window(self):
+        topo = ring_topology(6)
+        schedule = FailureSchedule.random_flaps(
+            topo, random.Random(1), count=5, start=10.0, end=100.0,
+            downtime_range=(1.0, 2.0),
+        )
+        downs = [e for e in schedule.events if not e.up]
+        ups = [e for e in schedule.events if e.up]
+        assert len(downs) == 5
+        assert len(ups) == 5
+        assert all(10.0 <= e.time < 100.0 for e in downs)
+
+    def test_eligible_links_respected(self):
+        topo = ring_topology(6)
+        schedule = FailureSchedule.random_flaps(
+            topo, random.Random(2), count=10, start=0.0, end=50.0,
+            eligible_links=["R0--R1"],
+        )
+        assert {e.link_name for e in schedule.events} == {"R0--R1"}
+
+    def test_bad_window_rejected(self):
+        topo = ring_topology(4)
+        with pytest.raises(ValueError):
+            FailureSchedule.random_flaps(
+                topo, random.Random(0), count=1, start=10.0, end=5.0
+            )
+
+    def test_deterministic_for_seed(self):
+        topo = ring_topology(6)
+        a = FailureSchedule.random_flaps(topo, random.Random(7), 4, 0.0, 50.0)
+        b = FailureSchedule.random_flaps(topo, random.Random(7), 4, 0.0, 50.0)
+        assert a.events == b.events

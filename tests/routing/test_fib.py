@@ -1,0 +1,98 @@
+"""Tests for the longest-prefix-match FIB."""
+
+from repro.net.addr import IPv4Address, IPv4Prefix
+from repro.routing.fib import Fib
+
+
+def _p(text: str) -> IPv4Prefix:
+    return IPv4Prefix.parse(text)
+
+
+def _a(text: str) -> IPv4Address:
+    return IPv4Address.parse(text)
+
+
+class TestInstallLookup:
+    def test_exact_match(self):
+        fib = Fib("r")
+        fib.install(_p("192.0.2.0/24"), "next")
+        entry = fib.lookup(_a("192.0.2.55"))
+        assert entry is not None
+        assert entry.next_hop == "next"
+
+    def test_longest_prefix_wins(self):
+        fib = Fib("r")
+        fib.install(_p("10.0.0.0/8"), "coarse")
+        fib.install(_p("10.1.0.0/16"), "fine")
+        fib.install(_p("10.1.2.0/24"), "finest")
+        assert fib.lookup(_a("10.1.2.3")).next_hop == "finest"
+        assert fib.lookup(_a("10.1.9.9")).next_hop == "fine"
+        assert fib.lookup(_a("10.9.9.9")).next_hop == "coarse"
+
+    def test_miss_returns_none(self):
+        fib = Fib("r")
+        fib.install(_p("10.0.0.0/8"), "x")
+        assert fib.lookup(_a("11.0.0.1")) is None
+
+    def test_default_route(self):
+        fib = Fib("r")
+        fib.install(_p("0.0.0.0/0"), "default")
+        assert fib.lookup(_a("203.0.113.9")).next_hop == "default"
+
+    def test_replace_updates_next_hop(self):
+        fib = Fib("r")
+        fib.install(_p("10.0.0.0/8"), "old", now=1.0)
+        fib.install(_p("10.0.0.0/8"), "new", now=2.0)
+        entry = fib.lookup(_a("10.0.0.1"))
+        assert entry.next_hop == "new"
+        assert entry.updated_at == 2.0
+        assert len(fib) == 1
+
+    def test_slash32(self):
+        fib = Fib("r")
+        fib.install(_p("10.0.0.1/32"), "host")
+        fib.install(_p("10.0.0.0/8"), "net")
+        assert fib.lookup(_a("10.0.0.1")).next_hop == "host"
+        assert fib.lookup(_a("10.0.0.2")).next_hop == "net"
+
+
+class TestWithdraw:
+    def test_withdraw_removes_route(self):
+        fib = Fib("r")
+        fib.install(_p("10.0.0.0/8"), "x")
+        assert fib.withdraw(_p("10.0.0.0/8"))
+        assert fib.lookup(_a("10.0.0.1")) is None
+        assert len(fib) == 0
+
+    def test_withdraw_missing_returns_false(self):
+        fib = Fib("r")
+        assert not fib.withdraw(_p("10.0.0.0/8"))
+
+    def test_withdraw_falls_back_to_shorter(self):
+        fib = Fib("r")
+        fib.install(_p("10.0.0.0/8"), "coarse")
+        fib.install(_p("10.1.0.0/16"), "fine")
+        fib.withdraw(_p("10.1.0.0/16"))
+        assert fib.lookup(_a("10.1.0.1")).next_hop == "coarse"
+
+
+class TestIntrospection:
+    def test_exact_ignores_other_lengths(self):
+        fib = Fib("r")
+        fib.install(_p("10.0.0.0/8"), "x")
+        assert fib.exact(_p("10.0.0.0/16")) is None
+        assert fib.exact(_p("10.0.0.0/8")).next_hop == "x"
+
+    def test_contains(self):
+        fib = Fib("r")
+        fib.install(_p("10.0.0.0/8"), "x")
+        assert _p("10.0.0.0/8") in fib
+        assert _p("10.0.0.0/9") not in fib
+
+    def test_entries_longest_first(self):
+        fib = Fib("r")
+        fib.install(_p("10.0.0.0/8"), "a")
+        fib.install(_p("10.1.2.0/24"), "b")
+        fib.install(_p("10.1.0.0/16"), "c")
+        lengths = [entry.prefix.length for entry in fib.entries()]
+        assert lengths == [24, 16, 8]

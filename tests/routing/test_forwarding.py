@@ -1,0 +1,268 @@
+"""Tests for the forwarding engine: delivery, TTL, queueing, taps."""
+
+import random
+
+import pytest
+
+from repro.net.addr import IPv4Address, IPv4Prefix
+from repro.net.packet import (
+    ICMP_TIME_EXCEEDED,
+    IPPROTO_ICMP,
+    IPv4Header,
+    Packet,
+    UdpHeader,
+)
+from repro.routing.bgp import BgpProcess
+from repro.routing.events import EventScheduler
+from repro.routing.failures import FailureSchedule
+from repro.routing.forwarding import ForwardingEngine, PacketFate
+from repro.routing.linkstate import LinkStateProtocol
+from repro.routing.topology import line_topology, ring_topology
+
+
+PREFIX = IPv4Prefix.parse("192.0.2.0/24")
+
+
+def _packet(ttl=64, ident=1, dst="192.0.2.50", payload=b"data"):
+    ip = IPv4Header(src=IPv4Address.parse("10.1.1.1"),
+                    dst=IPv4Address.parse(dst), ttl=ttl,
+                    identification=ident)
+    return Packet.build(ip, UdpHeader(src_port=1000, dst_port=53), payload)
+
+
+def _stack(topo, egresses, seed=1, **engine_kwargs):
+    scheduler = EventScheduler()
+    igp = LinkStateProtocol(topo, scheduler, rng=random.Random(seed))
+    bgp = BgpProcess(topo, scheduler, igp, rng=random.Random(seed + 1))
+    for egress in egresses:
+        bgp.originate(PREFIX, egress)
+    igp.start()
+    bgp.start()
+    engine = ForwardingEngine(topo, scheduler, igp, bgp,
+                              rng=random.Random(seed + 2), **engine_kwargs)
+    return scheduler, igp, bgp, engine
+
+
+class TestDelivery:
+    def test_delivers_along_shortest_path(self):
+        topo = line_topology(4)
+        scheduler, _, _, engine = _stack(topo, ["R3"])
+        audit = engine.inject(_packet(), "R0")
+        scheduler.run(until=10.0)
+        assert audit.fate is PacketFate.DELIVERED
+        assert audit.fate_router == "R3"
+        assert audit.hops == 3
+        assert not audit.looped
+
+    def test_delivery_at_ingress_when_egress_is_local(self):
+        topo = line_topology(2)
+        scheduler, _, _, engine = _stack(topo, ["R0"])
+        audit = engine.inject(_packet(), "R0")
+        scheduler.run(until=10.0)
+        assert audit.fate is PacketFate.DELIVERED
+        assert audit.hops == 0
+
+    def test_transit_time_accumulates_delays(self):
+        topo = line_topology(3, propagation_delay=0.010)
+        scheduler, _, _, engine = _stack(topo, ["R2"])
+        audit = engine.inject(_packet(), "R0")
+        scheduler.run(until=10.0)
+        assert audit.transit_time >= 0.020  # two propagation delays
+
+    def test_no_route_drop(self):
+        topo = line_topology(2)
+        scheduler, _, _, engine = _stack(topo, ["R1"])
+        audit = engine.inject(_packet(dst="198.51.100.1"), "R0")
+        scheduler.run(until=10.0)
+        assert audit.fate is PacketFate.NO_ROUTE
+
+    def test_delivery_listener_fired(self):
+        topo = line_topology(2)
+        scheduler, _, _, engine = _stack(topo, ["R1"])
+        seen = []
+        engine.add_delivery_listener(
+            lambda t, p, r: seen.append((p.ip.dst, r))
+        )
+        engine.inject(_packet(), "R0")
+        scheduler.run(until=10.0)
+        assert seen == [(IPv4Address.parse("192.0.2.50"), "R1")]
+
+
+class TestTtl:
+    def test_ttl_expiry_on_long_path(self):
+        topo = line_topology(6)
+        scheduler, _, _, engine = _stack(topo, ["R5"])
+        audit = engine.inject(_packet(ttl=3), "R0")
+        scheduler.run(until=10.0)
+        assert audit.fate is PacketFate.TTL_EXPIRED
+        assert audit.fate_router == "R2"
+
+    def test_ttl_one_cannot_be_forwarded(self):
+        topo = line_topology(3)
+        scheduler, _, _, engine = _stack(topo, ["R2"])
+        audit = engine.inject(_packet(ttl=1), "R0")
+        scheduler.run(until=10.0)
+        assert audit.fate is PacketFate.TTL_EXPIRED
+        assert audit.fate_router == "R0"
+
+    def test_time_exceeded_reply_generated(self):
+        topo = line_topology(6)
+        scheduler, _, _, engine = _stack(
+            topo, ["R5"], icmp_time_exceeded_probability=1.0
+        )
+        engine.inject(_packet(ttl=3), "R0")
+        scheduler.run(until=10.0)
+        icmp_audits = [
+            audit for audit in engine.audits
+            if audit.ingress == "R2" and audit.packet_id != 0
+        ]
+        assert len(icmp_audits) == 1
+
+    def test_time_exceeded_can_be_rate_limited(self):
+        topo = line_topology(6)
+        scheduler, _, _, engine = _stack(
+            topo, ["R5"], icmp_time_exceeded_probability=0.0
+        )
+        engine.inject(_packet(ttl=3), "R0")
+        scheduler.run(until=10.0)
+        assert engine.packets_injected == 1  # no ICMP follow-up
+
+
+class TestTaps:
+    def test_tap_sees_decremented_ttl_and_valid_checksum(self):
+        topo = line_topology(4)
+        scheduler, _, _, engine = _stack(topo, ["R3"])
+        captured = []
+        engine.add_tap("R1", "R2", lambda t, p: captured.append(p))
+        engine.inject(_packet(ttl=64), "R0")
+        scheduler.run(until=10.0)
+        assert len(captured) == 1
+        packet = captured[0]
+        assert packet.ip.ttl == 62  # two routers decremented before R1->R2
+        wire = packet.pack()
+        from repro.net.checksum import internet_checksum
+
+        assert internet_checksum(wire[:20]) == 0
+
+    def test_tap_is_directional(self):
+        topo = line_topology(3)
+        scheduler, _, _, engine = _stack(topo, ["R2"])
+        forward, backward = [], []
+        engine.add_tap("R0", "R1", lambda t, p: forward.append(p))
+        engine.add_tap("R1", "R0", lambda t, p: backward.append(p))
+        engine.inject(_packet(), "R0")
+        scheduler.run(until=10.0)
+        assert len(forward) == 1
+        assert len(backward) == 0
+
+    def test_tap_timestamps_are_departure_times(self):
+        topo = line_topology(3, propagation_delay=0.010)
+        scheduler, _, _, engine = _stack(topo, ["R2"])
+        stamps = []
+        engine.add_tap("R1", "R2", lambda t, p: stamps.append(t))
+        engine.inject(_packet(), "R0")
+        scheduler.run(until=10.0)
+        assert stamps and stamps[0] >= 0.010  # after first link crossing
+
+
+class TestQueueing:
+    def test_fifo_serialization_delay(self):
+        # Tiny capacity: the second packet queues behind the first.
+        topo = line_topology(2, capacity_bps=8000.0, max_queue_delay=10.0)
+        scheduler, _, _, engine = _stack(topo, ["R1"])
+        a1 = engine.inject(_packet(ident=1, payload=b"x" * 100), "R0")
+        a2 = engine.inject(_packet(ident=2, payload=b"x" * 100), "R0")
+        scheduler.run(until=60.0)
+        assert a1.fate is PacketFate.DELIVERED
+        assert a2.fate is PacketFate.DELIVERED
+        assert a2.fate_time > a1.fate_time
+
+    def test_queue_overflow_drops(self):
+        topo = line_topology(2, capacity_bps=800.0, max_queue_delay=0.5)
+        scheduler, _, _, engine = _stack(topo, ["R1"])
+        audits = [
+            engine.inject(_packet(ident=i, payload=b"x" * 200), "R0")
+            for i in range(20)
+        ]
+        scheduler.run(until=600.0)
+        fates = {audit.fate for audit in audits}
+        assert PacketFate.QUEUE_DROP in fates
+        assert PacketFate.DELIVERED in fates
+
+
+class TestFailuresAndLoops:
+    def test_black_hole_before_detection(self):
+        topo = line_topology(3)
+        scheduler, igp, _, engine = _stack(topo, ["R2"])
+        link = topo.link_between("R1", "R2")
+        link.up = False  # physically down, IGP not yet told
+        audit = engine.inject(_packet(), "R0")
+        scheduler.run(until=10.0)
+        assert audit.fate is PacketFate.LINK_DOWN
+
+    def test_loop_emerges_during_convergence(self):
+        topo = ring_topology(5, propagation_delay=0.002)
+        scheduler, igp, _, engine = _stack(topo, ["R0"])
+        FailureSchedule().fail(1.0, "R0--R4").apply(topo, scheduler, igp)
+        audits = []
+        t = 0.95
+        for i in range(200):
+            engine.inject_at(t, _packet(ident=i, ttl=60), "R4")
+            t += 0.01
+        scheduler.run(until=30.0)
+        looped = [a for a in engine.audits if a.looped]
+        assert looped, "no transient loop during convergence"
+
+    def test_looped_packets_counted_in_delay_stats(self):
+        topo = ring_topology(5, propagation_delay=0.002)
+        scheduler, igp, _, engine = _stack(topo, ["R0"])
+        FailureSchedule().fail(1.0, "R0--R4").apply(topo, scheduler, igp)
+        t = 0.95
+        for i in range(300):
+            engine.inject_at(t, _packet(ident=i, ttl=200), "R4")
+            t += 0.005
+        scheduler.run(until=30.0)
+        # With TTL 200 some packets survive the loop and escape.
+        escaped = engine.looped_delivered_delays
+        if escaped:  # loop length/timing dependent but usually true
+            delay, hops = escaped[0]
+            assert delay > 0
+            assert hops > 4
+
+
+class TestStats:
+    def test_fate_counts_sum_to_injected(self):
+        topo = line_topology(3)
+        scheduler, _, _, engine = _stack(topo, ["R2"])
+        for i in range(10):
+            engine.inject(_packet(ident=i), "R0")
+        scheduler.run(until=30.0)
+        total = sum(
+            count for fate, count in engine.fate_counts.items()
+            if fate is not PacketFate.IN_FLIGHT
+        )
+        assert total == engine.packets_injected == 10
+
+    def test_loss_fraction(self):
+        topo = line_topology(2)
+        scheduler, _, _, engine = _stack(topo, ["R1"])
+        engine.inject(_packet(ident=1), "R0")
+        engine.inject(_packet(ident=2, dst="198.51.100.1"), "R0")
+        scheduler.run(until=10.0)
+        assert engine.loss_fraction(PacketFate.NO_ROUTE) == pytest.approx(0.5)
+
+    def test_keep_audits_false_keeps_counters(self):
+        topo = line_topology(3)
+        scheduler, _, _, engine = _stack(topo, ["R2"], keep_audits=False)
+        for i in range(5):
+            engine.inject(_packet(ident=i), "R0")
+        scheduler.run(until=10.0)
+        assert engine.audits == []
+        assert engine.fate_counts[PacketFate.DELIVERED] == 5
+
+    def test_mean_normal_delay(self):
+        topo = line_topology(3, propagation_delay=0.005)
+        scheduler, _, _, engine = _stack(topo, ["R2"])
+        engine.inject(_packet(), "R0")
+        scheduler.run(until=10.0)
+        assert engine.mean_normal_delay() >= 0.010

@@ -1,0 +1,143 @@
+"""Tests for the control-plane event journal."""
+
+import random
+
+import pytest
+
+from repro.net.addr import IPv4Prefix
+from repro.routing.bgp import BgpProcess
+from repro.routing.events import EventScheduler
+from repro.routing.failures import FailureSchedule
+from repro.routing.journal import EventKind, RoutingJournal
+from repro.routing.linkstate import LinkStateProtocol
+from repro.routing.topology import ring_topology
+
+PREFIX = IPv4Prefix.parse("192.0.2.0/24")
+
+
+def _stack(seed=1):
+    topo = ring_topology(5)
+    scheduler = EventScheduler()
+    journal = RoutingJournal()
+    igp = LinkStateProtocol(topo, scheduler, rng=random.Random(seed),
+                            journal=journal)
+    bgp = BgpProcess(topo, scheduler, igp, rng=random.Random(seed + 1))
+    return topo, scheduler, journal, igp, bgp
+
+
+class TestJournalBasics:
+    def test_time_ordering_enforced(self):
+        journal = RoutingJournal()
+        journal.record(5.0, EventKind.SPF_RUN, "r1")
+        with pytest.raises(ValueError):
+            journal.record(4.0, EventKind.SPF_RUN, "r2")
+
+    def test_window_query(self):
+        journal = RoutingJournal()
+        for t in (1.0, 2.0, 3.0, 4.0):
+            journal.record(t, EventKind.SPF_RUN, "r")
+        window = journal.window(2.0, 3.0)
+        assert [event.time for event in window] == [2.0, 3.0]
+
+    def test_counts(self):
+        journal = RoutingJournal()
+        journal.record(1.0, EventKind.LINK_DOWN, "a")
+        journal.record(2.0, EventKind.SPF_RUN, "a")
+        journal.record(2.0, EventKind.SPF_RUN, "b")
+        assert journal.counts() == {EventKind.LINK_DOWN: 1,
+                                    EventKind.SPF_RUN: 2}
+
+    def test_kind_classification(self):
+        assert EventKind.LINK_DOWN.is_igp
+        assert EventKind.SPF_RUN.is_igp
+        assert not EventKind.BGP_WITHDRAW_SENT.is_igp
+        assert EventKind.BGP_EGRESS_CHANGED.is_bgp
+        assert not EventKind.IGP_FIB_INSTALLED.is_bgp
+
+
+class TestIgpJournaling:
+    def test_failure_produces_full_event_chain(self):
+        topo, scheduler, journal, igp, bgp = _stack()
+        igp.start()
+        bgp.start()
+        FailureSchedule().fail(5.0, "R0--R1").apply(topo, scheduler, igp)
+        scheduler.run(until=60.0)
+        counts = journal.counts()
+        assert counts[EventKind.LINK_DOWN] == 1
+        assert counts[EventKind.ADJACENCY_LOST] == 2  # both endpoints
+        assert counts[EventKind.LSA_ORIGINATED] == 2
+        assert counts[EventKind.SPF_RUN] >= len(topo.routers)
+        assert counts[EventKind.IGP_FIB_INSTALLED] >= len(topo.routers)
+
+    def test_repair_produces_up_events(self):
+        topo, scheduler, journal, igp, bgp = _stack()
+        igp.start()
+        bgp.start()
+        FailureSchedule().flap(5.0, "R0--R1", 10.0).apply(
+            topo, scheduler, igp
+        )
+        scheduler.run(until=120.0)
+        counts = journal.counts()
+        assert counts[EventKind.LINK_UP] == 1
+        assert counts[EventKind.ADJACENCY_FORMED] == 2
+
+    def test_no_journal_is_fine(self):
+        topo = ring_topology(4)
+        scheduler = EventScheduler()
+        igp = LinkStateProtocol(topo, scheduler, rng=random.Random(0))
+        bgp = BgpProcess(topo, scheduler, igp, rng=random.Random(1))
+        igp.start()
+        bgp.start()
+        FailureSchedule().fail(1.0, "R0--R1").apply(topo, scheduler, igp)
+        scheduler.run(until=30.0)
+        assert igp.is_converged()
+
+
+class TestBgpJournaling:
+    def test_withdrawal_event_chain(self):
+        topo, scheduler, journal, igp, bgp = _stack()
+        bgp.originate(PREFIX, "R0")
+        bgp.originate(PREFIX, "R2")
+        igp.start()
+        bgp.start()
+        bgp.withdraw(PREFIX, "R0")
+        scheduler.run(until=60.0)
+        counts = journal.counts()
+        assert counts[EventKind.BGP_WITHDRAW_SENT] == 1
+        assert counts[EventKind.BGP_UPDATE_RECEIVED] == len(topo.routers)
+        assert counts[EventKind.BGP_EGRESS_CHANGED] >= 1
+        assert counts[EventKind.BGP_ROUTE_INSTALLED] >= 1
+
+    def test_prefix_attached_to_bgp_events(self):
+        topo, scheduler, journal, igp, bgp = _stack()
+        bgp.originate(PREFIX, "R0")
+        bgp.originate(PREFIX, "R2")
+        igp.start()
+        bgp.start()
+        bgp.withdraw(PREFIX, "R0")
+        scheduler.run(until=60.0)
+        events = journal.events_for_prefix(PREFIX, 0.0, 60.0)
+        assert events
+        assert all(event.prefix == PREFIX for event in events)
+
+    def test_igp_event_filter(self):
+        topo, scheduler, journal, igp, bgp = _stack()
+        bgp.originate(PREFIX, "R0")
+        igp.start()
+        bgp.start()
+        FailureSchedule().fail(5.0, "R2--R3").apply(topo, scheduler, igp)
+        scheduler.run(until=60.0)
+        igp_events = journal.igp_events(0.0, 60.0)
+        assert igp_events
+        assert all(event.kind.is_igp for event in igp_events)
+
+
+class TestScenarioJournal:
+    def test_scenario_run_exposes_journal(self):
+        from tests.conftest import small_sim
+
+        run = small_sim(seed=11, duration=40.0)
+        assert len(run.journal) > 0
+        counts = run.journal.counts()
+        assert EventKind.LINK_DOWN in counts
+        assert EventKind.BGP_WITHDRAW_SENT in counts

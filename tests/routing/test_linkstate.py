@@ -1,0 +1,167 @@
+"""Tests for the link-state IGP: convergence, loops, timer behaviour."""
+
+import random
+
+import pytest
+
+from repro.routing.events import EventScheduler
+from repro.routing.linkstate import LinkStateProtocol, LinkStateTimers
+from repro.routing.topology import TopologyError, line_topology, ring_topology
+
+
+def _build(topo, seed=1, timers=None):
+    scheduler = EventScheduler()
+    igp = LinkStateProtocol(topo, scheduler, timers=timers,
+                            rng=random.Random(seed))
+    igp.start()
+    return scheduler, igp
+
+
+class TestSteadyState:
+    def test_starts_converged(self):
+        topo = ring_topology(5)
+        _, igp = _build(topo)
+        assert igp.is_converged()
+
+    def test_initial_next_hops_match_oracle(self):
+        topo = ring_topology(6)
+        _, igp = _build(topo)
+        for source in topo.routers:
+            oracle = topo.shortest_paths(source)
+            for dest, (_, first_hop) in oracle.items():
+                if first_hop is not None:
+                    assert igp.next_hop(source, dest) == first_hop
+
+    def test_distance_to_self_is_zero(self):
+        topo = line_topology(3)
+        _, igp = _build(topo)
+        assert igp.distance("R0", "R0") == 0
+        assert igp.next_hop("R0", "R0") is None
+
+    def test_unknown_router_rejected(self):
+        topo = line_topology(2)
+        _, igp = _build(topo)
+        with pytest.raises(TopologyError):
+            igp.next_hop("ghost", "R0")
+
+
+class TestFailureConvergence:
+    def test_reconverges_after_failure(self):
+        topo = ring_topology(5)
+        scheduler, igp = _build(topo)
+        link = topo.link_between("R0", "R1")
+        link.up = False
+        igp.notify_link_down(link)
+        scheduler.run(until=60.0)
+        assert igp.is_converged()
+        # R0 now reaches R1 the long way.
+        assert igp.next_hop("R0", "R1") == "R4"
+        assert igp.distance("R0", "R1") == 4
+
+    def test_reconverges_after_repair(self):
+        topo = ring_topology(5)
+        scheduler, igp = _build(topo)
+        link = topo.link_between("R0", "R1")
+        link.up = False
+        igp.notify_link_down(link)
+        scheduler.run(until=60.0)
+        link.up = True
+        igp.notify_link_up(link)
+        scheduler.run(until=120.0)
+        assert igp.is_converged()
+        assert igp.next_hop("R0", "R1") == "R1"
+
+    def test_transient_inconsistency_window_exists(self):
+        """During convergence there must be a moment when two adjacent
+        routers' next hops point at each other — a transient loop."""
+        topo = ring_topology(5)
+        timers = LinkStateTimers(fib_update_delay=0.3, fib_update_jitter=1.0)
+        scheduler, igp = _build(topo, seed=3, timers=timers)
+        link = topo.link_between("R0", "R4")
+        link.up = False
+        igp.notify_link_down(link)
+        loop_seen = False
+        for _ in range(4000):
+            scheduler.run(max_events=1)
+            for a, b in (("R4", "R3"), ("R3", "R2"), ("R2", "R1")):
+                # destination R0: do a and b point at each other?
+                if (igp.next_hop(a, "R0") == b
+                        and igp.next_hop(b, "R0") == a):
+                    loop_seen = True
+            if scheduler.pending == 0:
+                break
+        assert loop_seen
+        assert igp.is_converged()
+
+    def test_partition_leaves_no_route(self):
+        topo = line_topology(3)
+        scheduler, igp = _build(topo)
+        link = topo.link_between("R1", "R2")
+        link.up = False
+        igp.notify_link_down(link)
+        scheduler.run(until=60.0)
+        assert igp.next_hop("R0", "R2") is None
+        assert igp.distance("R0", "R2") is None
+
+    def test_fib_update_counts_increase(self):
+        topo = ring_topology(4)
+        scheduler, igp = _build(topo)
+        before = igp.fib_update_count("R2")
+        link = topo.link_between("R0", "R1")
+        link.up = False
+        igp.notify_link_down(link)
+        scheduler.run(until=60.0)
+        assert igp.fib_update_count("R2") > before
+
+    def test_duplicate_notification_is_noop(self):
+        topo = ring_topology(4)
+        scheduler, igp = _build(topo)
+        link = topo.link_between("R0", "R1")
+        link.up = False
+        igp.notify_link_down(link)
+        scheduler.run(until=60.0)
+        flooded = igp.lsas_flooded
+        igp.notify_link_down(link)  # already down: no new LSAs
+        scheduler.run(until=120.0)
+        assert igp.lsas_flooded == flooded
+
+
+class TestHooks:
+    def test_fib_update_callback_fired(self):
+        topo = ring_topology(4)
+        scheduler, igp = _build(topo)
+        updates = []
+        igp.on_fib_update(lambda router, now: updates.append((router, now)))
+        link = topo.link_between("R0", "R1")
+        link.up = False
+        igp.notify_link_down(link)
+        scheduler.run(until=60.0)
+        routers = {router for router, _ in updates}
+        assert routers == set(topo.routers)
+
+    def test_spf_damping_coalesces_lsas(self):
+        """Two nearly simultaneous failures yield at most a few SPF runs
+        per router, not one per LSA received."""
+        topo = ring_topology(8)
+        scheduler, igp = _build(topo)
+        for pair in (("R0", "R1"), ("R4", "R5")):
+            link = topo.link_between(*pair)
+            link.up = False
+            igp.notify_link_down(link)
+        scheduler.run(until=60.0)
+        assert igp.spf_runs <= 3 * len(topo.routers)
+
+
+class TestTimers:
+    def test_sampling_within_bounds(self):
+        timers = LinkStateTimers()
+        rng = random.Random(0)
+        for _ in range(100):
+            d = timers.sample_detection(rng)
+            assert timers.detection_delay <= d <= (
+                timers.detection_delay + timers.detection_jitter
+            )
+            f = timers.sample_fib(rng)
+            assert timers.fib_update_delay <= f <= (
+                timers.fib_update_delay + timers.fib_update_jitter
+            )

@@ -1,0 +1,122 @@
+"""Tests for topology JSON serialization."""
+
+import json
+import random
+
+import pytest
+
+from repro.routing.topofile import (
+    TopologyFileError,
+    load_topology,
+    save_topology,
+    topology_from_dict,
+    topology_to_dict,
+)
+from repro.routing.topology import backbone_topology, ring_topology
+
+
+class TestFromDict:
+    def test_minimal(self):
+        topo = topology_from_dict({
+            "routers": ["a", "b"],
+            "links": [{"a": "a", "b": "b"}],
+        })
+        assert topo.routers == ["a", "b"]
+        assert topo.link_between("a", "b").cost == 1
+
+    def test_full_link_attributes(self):
+        topo = topology_from_dict({
+            "routers": ["a", "b"],
+            "links": [{
+                "a": "a", "b": "b", "cost": 3, "cost_ba": 7,
+                "propagation_delay": 0.009, "capacity_bps": 1e9,
+                "max_queue_delay": 0.1, "up": False,
+            }],
+        })
+        link = topo.link_between("a", "b")
+        assert link.cost_from("a") == 3
+        assert link.cost_from("b") == 7
+        assert link.propagation_delay == pytest.approx(0.009)
+        assert not link.up
+
+    def test_explicit_loopback(self):
+        topo = topology_from_dict({
+            "routers": [{"name": "a", "loopback": "10.1.1.1"}, "b"],
+            "links": [],
+        })
+        assert str(topo.loopback("a")) == "10.1.1.1"
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            [],
+            {"routers": [], "links": []},
+            {"routers": ["a"], "links": [{"a": "a"}]},
+            {"routers": ["a"], "links": "nope"},
+            {"routers": [{"noname": 1}], "links": []},
+            {"routers": ["a", "b"],
+             "links": [{"a": "a", "b": "ghost"}]},
+            {"routers": ["a", "b"],
+             "links": [{"a": "a", "b": "b", "cost": 0}]},
+        ],
+    )
+    def test_malformed_rejected(self, payload):
+        with pytest.raises(TopologyFileError):
+            topology_from_dict(payload)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("builder", [
+        lambda: ring_topology(5),
+        lambda: backbone_topology(pops=8, rng=random.Random(2)),
+    ])
+    def test_dict_round_trip(self, builder):
+        original = builder()
+        rebuilt = topology_from_dict(topology_to_dict(original))
+        assert rebuilt.routers == original.routers
+        assert {l.name for l in rebuilt.links} == {
+            l.name for l in original.links
+        }
+        for link in original.links:
+            twin = rebuilt.link_between(link.a, link.b)
+            assert twin.cost_from(link.a) == link.cost_from(link.a)
+            assert twin.cost_from(link.b) == link.cost_from(link.b)
+        # Shortest paths agree: the forwarding-relevant content survives.
+        for source in original.routers:
+            assert original.shortest_paths(source) == (
+                rebuilt.shortest_paths(source)
+            )
+
+    def test_file_round_trip(self, tmp_path):
+        original = ring_topology(4)
+        path = tmp_path / "topo.json"
+        save_topology(original, path)
+        loaded = load_topology(path)
+        assert loaded.routers == original.routers
+        payload = json.loads(path.read_text())
+        assert len(payload["links"]) == 4
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(TopologyFileError):
+            load_topology(path)
+
+
+class TestUsableInSimulation:
+    def test_loaded_topology_runs_the_stack(self, tmp_path):
+        from repro.net.addr import IPv4Prefix
+        from repro.routing.bgp import BgpProcess
+        from repro.routing.events import EventScheduler
+        from repro.routing.linkstate import LinkStateProtocol
+
+        path = tmp_path / "topo.json"
+        save_topology(ring_topology(5), path)
+        topo = load_topology(path)
+        scheduler = EventScheduler()
+        igp = LinkStateProtocol(topo, scheduler, rng=random.Random(1))
+        bgp = BgpProcess(topo, scheduler, igp, rng=random.Random(2))
+        bgp.originate(IPv4Prefix.parse("192.0.2.0/24"), "R0")
+        igp.start()
+        bgp.start()
+        assert igp.is_converged()

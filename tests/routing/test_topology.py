@@ -1,0 +1,151 @@
+"""Tests for the topology model and shortest paths."""
+
+import random
+
+import pytest
+
+from repro.routing.topology import (
+    Link,
+    Topology,
+    TopologyError,
+    backbone_topology,
+    dijkstra,
+    line_topology,
+    ring_topology,
+)
+
+
+class TestConstruction:
+    def test_add_router_and_loopback(self):
+        topo = Topology()
+        topo.add_router("a")
+        topo.add_router("b")
+        assert topo.loopback("a") != topo.loopback("b")
+
+    def test_duplicate_router_rejected(self):
+        topo = Topology()
+        topo.add_router("a")
+        with pytest.raises(TopologyError):
+            topo.add_router("a")
+
+    def test_link_requires_known_routers(self):
+        topo = Topology()
+        topo.add_router("a")
+        with pytest.raises(TopologyError):
+            topo.add_link("a", "ghost")
+
+    def test_duplicate_link_rejected(self):
+        topo = line_topology(2)
+        with pytest.raises(TopologyError):
+            topo.add_link("R1", "R0")  # same link, either orientation
+
+    def test_self_loop_rejected(self):
+        topo = Topology()
+        topo.add_router("a")
+        with pytest.raises(TopologyError):
+            topo.add_link("a", "a")
+
+    def test_link_name_canonical(self):
+        topo = line_topology(2)
+        link = topo.link_between("R1", "R0")
+        assert link.name == "R0--R1"
+
+    def test_link_other(self):
+        topo = line_topology(2)
+        link = topo.link_between("R0", "R1")
+        assert link.other("R0") == "R1"
+        assert link.other("R1") == "R0"
+        with pytest.raises(TopologyError):
+            link.other("R9")
+
+
+class TestLinkProperties:
+    def test_cost_validation(self):
+        with pytest.raises(TopologyError):
+            Link(a="x", b="y", cost=0)
+
+    def test_transmission_delay(self):
+        link = Link(a="x", b="y", capacity_bps=8000.0)
+        assert link.transmission_delay(1000) == pytest.approx(1.0)
+
+    def test_neighbors_respect_link_state(self):
+        topo = ring_topology(4)
+        assert sorted(topo.neighbors("R0")) == ["R1", "R3"]
+        topo.link_between("R0", "R1").up = False
+        assert topo.neighbors("R0") == ["R3"]
+        assert sorted(topo.neighbors("R0", only_up=False)) == ["R1", "R3"]
+
+
+class TestShortestPaths:
+    def test_line_distances(self):
+        topo = line_topology(4)
+        paths = topo.shortest_paths("R0")
+        assert paths["R3"][0] == 3
+        assert paths["R3"][1] == "R1"
+        assert paths["R0"] == (0, None)
+
+    def test_respects_costs(self):
+        topo = Topology()
+        for name in "abc":
+            topo.add_router(name)
+        topo.add_link("a", "b", cost=10)
+        topo.add_link("a", "c", cost=1)
+        topo.add_link("c", "b", cost=1)
+        paths = topo.shortest_paths("a")
+        assert paths["b"] == (2, "c")
+
+    def test_down_links_excluded(self):
+        topo = ring_topology(4)
+        topo.link_between("R0", "R1").up = False
+        paths = topo.shortest_paths("R0")
+        assert paths["R1"] == (3, "R3")
+
+    def test_unreachable_omitted(self):
+        topo = Topology()
+        topo.add_router("a")
+        topo.add_router("island")
+        paths = topo.shortest_paths("a")
+        assert "island" not in paths
+
+    def test_deterministic_tie_breaking(self):
+        # Two equal-cost paths: the lexicographically smaller first hop wins.
+        topo = Topology()
+        for name in ("s", "m1", "m2", "t"):
+            topo.add_router(name)
+        topo.add_link("s", "m1", cost=1)
+        topo.add_link("s", "m2", cost=1)
+        topo.add_link("m1", "t", cost=1)
+        topo.add_link("m2", "t", cost=1)
+        assert topo.shortest_paths("s")["t"] == (2, "m1")
+
+    def test_dijkstra_unknown_source(self):
+        with pytest.raises(TopologyError):
+            dijkstra("ghost", lambda n: iter(()), ["a"])
+
+
+class TestGenerators:
+    def test_line_topology_shape(self):
+        topo = line_topology(5)
+        assert len(topo.routers) == 5
+        assert len(topo.links) == 4
+
+    def test_ring_topology_shape(self):
+        topo = ring_topology(5)
+        assert len(topo.links) == 5
+        assert len(topo.neighbors("R0")) == 2
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(TopologyError):
+            ring_topology(2)
+
+    def test_backbone_topology_connected_and_deterministic(self):
+        topo_a = backbone_topology(pops=8, rng=random.Random(5))
+        topo_b = backbone_topology(pops=8, rng=random.Random(5))
+        assert len(topo_a.routers) == 8
+        assert {l.name for l in topo_a.links} == {l.name for l in topo_b.links}
+        paths = topo_a.shortest_paths("pop0")
+        assert len(paths) == 8  # fully reachable
+
+    def test_backbone_extra_edges(self):
+        topo = backbone_topology(pops=8, rng=random.Random(1), extra_edges=3)
+        assert len(topo.links) == 11

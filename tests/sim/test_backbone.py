@@ -1,0 +1,101 @@
+"""Tests for the backbone scenario builder."""
+
+import pytest
+
+from repro.sim.backbone import BackboneScenario, ScenarioConfig, ScenarioError
+
+
+def _config(**overrides):
+    from repro.routing.linkstate import LinkStateTimers
+
+    defaults = dict(
+        name="t",
+        seed=11,
+        pops=6,
+        extra_edges=2,
+        duration=60.0,
+        rate_pps=200.0,
+        n_prefixes=40,
+        n_flows=200,
+        igp_flaps=4,
+        flap_downtime=(3.0, 6.0),
+        bgp_withdrawals=2,
+        withdrawal_holdtime=15.0,
+        # Slow FIB installs widen the inconsistency windows so loops are
+        # near-certain even in a short test run.
+        igp_timers=LinkStateTimers(fib_update_delay=0.4,
+                                   fib_update_jitter=1.2),
+    )
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+class TestConfigValidation:
+    def test_duration_must_exceed_warmup(self):
+        with pytest.raises(ScenarioError):
+            _config(duration=1.0, warmup=5.0)
+
+    def test_minimum_pops(self):
+        with pytest.raises(ScenarioError):
+            _config(pops=3)
+
+
+class TestBuild:
+    def test_build_wires_the_stack(self):
+        run = BackboneScenario(_config()).build()
+        assert run.igp.is_converged()
+        assert len(run.topology.routers) == 6
+        from_router, to_router = run.monitor_direction
+        assert run.topology.link_between(from_router, to_router)
+
+    def test_monitor_is_on_primary_egress_link(self):
+        run = BackboneScenario(_config()).build()
+        _, primary = run.monitor_direction
+        assert primary == run.topology.routers[0]
+
+    def test_prefixes_originated(self):
+        run = BackboneScenario(_config()).build()
+        assert len(run.bgp.prefixes) >= 40  # population + multicast
+
+
+class TestRun:
+    @pytest.fixture(scope="class")
+    def run(self):
+        return BackboneScenario(_config()).run()
+
+    def test_trace_collected(self, run):
+        assert len(run.trace) > 100
+        stamps = [record.timestamp for record in run.trace]
+        assert stamps == sorted(stamps)
+
+    def test_snaplen_is_40(self, run):
+        assert run.trace.snaplen == 40
+        assert all(len(record.data) <= 40 for record in run.trace)
+
+    def test_loops_emerged(self, run):
+        assert run.ground_truth_looped > 0
+
+    def test_traffic_delivered_mostly(self, run):
+        from repro.routing.forwarding import PacketFate
+
+        delivered = run.engine.fate_counts[PacketFate.DELIVERED]
+        assert delivered / run.engine.packets_injected > 0.9
+
+    def test_deterministic(self):
+        run_a = BackboneScenario(_config()).run()
+        run_b = BackboneScenario(_config()).run()
+        assert len(run_a.trace) == len(run_b.trace)
+        assert run_a.ground_truth_looped == run_b.ground_truth_looped
+        assert [r.timestamp for r in run_a.trace[:100]] == [
+            r.timestamp for r in run_b.trace[:100]
+        ]
+
+    def test_record_crossings_enables_monitor_attribution(self):
+        run = BackboneScenario(_config(igp_flaps=3)).run(
+            record_crossings=True
+        )
+        ids = run.looped_packet_ids_crossing_monitor()
+        assert isinstance(ids, set)
+        # Every id refers to a looped audit.
+        by_id = {audit.packet_id: audit for audit in run.engine.audits}
+        assert all(by_id[i].looped for i in ids)

@@ -1,0 +1,53 @@
+"""Tests for the Table I scenario registry."""
+
+import pytest
+
+from repro.sim.scenarios import TABLE1_SCENARIOS, table1_scenario
+
+
+class TestRegistry:
+    def test_four_scenarios(self):
+        assert set(TABLE1_SCENARIOS) == {
+            "backbone1", "backbone2", "backbone3", "backbone4"
+        }
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            table1_scenario("backbone9")
+
+    def test_overrides_applied(self):
+        scenario = table1_scenario("backbone1", duration=33.0)
+        assert scenario.config.duration == 33.0
+        # The registry itself is untouched.
+        assert TABLE1_SCENARIOS["backbone1"].duration == 300.0
+
+    def test_backbone2_is_the_busy_link(self):
+        rates = {name: config.rate_pps
+                 for name, config in TABLE1_SCENARIOS.items()}
+        assert rates["backbone2"] == max(rates.values())
+        assert rates["backbone2"] >= 3 * min(rates.values())
+
+    def test_bgp_flavour_split(self):
+        """Backbones 1-2 are BGP-event heavy; 3-4 are IGP-flap heavy —
+        the mechanism split behind the paper's Fig. 9 duration contrast."""
+        for name in ("backbone1", "backbone2"):
+            config = TABLE1_SCENARIOS[name]
+            assert config.bgp_withdrawals > config.igp_flaps / 2
+        for name in ("backbone3", "backbone4"):
+            config = TABLE1_SCENARIOS[name]
+            assert config.igp_flaps >= config.bgp_withdrawals * 2
+
+    def test_unique_seeds(self):
+        seeds = [config.seed for config in TABLE1_SCENARIOS.values()]
+        assert len(set(seeds)) == 4
+
+
+class TestShortRuns:
+    @pytest.mark.parametrize("name", sorted(TABLE1_SCENARIOS))
+    def test_scenario_runs_and_produces_traffic(self, name):
+        run = table1_scenario(
+            name, duration=30.0, rate_pps=100.0, igp_flaps=1,
+            bgp_withdrawals=1,
+        ).run()
+        assert len(run.trace) > 30
+        assert run.engine.packets_injected > 1000

@@ -1,0 +1,86 @@
+"""Tests for ASCII plotting."""
+
+import pytest
+
+from repro.stats.ascii_plot import bar_chart, cdf_plot, scatter_plot
+from repro.stats.cdf import EmpiricalCdf
+
+
+class TestCdfPlot:
+    def test_basic_shape(self):
+        cdf = EmpiricalCdf.from_samples(range(1, 101))
+        text = cdf_plot(cdf, title="test cdf", width=40, height=8)
+        lines = text.splitlines()
+        assert lines[0] == "test cdf"
+        assert len(lines) == 1 + 8 + 2  # title + rows + axis + labels
+        assert lines[1].startswith("1.00 |")
+        assert lines[8].startswith("0.00 |")
+        assert "*" in text
+
+    def test_monotone_curve(self):
+        """The plotted column heights never decrease left to right."""
+        cdf = EmpiricalCdf.from_samples([1, 2, 2, 3, 10, 20])
+        text = cdf_plot(cdf, width=30, height=10)
+        rows = [line[6:] for line in text.splitlines()[:10]]
+        heights = []
+        for column in range(30):
+            column_cells = [rows[r][column] for r in range(10)]
+            stars = [r for r, cell in enumerate(column_cells)
+                     if cell == "*"]
+            heights.append(min(stars) if stars else 10)
+        # Lower row index = higher CDF value: must be non-increasing.
+        assert all(a >= b for a, b in zip(heights, heights[1:]))
+
+    def test_log_x(self):
+        cdf = EmpiricalCdf.from_samples([0.001, 0.01, 0.1, 1.0, 10.0])
+        text = cdf_plot(cdf, log_x=True)
+        assert "(log x)" in text
+
+    def test_empty(self):
+        assert "no samples" in cdf_plot(EmpiricalCdf.from_samples([]),
+                                        title="x")
+
+    def test_single_value(self):
+        text = cdf_plot(EmpiricalCdf.from_samples([5.0]))
+        assert "*" in text
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        text = bar_chart({2: 100, 3: 50}, width=20)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+
+    def test_tiny_value_gets_dot(self):
+        text = bar_chart({"a": 1000, "b": 1}, width=20)
+        assert "." in text.splitlines()[1]
+
+    def test_empty(self):
+        assert "no data" in bar_chart({}, title="t")
+
+    def test_labels_aligned(self):
+        text = bar_chart({"long-label": 1, "x": 2})
+        lines = text.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+
+class TestScatter:
+    def test_points_plotted(self):
+        points = [(0.0, 0.0), (50.0, 1.0), (100.0, 0.5)]
+        text = scatter_plot(points, title="scatter", width=40, height=10)
+        assert text.count("o") == 3
+
+    def test_collision_marker(self):
+        points = [(1.0, 1.0), (1.0, 1.0000001), (2.0, 2.0)]
+        text = scatter_plot(points, width=10, height=5)
+        assert "@" in text
+
+    def test_empty(self):
+        assert "no points" in scatter_plot([], title="t")
+
+    def test_labels(self):
+        text = scatter_plot([(0, 0), (1, 1)], x_label="time",
+                            y_label="addr")
+        assert "time" in text
+        assert "addr" in text

@@ -1,0 +1,92 @@
+"""Tests for the empirical CDF."""
+
+import pytest
+
+from repro.stats.cdf import CdfError, EmpiricalCdf
+
+
+class TestBasics:
+    def test_from_samples_sorts(self):
+        cdf = EmpiricalCdf.from_samples([3.0, 1.0, 2.0])
+        assert cdf.values == (1.0, 2.0, 3.0)
+
+    def test_fraction_at_or_below(self):
+        cdf = EmpiricalCdf.from_samples([1, 2, 3, 4])
+        assert cdf.fraction_at_or_below(2) == 0.5
+        assert cdf.fraction_at_or_below(0) == 0.0
+        assert cdf.fraction_at_or_below(4) == 1.0
+        assert cdf.fraction_at_or_below(2.5) == 0.5
+
+    def test_fraction_below_strict(self):
+        cdf = EmpiricalCdf.from_samples([1, 2, 2, 3])
+        assert cdf.fraction_below(2) == 0.25
+        assert cdf.fraction_at_or_below(2) == 0.75
+
+    def test_empty_queries_raise(self):
+        cdf = EmpiricalCdf.from_samples([])
+        assert cdf.empty
+        with pytest.raises(CdfError):
+            cdf.fraction_at_or_below(1.0)
+        with pytest.raises(CdfError):
+            cdf.quantile(0.5)
+        with pytest.raises(CdfError):
+            _ = cdf.min
+
+
+class TestQuantiles:
+    def test_median_odd(self):
+        cdf = EmpiricalCdf.from_samples([1, 2, 3])
+        assert cdf.median == 2
+
+    def test_quantile_extremes(self):
+        cdf = EmpiricalCdf.from_samples(range(1, 101))
+        assert cdf.quantile(0.01) == 1
+        assert cdf.quantile(1.0) == 100
+        assert cdf.quantile(0.9) == 90
+
+    def test_quantile_range_validation(self):
+        cdf = EmpiricalCdf.from_samples([1])
+        with pytest.raises(CdfError):
+            cdf.quantile(0.0)
+        with pytest.raises(CdfError):
+            cdf.quantile(1.5)
+
+    def test_quantile_is_smallest_x_reaching_q(self):
+        cdf = EmpiricalCdf.from_samples([1, 1, 1, 10])
+        assert cdf.quantile(0.75) == 1
+        assert cdf.quantile(0.76) == 10
+
+    def test_min_max_mean(self):
+        cdf = EmpiricalCdf.from_samples([2.0, 4.0, 6.0])
+        assert cdf.min == 2.0
+        assert cdf.max == 6.0
+        assert cdf.mean() == pytest.approx(4.0)
+
+
+class TestPoints:
+    def test_points_monotonic_and_complete(self):
+        cdf = EmpiricalCdf.from_samples(range(1000))
+        points = cdf.points(max_points=50)
+        assert len(points) <= 52
+        xs = [x for x, _ in points]
+        ys = [y for _, y in points]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+        assert points[-1] == (999, 1.0)
+
+    def test_points_empty(self):
+        assert EmpiricalCdf.from_samples([]).points() == []
+
+
+class TestSteps:
+    def test_step_sizes_finds_jumps(self):
+        # 60% of mass at 31, 30% at 63, tail spread out.
+        samples = [31] * 60 + [63] * 30 + list(range(10))
+        cdf = EmpiricalCdf.from_samples(samples)
+        jumps = dict(cdf.step_sizes(threshold=0.2))
+        assert jumps[31] == pytest.approx(0.6)
+        assert jumps[63] == pytest.approx(0.3)
+
+    def test_step_sizes_threshold(self):
+        cdf = EmpiricalCdf.from_samples([1] * 5 + [2] * 95)
+        assert dict(cdf.step_sizes(threshold=0.1)) == {2: 0.95}

@@ -1,0 +1,49 @@
+"""Tests for categorical distributions."""
+
+import pytest
+
+from repro.stats.hist import CategoricalDistribution
+
+
+class TestCategoricalDistribution:
+    def test_from_items(self):
+        dist = CategoricalDistribution.from_items([2, 2, 3, 2])
+        assert dist.counts[2] == 3
+        assert dist.total == 4
+
+    def test_from_counts(self):
+        dist = CategoricalDistribution.from_counts({"a": 5, "b": 5})
+        assert dist.fraction("a") == 0.5
+
+    def test_add(self):
+        dist = CategoricalDistribution()
+        dist.add("x")
+        dist.add("x", 4)
+        assert dist.counts["x"] == 5
+
+    def test_fraction_of_missing_category(self):
+        dist = CategoricalDistribution.from_items(["a"])
+        assert dist.fraction("zzz") == 0.0
+
+    def test_fraction_on_empty(self):
+        assert CategoricalDistribution().fraction("a") == 0.0
+
+    def test_fractions_sum_to_one(self):
+        dist = CategoricalDistribution.from_items([1, 1, 2, 3])
+        assert sum(dist.fractions().values()) == pytest.approx(1.0)
+
+    def test_mode(self):
+        dist = CategoricalDistribution.from_items([2, 3, 2, 2, 3])
+        assert dist.mode() == 2
+
+    def test_mode_on_empty_raises(self):
+        with pytest.raises(ValueError):
+            CategoricalDistribution().mode()
+
+    def test_sorted_items(self):
+        dist = CategoricalDistribution.from_counts({3: 1, 1: 2, 2: 3})
+        assert dist.sorted_items() == [(1, 2), (2, 3), (3, 1)]
+
+    def test_len(self):
+        dist = CategoricalDistribution.from_items(["a", "b", "a"])
+        assert len(dist) == 2

@@ -1,0 +1,62 @@
+"""Tests for bucketed time series."""
+
+import pytest
+
+from repro.stats.timeseries import BucketSeries, SeriesError
+
+
+class TestBucketSeries:
+    def test_bucketing(self):
+        series = BucketSeries(width=60.0)
+        series.add(0.0)
+        series.add(59.9)
+        series.add(60.0)
+        assert series.get(0) == 2
+        assert series.get(1) == 1
+        assert series.get(99) == 0
+
+    def test_weighted_add(self):
+        series = BucketSeries(width=10.0)
+        series.add(5.0, amount=3.5)
+        assert series.get(0) == 3.5
+        assert series.total == 3.5
+
+    def test_buckets_sorted(self):
+        series = BucketSeries(width=1.0)
+        for t in (5.0, 1.0, 3.0):
+            series.add(t)
+        assert series.buckets == [1, 3, 5]
+
+    def test_width_validation(self):
+        with pytest.raises(SeriesError):
+            BucketSeries(width=0.0)
+
+    def test_ratio_series(self):
+        loss = BucketSeries(width=60.0)
+        total = BucketSeries(width=60.0)
+        loss.add(10.0, 5)
+        total.add(10.0, 100)
+        total.add(70.0, 50)  # bucket with zero numerator: not in ratios
+        ratios = loss.ratio_series(total)
+        assert ratios == {0: pytest.approx(0.05)}
+
+    def test_ratio_skips_zero_denominator(self):
+        loss = BucketSeries(width=60.0)
+        total = BucketSeries(width=60.0)
+        loss.add(10.0, 5)
+        assert loss.ratio_series(total) == {}
+
+    def test_ratio_requires_same_width(self):
+        with pytest.raises(SeriesError):
+            BucketSeries(width=60.0).ratio_series(BucketSeries(width=30.0))
+
+    def test_max_ratio(self):
+        loss = BucketSeries(width=60.0)
+        total = BucketSeries(width=60.0)
+        for minute, (l, t) in enumerate([(1, 100), (9, 100), (2, 100)]):
+            loss.add(minute * 60.0, l)
+            total.add(minute * 60.0, t)
+        assert loss.max_ratio(total) == pytest.approx(0.09)
+
+    def test_max_ratio_empty(self):
+        assert BucketSeries().max_ratio(BucketSeries()) == 0.0

@@ -1,0 +1,125 @@
+"""Tests for prefix populations and flow pools."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.net.addr import IPv4Prefix
+from repro.traffic.flows import Flow, FlowError, FlowPool, PrefixPopulation
+
+
+class TestPrefixPopulation:
+    def test_requires_egresses(self):
+        with pytest.raises(FlowError):
+            PrefixPopulation(egresses=[])
+
+    def test_prefix_count_and_uniqueness(self):
+        pop = PrefixPopulation(egresses=["a"], n_prefixes=50,
+                               rng=random.Random(0))
+        assert len(pop.prefixes) == 50
+        assert len(set(pop.prefixes)) == 50
+        assert all(prefix.length == 24 for prefix in pop.prefixes)
+
+    def test_class_mix_skews_to_class_c(self):
+        pop = PrefixPopulation(egresses=["a"], n_prefixes=400,
+                               rng=random.Random(1))
+        class_c = sum(
+            1 for prefix in pop.prefixes
+            if prefix.network_address.is_class_c()
+        )
+        assert class_c / 400 == pytest.approx(0.6, abs=0.08)
+
+    def test_every_prefix_has_primary_egress(self):
+        pop = PrefixPopulation(egresses=["a", "b"], n_prefixes=30,
+                               rng=random.Random(2))
+        assert set(pop.primary_egress) == set(pop.prefixes)
+        assert set(pop.primary_egress.values()) <= {"a", "b"}
+
+    def test_multihoming_fraction(self):
+        pop = PrefixPopulation(egresses=["a", "b"], n_prefixes=300,
+                               rng=random.Random(3),
+                               multihomed_fraction=0.5)
+        fraction = len(pop.backup_egress) / 300
+        assert fraction == pytest.approx(0.5, abs=0.08)
+        for prefix, backup in pop.backup_egress.items():
+            assert backup != pop.primary_egress[prefix]
+
+    def test_single_egress_never_multihomed(self):
+        pop = PrefixPopulation(egresses=["only"], n_prefixes=20,
+                               rng=random.Random(4))
+        assert pop.backup_egress == {}
+
+    def test_zipf_popularity(self):
+        pop = PrefixPopulation(egresses=["a"], n_prefixes=100,
+                               rng=random.Random(5), zipf_s=1.2)
+        rng = random.Random(6)
+        counts = Counter(pop.sample_prefix(rng) for _ in range(10000))
+        top = counts.most_common(1)[0][1]
+        assert top / 10000 > 0.1  # head prefix carries a big share
+        assert pop.popularity(pop.prefixes[0]) > pop.popularity(
+            pop.prefixes[-1]
+        )
+
+    def test_popularity_of_unknown_prefix(self):
+        pop = PrefixPopulation(egresses=["a"], n_prefixes=5,
+                               rng=random.Random(7))
+        assert pop.popularity(IPv4Prefix.parse("203.0.113.0/24")) == 0.0
+
+    def test_originations_cover_primary_and_backup(self):
+        pop = PrefixPopulation(egresses=["a", "b"], n_prefixes=40,
+                               rng=random.Random(8))
+        pairs = pop.originations()
+        assert len(pairs) == 40 + len(pop.backup_egress)
+
+    def test_bad_class_mix_rejected(self):
+        with pytest.raises(FlowError):
+            PrefixPopulation(egresses=["a"], class_mix=(0.5, 0.5, 0.5))
+
+
+class TestFlowPool:
+    def _pool(self, **kwargs):
+        pop = PrefixPopulation(egresses=["a"], n_prefixes=20,
+                               rng=random.Random(0))
+        return FlowPool(pop, rng=random.Random(1), **kwargs)
+
+    def test_flow_count(self):
+        pool = self._pool(n_flows=100)
+        assert len(pool.flows) == 100
+
+    def test_flow_destinations_in_population(self):
+        pool = self._pool(n_flows=50)
+        prefixes = set(pool.population.prefixes)
+        for flow in pool.flows:
+            assert flow.dst.slash24() in prefixes
+
+    def test_ip_id_increments_per_source(self):
+        pool = self._pool(n_flows=10)
+        src = pool.flows[0].src
+        first = pool.next_ip_id(src)
+        second = pool.next_ip_id(src)
+        assert second == (first + 1) & 0xFFFF
+
+    def test_ip_id_independent_per_source(self):
+        pool = self._pool(n_flows=10)
+        src_a = pool.flows[0].src
+        id_a = pool.next_ip_id(src_a)
+        # A different host does not advance src_a's counter.
+        other = pool.flows[1].src if pool.flows[1].src != src_a else (
+            pool.flows[2].src
+        )
+        pool.next_ip_id(other)
+        assert pool.next_ip_id(src_a) == (id_a + 1) & 0xFFFF
+
+    def test_sample_flow_returns_pool_member(self):
+        pool = self._pool(n_flows=30)
+        for _ in range(100):
+            assert pool.sample_flow() in pool.flows
+
+    def test_flow_port_validation(self):
+        from repro.net.addr import IPv4Address
+
+        with pytest.raises(FlowError):
+            Flow(src=IPv4Address.parse("1.1.1.1"),
+                 dst=IPv4Address.parse("2.2.2.2"),
+                 src_port=70000, dst_port=80)

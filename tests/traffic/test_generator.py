@@ -1,0 +1,168 @@
+"""Tests for the workload generator."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.net.addr import IPv4Prefix
+from repro.net.packet import IPPROTO_ICMP, IPPROTO_TCP, IPPROTO_UDP, TcpHeader
+from repro.routing.bgp import BgpProcess
+from repro.routing.events import EventScheduler
+from repro.routing.forwarding import ForwardingEngine
+from repro.routing.linkstate import LinkStateProtocol
+from repro.routing.topology import line_topology
+from repro.traffic.flows import PrefixPopulation
+from repro.traffic.generator import GeneratorError, WorkloadGenerator
+from repro.traffic.mix import PacketCategory, TrafficMix
+
+
+@pytest.fixture
+def engine():
+    topo = line_topology(3)
+    scheduler = EventScheduler()
+    igp = LinkStateProtocol(topo, scheduler, rng=random.Random(1))
+    bgp = BgpProcess(topo, scheduler, igp, rng=random.Random(2))
+    population = PrefixPopulation(egresses=["R2"], n_prefixes=20,
+                                  rng=random.Random(3))
+    for prefix, egress in population.originations():
+        bgp.originate(prefix, egress)
+    bgp.originate(IPv4Prefix.parse("224.0.0.0/4"), "R2")
+    igp.start()
+    bgp.start()
+    eng = ForwardingEngine(topo, scheduler, igp, bgp, rng=random.Random(4))
+    eng.population = population  # convenience for tests
+    return eng
+
+
+def _generator(engine, **kwargs):
+    defaults = dict(rate_pps=200.0, rng=random.Random(5), n_flows=50)
+    defaults.update(kwargs)
+    return WorkloadGenerator(engine, engine.population, **defaults)
+
+
+class TestConfiguration:
+    def test_rate_must_be_positive(self, engine):
+        with pytest.raises(GeneratorError):
+            _generator(engine, rate_pps=0.0)
+
+    def test_unknown_ingress_rejected(self, engine):
+        with pytest.raises(GeneratorError):
+            _generator(engine, ingress_weights={"ghost": 1.0})
+
+    def test_bad_window_rejected(self, engine):
+        generator = _generator(engine)
+        with pytest.raises(GeneratorError):
+            generator.run(10.0, 10.0)
+
+
+class TestPacketConstruction:
+    def test_categories_produce_correct_protocols(self, engine):
+        generator = _generator(engine)
+        protocol_by_category = {
+            PacketCategory.TCP_DATA: IPPROTO_TCP,
+            PacketCategory.UDP: IPPROTO_UDP,
+            PacketCategory.ICMP_ECHO: IPPROTO_ICMP,
+        }
+        for category, protocol in protocol_by_category.items():
+            flow = generator.flows.sample_flow()
+            packet = generator._build(category, flow)
+            assert packet.ip.protocol == protocol
+
+    def test_tcp_flags_set(self, engine):
+        generator = _generator(engine)
+        flow = generator.flows.sample_flow()
+        packet = generator._build(PacketCategory.TCP_SYN, flow)
+        assert isinstance(packet.l4, TcpHeader)
+        assert packet.l4.flags & 0x02
+
+    def test_multicast_destination_is_class_d(self, engine):
+        generator = _generator(engine)
+        flow = generator.flows.sample_flow()
+        packet = generator._build(PacketCategory.MULTICAST, flow)
+        assert packet.ip.dst.is_multicast()
+
+    def test_other_category_uses_raw_protocol(self, engine):
+        generator = _generator(engine)
+        flow = generator.flows.sample_flow()
+        packet = generator._build(PacketCategory.OTHER, flow)
+        assert packet.ip.protocol in (47, 50)
+        assert packet.l4 is None
+
+    def test_control_segments_have_no_payload(self, engine):
+        generator = _generator(engine)
+        flow = generator.flows.sample_flow()
+        for category in (PacketCategory.TCP_SYN, PacketCategory.TCP_FIN,
+                         PacketCategory.TCP_RST):
+            packet = generator._build(category, flow)
+            assert packet.payload == b""
+
+    def test_packets_have_valid_wire_form(self, engine):
+        from repro.net.packet import Packet
+
+        generator = _generator(engine)
+        for _ in range(50):
+            packet, ingress = generator.next_packet()
+            wire = packet.pack()
+            parsed = Packet.unpack(wire)
+            assert parsed.ip.dst == packet.ip.dst
+            assert ingress in engine.topology.routers
+
+    def test_ttl_values_follow_model(self, engine):
+        generator = _generator(engine)
+        ttls = [generator.next_packet()[0].ip.ttl for _ in range(300)]
+        # Multicast packets are clamped to <= 32; everything else follows
+        # the model (bases minus upstream hops).
+        assert all(0 < ttl <= 255 for ttl in ttls)
+        assert any(ttl > 100 for ttl in ttls)  # 128-base population present
+
+
+class TestScheduling:
+    def test_poisson_arrivals_hit_target_rate(self, engine):
+        generator = _generator(engine, rate_pps=500.0)
+        generator.run(0.0, 20.0)
+        engine.scheduler.run(until=30.0)
+        expected = 500.0 * 20.0
+        assert engine.packets_injected >= 0.85 * expected
+        # ICMP time-exceeded replies can push the count slightly above.
+        assert generator.stats.packets <= 1.15 * expected
+
+    def test_stats_track_categories(self, engine):
+        generator = _generator(engine, rate_pps=300.0)
+        generator.run(0.0, 10.0)
+        engine.scheduler.run(until=20.0)
+        assert sum(generator.stats.by_category.values()) == (
+            generator.stats.packets
+        )
+        assert generator.stats.by_category.get(
+            PacketCategory.TCP_DATA, 0
+        ) > 0
+
+    def test_deterministic_given_seeds(self):
+        def build():
+            topo = line_topology(3)
+            scheduler = EventScheduler()
+            igp = LinkStateProtocol(topo, scheduler, rng=random.Random(1))
+            bgp = BgpProcess(topo, scheduler, igp, rng=random.Random(2))
+            population = PrefixPopulation(egresses=["R2"], n_prefixes=10,
+                                          rng=random.Random(3))
+            for prefix, egress in population.originations():
+                bgp.originate(prefix, egress)
+            igp.start()
+            bgp.start()
+            eng = ForwardingEngine(topo, scheduler, igp, bgp,
+                                   rng=random.Random(4))
+            gen = WorkloadGenerator(eng, population, rate_pps=100.0,
+                                    rng=random.Random(5), n_flows=20)
+            gen.run(0.0, 5.0)
+            scheduler.run(until=10.0)
+            return eng.packets_injected, eng.fate_counts
+
+        assert build() == build()
+
+    def test_custom_mix_respected(self, engine):
+        mix = TrafficMix(weights={PacketCategory.UDP: 1.0})
+        generator = _generator(engine, mix=mix, rate_pps=200.0)
+        generator.run(0.0, 5.0)
+        engine.scheduler.run(until=10.0)
+        assert set(generator.stats.by_category) == {PacketCategory.UDP}

@@ -1,0 +1,82 @@
+"""Tests for traffic mixes and packet categories."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.net.packet import TcpFlags
+from repro.traffic.mix import DEFAULT_MIX, MixError, PacketCategory, TrafficMix
+
+
+class TestPacketCategory:
+    def test_tcp_predicates(self):
+        assert PacketCategory.TCP_SYN.is_tcp
+        assert not PacketCategory.UDP.is_tcp
+        assert PacketCategory.ICMP_ECHO.is_icmp
+        assert not PacketCategory.TCP_DATA.is_icmp
+
+    def test_tcp_flags_mapping(self):
+        assert PacketCategory.TCP_SYN.tcp_flags() == TcpFlags.SYN
+        assert PacketCategory.TCP_SYNACK.tcp_flags() == (
+            TcpFlags.SYN | TcpFlags.ACK
+        )
+        assert PacketCategory.TCP_FIN.tcp_flags() == (
+            TcpFlags.FIN | TcpFlags.ACK
+        )
+
+    def test_tcp_flags_rejected_for_non_tcp(self):
+        with pytest.raises(ValueError):
+            PacketCategory.UDP.tcp_flags()
+
+
+class TestTrafficMix:
+    def test_normalization(self):
+        mix = TrafficMix(weights={PacketCategory.UDP: 1.0,
+                                  PacketCategory.TCP_DATA: 3.0})
+        assert mix.fraction(PacketCategory.TCP_DATA) == pytest.approx(0.75)
+        assert mix.fraction(PacketCategory.UDP) == pytest.approx(0.25)
+        assert mix.fraction(PacketCategory.ICMP_ECHO) == 0.0
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(MixError):
+            TrafficMix(weights={})
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(MixError):
+            TrafficMix(weights={PacketCategory.UDP: -1.0})
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(MixError):
+            TrafficMix(weights={PacketCategory.UDP: 0.0})
+
+    def test_sample_matches_weights(self):
+        mix = TrafficMix(weights={PacketCategory.UDP: 1.0,
+                                  PacketCategory.TCP_DATA: 9.0})
+        rng = random.Random(0)
+        counts = Counter(mix.sample(rng) for _ in range(5000))
+        assert counts[PacketCategory.TCP_DATA] / 5000 == pytest.approx(
+            0.9, abs=0.03
+        )
+
+    def test_fast_sampler_matches_weights(self):
+        mix = TrafficMix(weights={PacketCategory.UDP: 2.0,
+                                  PacketCategory.ICMP_ECHO: 8.0})
+        draw = mix.sampler(random.Random(1))
+        counts = Counter(draw() for _ in range(5000))
+        assert counts[PacketCategory.ICMP_ECHO] / 5000 == pytest.approx(
+            0.8, abs=0.03
+        )
+
+    def test_default_mix_is_tcp_dominated(self):
+        tcp = sum(
+            fraction for category, fraction in DEFAULT_MIX.normalized.items()
+            if category.is_tcp
+        )
+        assert tcp > 0.8
+        udp = DEFAULT_MIX.fraction(PacketCategory.UDP)
+        assert 0.05 <= udp <= 0.15
+
+    def test_default_syn_fin_below_one_percent(self):
+        assert DEFAULT_MIX.fraction(PacketCategory.TCP_SYN) < 0.01
+        assert DEFAULT_MIX.fraction(PacketCategory.TCP_FIN) < 0.01

@@ -1,0 +1,99 @@
+"""Tests for the synthetic trace builder (planted ground truth)."""
+
+import random
+
+import pytest
+
+from repro.net.addr import IPv4Prefix
+from repro.traffic.synthetic import SyntheticError, SyntheticTraceBuilder
+
+PREFIX = IPv4Prefix.parse("192.0.2.0/24")
+
+
+class TestBackground:
+    def test_background_count_and_ordering(self):
+        builder = SyntheticTraceBuilder(rng=random.Random(0))
+        builder.add_background(100, 0.0, 10.0)
+        trace = builder.build()
+        assert len(trace) == 100
+        stamps = [record.timestamp for record in trace]
+        assert stamps == sorted(stamps)
+
+    def test_background_window_validation(self):
+        builder = SyntheticTraceBuilder()
+        with pytest.raises(SyntheticError):
+            builder.add_background(5, 10.0, 10.0)
+
+    def test_duplicate_pair_identical_bytes(self):
+        builder = SyntheticTraceBuilder(rng=random.Random(1))
+        builder.add_duplicate_pair(5.0)
+        trace = builder.build()
+        assert len(trace) == 2
+        assert trace[0].data == trace[1].data
+
+
+class TestPlantedLoops:
+    def test_loop_replica_counts(self):
+        builder = SyntheticTraceBuilder(rng=random.Random(2))
+        loop = builder.add_loop(1.0, PREFIX, ttl_delta=2, n_packets=3,
+                                replicas_per_packet=5, entry_ttl=60)
+        trace = builder.build()
+        assert len(trace) == 15
+        assert len(loop.streams) == 3
+        assert all(len(stream) == 5 for stream in loop.streams)
+
+    def test_loop_ttls_decrement_by_delta(self):
+        builder = SyntheticTraceBuilder(rng=random.Random(3))
+        loop = builder.add_loop(0.0, PREFIX, ttl_delta=3, n_packets=1,
+                                replicas_per_packet=4, entry_ttl=30)
+        ttls = [ttl for _, ttl in loop.streams[0]]
+        assert ttls == [30, 27, 24, 21]
+
+    def test_default_replica_count_runs_ttl_out(self):
+        builder = SyntheticTraceBuilder(rng=random.Random(4))
+        loop = builder.add_loop(0.0, PREFIX, ttl_delta=2, n_packets=1,
+                                entry_ttl=10)
+        ttls = [ttl for _, ttl in loop.streams[0]]
+        assert ttls == [10, 8, 6, 4, 2]
+
+    def test_too_many_replicas_rejected(self):
+        builder = SyntheticTraceBuilder()
+        with pytest.raises(SyntheticError):
+            builder.add_loop(0.0, PREFIX, ttl_delta=2, n_packets=1,
+                             replicas_per_packet=40, entry_ttl=10)
+
+    def test_replicas_differ_only_in_ttl_and_checksum(self):
+        builder = SyntheticTraceBuilder(rng=random.Random(5))
+        builder.add_loop(0.0, PREFIX, ttl_delta=2, n_packets=1,
+                         replicas_per_packet=3, entry_ttl=20)
+        trace = builder.build()
+        first, second = trace[0].data, trace[1].data
+        diff = [i for i in range(len(first)) if first[i] != second[i]]
+        assert set(diff) <= {8, 10, 11}
+
+    def test_loop_end_property(self):
+        builder = SyntheticTraceBuilder(rng=random.Random(6))
+        loop = builder.add_loop(2.0, PREFIX, spacing=0.01, n_packets=2,
+                                replicas_per_packet=3, entry_ttl=30,
+                                packet_gap=0.1, jitter=0.0)
+        assert loop.end == pytest.approx(2.12)
+
+    def test_parameter_validation(self):
+        builder = SyntheticTraceBuilder()
+        with pytest.raises(SyntheticError):
+            builder.add_loop(0.0, PREFIX, ttl_delta=0)
+        with pytest.raises(SyntheticError):
+            builder.add_loop(0.0, PREFIX, n_packets=0)
+        with pytest.raises(SyntheticError):
+            builder.add_loop(0.0, PREFIX, spacing=0.0)
+
+    def test_interleaving_with_background(self):
+        builder = SyntheticTraceBuilder(rng=random.Random(7))
+        builder.add_background(50, 0.0, 2.0,
+                               prefixes=[IPv4Prefix.parse("198.51.100.0/24")])
+        builder.add_loop(0.5, PREFIX, n_packets=2, replicas_per_packet=4,
+                         entry_ttl=20)
+        trace = builder.build()
+        assert len(trace) == 58
+        stamps = [record.timestamp for record in trace]
+        assert stamps == sorted(stamps)

@@ -1,0 +1,62 @@
+"""Tests for the initial-TTL model."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.traffic.ttl import DEFAULT_TTL_MODEL, InitialTtlModel, TtlModelError
+
+
+class TestValidation:
+    def test_empty_bases_rejected(self):
+        with pytest.raises(TtlModelError):
+            InitialTtlModel(bases={})
+
+    def test_base_out_of_range_rejected(self):
+        with pytest.raises(TtlModelError):
+            InitialTtlModel(bases={300: 1.0})
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(TtlModelError):
+            InitialTtlModel(bases={64: -1.0})
+
+    def test_hop_range_ordered(self):
+        with pytest.raises(TtlModelError):
+            InitialTtlModel(bases={64: 1.0}, upstream_hops=(10, 5))
+
+    def test_hops_cannot_exhaust_smallest_base(self):
+        with pytest.raises(TtlModelError):
+            InitialTtlModel(bases={32: 1.0}, upstream_hops=(0, 32))
+
+
+class TestSampling:
+    def test_sample_in_expected_range(self):
+        model = InitialTtlModel(bases={64: 1.0}, upstream_hops=(3, 10))
+        rng = random.Random(0)
+        for _ in range(200):
+            ttl = model.sample(rng)
+            assert 54 <= ttl <= 61
+
+    def test_base_weights_respected(self):
+        model = InitialTtlModel(bases={64: 7.0, 128: 3.0},
+                                upstream_hops=(0, 0))
+        rng = random.Random(1)
+        counts = Counter(model.sample_base(rng) for _ in range(5000))
+        assert counts[64] / 5000 == pytest.approx(0.7, abs=0.03)
+
+    def test_default_model_modes(self):
+        """Samples land below the 64/128 bases, never above 255."""
+        rng = random.Random(2)
+        samples = [DEFAULT_TTL_MODEL.sample(rng) for _ in range(2000)]
+        assert max(samples) <= 255
+        assert min(samples) > 0
+        near_64 = sum(1 for s in samples if 46 <= s <= 61)
+        near_128 = sum(1 for s in samples if 110 <= s <= 125)
+        assert near_64 / 2000 > 0.35
+        assert near_128 / 2000 > 0.2
+
+    def test_deterministic_for_seed(self):
+        a = [DEFAULT_TTL_MODEL.sample(random.Random(9)) for _ in range(50)]
+        b = [DEFAULT_TTL_MODEL.sample(random.Random(9)) for _ in range(50)]
+        assert a == b
