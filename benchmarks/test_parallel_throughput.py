@@ -1,0 +1,100 @@
+"""Scaling — sharded parallel engine vs. the single-process baseline.
+
+Times the offline ``LoopDetector`` and ``ParallelLoopDetector`` at 1, 2,
+and 4 workers over the same 100k-record synthetic trace used by
+``test_detector_throughput.py``, asserts exactness at every worker
+count, and writes the scaling table to ``benchmarks/output/``.
+
+The >= 2x speedup assertion at 4 workers only applies on a runner with
+at least 4 cores: on fewer cores the worker processes time-slice one
+CPU and the fork/pickle overhead dominates, which the emitted table
+still documents.
+"""
+
+import os
+import random
+import time
+
+import pytest
+
+from repro.core.detector import LoopDetector
+from repro.core.report import format_table
+from repro.net.addr import IPv4Prefix
+from repro.parallel import ParallelLoopDetector
+from repro.traffic.synthetic import SyntheticTraceBuilder
+
+JOBS = (1, 2, 4)
+ROUNDS = 3
+
+
+@pytest.fixture(scope="module")
+def big_trace():
+    builder = SyntheticTraceBuilder(rng=random.Random(0))
+    prefixes = [
+        IPv4Prefix((198 << 24) | (51 << 16) | (i << 8), 24)
+        for i in range(40)
+    ]
+    builder.add_background(100_000, 0.0, 600.0, prefixes=prefixes)
+    for i in range(20):
+        builder.add_loop(
+            10.0 + i * 25.0,
+            IPv4Prefix((192 << 24) | (i << 8), 24),
+            n_packets=4,
+            replicas_per_packet=8,
+            spacing=0.01,
+            packet_gap=0.012,
+            entry_ttl=40,
+        )
+    return builder.build()
+
+
+def _best_of(rounds, run):
+    best, result = float("inf"), None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = run()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_parallel_scaling(big_trace, emit):
+    cores = os.cpu_count() or 1
+    baseline_seconds, baseline = _best_of(
+        ROUNDS, lambda: LoopDetector().detect(big_trace)
+    )
+    assert baseline.stream_count == 80
+    assert baseline.loop_count == 20
+
+    rows = [[
+        "offline", "-", f"{baseline_seconds:.3f}",
+        f"{len(big_trace) / baseline_seconds:,.0f}", "1.00",
+    ]]
+    speedups = {}
+    for jobs in JOBS:
+        engine = ParallelLoopDetector(jobs=jobs)
+        seconds, result = _best_of(
+            ROUNDS, lambda engine=engine: engine.detect(big_trace)
+        )
+        # Exactness first: a fast wrong answer is worthless.
+        assert result.stream_count == baseline.stream_count
+        assert result.loop_count == baseline.loop_count
+        assert result.looped_packet_count == baseline.looped_packet_count
+        speedups[jobs] = baseline_seconds / seconds
+        rows.append([
+            f"parallel x{jobs}", jobs, f"{seconds:.3f}",
+            f"{len(big_trace) / seconds:,.0f}", f"{speedups[jobs]:.2f}",
+        ])
+
+    table = format_table(
+        ["Engine", "Workers", "Seconds", "Records/s", "Speedup"],
+        rows,
+        title=(f"Parallel scaling — {len(big_trace)} records, "
+               f"{cores} core(s) available"),
+    )
+    emit("parallel_scaling", table)
+
+    if cores >= 4:
+        assert speedups[4] >= 2.0, (
+            f"expected >= 2x speedup at 4 workers on {cores} cores, "
+            f"got {speedups[4]:.2f}x"
+        )

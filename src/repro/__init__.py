@@ -28,14 +28,17 @@ from repro.core.detector import DetectionResult, DetectorConfig, LoopDetector
 from repro.core.merge import RoutingLoop
 from repro.core.replica import Replica, ReplicaStream
 from repro.core.streaming import StreamingLoopDetector
-from repro.net.pcap import read_pcap, write_pcap
+from repro.net.pcap import iter_pcap, iter_pcap_chunks, read_pcap, write_pcap
 from repro.net.trace import Trace, TraceRecord
+from repro.parallel import ParallelLoopDetector, run_batch
 
 __version__ = "1.0.0"
 
 __all__ = [
     "LoopDetector",
     "StreamingLoopDetector",
+    "ParallelLoopDetector",
+    "run_batch",
     "DetectorConfig",
     "DetectionResult",
     "RoutingLoop",
@@ -45,5 +48,7 @@ __all__ = [
     "TraceRecord",
     "read_pcap",
     "write_pcap",
+    "iter_pcap",
+    "iter_pcap_chunks",
     "__version__",
 ]

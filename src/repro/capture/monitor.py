@@ -9,6 +9,8 @@ plus TCP/UDP header, no payload).
 
 from __future__ import annotations
 
+import heapq
+
 from repro.net.packet import Packet
 from repro.net.trace import SNAPLEN_40, Trace, TraceRecord
 from repro.routing.forwarding import ForwardingEngine
@@ -42,14 +44,23 @@ class LinkMonitor:
         )
 
     def finalize(self) -> Trace:
-        """Sort buffered records into the trace and return it."""
+        """Merge buffered records into the trace and return it.
+
+        A no-op when nothing is pending, so repeated calls are cheap.
+        The already-finalized records stay sorted between calls, so the
+        pending batch is sorted alone and merged in — O(p log p + n)
+        rather than re-sorting the whole trace every time.
+        """
         if self._pending:
             self._pending.sort(key=lambda record: record.timestamp)
-            merged = sorted(
-                self.trace.records + self._pending,
-                key=lambda record: record.timestamp,
-            )
-            self.trace.records = merged
+            records = self.trace.records
+            if not records or records[-1].timestamp <= self._pending[0].timestamp:
+                records.extend(self._pending)
+            else:
+                self.trace.records = list(heapq.merge(
+                    records, self._pending,
+                    key=lambda record: record.timestamp,
+                ))
             self._pending = []
         return self.trace
 

@@ -1,8 +1,10 @@
 """Command-line interface.
 
-Three subcommands::
+Subcommands::
 
     repro-loops detect <trace.pcap>        # run the detector on a pcap
+    repro-loops detect --jobs 4 <trace>    # sharded multi-process detection
+    repro-loops batch [targets...]         # several traces concurrently
     repro-loops simulate <scenario>        # run a Table I scenario
     repro-loops report <scenario>          # scenario + full figure report
 
@@ -60,6 +62,28 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="emit the detection result as JSON")
     detect.add_argument("--streaming", action="store_true",
                         help="use the online (streaming) detector")
+    detect.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for sharded detection "
+                             "(default 1 = offline single-process)")
+    detect.add_argument("--shards", type=int, default=None,
+                        help="shard count for --jobs (default: same as "
+                             "--jobs)")
+
+    batch = sub.add_parser(
+        "batch",
+        help="run detection over several traces concurrently",
+    )
+    batch.add_argument("targets", nargs="*",
+                       help="pcap files and/or Table I scenario names "
+                            "(default: all four scenarios)")
+    batch.add_argument("--jobs", type=int, default=1,
+                       help="concurrent trace workers (default 1)")
+    batch.add_argument("--duration", type=float, default=None,
+                       help="override scenario duration in seconds")
+    batch.add_argument("--merge-gap", type=float, default=60.0,
+                       help="stream merge gap in seconds (default 60)")
+    batch.add_argument("--min-stream-size", type=int, default=3,
+                       help="minimum replicas per stream (default 3)")
 
     simulate = sub.add_parser(
         "simulate", help="run a Table I backbone scenario"
@@ -144,9 +168,13 @@ def _print_figures(result) -> None:
 
 
 def _cmd_detect(args: argparse.Namespace) -> int:
-    trace = read_pcap(args.trace)
+    if args.streaming and args.jobs > 1:
+        print("error: --streaming and --jobs are mutually exclusive",
+              file=sys.stderr)
+        return 1
     detector = _detector_from_args(args)
     if args.streaming:
+        trace = read_pcap(args.trace)
         from repro.core.streaming import StreamingLoopDetector
 
         streaming = StreamingLoopDetector(detector.config)
@@ -158,6 +186,30 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             print(f"  {loop.prefix}  {loop.start:.3f}..{loop.end:.3f}s  "
                   f"delta={loop.ttl_delta} replicas={loop.replica_count}")
         return 0
+    if args.jobs > 1:
+        from repro.parallel import ParallelLoopDetector
+
+        engine = ParallelLoopDetector(
+            detector.config, jobs=args.jobs, shards=args.shards
+        )
+        if args.figures or args.json:
+            # Figure statistics and JSON need the full trace in memory.
+            result = engine.detect(read_pcap(args.trace,
+                                             link_name=args.trace))
+        else:
+            result = engine.detect_file(args.trace, link_name=args.trace)
+        if args.json:
+            from repro.core.serialize import result_to_json
+
+            print(result_to_json(result))
+            return 0
+        print(render_summary(result))
+        print()
+        print(result.parallel.render())
+        if args.figures:
+            _print_figures(result)
+        return 0
+    trace = read_pcap(args.trace)
     result = detector.detect(trace)
     if args.json:
         from repro.core.serialize import result_to_json
@@ -168,6 +220,23 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     if args.figures:
         _print_figures(result)
     return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.parallel import run_batch
+
+    config = DetectorConfig(
+        merge_gap=args.merge_gap,
+        min_stream_size=args.min_stream_size,
+    )
+    result = run_batch(
+        targets=args.targets or None,
+        jobs=args.jobs,
+        config=config,
+        duration=args.duration,
+    )
+    print(result.render())
+    return 1 if result.failed else 0
 
 
 def _run_scenario(name: str, duration: float | None):
@@ -217,6 +286,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "detect": _cmd_detect,
+        "batch": _cmd_batch,
         "simulate": _cmd_simulate,
         "report": _cmd_report,
         "anonymize": _cmd_anonymize,

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.net.addr import IPv4Prefix
 from repro.net.trace import Trace
-from repro.core.replica import ReplicaStream
+from repro.core.replica import ReplicaStream, stream_sort_key
 from repro.core.streams import PrefixIndex
 
 
@@ -102,7 +102,7 @@ def merge_streams(
 
     loops: list[RoutingLoop] = []
     for prefix, group in by_prefix.items():
-        group.sort(key=lambda stream: stream.start)
+        group.sort(key=stream_sort_key)
         current: list[ReplicaStream] = [group[0]]
         current_end = group[0].end
         for stream in group[1:]:

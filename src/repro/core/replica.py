@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from statistics import mode
+from typing import Iterable
 
 from repro.net.addr import IPv4Address, IPv4Prefix
 from repro.net.trace import Trace
@@ -172,6 +173,37 @@ def detect_replicas(
     one stream so that identical packets hours apart never chain (loop
     round-trips are milliseconds).
     """
+    return detect_replicas_indexed(
+        ((index, record.timestamp, record.data)
+         for index, record in enumerate(trace.records)),
+        min_ttl_delta=min_ttl_delta,
+        max_replica_gap=max_replica_gap,
+        eviction_interval=eviction_interval,
+        stats=stats,
+    )
+
+
+def detect_replicas_indexed(
+    records: Iterable[tuple[int, float, bytes]],
+    min_ttl_delta: int = 2,
+    max_replica_gap: float = 5.0,
+    eviction_interval: int = 100_000,
+    stats: ReplicaScanStats | None = None,
+) -> list[ReplicaStream]:
+    """Replica detection over ``(index, timestamp, data)`` triples.
+
+    The indices are carried through to the resulting streams untouched, so
+    a caller may feed a *subset* of a trace's records (with their original
+    global indices) and get streams whose ``member_indices`` line up with
+    the full trace.  This is what makes exact sharding possible: all
+    chaining state is keyed by the masked-packet key, so any partition
+    that keeps each key's records together — in time order — produces the
+    same streams as one pass over everything.
+
+    Eviction runs on the local scan position, not the carried index; it
+    only discards state that could never chain again (older than the
+    chaining gap), so its cadence never changes the result.
+    """
     if min_ttl_delta < 1:
         raise ReplicaError(f"min_ttl_delta must be >= 1: {min_ttl_delta}")
     if max_replica_gap <= 0:
@@ -187,15 +219,13 @@ def detect_replicas(
     def close_stream(stream: _OpenStream) -> None:
         finished.append(_finalize(stream))
 
-    for index, record in enumerate(trace.records):
+    for position, (index, timestamp, data) in enumerate(records):
         stats.records_scanned += 1
-        data = record.data
         if len(data) < _MIN_CAPTURE:
             stats.records_skipped_short += 1
             continue
         key = mask_mutable_fields(data)
         ttl = data[_TTL_OFFSET]
-        timestamp = record.timestamp
 
         streams = open_streams.get(key)
         if streams is not None:
@@ -231,7 +261,7 @@ def detect_replicas(
                 continue
         singletons[key] = (index, timestamp, ttl, data)
 
-        if eviction_interval and index and index % eviction_interval == 0:
+        if eviction_interval and position and position % eviction_interval == 0:
             horizon = timestamp - max_replica_gap
             stale = [k for k, (_, t, _, _) in singletons.items() if t < horizon]
             for k in stale:
@@ -253,9 +283,16 @@ def detect_replicas(
         for stream in streams:
             close_stream(stream)
 
-    finished.sort(key=lambda stream: stream.start)
+    finished.sort(key=stream_sort_key)
     stats.candidate_streams = len(finished)
     return finished
+
+
+def stream_sort_key(stream: ReplicaStream) -> tuple[float, int]:
+    """Total order on streams: start time, ties broken by the first
+    replica's record index (unique across streams).  Shared by the offline
+    and sharded engines so both produce byte-identical candidate lists."""
+    return (stream.start, stream.replicas[0].index)
 
 
 def _finalize(stream: _OpenStream) -> ReplicaStream:

@@ -44,20 +44,26 @@ class PrefixIndex:
     (step 3), which runs the same query over gap intervals.
     """
 
-    def __init__(self, trace: Trace, prefix_length: int = 24) -> None:
+    def __init__(self, trace: Trace | None = None,
+                 prefix_length: int = 24) -> None:
         self.prefix_length = prefix_length
-        shift = 32 - prefix_length
-        by_prefix: dict[int, list[tuple[float, int]]] = {}
-        for index, record in enumerate(trace.records):
-            data = record.data
-            if len(data) < 20:
-                continue
-            dst = int.from_bytes(data[16:20], "big")
-            by_prefix.setdefault(dst >> shift, []).append(
-                (record.timestamp, index)
-            )
-        # Traces are time-ordered, so each bucket is already sorted.
-        self._by_prefix = by_prefix
+        self._shift = 32 - prefix_length
+        # Records arrive time-ordered, so each bucket stays sorted.
+        self._by_prefix: dict[int, list[tuple[float, int]]] = {}
+        if trace is not None:
+            for index, record in enumerate(trace.records):
+                self.add_record(index, record.timestamp, record.data)
+
+    def add_record(self, index: int, timestamp: float, data: bytes) -> None:
+        """Index one record incrementally (timestamps must be fed in
+        non-decreasing order).  Lets the chunked readers build the index
+        without ever materializing a full :class:`Trace`."""
+        if len(data) < 20:
+            return
+        dst = int.from_bytes(data[16:20], "big")
+        self._by_prefix.setdefault(dst >> self._shift, []).append(
+            (timestamp, index)
+        )
 
     def _bucket(self, prefix: IPv4Prefix) -> list[tuple[float, int]]:
         if prefix.length != self.prefix_length:

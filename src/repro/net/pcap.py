@@ -4,13 +4,26 @@ Traces round-trip through the classic pcap format (magic ``0xa1b2c3d4``,
 microsecond timestamps, ``LINKTYPE_RAW`` so each record body is a bare IPv4
 packet).  This makes the detector usable on real captures converted with
 ``tcpdump -w``/``tshark`` as well as on simulator output.
+
+Two reading modes:
+
+* :func:`read_pcap` materializes the whole file as a :class:`Trace`;
+* :func:`iter_pcap` / :func:`iter_pcap_chunks` stream records with bounded
+  memory, which is what the sharded parallel engine feeds on for traces
+  too large to hold at once.
+
+A capture cut off mid-record (``tcpdump -c``, disk-full, a crashed
+collector) is common in practice; the partial tail record is dropped with
+a :class:`PcapWarning` instead of failing the whole trace.
 """
 
 from __future__ import annotations
 
 import struct
+import warnings
+from dataclasses import dataclass
 from pathlib import Path
-from typing import BinaryIO
+from typing import BinaryIO, Iterator
 
 from repro.net.trace import SNAPLEN_40, Trace, TraceRecord
 
@@ -18,6 +31,10 @@ PCAP_MAGIC = 0xA1B2C3D4
 PCAP_MAGIC_SWAPPED = 0xD4C3B2A1
 PCAP_MAGIC_NS = 0xA1B23C4D
 LINKTYPE_RAW = 101
+
+#: Default record count per chunk for :func:`iter_pcap_chunks` — with a
+#: 40-byte snaplen this is a few MiB of buffered data, far below trace size.
+DEFAULT_CHUNK_RECORDS = 65_536
 
 _GLOBAL_HEADER = struct.Struct("<IHHiIII")
 _GLOBAL_HEADER_BE = struct.Struct(">IHHiIII")
@@ -27,6 +44,10 @@ _RECORD_HEADER_BE = struct.Struct(">IIII")
 
 class PcapError(ValueError):
     """Raised for malformed pcap files."""
+
+
+class PcapWarning(UserWarning):
+    """Issued for recoverable defects (a truncated final record)."""
 
 
 def write_pcap(trace: Trace, path: str | Path) -> None:
@@ -54,18 +75,17 @@ def _write_stream(trace: Trace, stream: BinaryIO) -> None:
         stream.write(record.data)
 
 
-def read_pcap(path: str | Path, link_name: str = "") -> Trace:
-    """Read a pcap file into a :class:`Trace`.
+@dataclass(slots=True, frozen=True)
+class _PcapHeader:
+    """Parsed global header: everything the record loop needs."""
 
-    Handles both byte orders and nanosecond-magic files.  Records are
-    assumed to be raw IPv4 (``LINKTYPE_RAW``); Ethernet (``LINKTYPE 1``)
-    frames have their 14-byte MAC header stripped.
-    """
-    with open(path, "rb") as stream:
-        return _read_stream(stream, link_name)
+    record_struct: struct.Struct
+    divisor: int
+    mac_header: int
+    snaplen: int
 
 
-def _read_stream(stream: BinaryIO, link_name: str) -> Trace:
+def _read_global_header(stream: BinaryIO) -> _PcapHeader:
     raw_header = stream.read(_GLOBAL_HEADER.size)
     if len(raw_header) < _GLOBAL_HEADER.size:
         raise PcapError("truncated pcap global header")
@@ -84,26 +104,99 @@ def _read_stream(stream: BinaryIO, link_name: str) -> Trace:
         raise PcapError(f"unsupported pcap version {major}.{minor}")
     if linktype not in (LINKTYPE_RAW, 1):
         raise PcapError(f"unsupported linktype {linktype}")
-    mac_header = 14 if linktype == 1 else 0
-    divisor = 1_000_000_000 if nanos else 1_000_000
+    return _PcapHeader(
+        record_struct=record_struct,
+        divisor=1_000_000_000 if nanos else 1_000_000,
+        mac_header=14 if linktype == 1 else 0,
+        snaplen=snaplen or SNAPLEN_40,
+    )
 
-    trace = Trace(link_name=link_name, snaplen=snaplen or SNAPLEN_40)
+
+def _iter_records(stream: BinaryIO, header: _PcapHeader) -> Iterator[TraceRecord]:
+    record_struct = header.record_struct
+    mac_header = header.mac_header
+    divisor = header.divisor
     while True:
         raw_record = stream.read(record_struct.size)
         if not raw_record:
             break
         if len(raw_record) < record_struct.size:
-            raise PcapError("truncated pcap record header")
+            warnings.warn(
+                "pcap capture ends mid-record (truncated record header); "
+                "dropping the partial final record",
+                PcapWarning,
+                stacklevel=3,
+            )
+            break
         seconds, fraction, captured_len, wire_len = record_struct.unpack(raw_record)
         data = stream.read(captured_len)
         if len(data) < captured_len:
-            raise PcapError("truncated pcap record body")
-        timestamp = seconds + fraction / divisor
-        trace.append(
-            TraceRecord(
-                timestamp=timestamp,
-                data=data[mac_header:],
-                wire_length=max(wire_len - mac_header, len(data) - mac_header),
+            warnings.warn(
+                f"pcap capture ends mid-record ({len(data)}/{captured_len} "
+                "body bytes); dropping the partial final record",
+                PcapWarning,
+                stacklevel=3,
             )
+            break
+        timestamp = seconds + fraction / divisor
+        yield TraceRecord(
+            timestamp=timestamp,
+            data=data[mac_header:],
+            wire_length=max(wire_len - mac_header, len(data) - mac_header),
         )
+
+
+def read_pcap(path: str | Path, link_name: str = "") -> Trace:
+    """Read a pcap file into a :class:`Trace`.
+
+    Handles both byte orders and nanosecond-magic files.  Records are
+    assumed to be raw IPv4 (``LINKTYPE_RAW``); Ethernet (``LINKTYPE 1``)
+    frames have their 14-byte MAC header stripped.
+    """
+    with open(path, "rb") as stream:
+        return _read_stream(stream, link_name)
+
+
+def _read_stream(stream: BinaryIO, link_name: str) -> Trace:
+    header = _read_global_header(stream)
+    trace = Trace(link_name=link_name, snaplen=header.snaplen)
+    for record in _iter_records(stream, header):
+        trace.append(record)
     return trace
+
+
+def iter_pcap(path: str | Path) -> Iterator[TraceRecord]:
+    """Stream a pcap file record by record with bounded memory.
+
+    Yields exactly the records :func:`read_pcap` would load, in order,
+    without ever holding more than one record at a time.
+    """
+    with open(path, "rb") as stream:
+        header = _read_global_header(stream)
+        yield from _iter_records(stream, header)
+
+
+def iter_pcap_chunks(
+    path: str | Path,
+    chunk_records: int = DEFAULT_CHUNK_RECORDS,
+    link_name: str = "",
+) -> Iterator[Trace]:
+    """Stream a pcap file as :class:`Trace` chunks of ``chunk_records``.
+
+    Each chunk carries the file's snaplen and ``link_name``, so chunk
+    consumers (the sharded engine, incremental indexers) see the same
+    metadata :func:`read_pcap` would attach, while peak memory stays
+    bounded by the chunk size rather than the trace length.
+    """
+    if chunk_records < 1:
+        raise PcapError(f"chunk_records must be >= 1: {chunk_records}")
+    with open(path, "rb") as stream:
+        header = _read_global_header(stream)
+        chunk = Trace(link_name=link_name, snaplen=header.snaplen)
+        for record in _iter_records(stream, header):
+            chunk.append(record)
+            if len(chunk.records) >= chunk_records:
+                yield chunk
+                chunk = Trace(link_name=link_name, snaplen=header.snaplen)
+        if chunk.records:
+            yield chunk

@@ -1,0 +1,342 @@
+"""The sharded parallel detection engine.
+
+:class:`ParallelLoopDetector` reproduces the offline
+:class:`~repro.core.detector.LoopDetector` result exactly, with step 1
+(replica chaining — the bulk of the work) fanned out over a process pool:
+
+1. **Partition** — records are routed to N shards by the masked-packet
+   key (:mod:`repro.parallel.shard`).  All replicas of one packet share a
+   key, so no candidate stream is split across shards.
+2. **Chain** — each worker runs
+   :func:`~repro.core.replica.detect_replicas_indexed` over its shard,
+   carrying the records' *global* trace indices so stream membership
+   lines up with the full trace.
+3. **Validate + merge (global)** — the parent concatenates the shard
+   streams, restores the offline candidate order, and runs
+   :func:`~repro.core.streams.validate_streams` and
+   :func:`~repro.core.merge.merge_streams` against the global per-/24
+   :class:`~repro.core.streams.PrefixIndex`.  These passes must be
+   global: validation compares a stream against *every* packet to its
+   prefix, not just those in its shard.
+
+:meth:`ParallelLoopDetector.detect_file` feeds the partition from the
+bounded-memory :func:`~repro.net.pcap.iter_pcap_chunks` reader, building
+the prefix index incrementally instead of materializing a whole
+:class:`~repro.net.trace.Trace`.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.detector import DetectionResult, DetectorConfig
+from repro.core.merge import merge_streams
+from repro.core.replica import (
+    ReplicaScanStats,
+    ReplicaStream,
+    detect_replicas_indexed,
+    stream_sort_key,
+)
+from repro.core.report import format_table
+from repro.core.streams import PrefixIndex, validate_streams
+from repro.net.pcap import DEFAULT_CHUNK_RECORDS, iter_pcap_chunks
+from repro.net.trace import SNAPLEN_40, Trace
+from repro.parallel.shard import ShardError, ShardPartition
+
+
+class ParallelError(ValueError):
+    """Raised for invalid parallel-engine configuration."""
+
+
+@dataclass(slots=True)
+class ShardRunStats:
+    """Instrumentation for one shard's chaining pass."""
+
+    shard_id: int
+    records: int
+    candidate_streams: int
+    seconds: float
+
+    @property
+    def records_per_sec(self) -> float:
+        return self.records / self.seconds if self.seconds > 0 else 0.0
+
+
+@dataclass(slots=True)
+class ParallelStats:
+    """Instrumentation for one parallel detection run."""
+
+    jobs: int
+    shards: int
+    records_total: int = 0
+    partition_seconds: float = 0.0
+    detect_seconds: float = 0.0
+    merge_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    shard_skew: float = 1.0
+    per_shard: list[ShardRunStats] = field(default_factory=list)
+
+    @property
+    def records_per_sec(self) -> float:
+        """End-to-end throughput over the whole run."""
+        return (self.records_total / self.wall_seconds
+                if self.wall_seconds > 0 else 0.0)
+
+    def render(self) -> str:
+        """Plain-text instrumentation block for CLI / benchmark reports."""
+        lines = [
+            f"parallel: {self.jobs} worker(s), {self.shards} shard(s)",
+            f"wall time: {self.wall_seconds:.3f} s "
+            f"(partition {self.partition_seconds:.3f}, "
+            f"detect {self.detect_seconds:.3f}, "
+            f"merge {self.merge_seconds:.3f})",
+            f"throughput: {self.records_per_sec:,.0f} records/s",
+            f"shard skew: {self.shard_skew:.2f}x",
+        ]
+        if self.per_shard:
+            lines.append(format_table(
+                ["Shard", "Records", "Streams", "Seconds", "Records/s"],
+                [
+                    [s.shard_id, s.records, s.candidate_streams,
+                     f"{s.seconds:.3f}", f"{s.records_per_sec:,.0f}"]
+                    for s in self.per_shard
+                ],
+            ))
+        return "\n".join(lines)
+
+
+@dataclass(slots=True)
+class TraceSummary:
+    """Trace metadata stand-in for streamed (never-materialized) traces.
+
+    Quacks enough like :class:`~repro.net.trace.Trace` for
+    :func:`~repro.core.report.render_summary` and the Table I columns —
+    record count, duration, bandwidth — without holding any records.
+    """
+
+    link_name: str = ""
+    snaplen: int = SNAPLEN_40
+    record_count: int = 0
+    start_time: float = 0.0
+    end_time: float = 0.0
+    total_bytes: int = 0
+
+    def __len__(self) -> int:
+        return self.record_count
+
+    @property
+    def empty(self) -> bool:
+        return self.record_count == 0
+
+    @property
+    def duration(self) -> float:
+        if self.record_count < 2:
+            return 0.0
+        return self.end_time - self.start_time
+
+    def average_bandwidth_bps(self) -> float:
+        if self.duration <= 0:
+            return 0.0
+        return self.total_bytes * 8 / self.duration
+
+
+@dataclass(slots=True)
+class ParallelDetectionResult(DetectionResult):
+    """A :class:`~repro.core.detector.DetectionResult` plus parallel
+    instrumentation.  For streamed files, ``trace`` is a
+    :class:`TraceSummary` rather than a full trace."""
+
+    parallel: ParallelStats
+
+
+def _detect_shard(
+    payload: tuple[int, list[tuple[int, float, bytes]], DetectorConfig],
+) -> tuple[int, list[ReplicaStream], ReplicaScanStats, float]:
+    """Worker entry point: chain one shard's records (module-level so it
+    pickles into pool workers)."""
+    shard_id, records, config = payload
+    stats = ReplicaScanStats()
+    started = time.perf_counter()
+    streams = detect_replicas_indexed(
+        records,
+        min_ttl_delta=config.min_ttl_delta,
+        max_replica_gap=config.max_replica_gap,
+        eviction_interval=config.eviction_interval,
+        stats=stats,
+    )
+    return shard_id, streams, stats, time.perf_counter() - started
+
+
+class ParallelLoopDetector:
+    """Multi-process detect → validate → merge, identical to offline.
+
+    ``jobs`` is the worker-process count; ``shards`` (default: ``jobs``)
+    is the partition count.  With ``jobs=1`` everything runs in-process —
+    useful both as a no-dependency fallback and for equivalence tests.
+    """
+
+    def __init__(
+        self,
+        config: DetectorConfig | None = None,
+        jobs: int = 1,
+        shards: int | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise ParallelError(f"jobs must be >= 1: {jobs}")
+        if shards is not None and shards < 1:
+            raise ParallelError(f"shards must be >= 1: {shards}")
+        self.config = config or DetectorConfig()
+        self.jobs = jobs
+        self.shards = shards if shards is not None else jobs
+
+    # -- entry points ---------------------------------------------------------
+
+    def detect(self, trace: Trace) -> ParallelDetectionResult:
+        """Run the sharded pipeline over an in-memory trace."""
+        started = time.perf_counter()
+        partition = ShardPartition(num_shards=self.shards)
+        needs_index = (self.config.check_prefix_consistency
+                       or self.config.check_gap_consistency)
+        prefix_index = (PrefixIndex(prefix_length=self.config.prefix_length)
+                        if needs_index else None)
+        for index, record in enumerate(trace.records):
+            partition.add(index, record.timestamp, record.data)
+            if prefix_index is not None:
+                prefix_index.add_record(index, record.timestamp, record.data)
+        partition_seconds = time.perf_counter() - started
+        return self._finish(
+            partition, prefix_index, trace, started, partition_seconds
+        )
+
+    def detect_file(
+        self,
+        path: str | Path,
+        link_name: str = "",
+        chunk_records: int = DEFAULT_CHUNK_RECORDS,
+    ) -> ParallelDetectionResult:
+        """Run the sharded pipeline over a pcap file via the chunked
+        reader — the whole trace is never materialized; ``result.trace``
+        is a :class:`TraceSummary`."""
+        started = time.perf_counter()
+        partition = ShardPartition(num_shards=self.shards)
+        needs_index = (self.config.check_prefix_consistency
+                       or self.config.check_gap_consistency)
+        prefix_index = (PrefixIndex(prefix_length=self.config.prefix_length)
+                        if needs_index else None)
+        summary = TraceSummary(link_name=link_name or str(path))
+        index = 0
+        for chunk in iter_pcap_chunks(path, chunk_records=chunk_records):
+            summary.snaplen = chunk.snaplen
+            for record in chunk.records:
+                partition.add(index, record.timestamp, record.data)
+                if prefix_index is not None:
+                    prefix_index.add_record(
+                        index, record.timestamp, record.data
+                    )
+                if summary.record_count == 0:
+                    summary.start_time = record.timestamp
+                summary.end_time = record.timestamp
+                summary.record_count += 1
+                summary.total_bytes += record.wire_length
+                index += 1
+        partition_seconds = time.perf_counter() - started
+        return self._finish(
+            partition, prefix_index, summary, started, partition_seconds
+        )
+
+    # -- pipeline internals ---------------------------------------------------
+
+    def _finish(
+        self,
+        partition: ShardPartition,
+        prefix_index: PrefixIndex | None,
+        trace,
+        started: float,
+        partition_seconds: float,
+    ) -> ParallelDetectionResult:
+        detect_started = time.perf_counter()
+        shard_outputs = self._run_shards(partition)
+        detect_seconds = time.perf_counter() - detect_started
+
+        merge_started = time.perf_counter()
+        candidates: list[ReplicaStream] = []
+        scan_stats = ReplicaScanStats(
+            records_scanned=partition.records_total,
+            records_skipped_short=partition.records_short,
+        )
+        per_shard: list[ShardRunStats] = []
+        for shard_id, streams, shard_stats, seconds in shard_outputs:
+            candidates.extend(streams)
+            scan_stats.singletons_evicted += shard_stats.singletons_evicted
+            per_shard.append(ShardRunStats(
+                shard_id=shard_id,
+                records=shard_stats.records_scanned,
+                candidate_streams=shard_stats.candidate_streams,
+                seconds=seconds,
+            ))
+        # Restore the offline candidate order: the shared total order on
+        # (start time, first replica index) makes the concatenation
+        # byte-identical to one pass over the whole trace.
+        candidates.sort(key=stream_sort_key)
+        scan_stats.candidate_streams = len(candidates)
+
+        config = self.config
+        validation_trace = trace if isinstance(trace, Trace) else Trace()
+        validation = validate_streams(
+            candidates,
+            validation_trace,
+            min_stream_size=config.min_stream_size,
+            prefix_length=config.prefix_length,
+            check_prefix_consistency=config.check_prefix_consistency,
+            prefix_index=prefix_index,
+        )
+        loops = merge_streams(
+            validation.valid,
+            validation_trace,
+            merge_gap=config.merge_gap,
+            prefix_length=config.prefix_length,
+            check_gap_consistency=config.check_gap_consistency,
+            prefix_index=prefix_index,
+            candidates=candidates,
+        )
+        merge_seconds = time.perf_counter() - merge_started
+
+        stats = ParallelStats(
+            jobs=self.jobs,
+            shards=self.shards,
+            records_total=partition.records_total,
+            partition_seconds=partition_seconds,
+            detect_seconds=detect_seconds,
+            merge_seconds=merge_seconds,
+            wall_seconds=time.perf_counter() - started,
+            shard_skew=partition.skew,
+            per_shard=per_shard,
+        )
+        return ParallelDetectionResult(
+            trace=trace,
+            config=config,
+            candidate_streams=candidates,
+            validation=validation,
+            loops=loops,
+            scan_stats=scan_stats,
+            parallel=stats,
+        )
+
+    def _run_shards(
+        self, partition: ShardPartition
+    ) -> list[tuple[int, list[ReplicaStream], ReplicaScanStats, float]]:
+        payloads = [
+            (shard_id, records, self.config)
+            for shard_id, records in enumerate(partition.shards)
+            if records
+        ]
+        if not payloads:
+            return []
+        if self.jobs == 1 or len(payloads) == 1:
+            return [_detect_shard(payload) for payload in payloads]
+        workers = min(self.jobs, len(payloads))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_detect_shard, payloads))

@@ -1,0 +1,117 @@
+"""Deterministic key → shard assignment for exact parallel detection.
+
+Step 1 of the paper's algorithm chains replicas by the *masked-packet
+key* (:func:`repro.core.replica.mask_mutable_fields`): the captured bytes
+with TTL and IP checksum zeroed.  Every piece of chaining state —
+singletons, open streams — is looked up by that key, and keys never
+interact.  Records can therefore be hashed to N shards by key and chained
+per shard without losing (or double-counting) a single candidate stream,
+as long as each shard sees its records in global time order.
+
+:func:`shard_key` drops the mutable bytes instead of zeroing them; two
+records have equal masks exactly when they have equal shard keys, which
+is all the assignment needs.  The hash is CRC-32, so the placement is
+deterministic across processes and runs (unlike ``hash(bytes)``, which is
+salted per interpreter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from zlib import crc32
+
+#: Wire offsets of the fields a loop legitimately changes (see
+#: :mod:`repro.core.replica`): TTL at byte 8, header checksum at 10–11.
+_TTL_OFFSET = 8
+_CHECKSUM_OFFSET = 10
+
+#: Minimum captured bytes for a record to participate in detection.
+MIN_CAPTURE = 20
+
+
+class ShardError(ValueError):
+    """Raised for invalid sharding parameters."""
+
+
+def shard_key(data: bytes) -> bytes:
+    """The replica-invariant bytes of a captured packet.
+
+    Equivalent to :func:`~repro.core.replica.mask_mutable_fields` for
+    grouping purposes: the TTL and checksum bytes are removed rather than
+    zeroed, so all replicas of one packet share a shard key.
+    """
+    return (
+        data[:_TTL_OFFSET]
+        + data[_TTL_OFFSET + 1:_CHECKSUM_OFFSET]
+        + data[_CHECKSUM_OFFSET + 2:]
+    )
+
+
+def assign_shard(data: bytes, num_shards: int) -> int:
+    """Deterministic shard id in ``[0, num_shards)`` for a record."""
+    if num_shards < 1:
+        raise ShardError(f"num_shards must be >= 1: {num_shards}")
+    if num_shards == 1:
+        return 0
+    return crc32(shard_key(data)) % num_shards
+
+
+@dataclass(slots=True)
+class ShardPartition:
+    """Per-shard record partitions of one trace.
+
+    Each shard holds ``(global_index, timestamp, data)`` triples in
+    original trace order, ready to feed
+    :func:`~repro.core.replica.detect_replicas_indexed`.  Records shorter
+    than a full IP header never reach a shard (the detector would skip
+    them anyway) but are counted so aggregated scan stats match the
+    offline pass.
+    """
+
+    num_shards: int
+    shards: list[list[tuple[int, float, bytes]]] = field(default_factory=list)
+    records_total: int = 0
+    records_short: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ShardError(f"num_shards must be >= 1: {self.num_shards}")
+        if not self.shards:
+            self.shards = [[] for _ in range(self.num_shards)]
+
+    def add(self, index: int, timestamp: float, data: bytes) -> None:
+        """Route one record to its shard (call in trace order)."""
+        self.records_total += 1
+        if len(data) < MIN_CAPTURE:
+            self.records_short += 1
+            return
+        self.shards[assign_shard(data, self.num_shards)].append(
+            (index, timestamp, data)
+        )
+
+    @property
+    def shard_sizes(self) -> list[int]:
+        return [len(shard) for shard in self.shards]
+
+    @property
+    def skew(self) -> float:
+        """Largest shard over the mean shard size (1.0 = perfectly even).
+
+        High skew means one hot key dominates and caps the parallel
+        speedup; it is reported in the engine's instrumentation.
+        """
+        sizes = self.shard_sizes
+        total = sum(sizes)
+        if not total:
+            return 1.0
+        return max(sizes) / (total / len(sizes))
+
+
+def partition_records(
+    records, num_shards: int
+) -> ShardPartition:
+    """Partition an iterable of ``(index, timestamp, data)`` triples."""
+    partition = ShardPartition(num_shards=num_shards)
+    for index, timestamp, data in records:
+        partition.add(index, timestamp, data)
+    return partition

@@ -1,0 +1,76 @@
+"""Tests for the passive link monitor's finalize path."""
+
+from repro.net.trace import TraceRecord
+
+
+def _record(timestamp: float) -> TraceRecord:
+    data = bytes([0x45]) + bytes(19)
+    return TraceRecord(timestamp=timestamp, data=data, wire_length=40)
+
+
+class _FakeEngine:
+    """Just enough ForwardingEngine surface for LinkMonitor."""
+
+    def __init__(self):
+        self.taps = []
+        self.topology = self
+
+    def link_between(self, a, b):
+        return (a, b)
+
+    def add_tap(self, a, b, callback):
+        self.taps.append(callback)
+
+
+def _monitor():
+    from repro.capture.monitor import LinkMonitor
+
+    engine = _FakeEngine()
+    monitor = LinkMonitor(engine, "a", "b")
+    return monitor, engine.taps[0]
+
+
+class TestFinalize:
+    def test_sorts_out_of_order_pending(self):
+        monitor, _ = _monitor()
+        for t in (3.0, 1.0, 2.0):
+            monitor._pending.append(_record(t))
+        trace = monitor.finalize()
+        assert [r.timestamp for r in trace.records] == [1.0, 2.0, 3.0]
+
+    def test_repeated_finalize_is_noop(self):
+        monitor, _ = _monitor()
+        monitor._pending.extend(_record(t) for t in (2.0, 1.0))
+        trace = monitor.finalize()
+        records_before = list(trace.records)
+        assert monitor.finalize() is trace
+        assert trace.records == records_before
+
+    def test_appends_when_batch_is_later_than_trace(self):
+        monitor, _ = _monitor()
+        monitor._pending.extend(_record(t) for t in (1.0, 2.0))
+        monitor.finalize()
+        monitor._pending.extend(_record(t) for t in (4.0, 3.0))
+        trace = monitor.finalize()
+        assert [r.timestamp for r in trace.records] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_merges_interleaved_batch(self):
+        monitor, _ = _monitor()
+        monitor._pending.extend(_record(t) for t in (1.0, 3.0, 5.0))
+        monitor.finalize()
+        monitor._pending.extend(_record(t) for t in (4.0, 2.0, 0.5))
+        trace = monitor.finalize()
+        assert [r.timestamp for r in trace.records] == [
+            0.5, 1.0, 2.0, 3.0, 4.0, 5.0
+        ]
+
+    def test_packets_seen_counts_pending_and_final(self):
+        monitor, _ = _monitor()
+        monitor._pending.extend(_record(t) for t in (1.0, 2.0))
+        assert monitor.packets_seen == 2
+        monitor.finalize()
+        assert monitor.packets_seen == 2
+
+    def test_finalize_empty_monitor(self):
+        monitor, _ = _monitor()
+        assert monitor.finalize().records == []

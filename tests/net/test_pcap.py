@@ -4,7 +4,14 @@ import struct
 
 import pytest
 
-from repro.net.pcap import PcapError, read_pcap, write_pcap
+from repro.net.pcap import (
+    PcapError,
+    PcapWarning,
+    iter_pcap,
+    iter_pcap_chunks,
+    read_pcap,
+    write_pcap,
+)
 from repro.net.trace import Trace
 
 
@@ -62,13 +69,34 @@ class TestPcapErrors:
         with pytest.raises(PcapError):
             read_pcap(path)
 
-    def test_rejects_truncated_record(self, small_trace, tmp_path):
+    def test_truncated_final_record_body_is_dropped_with_warning(
+        self, small_trace, tmp_path
+    ):
         path = tmp_path / "cut.pcap"
         write_pcap(small_trace, path)
         data = path.read_bytes()
         path.write_bytes(data[:-5])
-        with pytest.raises(PcapError):
-            read_pcap(path)
+        with pytest.warns(PcapWarning):
+            trace = read_pcap(path)
+        assert len(trace) == len(small_trace) - 1
+        for original, loaded in zip(small_trace, trace):
+            assert loaded.data == original.data
+
+    def test_truncated_final_record_header_is_dropped_with_warning(
+        self, small_trace, tmp_path
+    ):
+        path = tmp_path / "cut.pcap"
+        write_pcap(small_trace, path)
+        data = path.read_bytes()
+        # Keep the global header, both full records, and 7 bytes of the
+        # third record's 16-byte header.
+        offset = 24
+        for record in small_trace.records[:2]:
+            offset += 16 + len(record.data)
+        path.write_bytes(data[:offset + 7])
+        with pytest.warns(PcapWarning):
+            trace = read_pcap(path)
+        assert len(trace) == 2
 
     def test_rejects_unknown_linktype(self, tmp_path):
         path = tmp_path / "link.pcap"
@@ -108,3 +136,59 @@ class TestPcapInterop:
         path.write_bytes(header + record + frame)
         trace = read_pcap(path)
         assert trace[0].data == ip_bytes
+
+
+class TestIterPcap:
+    def test_iter_matches_read(self, small_trace, tmp_path):
+        path = tmp_path / "t.pcap"
+        write_pcap(small_trace, path)
+        loaded = read_pcap(path)
+        streamed = list(iter_pcap(path))
+        assert streamed == loaded.records
+
+    def test_iter_empty_file(self, tmp_path):
+        path = tmp_path / "empty.pcap"
+        write_pcap(Trace(), path)
+        assert list(iter_pcap(path)) == []
+
+    def test_iter_warns_on_truncated_tail(self, small_trace, tmp_path):
+        path = tmp_path / "cut.pcap"
+        write_pcap(small_trace, path)
+        path.write_bytes(path.read_bytes()[:-5])
+        with pytest.warns(PcapWarning):
+            streamed = list(iter_pcap(path))
+        assert len(streamed) == len(small_trace) - 1
+
+    def test_iter_rejects_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.pcap"
+        path.write_bytes(b"\x00" * 24)
+        with pytest.raises(PcapError):
+            list(iter_pcap(path))
+
+
+class TestIterPcapChunks:
+    @pytest.mark.parametrize("chunk_records", [1, 2, 3, 100])
+    def test_chunks_round_trip(self, small_trace, tmp_path, chunk_records):
+        path = tmp_path / "t.pcap"
+        write_pcap(small_trace, path)
+        loaded = read_pcap(path, link_name="test")
+        chunks = list(iter_pcap_chunks(path, chunk_records=chunk_records,
+                                       link_name="test"))
+        assert all(len(c) <= chunk_records for c in chunks)
+        assert all(len(c) == chunk_records for c in chunks[:-1])
+        rebuilt = [record for chunk in chunks for record in chunk]
+        assert rebuilt == loaded.records
+        for chunk in chunks:
+            assert chunk.snaplen == loaded.snaplen
+            assert chunk.link_name == "test"
+
+    def test_chunks_empty_file(self, tmp_path):
+        path = tmp_path / "empty.pcap"
+        write_pcap(Trace(), path)
+        assert list(iter_pcap_chunks(path)) == []
+
+    def test_rejects_bad_chunk_size(self, small_trace, tmp_path):
+        path = tmp_path / "t.pcap"
+        write_pcap(small_trace, path)
+        with pytest.raises(PcapError):
+            list(iter_pcap_chunks(path, chunk_records=0))

@@ -1,0 +1,106 @@
+"""Tests for concurrent multi-trace batch runs."""
+
+import random
+
+import pytest
+
+from repro.core.detector import DetectorConfig, LoopDetector
+from repro.net.addr import IPv4Prefix
+from repro.net.pcap import read_pcap, write_pcap
+from repro.parallel.batch import (
+    BatchError,
+    classify_target,
+    run_batch,
+)
+from repro.traffic.synthetic import SyntheticTraceBuilder
+
+
+def _write_trace(path, seed, loops):
+    builder = SyntheticTraceBuilder(rng=random.Random(seed))
+    builder.add_background(1500, 0.0, 60.0)
+    for i in range(loops):
+        builder.add_loop(5.0 + i * 20.0,
+                         IPv4Prefix((192 << 24) | (i << 8), 24),
+                         n_packets=2, replicas_per_packet=5, spacing=0.01,
+                         packet_gap=0.012, entry_ttl=40)
+    write_pcap(builder.build(), path)
+    return path
+
+
+class TestClassifyTarget:
+    def test_existing_file_is_pcap(self, tmp_path):
+        path = _write_trace(tmp_path / "a.pcap", 0, 1)
+        assert classify_target(str(path)) == ("pcap", str(path))
+
+    def test_scenario_name(self):
+        assert classify_target("backbone1") == ("scenario", "backbone1")
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(BatchError):
+            classify_target("not-a-scenario-or-file")
+
+
+class TestRunBatch:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_pcap_batch_matches_individual_runs(self, tmp_path, jobs):
+        paths = [
+            str(_write_trace(tmp_path / f"t{i}.pcap", seed=i, loops=i + 1))
+            for i in range(3)
+        ]
+        result = run_batch(paths, jobs=jobs)
+        assert len(result.items) == 3
+        detector = LoopDetector()
+        for item, path in zip(result.items, paths):
+            assert item.ok
+            assert item.name == path
+            expected = detector.detect(read_pcap(path))
+            assert item.loops == expected.loop_count
+            assert item.validated_streams == expected.stream_count
+            assert item.looped_packets == expected.looped_packet_count
+        assert result.total_loops == sum(i + 1 for i in range(3))
+
+    def test_missing_file_fails_whole_call(self, tmp_path):
+        with pytest.raises(BatchError):
+            run_batch([str(tmp_path / "missing.pcap")])
+
+    def test_per_trace_failure_is_isolated(self, tmp_path):
+        good = str(_write_trace(tmp_path / "good.pcap", 1, 1))
+        bad = tmp_path / "bad.pcap"
+        bad.write_bytes(b"\x00" * 24)  # exists, but invalid magic
+        result = run_batch([good, str(bad)], jobs=1)
+        assert result.items[0].ok
+        assert not result.items[1].ok
+        assert "PcapError" in result.items[1].error
+        assert result.failed == [result.items[1]]
+        assert "error" in result.render()
+
+    def test_config_propagates(self, tmp_path):
+        path = str(_write_trace(tmp_path / "t.pcap", 2, 2))
+        strict = run_batch([path], config=DetectorConfig(min_stream_size=9))
+        lax = run_batch([path], config=DetectorConfig(min_stream_size=3))
+        assert strict.items[0].validated_streams == 0
+        assert lax.items[0].validated_streams > 0
+
+    def test_scenario_batch(self):
+        result = run_batch(["backbone1"], jobs=1, duration=20.0)
+        item = result.items[0]
+        assert item.ok
+        assert item.kind == "scenario"
+        assert item.records > 0
+
+    def test_default_targets_are_table1(self):
+        from repro.sim import TABLE1_SCENARIOS
+        from repro.parallel.batch import classify_target
+
+        for name in TABLE1_SCENARIOS:
+            assert classify_target(name) == ("scenario", name)
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(BatchError):
+            run_batch(["backbone1"], jobs=0)
+
+    def test_render_contains_totals(self, tmp_path):
+        path = str(_write_trace(tmp_path / "t.pcap", 3, 1))
+        text = run_batch([path]).render()
+        assert "totals:" in text
+        assert "Batch detection" in text

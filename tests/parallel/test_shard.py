@@ -1,0 +1,119 @@
+"""Tests for deterministic key → shard assignment."""
+
+import random
+
+import pytest
+
+from repro.core.replica import mask_mutable_fields
+from repro.parallel.shard import (
+    MIN_CAPTURE,
+    ShardError,
+    ShardPartition,
+    assign_shard,
+    partition_records,
+    shard_key,
+)
+
+
+def _packet(ttl: int, checksum: int, payload: bytes = b"") -> bytes:
+    header = bytearray(20)
+    header[0] = 0x45
+    header[8] = ttl
+    header[10:12] = checksum.to_bytes(2, "big")
+    header[12:16] = bytes([10, 0, 0, 1])
+    header[16:20] = bytes([192, 0, 2, 7])
+    return bytes(header) + payload
+
+
+class TestShardKey:
+    def test_replicas_share_a_key(self):
+        a = _packet(ttl=60, checksum=0x1234, payload=b"data")
+        b = _packet(ttl=55, checksum=0xBEEF, payload=b"data")
+        assert shard_key(a) == shard_key(b)
+
+    def test_key_matches_mask_equivalence(self):
+        """Equal masks <=> equal shard keys, for any payload pair."""
+        rng = random.Random(0)
+        packets = [
+            _packet(rng.randrange(1, 255), rng.randrange(65536),
+                    bytes(rng.randrange(256) for _ in range(rng.randrange(8))))
+            for _ in range(50)
+        ]
+        for a in packets:
+            for b in packets:
+                same_mask = mask_mutable_fields(a) == mask_mutable_fields(b)
+                same_key = shard_key(a) == shard_key(b)
+                assert same_mask == same_key
+
+    def test_different_payloads_differ(self):
+        a = _packet(ttl=60, checksum=0, payload=b"aaaa")
+        b = _packet(ttl=60, checksum=0, payload=b"bbbb")
+        assert shard_key(a) != shard_key(b)
+
+
+class TestAssignShard:
+    def test_replicas_land_in_same_shard(self):
+        for num_shards in (1, 2, 3, 4, 7):
+            a = _packet(ttl=60, checksum=0x1234, payload=b"xyz")
+            b = _packet(ttl=42, checksum=0x9999, payload=b"xyz")
+            assert assign_shard(a, num_shards) == assign_shard(b, num_shards)
+
+    def test_within_range_and_deterministic(self):
+        rng = random.Random(1)
+        for _ in range(100):
+            data = _packet(rng.randrange(1, 255), rng.randrange(65536),
+                           bytes(rng.randrange(256) for _ in range(4)))
+            shard = assign_shard(data, 4)
+            assert 0 <= shard < 4
+            assert assign_shard(data, 4) == shard
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ShardError):
+            assign_shard(_packet(60, 0), 0)
+
+
+class TestShardPartition:
+    def test_short_records_never_reach_shards(self):
+        partition = ShardPartition(num_shards=2)
+        partition.add(0, 1.0, b"short")
+        partition.add(1, 2.0, _packet(60, 0))
+        assert partition.records_total == 2
+        assert partition.records_short == 1
+        assert sum(partition.shard_sizes) == 1
+
+    def test_partition_covers_all_long_records(self):
+        rng = random.Random(2)
+        records = [
+            (i, float(i), _packet(rng.randrange(1, 255), 0,
+                                  bytes([rng.randrange(256)])))
+            for i in range(200)
+        ]
+        partition = partition_records(records, 4)
+        recovered = sorted(
+            index for shard in partition.shards for index, _, _ in shard
+        )
+        assert recovered == list(range(200))
+
+    def test_shards_preserve_record_order(self):
+        rng = random.Random(3)
+        records = [
+            (i, float(i), _packet(64, 0, bytes([rng.randrange(4)])))
+            for i in range(100)
+        ]
+        partition = partition_records(records, 3)
+        for shard in partition.shards:
+            indices = [index for index, _, _ in shard]
+            assert indices == sorted(indices)
+
+    def test_skew_of_empty_partition_is_one(self):
+        assert ShardPartition(num_shards=4).skew == 1.0
+
+    def test_skew_detects_hot_shard(self):
+        partition = ShardPartition(num_shards=2)
+        hot = _packet(64, 0, b"hot")
+        for i in range(10):
+            partition.add(i, float(i), hot)
+        assert partition.skew == pytest.approx(2.0)
+
+    def test_min_capture_matches_detector_threshold(self):
+        assert MIN_CAPTURE == 20
