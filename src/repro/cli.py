@@ -93,6 +93,10 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="override scenario duration in seconds")
     simulate.add_argument("--pcap", default=None,
                           help="write the monitor trace to this pcap file")
+    simulate.add_argument("--no-route-cache", action="store_true",
+                          help="disable the forwarding engine's "
+                               "resolved-route cache (slow reference "
+                               "path; identical output)")
 
     report = sub.add_parser(
         "report", help="scenario run + full per-figure report"
@@ -100,6 +104,9 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("scenario", help="scenario name (backbone1..4)")
     report.add_argument("--duration", type=float, default=None,
                         help="override scenario duration in seconds")
+    report.add_argument("--no-route-cache", action="store_true",
+                        help="disable the forwarding engine's "
+                             "resolved-route cache")
 
     anonymize = sub.add_parser(
         "anonymize",
@@ -239,24 +246,38 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 1 if result.failed else 0
 
 
-def _run_scenario(name: str, duration: float | None):
+def _run_scenario(name: str, duration: float | None,
+                  route_cache: bool = True):
     from repro.sim import table1_scenario
 
     overrides = {}
     if duration is not None:
         overrides["duration"] = duration
+    if not route_cache:
+        overrides["route_cache"] = False
     scenario = table1_scenario(name, **overrides)
     return scenario.run()
 
 
+def _render_cache_stats(engine) -> str:
+    stats = engine.route_cache_stats()
+    if not stats["enabled"]:
+        return "route cache: disabled (reference path)"
+    return (f"route cache: {stats['hits']} hits / {stats['misses']} misses "
+            f"/ {stats['invalidations']} invalidations "
+            f"(hit rate {stats['hit_rate']:.1%})")
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    run = _run_scenario(args.scenario, args.duration)
+    run = _run_scenario(args.scenario, args.duration,
+                        route_cache=not args.no_route_cache)
     detector = LoopDetector()
     result = detector.detect(run.trace)
     print(render_summary(result))
     print(f"ground-truth looped packets (AS-wide): "
           f"{run.ground_truth_looped}")
     print(f"ground-truth TTL expiries: {run.ground_truth_expired}")
+    print(_render_cache_stats(run.engine))
     if args.pcap:
         write_pcap(run.trace, args.pcap)
         print(f"trace written to {args.pcap}")
@@ -264,9 +285,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    run = _run_scenario(args.scenario, args.duration)
+    run = _run_scenario(args.scenario, args.duration,
+                        route_cache=not args.no_route_cache)
     result = LoopDetector().detect(run.trace)
     print(render_summary(result))
+    print(_render_cache_stats(run.engine))
     _print_figures(result)
     return 0
 

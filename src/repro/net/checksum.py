@@ -5,9 +5,10 @@ ones-complement sum.  The paper's replica definition hinges on checksums:
 two replicas differ *only* in TTL and the IP header checksum, and equal
 TCP/UDP checksums stand in for equal payloads (the traces kept just 40
 bytes per packet).  Getting these right end-to-end is therefore load-bearing
-for the whole reproduction: the simulator recomputes the IP checksum at
-every hop exactly as a router would, and the detector verifies the
-relationship between the replicas' checksums.
+for the whole reproduction: the simulator's forwarding engine patches the
+IP checksum at every hop with the RFC 1624 incremental form exactly as a
+router would, and the detector verifies the relationship between the
+replicas' checksums.
 """
 
 from __future__ import annotations
@@ -18,16 +19,21 @@ def internet_checksum(data: bytes) -> int:
 
     Returns the 16-bit ones-complement of the ones-complement sum, as an
     integer in ``[0, 0xFFFF]``.  Odd-length input is zero-padded.
+
+    The ones-complement sum of 16-bit words is the big-endian value of
+    the whole buffer reduced mod 0xFFFF (RFC 1071 §2: the sum is
+    arithmetic mod 2^16 - 1), so one C-speed ``int.from_bytes`` replaces
+    the per-word Python loop.  End-around-carry folding yields 0xFFFF,
+    never 0x0000, for a nonzero buffer whose sum is a multiple of
+    0xFFFF; the explicit fix-up preserves that bit pattern.
     """
     if len(data) % 2:
         data = data + b"\x00"
-    total = 0
-    # Sum 16-bit big-endian words; defer carry folding to the end.
-    for i in range(0, len(data), 2):
-        total += (data[i] << 8) | data[i + 1]
-    while total >> 16:
-        total = (total & 0xFFFF) + (total >> 16)
-    return ~total & 0xFFFF
+    total = int.from_bytes(data, "big")
+    folded = total % 0xFFFF
+    if folded == 0 and total != 0:
+        folded = 0xFFFF
+    return ~folded & 0xFFFF
 
 
 def verify_checksum(data: bytes) -> bool:
@@ -39,10 +45,10 @@ def incremental_update(old_checksum: int, old_word: int, new_word: int) -> int:
     """RFC 1624 incremental checksum update for one 16-bit word.
 
     Routers use this to fix the IP header checksum after decrementing the
-    TTL without touching the rest of the header.  Using the incremental
-    form in the forwarding engine (instead of a full recompute) mirrors
-    real router behaviour and exercises the equivalence the detector
-    relies on.
+    TTL without touching the rest of the header.  The forwarding engine's
+    hot path (:meth:`repro.net.packet.Packet.forwarded`) uses exactly this
+    form instead of a full recompute, mirroring real router behaviour and
+    exercising the equivalence the detector relies on.
     """
     if not 0 <= old_checksum <= 0xFFFF:
         raise ValueError(f"checksum out of range: {old_checksum:#x}")
@@ -52,11 +58,13 @@ def incremental_update(old_checksum: int, old_word: int, new_word: int) -> int:
     total = (~old_checksum & 0xFFFF) + (~old_word & 0xFFFF) + new_word
     while total >> 16:
         total = (total & 0xFFFF) + (total >> 16)
-    result = ~total & 0xFFFF
-    # Ones-complement negative zero: 0x0000 and 0xFFFF both represent 0,
-    # but only 0xFFFF verifies against all-zero data; normalize like
-    # deployed stacks do.
-    return 0xFFFF if result == 0 else result
+    # No negative-zero fix-up: end-around-carry folding of a nonzero sum
+    # yields 0xFFFF (never 0x0000) for the zero congruence class, so the
+    # result here equals :func:`internet_checksum` over the updated data
+    # bit-for-bit — including the corner where the correct checksum is
+    # 0x0000.  That exact equality is what lets the forwarding engine
+    # patch checksums incrementally yet emit byte-identical traces.
+    return ~total & 0xFFFF
 
 
 def pseudo_header(src: bytes, dst: bytes, protocol: int, length: int) -> bytes:

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field, replace
 from enum import IntFlag
 
 from repro.net.addr import IPv4Address
-from repro.net.checksum import internet_checksum, pseudo_header
+from repro.net.checksum import incremental_update, internet_checksum, pseudo_header
 
 IPPROTO_ICMP = 1
 IPPROTO_TCP = 6
@@ -331,11 +331,21 @@ class Packet:
 
     ``payload`` is the L4 payload (after the transport header).  The IP
     ``total_length`` is kept consistent by :meth:`build`.
+
+    ``_wire`` caches the serialized bytes; it is populated only by
+    :meth:`forwarded` (the forwarding hot path), which treats the packet
+    as immutable from then on — per-hop materialization then patches the
+    TTL byte and checksum instead of re-serializing (and re-checksumming
+    the transport layer) from scratch.
     """
 
     ip: IPv4Header
     l4: L4Header | None = None
     payload: bytes = b""
+    _wire: bytes | None = field(default=None, init=False, repr=False,
+                                compare=False)
+    _fwd_memo: dict | None = field(default=None, init=False, repr=False,
+                                   compare=False)
 
     @classmethod
     def build(
@@ -362,6 +372,9 @@ class Packet:
 
     def pack(self) -> bytes:
         """Serialize the full packet, computing any unset checksums."""
+        wire = self._wire
+        if wire is not None:
+            return wire
         if self.l4 is None:
             return self.ip.pack() + self.payload
         l4_bytes = self.l4.pack(self.ip.src, self.ip.dst, self.payload)
@@ -405,13 +418,63 @@ class Packet:
     def forwarded(self, hops: int = 1) -> "Packet":
         """The packet as it looks after traversing ``hops`` routers.
 
-        TTL decremented and IP checksum cleared for recompute — exactly the
-        two fields the paper's replica definition masks.
+        TTL decremented and IP checksum patched with the RFC 1624
+        incremental update — exactly the two fields the paper's replica
+        definition masks, and exactly how deployed routers touch the
+        header.  The base serialization is computed once and cached, so
+        repeated materializations (one per tapped hop) cost two byte
+        patches instead of a full serialize + checksum pass; the
+        materialized replica itself is memoized per hop count, since a
+        packet re-crossing taps at the same TTL is byte-for-byte the
+        same replica.  Callers must treat the result as immutable, as
+        they must treat any packet.
         """
-        if self.ip.ttl < hops:
-            raise PacketError(f"TTL {self.ip.ttl} cannot survive {hops} hops")
-        new_ip = replace(self.ip, ttl=self.ip.ttl - hops, checksum=None)
-        return Packet(ip=new_ip, l4=self.l4, payload=self.payload)
+        ttl = self.ip.ttl
+        if ttl < hops:
+            raise PacketError(f"TTL {ttl} cannot survive {hops} hops")
+        memo = self._fwd_memo
+        if memo is None:
+            memo = {}
+            self._fwd_memo = memo
+        else:
+            cached = memo.get(hops)
+            if cached is not None:
+                return cached
+        wire = self._wire
+        if wire is None:
+            wire = self.pack()
+            self._wire = wire
+        new_ttl = ttl - hops
+        protocol = self.ip.protocol
+        new_checksum = incremental_update(
+            (wire[10] << 8) | wire[11],
+            (ttl << 8) | protocol,
+            (new_ttl << 8) | protocol,
+        )
+        patched = bytearray(wire)
+        patched[8] = new_ttl
+        patched[10] = new_checksum >> 8
+        patched[11] = new_checksum & 0xFF
+        ip = self.ip
+        # Direct construction instead of dataclasses.replace(): this runs
+        # once per tapped hop and replace()'s field introspection costs
+        # more than the whole byte patch above.
+        new_ip = IPv4Header(
+            src=ip.src,
+            dst=ip.dst,
+            ttl=new_ttl,
+            protocol=protocol,
+            identification=ip.identification,
+            tos=ip.tos,
+            total_length=ip.total_length,
+            flags=ip.flags,
+            fragment_offset=ip.fragment_offset,
+            checksum=new_checksum,
+        )
+        packet = Packet(ip=new_ip, l4=self.l4, payload=self.payload)
+        packet._wire = bytes(patched)
+        memo[hops] = packet
+        return packet
 
 
 def icmp_time_exceeded(

@@ -92,6 +92,11 @@ class BgpProcess:
         }
         self._prefixes: set[IPv4Prefix] = set()
         self.updates_sent = 0
+        #: Monotonic count of BGP-driven FIB changes across all routers.
+        #: Cache validity itself rides on the per-router ``Fib.epoch``
+        #: (bumped by every install/withdraw); this aggregate exists for
+        #: observability and convergence diagnostics.
+        self.epoch = 0
         igp.on_fib_update(self._igp_changed)
 
     # -- configuration (pre-start) ---------------------------------------------
@@ -119,6 +124,7 @@ class BgpProcess:
                 state.chosen = self._decide(router, state.available)
                 if state.chosen is not None:
                     fib.install(prefix, state.chosen, now)
+            self.epoch += 1
 
     # -- runtime events ----------------------------------------------------------
 
@@ -237,6 +243,7 @@ class BgpProcess:
             fib.withdraw(prefix)
         else:
             fib.install(prefix, choice, self.scheduler.now)
+        self.epoch += 1
 
     def _igp_changed(self, router: str, now: float) -> None:
         """IGP distances at ``router`` changed: re-run hot potato there."""

@@ -1,31 +1,41 @@
 """Discrete-event simulation kernel.
 
-A minimal, deterministic scheduler: events are ``(time, sequence, action)``
-triples ordered by time with FIFO tie-breaking, so two events scheduled for
-the same instant fire in scheduling order.  All simulator components (IGP
-timers, BGP propagation, per-hop packet forwarding, failure injection) share
-one scheduler, which is what lets packets in flight observe FIBs mid-update.
+A minimal, deterministic scheduler: events are ``(time, sequence, fn,
+args)`` entries ordered by time with FIFO tie-breaking, so two events
+scheduled for the same instant fire in scheduling order.  All simulator
+components (IGP timers, BGP propagation, per-hop packet forwarding,
+failure injection) share one scheduler, which is what lets packets in
+flight observe FIBs mid-update.
+
+Events are stored as plain lists rather than objects: list comparison is
+C-speed (and the unique sequence number guarantees the comparison never
+reaches the callable), which matters because the forwarding engine pushes
+two events per packet hop.  The :meth:`EventScheduler.call` /
+:meth:`EventScheduler.call_at` fast path additionally takes ``(fn,
+*args)`` directly, so hot callers need not allocate a lambda closure per
+event — and, being fire-and-forget, it skips the :class:`EventHandle`
+allocation too.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable
 
 Action = Callable[[], None]
+
+# Event list layout: [time, sequence, fn, args, cancelled]
+_TIME = 0
+_SEQUENCE = 1
+_FN = 2
+_ARGS = 3
+_CANCELLED = 4
+
+_NO_ARGS: tuple = ()
 
 
 class SchedulerError(RuntimeError):
     """Raised on invalid scheduler usage (e.g. scheduling in the past)."""
-
-
-@dataclass(order=True)
-class _ScheduledEvent:
-    time: float
-    sequence: int
-    action: Action = field(compare=False)
-    cancelled: bool = field(compare=False, default=False)
 
 
 class EventHandle:
@@ -33,35 +43,34 @@ class EventHandle:
 
     __slots__ = ("_event",)
 
-    def __init__(self, event: _ScheduledEvent) -> None:
+    def __init__(self, event: list) -> None:
         self._event = event
 
     def cancel(self) -> None:
         """Cancel the event if it has not fired yet (idempotent)."""
-        self._event.cancelled = True
+        self._event[_CANCELLED] = True
 
     @property
     def cancelled(self) -> bool:
-        return self._event.cancelled
+        return self._event[_CANCELLED]
 
     @property
     def time(self) -> float:
-        return self._event.time
+        return self._event[_TIME]
 
 
 class EventScheduler:
-    """A time-ordered event queue with deterministic tie-breaking."""
+    """A time-ordered event queue with deterministic tie-breaking.
+
+    ``now`` is a plain attribute rather than a property: the forwarding
+    engine reads it once per hop, and callers treat it as read-only.
+    """
 
     def __init__(self, start_time: float = 0.0) -> None:
-        self._now = start_time
+        self.now = start_time
         self._sequence = 0
-        self._queue: list[_ScheduledEvent] = []
+        self._queue: list[list] = []
         self._events_processed = 0
-
-    @property
-    def now(self) -> float:
-        """Current simulation time in seconds."""
-        return self._now
 
     @property
     def events_processed(self) -> int:
@@ -76,18 +85,45 @@ class EventScheduler:
         """Schedule ``action`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SchedulerError(f"cannot schedule in the past: delay={delay}")
-        return self.schedule_at(self._now + delay, action)
+        return self.schedule_at(self.now + delay, action)
 
     def schedule_at(self, time: float, action: Action) -> EventHandle:
         """Schedule ``action`` at an absolute simulation time."""
-        if time < self._now:
+        if time < self.now:
             raise SchedulerError(
-                f"cannot schedule in the past: {time} < now {self._now}"
+                f"cannot schedule in the past: {time} < now {self.now}"
             )
-        event = _ScheduledEvent(time=time, sequence=self._sequence, action=action)
+        event = [time, self._sequence, action, _NO_ARGS, False]
         self._sequence += 1
         heapq.heappush(self._queue, event)
         return EventHandle(event)
+
+    def call(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Fast path: run ``fn(*args)`` after ``delay`` seconds.
+
+        Fire-and-forget — no :class:`EventHandle` is created, so the
+        event cannot be cancelled.  Hot paths use this to avoid building
+        a closure (and a handle) per scheduled event.
+        """
+        if delay < 0:
+            raise SchedulerError(f"cannot schedule in the past: delay={delay}")
+        heapq.heappush(
+            self._queue, [self.now + delay, self._sequence, fn, args, False]
+        )
+        self._sequence += 1
+
+    def call_at(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Fast path: run ``fn(*args)`` at an absolute simulation time.
+
+        Fire-and-forget counterpart of :meth:`schedule_at`; see
+        :meth:`call`.
+        """
+        if time < self.now:
+            raise SchedulerError(
+                f"cannot schedule in the past: {time} < now {self.now}"
+            )
+        heapq.heappush(self._queue, [time, self._sequence, fn, args, False])
+        self._sequence += 1
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
         """Run events in order until the queue drains or limits are hit.
@@ -96,27 +132,30 @@ class EventScheduler:
         on return ``now`` equals ``until`` if it was given (even when the
         queue drained earlier), so repeated bounded runs compose.
         """
+        queue = self._queue
+        pop = heapq.heappop
         processed = 0
-        while self._queue:
-            event = self._queue[0]
-            if until is not None and event.time > until:
+        while queue:
+            event = queue[0]
+            if until is not None and event[0] > until:
                 break
             if max_events is not None and processed >= max_events:
+                self._events_processed += processed
                 return
-            heapq.heappop(self._queue)
-            if event.cancelled:
+            pop(queue)
+            if event[4]:
                 continue
-            self._now = event.time
-            self._events_processed += 1
+            self.now = event[0]
             processed += 1
-            event.action()
-        if until is not None and until > self._now:
-            self._now = until
+            event[2](*event[3])
+        self._events_processed += processed
+        if until is not None and until > self.now:
+            self.now = until
 
     def run_all(self, max_events: int = 10_000_000) -> None:
         """Run until the queue is empty; guard against runaway loops."""
         self.run(max_events=max_events)
-        if self._queue and not all(event.cancelled for event in self._queue):
+        if self._queue and not all(event[_CANCELLED] for event in self._queue):
             raise SchedulerError(
                 f"event limit {max_events} reached with events still pending"
             )

@@ -8,6 +8,23 @@ happen at forwarding time against live protocol state, packets in flight
 during convergence loop exactly as the paper describes — and the monitor
 taps on a link see each crossing as a replica with a decremented TTL.
 
+The per-hop lookup chain (longest-prefix match, hot-potato egress, ECMP
+next-hop selection, link resolution) is cached per router in an
+epoch-versioned resolved-route cache: each router's cache is valid only
+while that router's IGP install epoch and BGP FIB epoch are unchanged, so
+converged steady-state forwarding skips resolution entirely while packets
+in flight during convergence always see live state and loop exactly as
+before.  Cached routes carry the static per-direction link parameters, so
+a cache hit forwards without touching the topology at all.
+
+``route_cache=False`` selects the *reference path* instead: the
+pre-optimization engine preserved verbatim — per-hop LPM probes with
+fresh mask computation, ``topology.link_between`` resolution, closure
+allocation per scheduled event, and full checksum recompute per tapped
+crossing.  Its output is byte-identical to the fast path; the equivalence
+tests pin that, and the benchmarks measure the gap (see
+``docs/PERFORMANCE.md``).
+
 The engine also maintains a ground-truth audit channel (per-packet hop
 records and loop flags) that the detector never sees; tests use it to
 score detector precision and recall.
@@ -16,7 +33,8 @@ score detector precision and recall.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field, replace
 from enum import Enum
 from typing import Callable
 
@@ -84,6 +102,11 @@ class _Transit:
     injected_at: float = 0.0
     is_icmp_error: bool = False
     flow_hash: int = 0
+    #: (dst value << 31) | flow_hash — the route-cache key, packed into
+    #: one int at injection so per-hop probes allocate no tuple.
+    cache_key: int = 0
+    #: IP total_length, hoisted out of the per-hop attribute chain.
+    wire_bytes: int = 0
 
 
 @dataclass(slots=True)
@@ -91,6 +114,34 @@ class _DirectionState:
     """FIFO transmit state for one direction of one link."""
 
     next_free: float = 0.0
+
+
+#: A resolved route, as stored in the per-router cache:
+#: ``None``                      — no route (cached negative);
+#: ``(egress, None, None)``      — deliver here (this router is egress);
+#: ``(egress, next_router, link, direction_state, propagation_delay,
+#:   capacity_bps, max_queue_delay, taps)`` — forward.  The trailing
+#: fields are the link's static transmit parameters (only ``link.up`` is
+#: mutable at run time, and it is re-checked per packet) plus the
+#: direction's tap list (shared by reference, so taps added later are
+#: seen), so a cache hit never touches the topology.
+_Route = tuple
+
+#: Cache-miss sentinel distinct from the cached ``None`` (= no route).
+_UNRESOLVED = object()
+
+
+@dataclass(slots=True)
+class _RouteCache:
+    """One router's resolved routes, valid for one epoch token.
+
+    The token is the *sum* of the router's IGP install epoch and its FIB
+    epoch: both are monotonically non-decreasing, so the sum changes
+    exactly when either does, and validity is a single int comparison.
+    """
+
+    token: int = -1
+    routes: dict[int, _Route | None] = field(default_factory=dict)
 
 
 def _flow_hash(packet: Packet) -> int:
@@ -123,6 +174,7 @@ class ForwardingEngine:
         keep_audits: bool = True,
         record_crossings: bool = False,
         icmp_time_exceeded_probability: float = 0.5,
+        route_cache: bool = True,
     ) -> None:
         self.topology = topology
         self.scheduler = scheduler
@@ -132,9 +184,9 @@ class ForwardingEngine:
         self.keep_audits = keep_audits
         self.record_crossings = record_crossings
         self.icmp_time_exceeded_probability = icmp_time_exceeded_probability
+        self.route_cache_enabled = route_cache
 
         self._taps: dict[tuple[str, str], list[LinkTap]] = {}
-        self._directions: dict[tuple[str, str], _DirectionState] = {}
         self._delivery_listeners: list[Callable[[float, Packet, str], None]] = []
         self._drop_listeners: list[
             Callable[[float, Packet, str, PacketFate], None]
@@ -142,15 +194,65 @@ class ForwardingEngine:
         self._next_packet_id = 0
         self._next_icmp_id = 1
 
+        # Hot-path state, precomputed so per-hop forwarding allocates
+        # nothing: direct FIB references (skipping the bgp.fib() call),
+        # per-direction FIFO state, and — per (router, neighbor)
+        # direction — the link plus its static transmit parameters
+        # (links are never removed from a topology, only marked down,
+        # and their delay/capacity never change).
+        self._fibs = {name: bgp.fib(name) for name in topology.routers}
+        self._igp_epochs = igp.epochs
+        self._directions: dict[tuple[str, str], _DirectionState] = {}
+        self._hop_state: dict[
+            tuple[str, str],
+            tuple[Link, _DirectionState, float, float, float, list[LinkTap]],
+        ] = {}
+        for link in topology.links:
+            for tail, head in ((link.a, link.b), (link.b, link.a)):
+                direction = _DirectionState()
+                self._directions[(tail, head)] = direction
+                # The tap list is created eagerly (empty) and carried by
+                # reference inside cached routes, so add_tap composes
+                # with already-cached entries and the hot loop never
+                # builds a (router, neighbor) key just to probe _taps.
+                taps = self._taps.setdefault((tail, head), [])
+                self._hop_state[(tail, head)] = (
+                    link, direction, link.propagation_delay,
+                    link.capacity_bps, link.max_queue_delay, taps,
+                )
+        self._route_caches = {
+            name: _RouteCache() for name in topology.routers
+        }
+        # One probe instead of two in the hot loop: router -> (cache, fib).
+        self._cache_state = {
+            name: (self._route_caches[name], self._fibs[name])
+            for name in topology.routers
+        }
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_invalidations = 0
+        if not route_cache:
+            # Shadow the fast-path method with the preserved reference
+            # implementation; everything scheduled through self._arrive
+            # (injection included) then takes the slow path.
+            self._arrive = self._arrive_reference  # type: ignore[method-assign]
+
         self.audits: list[PacketAudit] = []
         self.fate_counts: dict[PacketFate, int] = {fate: 0 for fate in PacketFate}
-        self.loss_by_minute: dict[int, dict[PacketFate, int]] = {}
-        self.injected_by_minute: dict[int, int] = {}
+        self.loss_by_minute: dict[int, Counter] = defaultdict(Counter)
+        self.injected_by_minute: dict[int, int] = defaultdict(int)
         # Per-minute queueing telemetry: summed queue wait and number of
-        # transmissions, for the Sec. VI queueing-delay analysis.
-        self.queue_delay_by_minute: dict[int, float] = {}
-        self.transmissions_by_minute: dict[int, int] = {}
-        self.looped_by_minute: dict[int, int] = {}
+        # transmissions, for the Sec. VI queueing-delay analysis.  The
+        # fast path accumulates into the _pending_* fields and flushes on
+        # minute rollover (and on read), replacing two dict updates per
+        # hop with two float/int adds.
+        self._queue_delay_by_minute: dict[int, float] = defaultdict(float)
+        self._transmissions_by_minute: dict[int, int] = defaultdict(int)
+        self._minute = 0
+        self._minute_end = 60.0
+        # [summed queue delay, transmission count] awaiting flush.
+        self._pending = [0.0, 0]
+        self.looped_by_minute: dict[int, int] = defaultdict(int)
         self.looped_delivered_delays: list[tuple[float, int]] = []
         self._normal_delay_sum = 0.0
         self._normal_delay_count = 0
@@ -181,7 +283,13 @@ class ForwardingEngine:
 
     def add_tap(self, from_router: str, to_router: str,
                 callback: TapCallback) -> LinkTap:
-        """Attach a passive monitor to the ``from → to`` link direction."""
+        """Attach a passive monitor to the ``from → to`` link direction.
+
+        Tap callbacks receive ``(timestamp, on-wire packet)`` but may run
+        *before* simulated time reaches the timestamp (the fast path
+        invokes them at transmit time with the computed departure);
+        consumers that care about order must sort, as the monitors do.
+        """
         link = self.topology.link_between(from_router, to_router)
         tap = LinkTap(link_name=link.name, from_router=from_router,
                       to_router=to_router, callback=callback)
@@ -206,8 +314,8 @@ class ForwardingEngine:
             )
             self.audits.append(audit)
         self._next_packet_id += 1
-        minute = int(now // 60)
-        self.injected_by_minute[minute] = self.injected_by_minute.get(minute, 0) + 1
+        self.injected_by_minute[int(now // 60)] += 1
+        flow_hash = _flow_hash(packet)
         transit = _Transit(
             packet=packet,
             ttl=packet.ip.ttl,
@@ -215,16 +323,16 @@ class ForwardingEngine:
             visited={},
             injected_at=now,
             is_icmp_error=is_icmp_error,
-            flow_hash=_flow_hash(packet),
+            flow_hash=flow_hash,
+            cache_key=(packet.ip.dst.value << 31) | flow_hash,
+            wire_bytes=packet.ip.total_length,
         )
         self._arrive(transit, ingress)
         return audit
 
     def inject_at(self, time: float, packet: Packet, ingress: str) -> None:
         """Schedule an injection at a future simulation time."""
-        self.scheduler.schedule_at(
-            time, lambda p=packet, r=ingress: self.inject(p, r)
-        )
+        self.scheduler.call_at(time, self.inject, packet, ingress)
 
     # -- statistics ------------------------------------------------------------
 
@@ -244,16 +352,179 @@ class ForwardingEngine:
             return 0.0
         return self._normal_delay_sum / self._normal_delay_count
 
-    # -- per-hop machinery -------------------------------------------------------
+    @property
+    def queue_delay_by_minute(self) -> dict[int, float]:
+        """Summed queue wait per minute (flushes the hot-path buffer)."""
+        self._flush_minute_telemetry()
+        return self._queue_delay_by_minute
+
+    @property
+    def transmissions_by_minute(self) -> dict[int, int]:
+        """Link transmissions per minute (flushes the hot-path buffer)."""
+        self._flush_minute_telemetry()
+        return self._transmissions_by_minute
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of per-hop resolutions served from the route cache."""
+        attempts = self.cache_hits + self.cache_misses
+        if attempts == 0:
+            return 0.0
+        return self.cache_hits / attempts
+
+    def route_cache_stats(self) -> dict[str, float]:
+        """Hit/miss/invalidation counters for reports and tests."""
+        return {
+            "enabled": self.route_cache_enabled,
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "invalidations": self.cache_invalidations,
+            "hit_rate": self.cache_hit_rate,
+        }
+
+    # -- per-hop machinery (fast path) ----------------------------------------
+
+    def _resolve(self, router: str, dst: IPv4Address,
+                 flow_hash: int) -> _Route | None:
+        """Full control-plane resolution for one (router, dst, flow)."""
+        entry = self._fibs[router].lookup(dst)
+        if entry is None:
+            return None
+        egress = entry.next_hop
+        if egress == router:
+            return (egress, None, None)
+        next_router = self.igp.next_hop(router, egress, flow_hash)
+        if next_router is None:
+            return None
+        return (egress, next_router) + self._hop_state[(router, next_router)]
 
     def _arrive(self, transit: _Transit, router: str) -> None:
-        """Packet arrives at ``router``; look up, maybe deliver or drop."""
+        """Packet arrives at ``router``: resolve (through the cache),
+        then deliver, drop, or transmit toward the next hop.
+
+        Transmission is inlined rather than delegated: this method runs
+        once per packet per hop and is the single hottest function in
+        the simulator, so the fast path trades a little repetition for
+        one less call frame and no re-derived locals.
+        """
+        visited = transit.visited
+        count = visited.get(router, 0) + 1
+        visited[router] = count
+        audit = transit.audit
+        if count > 1 and audit is not None:
+            audit.looped = True
+
+        cache, fib = self._cache_state[router]
+        token = self._igp_epochs[router] + fib.epoch
+        if cache.token != token:
+            if cache.routes:
+                cache.routes.clear()
+                self.cache_invalidations += 1
+            cache.token = token
+        routes = cache.routes
+        route = routes.get(transit.cache_key, _UNRESOLVED)
+        if route is _UNRESOLVED:
+            route = self._resolve(router, transit.packet.ip.dst,
+                                  transit.flow_hash)
+            routes[transit.cache_key] = route
+            self.cache_misses += 1
+        else:
+            self.cache_hits += 1
+
+        if route is None:
+            self._finish(transit, router, PacketFate.NO_ROUTE)
+            return
+        next_router = route[1]
+        if next_router is None:
+            self._finish(transit, router, PacketFate.DELIVERED)
+            return
+        if transit.ttl <= 1:
+            self._expire(transit, router)
+            return
+        link = route[2]
+        if not link.up:
+            # Failure not yet detected by the control plane: black hole.
+            self._finish(transit, router, PacketFate.LINK_DOWN)
+            return
+
+        # -- transmit (inlined) ------------------------------------------
+        scheduler = self.scheduler
+        now = scheduler.now
+        direction = route[3]
+        queue_delay = direction.next_free - now
+        if queue_delay < 0.0:
+            queue_delay = 0.0
+        if now >= self._minute_end:
+            self._roll_minute(now)
+        pending = self._pending
+        pending[0] += queue_delay
+        pending[1] += 1
+        if queue_delay > route[6]:
+            self._finish(transit, router, PacketFate.QUEUE_DROP)
+            return
+        # Same expression as Link.transmission_delay so the floats match
+        # the reference path bit-for-bit.
+        departure = now + queue_delay + transit.wire_bytes * 8 / route[5]
+        direction.next_free = departure
+
+        transit.ttl -= 1
+        if audit is not None:
+            audit.hops += 1
+            if self.record_crossings:
+                audit.crossings.append(
+                    (departure, link.name, f"{router}->{next_router}",
+                     transit.ttl)
+                )
+
+        taps = route[7]
+        if taps:
+            on_wire = transit.packet.forwarded(
+                transit.packet.ip.ttl - transit.ttl
+            )
+            # Immediate dispatch with the future departure timestamp:
+            # taps are passive observers that sort by timestamp, so
+            # skipping the per-crossing scheduler event is observably
+            # equivalent (see add_tap) and saves a heap push/pop.
+            for tap in taps:
+                tap.callback(departure, on_wire)
+
+        scheduler.call_at(departure + route[4], self._arrive, transit,
+                          next_router)
+
+    def _roll_minute(self, now: float) -> None:
+        """Flush buffered telemetry and advance the cached minute."""
+        self._flush_minute_telemetry()
+        minute = int(now // 60)
+        self._minute = minute
+        self._minute_end = (minute + 1) * 60.0
+
+    def _flush_minute_telemetry(self) -> None:
+        pending = self._pending
+        if pending[1]:
+            minute = self._minute
+            self._queue_delay_by_minute[minute] += pending[0]
+            self._transmissions_by_minute[minute] += pending[1]
+            pending[0] = 0.0
+            pending[1] = 0
+
+    # -- per-hop machinery (reference path) -----------------------------------
+    #
+    # The engine as it was before the route cache and the allocation-free
+    # fast path, kept behavior-identical on purpose: per-hop FIB lookup
+    # with per-probe mask computation, hot-potato + ECMP resolution,
+    # topology.link_between, closure-per-event scheduling, and full
+    # checksum recompute per tapped crossing.  The equivalence suite runs
+    # both paths and asserts byte-identical traces; the benchmark reports
+    # the speedup of the fast path over exactly this code.
+
+    def _arrive_reference(self, transit: _Transit, router: str) -> None:
+        """Reference per-hop arrival (``route_cache=False``)."""
         count = transit.visited.get(router, 0) + 1
         transit.visited[router] = count
         if count > 1 and transit.audit is not None:
             transit.audit.looped = True
 
-        entry = self.bgp.fib(router).lookup(transit.packet.ip.dst)
+        entry = self.bgp.fib(router).lookup_reference(transit.packet.ip.dst)
         if entry is None:
             self._finish(transit, router, PacketFate.NO_ROUTE)
             return
@@ -273,22 +544,20 @@ class ForwardingEngine:
             # Failure not yet detected by the control plane: black hole.
             self._finish(transit, router, PacketFate.LINK_DOWN)
             return
-        self._transmit(transit, router, next_router, link)
+        self._transmit_reference(transit, router, next_router, link)
 
-    def _transmit(self, transit: _Transit, router: str, next_router: str,
-                  link: Link) -> None:
+    def _transmit_reference(self, transit: _Transit, router: str,
+                            next_router: str, link: Link) -> None:
         now = self.scheduler.now
         direction = self._directions.setdefault(
             (router, next_router), _DirectionState()
         )
         queue_delay = max(0.0, direction.next_free - now)
         minute = int(now // 60)
-        self.queue_delay_by_minute[minute] = (
-            self.queue_delay_by_minute.get(minute, 0.0) + queue_delay
-        )
-        self.transmissions_by_minute[minute] = (
-            self.transmissions_by_minute.get(minute, 0) + 1
-        )
+        queue_delays = self._queue_delay_by_minute
+        queue_delays[minute] = queue_delays.get(minute, 0.0) + queue_delay
+        transmissions = self._transmissions_by_minute
+        transmissions[minute] = transmissions.get(minute, 0) + 1
         if queue_delay > link.max_queue_delay:
             self._finish(transit, router, PacketFate.QUEUE_DROP)
             return
@@ -307,7 +576,7 @@ class ForwardingEngine:
 
         taps = self._taps.get((router, next_router))
         if taps:
-            on_wire = self._materialize(transit)
+            on_wire = self._materialize_reference(transit)
             for tap in taps:
                 self.scheduler.schedule_at(
                     departure,
@@ -319,11 +588,16 @@ class ForwardingEngine:
             arrival, lambda tr=transit, r=next_router: self._arrive(tr, r)
         )
 
-    def _materialize(self, transit: _Transit) -> Packet:
-        """The packet as it appears on the wire right now: original bytes
-        with the current TTL and a recomputed IP checksum."""
-        hops = transit.packet.ip.ttl - transit.ttl
-        return transit.packet.forwarded(hops)
+    def _materialize_reference(self, transit: _Transit) -> Packet:
+        """The packet as it appears on the wire right now, rebuilt from
+        scratch: TTL decremented and checksum cleared so serialization
+        recomputes it in full (the pre-incremental-update behavior)."""
+        packet = transit.packet
+        hops = packet.ip.ttl - transit.ttl
+        new_ip = replace(packet.ip, ttl=packet.ip.ttl - hops, checksum=None)
+        return Packet(ip=new_ip, l4=packet.l4, payload=packet.payload)
+
+    # -- terminal fates (shared by both paths) --------------------------------
 
     def _expire(self, transit: _Transit, router: str) -> None:
         self._finish(transit, router, PacketFate.TTL_EXPIRED)
@@ -343,24 +617,21 @@ class ForwardingEngine:
         now = self.scheduler.now
         self.fate_counts[fate] += 1
         minute = int(now // 60)
-        bucket = self.loss_by_minute.setdefault(minute, {})
-        bucket[fate] = bucket.get(fate, 0) + 1
+        self.loss_by_minute[minute][fate] += 1
         audit = transit.audit
         if audit is not None:
             audit.fate = fate
             audit.fate_time = now
             audit.fate_router = router
-        if max(transit.visited.values(), default=0) > 1:
-            self.looped_by_minute[minute] = (
-                self.looped_by_minute.get(minute, 0) + 1
-            )
+        looped = max(transit.visited.values(), default=0) > 1
+        if looped:
+            self.looped_by_minute[minute] += 1
         if fate is not PacketFate.DELIVERED:
             for drop_listener in self._drop_listeners:
                 drop_listener(now, transit.packet, router, fate)
-        if fate is PacketFate.DELIVERED:
+        else:
             for listener in self._delivery_listeners:
                 listener(now, transit.packet, router)
-            looped = max(transit.visited.values(), default=0) > 1
             delay = now - transit.injected_at
             if looped:
                 hops = transit.packet.ip.ttl - transit.ttl

@@ -118,6 +118,11 @@ class LinkStateProtocol:
         self._fib_callbacks: list[FibUpdateCallback] = []
         self.lsas_flooded = 0
         self.spf_runs = 0
+        #: Per-router monotonic FIB-install counter.  The forwarding
+        #: engine's route cache reads this dict directly (it is on the
+        #: per-packet hot path) to detect that a router's installed IGP
+        #: state changed since a route was resolved.
+        self.epochs: dict[str, int] = {name: 0 for name in topology.routers}
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -343,6 +348,7 @@ class LinkStateProtocol:
         }
         state.distance = {node: dist for node, (dist, _) in tree.items()}
         state.fib_updates += 1
+        self.epochs[state.name] += 1
         if notify:
             if self.journal is not None:
                 self.journal.record(now, EventKind.IGP_FIB_INSTALLED,

@@ -90,3 +90,41 @@ class TestPseudoHeader:
     def test_rejects_bad_length(self):
         with pytest.raises(ValueError):
             pseudo_header(b"\x00" * 4, b"\x00" * 4, 6, -5)
+
+
+class TestIncrementalEqualsFullForAllTtls:
+    def test_every_ttl_decrement_255_to_1(self):
+        # The forwarding fast path patches the checksum with RFC 1624 at
+        # every hop; a packet entering at TTL 255 can be patched 254
+        # times before expiry, and each intermediate checksum must equal
+        # a from-scratch RFC 1071 recompute or the emitted trace bytes
+        # would diverge from the reference engine's.
+        header = bytearray(
+            b"\x45\x00\x00\x54\x12\x34\x00\x00\xff\x11\x00\x00"
+            b"\x0a\x00\x00\x01\xc0\x00\x02\x09"
+        )
+        checksum = internet_checksum(bytes(header))
+        header[10:12] = checksum.to_bytes(2, "big")
+        for ttl in range(255, 1, -1):
+            old_word = (header[8] << 8) | header[9]
+            header[8] = ttl - 1
+            new_word = (header[8] << 8) | header[9]
+            checksum = incremental_update(checksum, old_word, new_word)
+            header[10:12] = b"\x00\x00"
+            assert checksum == internet_checksum(bytes(header)), (
+                f"diverged at TTL {ttl} -> {ttl - 1}"
+            )
+            header[10:12] = checksum.to_bytes(2, "big")
+            assert verify_checksum(bytes(header))
+
+    def test_zero_checksum_corner(self):
+        # Craft a word change whose correct updated checksum is 0x0000;
+        # unnormalized RFC 1624 folding must reproduce exactly what the
+        # full recompute emits for that data.
+        data = bytearray(b"\xff\xff\x00\x00")
+        checksum = internet_checksum(bytes(data))
+        old_word = 0x0000
+        new_word = 0xFFFF
+        data[2:4] = b"\xff\xff"
+        updated = incremental_update(checksum, old_word, new_word)
+        assert updated == internet_checksum(bytes(data))

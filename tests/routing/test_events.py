@@ -125,3 +125,41 @@ class TestCancellation:
         handle.cancel()
         scheduler.run_all()
         assert scheduler.events_processed == 1
+
+
+class TestFastPathCalls:
+    def test_call_runs_with_args(self):
+        scheduler = EventScheduler()
+        seen = []
+        scheduler.call(1.0, seen.append, "a")
+        scheduler.call(0.5, seen.append, "b")
+        scheduler.run_all()
+        assert seen == ["b", "a"]
+        assert scheduler.now == 1.0
+
+    def test_call_at_orders_with_schedule_at(self):
+        scheduler = EventScheduler()
+        seen = []
+        scheduler.schedule_at(2.0, lambda: seen.append("handle"))
+        scheduler.call_at(2.0, seen.append, "fast")
+        scheduler.call_at(1.0, seen.append, "early")
+        scheduler.run_all()
+        # FIFO tie-breaking spans both entry points.
+        assert seen == ["early", "handle", "fast"]
+
+    def test_call_rejects_negative_delay(self):
+        scheduler = EventScheduler()
+        with pytest.raises(SchedulerError):
+            scheduler.call(-0.1, print)
+
+    def test_call_at_rejects_past(self):
+        scheduler = EventScheduler(start_time=5.0)
+        with pytest.raises(SchedulerError):
+            scheduler.call_at(4.0, print)
+
+    def test_call_counts_in_events_processed(self):
+        scheduler = EventScheduler()
+        scheduler.call(0.0, lambda: None)
+        scheduler.call_at(1.0, lambda: None)
+        scheduler.run_all()
+        assert scheduler.events_processed == 2

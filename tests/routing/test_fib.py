@@ -96,3 +96,83 @@ class TestIntrospection:
         fib.install(_p("10.1.0.0/16"), "c")
         lengths = [entry.prefix.length for entry in fib.entries()]
         assert lengths == [24, 16, 8]
+
+
+class TestMaskTableAndProbeOrder:
+    def test_mask_table_matches_formula(self):
+        from repro.routing.fib import _MASKS
+
+        assert len(_MASKS) == 33
+        assert _MASKS[0] == 0
+        assert _MASKS[32] == 0xFFFFFFFF
+        for length in range(1, 33):
+            assert _MASKS[length] == \
+                (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+
+    def test_lengths_stay_sorted_through_mutations(self):
+        fib = Fib("r")
+        for length in (24, 8, 32, 16, 0, 12):
+            prefix = IPv4Prefix(0, length) if length == 0 else \
+                IPv4Prefix((10 << 24) & (((1 << length) - 1)
+                                         << (32 - length)), length)
+            fib.install(prefix, "x")
+            assert fib._lengths_desc == \
+                sorted(fib._lengths_desc, reverse=True)
+            assert len(fib._probes) == len(fib._lengths_desc)
+        # Withdrawing the only route of a length drops its probe slot.
+        fib.withdraw(IPv4Prefix((10 << 24) & 0xFFFF0000, 16))
+        assert 16 not in fib._lengths_desc
+        assert fib._lengths_desc == sorted(fib._lengths_desc, reverse=True)
+        assert len(fib._probes) == len(fib._lengths_desc)
+
+    def test_probe_masks_parallel_lengths(self):
+        from repro.routing.fib import _MASKS
+
+        fib = Fib("r")
+        fib.install(_p("10.0.0.0/8"), "a")
+        fib.install(_p("10.1.0.0/16"), "b")
+        fib.install(_p("0.0.0.0/0"), "c")
+        assert [mask for mask, _ in fib._probes] == \
+            [_MASKS[length] for length in fib._lengths_desc]
+
+
+class TestLookupReference:
+    def test_matches_fast_lookup_everywhere(self):
+        import random
+
+        rng = random.Random(5)
+        fib = Fib("r")
+        prefixes = []
+        for _ in range(60):
+            length = rng.randrange(0, 33)
+            network = rng.getrandbits(32) & \
+                ((((1 << length) - 1) << (32 - length)) & 0xFFFFFFFF)
+            prefix = IPv4Prefix(network, length)
+            prefixes.append(prefix)
+            fib.install(prefix, f"nh{length}")
+        for _ in range(500):
+            addr = IPv4Address(rng.getrandbits(32))
+            assert fib.lookup(addr) is fib.lookup_reference(addr)
+        # Also probe addresses inside known prefixes (guaranteed hits).
+        for prefix in prefixes:
+            addr = IPv4Address(prefix.network)
+            assert fib.lookup(addr) is fib.lookup_reference(addr)
+
+
+class TestEpoch:
+    def test_install_withdraw_replace_bump(self):
+        fib = Fib("r")
+        assert fib.epoch == 0
+        fib.install(_p("10.0.0.0/8"), "a")
+        assert fib.epoch == 1
+        fib.install(_p("10.0.0.0/8"), "b")  # replace counts as a change
+        assert fib.epoch == 2
+        assert fib.withdraw(_p("10.0.0.0/8"))
+        assert fib.epoch == 3
+
+    def test_failed_withdraw_does_not_bump(self):
+        fib = Fib("r")
+        fib.install(_p("10.0.0.0/8"), "a")
+        epoch = fib.epoch
+        assert not fib.withdraw(_p("192.0.2.0/24"))
+        assert fib.epoch == epoch
