@@ -67,3 +67,16 @@ class LinkMonitor:
     @property
     def packets_seen(self) -> int:
         return len(self.trace.records) + len(self._pending)
+
+    def register_metrics(self, registry) -> None:
+        """Publish monitor counters via a weakly-held pull collector."""
+        registry.register_collector(self._publish_metrics)
+
+    def _publish_metrics(self, registry) -> None:
+        registry.counter(
+            "monitor_packets_seen_total",
+            "Packets captured on the monitored link direction",
+        ).set(self.packets_seen)
+        registry.gauge(
+            "monitor_snaplen_bytes", "Capture snap length"
+        ).set(self.snaplen)

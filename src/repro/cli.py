@@ -9,12 +9,18 @@ Subcommands::
     repro-loops report <scenario>          # scenario + full figure report
 
 ``python -m repro`` is equivalent.
+
+Observability flags shared by ``detect``, ``batch``, ``simulate``, and
+``report``: ``--metrics-out`` (Prometheus text, or JSON for ``.json``
+paths), ``--trace-out`` (JSONL span/event trace), ``--progress``
+(heartbeat logging for long runs), ``--log-level``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Sequence
 
 from repro.core.analysis import (
@@ -36,6 +42,85 @@ from repro.core.report import (
     render_traffic_types,
 )
 from repro.net.pcap import read_pcap, write_pcap
+from repro.obs.log import configure_logging, get_logger
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.obs.progress import Heartbeat, enable_progress_logging
+from repro.obs.tracing import NULL_TRACER, Tracer
+
+_logger = get_logger("cli")
+
+
+def _obs_parent() -> argparse.ArgumentParser:
+    """Shared observability flags, attached via ``parents=``."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("observability")
+    group.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="write final metrics to FILE on exit "
+                            "(.json suffix: JSON snapshot, otherwise "
+                            "Prometheus text format)")
+    group.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="write a JSONL span/event trace to FILE")
+    group.add_argument("--progress", action="store_true",
+                       help="log heartbeat progress during long stages")
+    group.add_argument("--log-level", default="warning",
+                       choices=("debug", "info", "warning", "error"),
+                       help="logging verbosity (default: warning)")
+    return parent
+
+
+class _Obs:
+    """Per-invocation observability wiring from the shared CLI flags.
+
+    Installs an enabled :class:`MetricsRegistry` as the process registry
+    when metrics will be exported (``--metrics-out`` or ``--json``), opens
+    the ``--trace-out`` sink, and undoes both in :meth:`finish` — so unit
+    tests that call :func:`main` repeatedly never leak registry state.
+    """
+
+    def __init__(self, args: argparse.Namespace) -> None:
+        self.metrics_out = getattr(args, "metrics_out", None)
+        self.trace_out = getattr(args, "trace_out", None)
+        self.progress = bool(getattr(args, "progress", False))
+        self._previous_registry = None
+        self.registry = MetricsRegistry(enabled=False)
+        if self.metrics_out or getattr(args, "json", False):
+            self.registry = MetricsRegistry(enabled=True)
+            self._previous_registry = set_registry(self.registry)
+        self._sink = None
+        self.tracer = NULL_TRACER
+        if self.trace_out:
+            self._sink = open(self.trace_out, "w", encoding="utf-8")
+            self.tracer = Tracer(sink=self._sink)
+        if self.progress:
+            enable_progress_logging()
+
+    def heartbeat(self, label: str) -> Heartbeat | None:
+        """A rate-limited progress callable, or None without --progress."""
+        if not self.progress:
+            return None
+        return Heartbeat(label)
+
+    def metrics_snapshot(self) -> dict:
+        self.registry.collect()
+        return self.registry.snapshot()
+
+    def finish(self) -> None:
+        self.registry.collect()
+        if self.metrics_out:
+            if str(self.metrics_out).endswith(".json"):
+                text = self.registry.to_json()
+            else:
+                text = self.registry.render_prometheus()
+            with open(self.metrics_out, "w", encoding="utf-8") as stream:
+                stream.write(text)
+            _logger.info("metrics written to %s", self.metrics_out)
+        if self.tracer is not NULL_TRACER:
+            self.tracer.close()
+        if self._sink is not None:
+            self._sink.close()
+            _logger.info("trace written to %s", self.trace_out)
+        if self._previous_registry is not None:
+            set_registry(self._previous_registry)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -44,9 +129,11 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Routing-loop detection in packet traces (IMC 2002 "
                     "reproduction)",
     )
+    obs = _obs_parent()
     sub = parser.add_subparsers(dest="command", required=True)
 
-    detect = sub.add_parser("detect", help="detect loops in a pcap trace")
+    detect = sub.add_parser("detect", parents=[obs],
+                            help="detect loops in a pcap trace")
     detect.add_argument("trace", help="pcap file to analyze")
     detect.add_argument("--merge-gap", type=float, default=60.0,
                         help="stream merge gap in seconds (default 60)")
@@ -70,7 +157,7 @@ def _build_parser() -> argparse.ArgumentParser:
                              "--jobs)")
 
     batch = sub.add_parser(
-        "batch",
+        "batch", parents=[obs],
         help="run detection over several traces concurrently",
     )
     batch.add_argument("targets", nargs="*",
@@ -86,20 +173,26 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="minimum replicas per stream (default 3)")
 
     simulate = sub.add_parser(
-        "simulate", help="run a Table I backbone scenario"
+        "simulate", parents=[obs],
+        help="run a Table I backbone scenario",
     )
     simulate.add_argument("scenario", help="scenario name (backbone1..4)")
     simulate.add_argument("--duration", type=float, default=None,
                           help="override scenario duration in seconds")
     simulate.add_argument("--pcap", default=None,
                           help="write the monitor trace to this pcap file")
+    simulate.add_argument("--json", action="store_true",
+                          help="emit the detection result (plus ground "
+                               "truth, route-cache and metrics sections) "
+                               "as JSON")
     simulate.add_argument("--no-route-cache", action="store_true",
                           help="disable the forwarding engine's "
                                "resolved-route cache (slow reference "
                                "path; identical output)")
 
     report = sub.add_parser(
-        "report", help="scenario run + full per-figure report"
+        "report", parents=[obs],
+        help="scenario run + full per-figure report",
     )
     report.add_argument("scenario", help="scenario name (backbone1..4)")
     report.add_argument("--duration", type=float, default=None,
@@ -119,7 +212,8 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _detector_from_args(args: argparse.Namespace) -> LoopDetector:
+def _detector_from_args(args: argparse.Namespace,
+                        tracer=NULL_TRACER) -> LoopDetector:
     config = DetectorConfig(
         merge_gap=args.merge_gap,
         min_stream_size=args.min_stream_size,
@@ -127,7 +221,15 @@ def _detector_from_args(args: argparse.Namespace) -> LoopDetector:
         check_prefix_consistency=not args.no_validate,
         check_gap_consistency=not args.no_validate,
     )
-    return LoopDetector(config)
+    return LoopDetector(config, tracer=tracer)
+
+
+def _read_trace_file(path: str, obs: _Obs, link_name: str = ""):
+    heartbeat = obs.heartbeat(f"read {path}")
+    trace = read_pcap(path, link_name=link_name, progress=heartbeat)
+    if heartbeat is not None:
+        heartbeat.done()
+    return trace
 
 
 def _print_figures(result) -> None:
@@ -174,80 +276,154 @@ def _print_figures(result) -> None:
           f"streams escaped ({escapes.escape_fraction:.1%})")
 
 
+def _json_extras(obs: _Obs) -> dict:
+    return {"metrics": obs.metrics_snapshot()}
+
+
+def _publish_result_metrics(obs: _Obs, result) -> None:
+    """Offline detection results have no live object to pull from, so
+    the CLI publishes the summary counters directly."""
+    registry = obs.registry
+    registry.counter("detect_records_total",
+                     "Trace records analyzed").set(len(result.trace))
+    registry.counter("detect_candidate_streams_total",
+                     "Candidate replica streams before validation"
+                     ).set(len(result.candidate_streams))
+    registry.counter("detect_validated_streams_total",
+                     "Replica streams surviving validation"
+                     ).set(result.stream_count)
+    registry.counter("detect_loops_total",
+                     "Routing loops detected").set(result.loop_count)
+    registry.counter("detect_looped_packets_total",
+                     "Distinct packets caught in loops"
+                     ).set(result.looped_packet_count)
+
+
 def _cmd_detect(args: argparse.Namespace) -> int:
     if args.streaming and args.jobs > 1:
-        print("error: --streaming and --jobs are mutually exclusive",
-              file=sys.stderr)
+        _logger.error("--streaming and --jobs are mutually exclusive")
         return 1
-    detector = _detector_from_args(args)
-    if args.streaming:
-        trace = read_pcap(args.trace)
-        from repro.core.streaming import StreamingLoopDetector
+    obs = _Obs(args)
+    try:
+        detector = _detector_from_args(args, tracer=obs.tracer)
+        if args.streaming:
+            from repro.core.streaming import StreamingLoopDetector
 
-        streaming = StreamingLoopDetector(detector.config)
-        loops = streaming.process_trace(trace)
-        print(f"records: {streaming.stats.records}")
-        print(f"streams completed: {streaming.stats.streams_completed}")
-        print(f"routing loops: {len(loops)}")
-        for loop in loops:
-            print(f"  {loop.prefix}  {loop.start:.3f}..{loop.end:.3f}s  "
-                  f"delta={loop.ttl_delta} replicas={loop.replica_count}")
-        return 0
-    if args.jobs > 1:
-        from repro.parallel import ParallelLoopDetector
+            streaming = StreamingLoopDetector(detector.config,
+                                              tracer=obs.tracer)
+            streaming.register_metrics(obs.registry)
+            trace = _read_trace_file(args.trace, obs)
+            loops = streaming.process_trace(trace)
+            print(f"records: {streaming.stats.records}")
+            print(f"streams completed: {streaming.stats.streams_completed}")
+            print(f"routing loops: {len(loops)}")
+            for loop in loops:
+                print(f"  {loop.prefix}  {loop.start:.3f}..{loop.end:.3f}s  "
+                      f"delta={loop.ttl_delta} "
+                      f"replicas={loop.replica_count}")
+            return 0
+        if args.jobs > 1:
+            from repro.parallel import ParallelLoopDetector
 
-        engine = ParallelLoopDetector(
-            detector.config, jobs=args.jobs, shards=args.shards
-        )
-        if args.figures or args.json:
-            # Figure statistics and JSON need the full trace in memory.
-            result = engine.detect(read_pcap(args.trace,
-                                             link_name=args.trace))
-        else:
-            result = engine.detect_file(args.trace, link_name=args.trace)
+            engine = ParallelLoopDetector(
+                detector.config, jobs=args.jobs, shards=args.shards,
+                tracer=obs.tracer,
+            )
+            engine.register_metrics(obs.registry)
+            if args.figures or args.json:
+                # Figure statistics and JSON need the full trace in memory.
+                result = engine.detect(
+                    _read_trace_file(args.trace, obs, link_name=args.trace)
+                )
+            else:
+                heartbeat = obs.heartbeat(f"detect {args.trace}")
+                result = engine.detect_file(args.trace,
+                                            link_name=args.trace,
+                                            progress=heartbeat)
+                if heartbeat is not None:
+                    heartbeat.done()
+            _publish_result_metrics(obs, result)
+            if args.json:
+                from repro.core.serialize import result_to_json
+
+                print(result_to_json(result, extras=_json_extras(obs)))
+                return 0
+            print(render_summary(result))
+            print()
+            print(result.parallel.render())
+            if args.figures:
+                _print_figures(result)
+            return 0
+        trace = _read_trace_file(args.trace, obs)
+        result = detector.detect(trace)
+        _publish_result_metrics(obs, result)
         if args.json:
             from repro.core.serialize import result_to_json
 
-            print(result_to_json(result))
+            print(result_to_json(result, extras=_json_extras(obs)))
             return 0
         print(render_summary(result))
-        print()
-        print(result.parallel.render())
         if args.figures:
             _print_figures(result)
         return 0
-    trace = read_pcap(args.trace)
-    result = detector.detect(trace)
-    if args.json:
-        from repro.core.serialize import result_to_json
+    finally:
+        obs.finish()
 
-        print(result_to_json(result))
-        return 0
-    print(render_summary(result))
-    if args.figures:
-        _print_figures(result)
-    return 0
+
+def _batch_progress():
+    logger = get_logger("progress")
+    done = [0]
+
+    def tick(item) -> None:
+        done[0] += 1
+        if item.ok:
+            logger.info("batch %d: %s — %d records, %d loops in %.2fs",
+                        done[0], item.name, item.records, item.loops,
+                        item.wall_seconds)
+        else:
+            logger.info("batch %d: %s — failed: %s",
+                        done[0], item.name, item.error)
+
+    return tick
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.parallel import run_batch
 
-    config = DetectorConfig(
-        merge_gap=args.merge_gap,
-        min_stream_size=args.min_stream_size,
-    )
-    result = run_batch(
-        targets=args.targets or None,
-        jobs=args.jobs,
-        config=config,
-        duration=args.duration,
-    )
-    print(result.render())
-    return 1 if result.failed else 0
+    obs = _Obs(args)
+    try:
+        config = DetectorConfig(
+            merge_gap=args.merge_gap,
+            min_stream_size=args.min_stream_size,
+        )
+        result = run_batch(
+            targets=args.targets or None,
+            jobs=args.jobs,
+            config=config,
+            duration=args.duration,
+            progress=_batch_progress() if obs.progress else None,
+        )
+        print(result.render())
+        return 1 if result.failed else 0
+    finally:
+        obs.finish()
+
+
+def _sim_progress(name: str, duration: float):
+    logger = get_logger("progress")
+
+    def tick(now: float) -> None:
+        if now <= duration:
+            logger.info("simulate %s: t=%.1f/%.1fs", name, now, duration)
+        else:
+            logger.info("simulate %s: draining, t=%.1fs", name, now)
+
+    return tick
 
 
 def _run_scenario(name: str, duration: float | None,
-                  route_cache: bool = True):
+                  route_cache: bool = True, tracer=None,
+                  progress: bool = False):
     from repro.sim import table1_scenario
 
     overrides = {}
@@ -256,7 +432,10 @@ def _run_scenario(name: str, duration: float | None,
     if not route_cache:
         overrides["route_cache"] = False
     scenario = table1_scenario(name, **overrides)
-    return scenario.run()
+    tick = None
+    if progress:
+        tick = _sim_progress(name, scenario.config.duration)
+    return scenario.run(tracer=tracer, progress=tick)
 
 
 def _render_cache_stats(engine) -> str:
@@ -268,30 +447,84 @@ def _render_cache_stats(engine) -> str:
             f"(hit rate {stats['hit_rate']:.1%})")
 
 
-def _cmd_simulate(args: argparse.Namespace) -> int:
+def _scenario_pipeline(args: argparse.Namespace, obs: _Obs):
+    """Run a scenario and detect loops on its trace, fully instrumented.
+
+    Returns ``(run, result, lifecycle)``; ``lifecycle`` is None unless a
+    trace was recorded.  The control plane logs in *simulation* time (the
+    backbone re-clocks the tracer); before detection the tracer is put
+    back on the wall clock so pipeline phase spans stay meaningful.
+    """
     run = _run_scenario(args.scenario, args.duration,
-                        route_cache=not args.no_route_cache)
-    detector = LoopDetector()
-    result = detector.detect(run.trace)
-    print(render_summary(result))
-    print(f"ground-truth looped packets (AS-wide): "
-          f"{run.ground_truth_looped}")
-    print(f"ground-truth TTL expiries: {run.ground_truth_expired}")
-    print(_render_cache_stats(run.engine))
-    if args.pcap:
-        write_pcap(run.trace, args.pcap)
-        print(f"trace written to {args.pcap}")
-    return 0
+                        route_cache=not args.no_route_cache,
+                        tracer=obs.tracer if obs.tracer.enabled else None,
+                        progress=obs.progress)
+    run.engine.register_metrics(obs.registry)
+    run.monitor.register_metrics(obs.registry)
+    tracer = obs.tracer
+    if tracer.enabled:
+        tracer.clock = time.perf_counter
+    result = LoopDetector(tracer=tracer).detect(run.trace)
+    _publish_result_metrics(obs, result)
+    lifecycle = None
+    if tracer.enabled:
+        from repro.obs.lifecycle import correlate_lifecycles
+
+        lifecycle = correlate_lifecycles(tracer.records, result.loops)
+    return run, result, lifecycle
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    obs = _Obs(args)
+    try:
+        run, result, lifecycle = _scenario_pipeline(args, obs)
+        if args.json:
+            from repro.core.serialize import result_to_json
+
+            extras = {
+                "ground_truth": {
+                    "looped_packets": run.ground_truth_looped,
+                    "ttl_expiries": run.ground_truth_expired,
+                },
+                "route_cache": run.engine.route_cache_stats(),
+                "metrics": obs.metrics_snapshot(),
+            }
+            if lifecycle is not None:
+                extras["lifecycle"] = lifecycle.to_dict()
+            print(result_to_json(result, extras=extras))
+        else:
+            print(render_summary(result))
+            print(f"ground-truth looped packets (AS-wide): "
+                  f"{run.ground_truth_looped}")
+            print(f"ground-truth TTL expiries: {run.ground_truth_expired}")
+            print(_render_cache_stats(run.engine))
+            if lifecycle is not None:
+                print()
+                print(lifecycle.render())
+        if args.pcap:
+            write_pcap(run.trace, args.pcap)
+            if args.json:
+                _logger.info("trace written to %s", args.pcap)
+            else:
+                print(f"trace written to {args.pcap}")
+        return 0
+    finally:
+        obs.finish()
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    run = _run_scenario(args.scenario, args.duration,
-                        route_cache=not args.no_route_cache)
-    result = LoopDetector().detect(run.trace)
-    print(render_summary(result))
-    print(_render_cache_stats(run.engine))
-    _print_figures(result)
-    return 0
+    obs = _Obs(args)
+    try:
+        run, result, lifecycle = _scenario_pipeline(args, obs)
+        print(render_summary(result))
+        print(_render_cache_stats(run.engine))
+        if lifecycle is not None:
+            print()
+            print(lifecycle.render())
+        _print_figures(result)
+        return 0
+    finally:
+        obs.finish()
 
 
 def _cmd_anonymize(args: argparse.Namespace) -> int:
@@ -307,6 +540,7 @@ def _cmd_anonymize(args: argparse.Namespace) -> int:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    configure_logging(getattr(args, "log_level", "warning"))
     handlers = {
         "detect": _cmd_detect,
         "batch": _cmd_batch,
@@ -317,7 +551,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         return handlers[args.command](args)
     except (FileNotFoundError, KeyError, ValueError) as error:
-        print(f"error: {error}", file=sys.stderr)
+        _logger.error("%s", error)
         return 1
 
 

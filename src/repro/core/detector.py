@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.net.trace import Trace
+from repro.obs.tracing import NULL_TRACER
 from repro.core.merge import RoutingLoop, merge_streams
 from repro.core.replica import ReplicaScanStats, ReplicaStream, detect_replicas
 from repro.core.streams import PrefixIndex, ValidationResult, validate_streams
@@ -88,43 +89,67 @@ class DetectionResult:
 
 
 class LoopDetector:
-    """Runs detect → validate → merge over a trace."""
+    """Runs detect → validate → merge over a trace.
 
-    def __init__(self, config: DetectorConfig | None = None) -> None:
+    ``tracer`` (default: the shared null tracer) receives one wall-clock
+    phase span per pipeline stage — ``detect.replicas``,
+    ``detect.validate``, ``detect.merge`` — tagged ``clock="wall"`` so
+    they coexist in one trace file with sim-time control-plane records.
+    Tracing changes nothing about the result: the phases wrap the exact
+    same calls.
+    """
+
+    def __init__(self, config: DetectorConfig | None = None,
+                 tracer=NULL_TRACER) -> None:
         self.config = config or DetectorConfig()
+        self.tracer = tracer
 
     def detect(self, trace: Trace) -> DetectionResult:
         """Run the full pipeline on ``trace``."""
         config = self.config
+        tracer = self.tracer
         scan_stats = ReplicaScanStats()
-        candidates = detect_replicas(
-            trace,
-            min_ttl_delta=config.min_ttl_delta,
-            max_replica_gap=config.max_replica_gap,
-            eviction_interval=config.eviction_interval,
-            stats=scan_stats,
-        )
+        with tracer.phase("detect.replicas", clock="wall") as phase:
+            candidates = detect_replicas(
+                trace,
+                min_ttl_delta=config.min_ttl_delta,
+                max_replica_gap=config.max_replica_gap,
+                eviction_interval=config.eviction_interval,
+                stats=scan_stats,
+            )
+            phase.note(records=len(trace.records),
+                       candidates=len(candidates))
         needs_index = config.check_prefix_consistency or config.check_gap_consistency
         prefix_index = (
             PrefixIndex(trace, config.prefix_length) if needs_index else None
         )
-        validation = validate_streams(
-            candidates,
-            trace,
-            min_stream_size=config.min_stream_size,
-            prefix_length=config.prefix_length,
-            check_prefix_consistency=config.check_prefix_consistency,
-            prefix_index=prefix_index,
-        )
-        loops = merge_streams(
-            validation.valid,
-            trace,
-            merge_gap=config.merge_gap,
-            prefix_length=config.prefix_length,
-            check_gap_consistency=config.check_gap_consistency,
-            prefix_index=prefix_index,
-            candidates=candidates,
-        )
+        with tracer.phase("detect.validate", clock="wall") as phase:
+            validation = validate_streams(
+                candidates,
+                trace,
+                min_stream_size=config.min_stream_size,
+                prefix_length=config.prefix_length,
+                check_prefix_consistency=config.check_prefix_consistency,
+                prefix_index=prefix_index,
+            )
+            phase.note(valid=len(validation.valid))
+        with tracer.phase("detect.merge", clock="wall") as phase:
+            loops = merge_streams(
+                validation.valid,
+                trace,
+                merge_gap=config.merge_gap,
+                prefix_length=config.prefix_length,
+                check_gap_consistency=config.check_gap_consistency,
+                prefix_index=prefix_index,
+                candidates=candidates,
+            )
+            phase.note(loops=len(loops))
+        # Loop intervals live in *trace* time (simulation time for
+        # simulated traces) — the lifecycle correlator joins them with
+        # the control plane's sim-time events.
+        for loop in loops:
+            tracer.span("loop", loop.start, loop.end,
+                        prefix=str(loop.prefix), streams=loop.stream_count)
         return DetectionResult(
             trace=trace,
             config=config,

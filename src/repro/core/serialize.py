@@ -51,8 +51,26 @@ def loop_to_dict(loop: RoutingLoop) -> dict[str, Any]:
     }
 
 
-def result_to_dict(result: DetectionResult) -> dict[str, Any]:
-    """A full detection result as a JSON-ready dict."""
+def result_to_dict(result: DetectionResult,
+                   extras: dict[str, Any] | None = None) -> dict[str, Any]:
+    """A full detection result as a JSON-ready dict.
+
+    ``extras`` merges additional top-level sections into the payload —
+    the CLI attaches ``route_cache``, ``metrics``, and ``lifecycle``
+    blocks this way so downstream tooling gets one self-contained
+    document.  Extra keys may not collide with the core schema.
+    """
+    payload = _result_payload(result)
+    if extras:
+        for key in extras:
+            if key in payload:
+                raise ValueError(f"extras key {key!r} collides with the "
+                                 "core result schema")
+        payload.update(extras)
+    return payload
+
+
+def _result_payload(result: DetectionResult) -> dict[str, Any]:
     return {
         "format_version": FORMAT_VERSION,
         "trace": {
@@ -83,9 +101,10 @@ def result_to_dict(result: DetectionResult) -> dict[str, Any]:
     }
 
 
-def result_to_json(result: DetectionResult, indent: int | None = 2) -> str:
+def result_to_json(result: DetectionResult, indent: int | None = 2,
+                   extras: dict[str, Any] | None = None) -> str:
     """Serialize a detection result to a JSON string."""
-    return json.dumps(result_to_dict(result), indent=indent)
+    return json.dumps(result_to_dict(result, extras=extras), indent=indent)
 
 
 def loops_from_dict(payload: dict[str, Any]) -> list[RoutingLoop]:

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.net.addr import IPv4Address
+from repro.obs.tracing import NULL_TRACER
 from repro.core.detector import DetectorConfig
 from repro.core.merge import RoutingLoop
 from repro.core.replica import (
@@ -79,9 +80,11 @@ class StreamingLoopDetector:
         self,
         config: DetectorConfig | None = None,
         on_loop: LoopCallback | None = None,
+        tracer=NULL_TRACER,
     ) -> None:
         self.config = config or DetectorConfig()
         self.on_loop = on_loop
+        self.tracer = tracer
         self.stats = StreamingStats()
 
         self._index = 0
@@ -143,9 +146,12 @@ class StreamingLoopDetector:
         """Feed a whole :class:`~repro.net.trace.Trace`; returns all loops
         (including those closed by the final flush)."""
         loops: list[RoutingLoop] = []
-        for record in trace:
-            loops.extend(self.process(record.timestamp, record.data))
-        loops.extend(self.flush())
+        with self.tracer.phase("streaming.process_trace",
+                               clock="wall") as phase:
+            for record in trace:
+                loops.extend(self.process(record.timestamp, record.data))
+            loops.extend(self.flush())
+            phase.note(records=self.stats.records, loops=len(loops))
         return loops
 
     def flush(self) -> list[RoutingLoop]:
@@ -154,6 +160,36 @@ class StreamingLoopDetector:
         infinity = float("inf")
         self._expire(infinity)
         return self._emitted
+
+    def register_metrics(self, registry) -> None:
+        """Publish :class:`StreamingStats` via a weakly-held collector;
+        the per-record path keeps its plain-int counters."""
+        registry.register_collector(self._publish_metrics)
+
+    def _publish_metrics(self, registry) -> None:
+        stats = self.stats
+        registry.counter(
+            "streaming_records_total", "Records fed to the detector"
+        ).set(stats.records)
+        registry.counter(
+            "streaming_records_skipped_short_total",
+            "Records below the minimum capture length",
+        ).set(stats.skipped_short)
+        registry.counter(
+            "streaming_streams_completed_total",
+            "Candidate replica streams that went quiescent",
+        ).set(stats.streams_completed)
+        registry.counter(
+            "streaming_streams_rejected_small_total",
+            "Streams rejected for too few replicas",
+        ).set(stats.streams_rejected_small)
+        registry.counter(
+            "streaming_streams_rejected_conflict_total",
+            "Streams rejected by prefix-consistency validation",
+        ).set(stats.streams_rejected_conflict)
+        registry.counter(
+            "streaming_loops_emitted_total", "Routing loops emitted"
+        ).set(stats.loops_emitted)
 
     # -- step 1: chaining -------------------------------------------------------
 
@@ -346,6 +382,11 @@ class StreamingLoopDetector:
             streams=streams,
         )
         self.stats.loops_emitted += 1
+        # Loop intervals are in record-timestamp time, same domain as the
+        # control-plane events of a simulated trace.
+        self.tracer.span("loop", routing_loop.start, routing_loop.end,
+                         prefix=str(routing_loop.prefix),
+                         streams=routing_loop.stream_count)
         self._emitted.append(routing_loop)
         if self.on_loop is not None:
             self.on_loop(routing_loop)

@@ -26,6 +26,10 @@ from pathlib import Path
 from typing import BinaryIO, Iterator
 
 from repro.net.trace import SNAPLEN_40, Trace, TraceRecord
+from repro.obs.log import get_logger
+from repro.obs.metrics import get_registry
+
+_logger = get_logger("pcap")
 
 PCAP_MAGIC = 0xA1B2C3D4
 PCAP_MAGIC_SWAPPED = 0xD4C3B2A1
@@ -112,7 +116,22 @@ def _read_global_header(stream: BinaryIO) -> _PcapHeader:
     )
 
 
-def _iter_records(stream: BinaryIO, header: _PcapHeader) -> Iterator[TraceRecord]:
+def _truncated(detail: str, source: str) -> None:
+    """A capture ended mid-record: warn (for callers that filter on
+    :class:`PcapWarning`), log with the *filename* (so batch runs over
+    many pcaps record which file was damaged), and count it."""
+    message = (f"pcap capture ends mid-record ({detail}); "
+               "dropping the partial final record")
+    warnings.warn(message, PcapWarning, stacklevel=4)
+    _logger.warning("%s: %s", source or "<stream>", message)
+    get_registry().counter(
+        "pcap_truncated_records_total",
+        "Partial final records dropped from damaged captures",
+    ).inc()
+
+
+def _iter_records(stream: BinaryIO, header: _PcapHeader,
+                  source: str = "") -> Iterator[TraceRecord]:
     record_struct = header.record_struct
     mac_header = header.mac_header
     divisor = header.divisor
@@ -121,22 +140,12 @@ def _iter_records(stream: BinaryIO, header: _PcapHeader) -> Iterator[TraceRecord
         if not raw_record:
             break
         if len(raw_record) < record_struct.size:
-            warnings.warn(
-                "pcap capture ends mid-record (truncated record header); "
-                "dropping the partial final record",
-                PcapWarning,
-                stacklevel=3,
-            )
+            _truncated("truncated record header", source)
             break
         seconds, fraction, captured_len, wire_len = record_struct.unpack(raw_record)
         data = stream.read(captured_len)
         if len(data) < captured_len:
-            warnings.warn(
-                f"pcap capture ends mid-record ({len(data)}/{captured_len} "
-                "body bytes); dropping the partial final record",
-                PcapWarning,
-                stacklevel=3,
-            )
+            _truncated(f"{len(data)}/{captured_len} body bytes", source)
             break
         timestamp = seconds + fraction / divisor
         yield TraceRecord(
@@ -146,22 +155,33 @@ def _iter_records(stream: BinaryIO, header: _PcapHeader) -> Iterator[TraceRecord
         )
 
 
-def read_pcap(path: str | Path, link_name: str = "") -> Trace:
+def read_pcap(path: str | Path, link_name: str = "",
+              progress=None) -> Trace:
     """Read a pcap file into a :class:`Trace`.
 
     Handles both byte orders and nanosecond-magic files.  Records are
     assumed to be raw IPv4 (``LINKTYPE_RAW``); Ethernet (``LINKTYPE 1``)
     frames have their 14-byte MAC header stripped.
+
+    ``progress`` is called as ``progress(1)`` per record loaded — pass a
+    rate-limited :class:`~repro.obs.progress.Heartbeat` for large files.
     """
     with open(path, "rb") as stream:
-        return _read_stream(stream, link_name)
+        return _read_stream(stream, link_name, source=str(path),
+                            progress=progress)
 
 
-def _read_stream(stream: BinaryIO, link_name: str) -> Trace:
+def _read_stream(stream: BinaryIO, link_name: str, source: str = "",
+                 progress=None) -> Trace:
     header = _read_global_header(stream)
     trace = Trace(link_name=link_name, snaplen=header.snaplen)
-    for record in _iter_records(stream, header):
-        trace.append(record)
+    if progress is None:
+        for record in _iter_records(stream, header, source):
+            trace.append(record)
+    else:
+        for record in _iter_records(stream, header, source):
+            trace.append(record)
+            progress(1)
     return trace
 
 
@@ -173,7 +193,7 @@ def iter_pcap(path: str | Path) -> Iterator[TraceRecord]:
     """
     with open(path, "rb") as stream:
         header = _read_global_header(stream)
-        yield from _iter_records(stream, header)
+        yield from _iter_records(stream, header, str(path))
 
 
 def iter_pcap_chunks(
@@ -193,7 +213,7 @@ def iter_pcap_chunks(
     with open(path, "rb") as stream:
         header = _read_global_header(stream)
         chunk = Trace(link_name=link_name, snaplen=header.snaplen)
-        for record in _iter_records(stream, header):
+        for record in _iter_records(stream, header, str(path)):
             chunk.append(record)
             if len(chunk.records) >= chunk_records:
                 yield chunk

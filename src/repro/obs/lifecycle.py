@@ -1,0 +1,293 @@
+"""Loop-lifecycle correlation: from injected failure to FIB convergence.
+
+The paper's central question (Sec. VI, Fig. 9) is how long transient
+loops live and why.  Given a trace produced by :mod:`repro.obs.tracing`
+— control-plane events from the simulator (``link_down``/``link_up``,
+``adjacency_*``, ``lsa_flood``, ``spf_run``, ``igp_fib_install``,
+``bgp_withdraw``/``bgp_advertise``, ``fib_mutation``) plus data-plane
+``loop`` spans from the detector — this module answers it *per loop*:
+
+* **which failure caused it** — the closest preceding injected event
+  whose protocol family could have produced the loop (BGP events must
+  match the loop's prefix; IGP events are topology-wide);
+* **how long until the responsible FIBs converged** — the last relevant
+  FIB install inside the loop's lifetime;
+* **how the loop's duration decomposes** into the convergence phases
+  the paper names: failure detection, LSA flooding, SPF, FIB update.
+
+The correlator works on plain record dicts, so it runs equally on a
+live :class:`~repro.obs.tracing.Tracer`'s ``records`` and on a JSONL
+file reloaded with :func:`~repro.obs.tracing.read_trace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.net.addr import IPv4Prefix
+
+#: Event names that represent *injected* failures/repairs — the root
+#: causes loops are attributed to.
+IGP_FAILURE_EVENTS = ("link_down", "link_up")
+EGP_FAILURE_EVENTS = ("bgp_withdraw", "bgp_advertise")
+
+#: How far (seconds) before a loop's first replica its cause may lie.
+#: BGP propagation is slow (seconds to tens of seconds), IGP detection
+#: is sub-second; the windows mirror :mod:`repro.core.correlate`.
+DEFAULT_EGP_LEAD = 45.0
+DEFAULT_IGP_LEAD = 15.0
+#: Allowed clock skew: a cause observed just after the first replica.
+DEFAULT_LAG = 2.0
+
+
+@dataclass(slots=True)
+class LoopLifecycle:
+    """One detected loop joined with its control-plane history."""
+
+    prefix: str
+    start: float
+    end: float
+    cause: dict[str, Any] | None = None
+    cause_family: str = "unknown"  # "igp" | "egp" | "unknown"
+    detection_at: float | None = None
+    flood_at: float | None = None
+    spf_at: float | None = None
+    fib_converged_at: float | None = None
+    fib_installs: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def attributed(self) -> bool:
+        return self.cause is not None
+
+    @property
+    def cause_time(self) -> float | None:
+        return self.cause["t"] if self.cause else None
+
+    @property
+    def convergence_time(self) -> float | None:
+        """Failure → last relevant FIB install (None if unattributed)."""
+        if self.cause is None or self.fib_converged_at is None:
+            return None
+        return self.fib_converged_at - self.cause["t"]
+
+    def phase_offsets(self) -> dict[str, float]:
+        """Convergence phases as offsets (s) from the causing failure."""
+        if self.cause is None:
+            return {}
+        t0 = self.cause["t"]
+        out: dict[str, float] = {}
+        for label, when in (("detection", self.detection_at),
+                            ("flooding", self.flood_at),
+                            ("spf", self.spf_at),
+                            ("fib_install", self.fib_converged_at)):
+            if when is not None:
+                out[label] = when - t0
+        return out
+
+
+@dataclass(slots=True)
+class LifecycleReport:
+    """All lifecycles of one run plus aggregate views."""
+
+    lifecycles: list[LoopLifecycle] = field(default_factory=list)
+
+    @property
+    def attributed(self) -> list[LoopLifecycle]:
+        return [lc for lc in self.lifecycles if lc.attributed]
+
+    @property
+    def attributed_fraction(self) -> float:
+        if not self.lifecycles:
+            return 1.0
+        return len(self.attributed) / len(self.lifecycles)
+
+    def cause_counts(self) -> dict[str, int]:
+        out = {"igp": 0, "egp": 0, "unknown": 0}
+        for lc in self.lifecycles:
+            out[lc.cause_family] += 1
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready summary (per-loop rows plus aggregates)."""
+        return {
+            "loops": len(self.lifecycles),
+            "attributed": len(self.attributed),
+            "attributed_fraction": self.attributed_fraction,
+            "causes": self.cause_counts(),
+            "lifecycles": [
+                {
+                    "prefix": lc.prefix,
+                    "start": lc.start,
+                    "end": lc.end,
+                    "duration": lc.duration,
+                    "cause": (lc.cause["name"] if lc.cause else None),
+                    "cause_family": lc.cause_family,
+                    "cause_time": lc.cause_time,
+                    "convergence_time": lc.convergence_time,
+                    "phases": lc.phase_offsets(),
+                }
+                for lc in self.lifecycles
+            ],
+        }
+
+    def render(self) -> str:
+        """Human-readable lifecycle report for the CLI."""
+        counts = self.cause_counts()
+        lines = [
+            f"loop lifecycle: {len(self.attributed)}/{len(self.lifecycles)} "
+            f"loops attributed "
+            f"({self.attributed_fraction:.0%}; "
+            f"igp {counts['igp']}, egp {counts['egp']}, "
+            f"unknown {counts['unknown']})",
+        ]
+        for lc in self.lifecycles:
+            if lc.cause is None:
+                lines.append(
+                    f"  {lc.prefix}  {lc.start:.3f}..{lc.end:.3f}s "
+                    f"({lc.duration:.3f}s)  cause: unknown"
+                )
+                continue
+            phases = lc.phase_offsets()
+            phase_text = ", ".join(
+                f"{label} +{offset:.3f}s" for label, offset in phases.items()
+            )
+            convergence = (f"{lc.convergence_time:.3f}s"
+                           if lc.convergence_time is not None else "n/a")
+            lines.append(
+                f"  {lc.prefix}  {lc.start:.3f}..{lc.end:.3f}s "
+                f"({lc.duration:.3f}s)  cause: {lc.cause['name']} "
+                f"@{lc.cause['t']:.3f}s  convergence: {convergence}"
+                + (f"  [{phase_text}]" if phase_text else "")
+            )
+        return "\n".join(lines)
+
+
+def _loop_rows(
+    loops: Sequence[Any] | None,
+    records: Sequence[dict[str, Any]],
+) -> list[tuple[str, float, float]]:
+    """Normalize the loop source to ``(prefix, start, end)`` rows.
+
+    ``loops`` may be :class:`~repro.core.merge.RoutingLoop` objects; when
+    None, the data-plane ``loop`` spans already present in ``records``
+    are used (the CLI writes them after detection).
+    """
+    if loops is not None:
+        return [(str(loop.prefix), loop.start, loop.end) for loop in loops]
+    rows = []
+    for record in records:
+        if record.get("type") == "span" and record.get("name") == "loop":
+            rows.append((record["attrs"].get("prefix", "0.0.0.0/0"),
+                         record["t0"], record["t1"]))
+    rows.sort(key=lambda row: row[1])
+    return rows
+
+
+def _overlaps(event_prefix: str | None, loop_prefix: IPv4Prefix) -> bool:
+    if not event_prefix:
+        return False
+    try:
+        parsed = IPv4Prefix.parse(event_prefix)
+    except ValueError:
+        return False
+    return parsed.overlaps(loop_prefix)
+
+
+def correlate_lifecycles(
+    records: Iterable[dict[str, Any]],
+    loops: Sequence[Any] | None = None,
+    egp_lead: float = DEFAULT_EGP_LEAD,
+    igp_lead: float = DEFAULT_IGP_LEAD,
+    lag: float = DEFAULT_LAG,
+) -> LifecycleReport:
+    """Join control-plane trace records with detected loops.
+
+    Causes are chosen per loop as the *latest* eligible failure event not
+    later than ``loop.start + lag``: BGP withdrawals/announcements are
+    eligible within ``egp_lead`` seconds before the loop and only when
+    their prefix overlaps the loop's; link events are eligible within
+    ``igp_lead``.  A closer cause wins regardless of family.
+    """
+    if egp_lead < 0 or igp_lead < 0 or lag < 0:
+        raise ValueError("windows must be non-negative")
+    records = list(records)
+    evts = [r for r in records if r.get("type") == "event"]
+    evts.sort(key=lambda r: r["t"])
+    by_name: dict[str, list[dict[str, Any]]] = {}
+    for record in evts:
+        by_name.setdefault(record["name"], []).append(record)
+
+    report = LifecycleReport()
+    for prefix_text, start, end in _loop_rows(loops, records):
+        loop_prefix = IPv4Prefix.parse(prefix_text)
+        lifecycle = LoopLifecycle(prefix=prefix_text, start=start, end=end)
+
+        candidates: list[tuple[float, str, dict[str, Any]]] = []
+        for name in IGP_FAILURE_EVENTS:
+            for record in by_name.get(name, ()):
+                if start - igp_lead <= record["t"] <= start + lag:
+                    candidates.append((record["t"], "igp", record))
+        for name in EGP_FAILURE_EVENTS:
+            for record in by_name.get(name, ()):
+                if (start - egp_lead <= record["t"] <= start + lag
+                        and _overlaps(record["attrs"].get("prefix"),
+                                      loop_prefix)):
+                    candidates.append((record["t"], "egp", record))
+        if candidates:
+            when, family, cause = max(candidates, key=lambda c: c[0])
+            lifecycle.cause = cause
+            lifecycle.cause_family = family
+            _decompose(lifecycle, by_name, loop_prefix, when, end + lag)
+        report.lifecycles.append(lifecycle)
+    return report
+
+
+def _first_at_or_after(rows: list[dict[str, Any]], t0: float,
+                       limit: float) -> float | None:
+    for record in rows:
+        if t0 <= record["t"] <= limit:
+            return record["t"]
+    return None
+
+
+def _decompose(
+    lifecycle: LoopLifecycle,
+    by_name: dict[str, list[dict[str, Any]]],
+    loop_prefix: IPv4Prefix,
+    cause_time: float,
+    limit: float,
+) -> None:
+    """Fill convergence-phase timestamps in ``[cause_time, limit]``."""
+    adjacency = (by_name.get("adjacency_lost", [])
+                 + by_name.get("adjacency_formed", []))
+    adjacency.sort(key=lambda r: r["t"])
+    lifecycle.detection_at = _first_at_or_after(adjacency, cause_time, limit)
+    floods = (by_name.get("lsa_originated", [])
+              + by_name.get("lsa_flood", []))
+    floods.sort(key=lambda r: r["t"])
+    lifecycle.flood_at = _first_at_or_after(floods, cause_time, limit)
+    lifecycle.spf_at = _first_at_or_after(
+        by_name.get("spf_run", []), cause_time, limit
+    )
+
+    if lifecycle.cause_family == "egp":
+        # The loop ends when the last lagging router installs the new
+        # egress for this prefix.
+        installs = [
+            record for record in by_name.get("fib_mutation", ())
+            if cause_time <= record["t"] <= limit
+            and _overlaps(record["attrs"].get("prefix"), loop_prefix)
+        ]
+    else:
+        installs = [
+            record for record in by_name.get("igp_fib_install", ())
+            if cause_time <= record["t"] <= limit
+        ]
+    lifecycle.fib_installs = len(installs)
+    if installs:
+        lifecycle.fib_converged_at = max(r["t"] for r in installs)

@@ -1,0 +1,68 @@
+"""The shared ``repro`` logger.
+
+The CLI historically wrote ``error: ...`` lines straight to stderr;
+tests (and muscle memory) assert on that lowercase prefix.  This module
+keeps the exact output shape while routing everything through
+:mod:`logging`, so ``--log-level`` can reveal debug/info chatter and
+library consumers can attach their own handlers.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+#: Root logger name for the whole package.
+ROOT = "repro"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+class _LowercaseLevelFormatter(logging.Formatter):
+    """Format as ``error: message`` (lowercase level prefix)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        message = record.getMessage()
+        if record.exc_info and record.exc_text is None:
+            record.exc_text = self.formatException(record.exc_info)
+        if record.exc_text:
+            message = f"{message}\n{record.exc_text}"
+        return f"{record.levelname.lower()}: {message}"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger under the ``repro`` namespace (``repro.<name>``)."""
+    return logging.getLogger(f"{ROOT}.{name}" if name else ROOT)
+
+
+def configure_logging(level: str = "warning",
+                      stream=None) -> logging.Logger:
+    """Attach one stderr handler to the ``repro`` logger (idempotent).
+
+    Reconfiguring replaces the previously installed handler rather than
+    stacking a second one, so repeated CLI invocations in one process
+    (tests!) don't multiply output lines.
+    """
+    try:
+        resolved = _LEVELS[level.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r}; "
+            f"choose from {', '.join(_LEVELS)}"
+        ) from None
+    logger = get_logger()
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(_LowercaseLevelFormatter())
+    for existing in list(logger.handlers):
+        if getattr(existing, "_repro_handler", False):
+            logger.removeHandler(existing)
+    handler._repro_handler = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    logger.setLevel(resolved)
+    logger.propagate = False
+    return logger

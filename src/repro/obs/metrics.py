@@ -1,0 +1,392 @@
+"""Process-wide metrics registry.
+
+Three instrument kinds — :class:`Counter`, :class:`Gauge`, and
+fixed-bucket :class:`Histogram` — live in a :class:`MetricsRegistry`
+that can render a Prometheus-style text exposition or a JSON snapshot.
+
+The design constraint is the forwarding engine's ``_arrive`` hot loop:
+observability must cost *nothing* per packet when disabled, and almost
+nothing when enabled.  Two mechanisms provide that:
+
+* A disabled registry hands out the module-level null singletons
+  (:data:`NULL_COUNTER`, :data:`NULL_GAUGE`, :data:`NULL_HISTOGRAM`),
+  whose methods are no-ops — instrumented code holds a direct reference
+  and never probes a dict per event.
+* Hot paths that already keep plain-int counters (route-cache hits,
+  streaming stats) do not touch metric objects at all; they register a
+  **pull collector** — a bound method called once per export — that
+  publishes the current values.  Collectors are held by weak reference,
+  so registering an engine with the process registry never extends the
+  engine's lifetime.
+
+The default process-wide registry is **disabled**; the CLI installs an
+enabled registry (:func:`set_registry`) before constructing the pipeline
+when ``--metrics-out`` or ``--json`` asks for metrics.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import weakref
+from bisect import bisect_left
+from typing import Any, Callable, Iterable
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: Default histogram buckets, tuned for loop/phase durations in seconds
+#: (the paper's Fig. 9 spans ~100 ms to minutes).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0,
+    300.0, 600.0,
+)
+
+
+class MetricsError(ValueError):
+    """Raised for invalid metric names or kind collisions."""
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise MetricsError(f"invalid metric name {name!r}")
+    return name
+
+
+class Counter:
+    """A monotonically increasing count.
+
+    :meth:`set` exists for pull collectors that mirror an externally
+    maintained plain-int counter (it must never be used to go backwards).
+    """
+
+    __slots__ = ("name", "help", "_value")
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self._value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        self._value += amount
+
+    def set(self, value: float) -> None:
+        """Publish an externally maintained monotonic value."""
+        self._value = value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("name", "help", "_value")
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self._value: float = 0
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram of observations.
+
+    Bucket bounds are upper bounds, exclusive of ``+Inf`` (which is
+    implicit).  Counts are kept per bucket and cumulated only at export,
+    so :meth:`observe` is one bisect plus one list increment.
+    """
+
+    __slots__ = ("name", "help", "bounds", "_counts", "_sum", "_count")
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        self.name = _check_name(name)
+        self.help = help
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise MetricsError(f"histogram {name!r} needs >= 1 bucket")
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last slot = +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        self._counts[bisect_left(self.bounds, value)] += 1
+        self._sum += value
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ending at +Inf."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds, self._counts):
+            running += count
+            out.append((bound, running))
+        out.append((math.inf, self._count))
+        return out
+
+
+class _NullCounter:
+    """No-op counter handed out by a disabled registry."""
+
+    __slots__ = ()
+    kind = "counter"
+    name = ""
+    help = ""
+    value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    kind = "gauge"
+    name = ""
+    help = ""
+    value = 0
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def dec(self, amount: float = 1) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    kind = "histogram"
+    name = ""
+    help = ""
+    count = 0
+    sum = 0.0
+    bounds: tuple[float, ...] = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        return []
+
+
+#: Shared no-op instruments: one allocation per process, ever.
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+Collector = Callable[["MetricsRegistry"], None]
+
+
+class MetricsRegistry:
+    """A named collection of instruments plus pull collectors."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._collectors: list[Any] = []  # weak or strong refs
+
+    # -- instrument factories -------------------------------------------------
+
+    def _get(self, name: str, kind: str, factory):
+        if not self.enabled:
+            return {"counter": NULL_COUNTER, "gauge": NULL_GAUGE,
+                    "histogram": NULL_HISTOGRAM}[kind]
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif metric.kind != kind:
+            raise MetricsError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, "counter", lambda: Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, "gauge", lambda: Gauge(name, help))
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Iterable[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get(name, "histogram",
+                         lambda: Histogram(name, help, buckets))
+
+    # -- pull collectors ------------------------------------------------------
+
+    def register_collector(self, fn: Collector) -> None:
+        """Register ``fn(registry)`` to be called before every export.
+
+        Bound methods are held via :class:`weakref.WeakMethod` so a
+        registered object (a forwarding engine, a streaming detector)
+        can still be garbage collected; plain functions are held
+        strongly.  No-op on a disabled registry.
+        """
+        if not self.enabled:
+            return
+        try:
+            ref: Any = weakref.WeakMethod(fn)  # type: ignore[arg-type]
+        except TypeError:
+            ref = lambda fn=fn: fn  # strong ref, uniform call-to-deref
+        self._collectors.append(ref)
+
+    def collect(self) -> None:
+        """Run every live collector; prune dead ones."""
+        live = []
+        for ref in self._collectors:
+            fn = ref()
+            if fn is None:
+                continue
+            fn(self)
+            live.append(ref)
+        self._collectors = live
+
+    # -- export ---------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """All current values as a JSON-ready dict (runs collectors)."""
+        self.collect()
+        counters: dict[str, float] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, Any] = {}
+        for name, metric in sorted(self._metrics.items()):
+            if isinstance(metric, Counter):
+                counters[name] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[name] = metric.value
+            else:
+                histograms[name] = {
+                    "count": metric.count,
+                    "sum": metric.sum,
+                    "buckets": [
+                        ["+Inf" if math.isinf(bound) else bound, count]
+                        for bound, count in metric.cumulative()
+                    ],
+                }
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        self.collect()
+        lines: list[str] = []
+        for name, metric in sorted(self._metrics.items()):
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            if isinstance(metric, Histogram):
+                for bound, count in metric.cumulative():
+                    le = "+Inf" if math.isinf(bound) else _num(bound)
+                    lines.append(f'{name}_bucket{{le="{le}"}} {count}')
+                lines.append(f"{name}_sum {_num(metric.sum)}")
+                lines.append(f"{name}_count {metric.count}")
+            else:
+                lines.append(f"{name} {_num(metric.value)}")
+        return "\n".join(lines) + "\n"
+
+
+def _num(value: float) -> str:
+    """Render a number losslessly, preferring the integer form."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def parse_prometheus(text: str) -> dict[str, Any]:
+    """Parse text produced by :meth:`MetricsRegistry.render_prometheus`
+    back into the :meth:`MetricsRegistry.snapshot` shape (round-trip
+    support for tests and downstream tooling)."""
+    kinds: dict[str, str] = {}
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, Any] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                kinds[parts[2]] = parts[3]
+            continue
+        name_part, value_text = line.rsplit(None, 1)
+        value = float(value_text)
+        if "{" in name_part:
+            name, label_part = name_part.split("{", 1)
+            base = name[:-len("_bucket")]
+            le_text = label_part.split('"')[1]
+            bound: Any = "+Inf" if le_text == "+Inf" else float(le_text)
+            hist = histograms.setdefault(
+                base, {"count": 0, "sum": 0.0, "buckets": []}
+            )
+            hist["buckets"].append([bound, int(value)])
+            continue
+        name = name_part
+        if name.endswith("_sum") and name[:-4] in kinds \
+                and kinds[name[:-4]] == "histogram":
+            histograms.setdefault(
+                name[:-4], {"count": 0, "sum": 0.0, "buckets": []}
+            )["sum"] = value
+        elif name.endswith("_count") and name[:-6] in kinds \
+                and kinds[name[:-6]] == "histogram":
+            histograms.setdefault(
+                name[:-6], {"count": 0, "sum": 0.0, "buckets": []}
+            )["count"] = int(value)
+        elif kinds.get(name) == "gauge":
+            gauges[name] = value
+        else:
+            counters[name] = value
+    return {"counters": counters, "gauges": gauges,
+            "histograms": histograms}
+
+
+#: The process-wide registry; disabled until someone opts in.
+_registry = MetricsRegistry(enabled=False)
+
+
+def get_registry() -> MetricsRegistry:
+    """The current process-wide registry."""
+    return _registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` process-wide; returns the previous one."""
+    global _registry
+    previous = _registry
+    _registry = registry
+    return previous

@@ -1,0 +1,71 @@
+"""Heartbeat progress reporting for long-running pipeline stages.
+
+A :class:`Heartbeat` is handed to chunked readers / batch runners as a
+plain ``callable(count)``; it rate-limits itself with
+:func:`time.monotonic` so callers can invoke it per chunk without
+flooding the log.  Output goes through the ``repro.progress`` logger at
+INFO level — visible with ``--progress`` (which also lowers the log
+level for this logger only).
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from typing import Callable
+
+from repro.obs.log import get_logger
+
+
+class Heartbeat:
+    """Rate-limited progress reporter.
+
+    >>> beat = Heartbeat("records", interval=5.0)
+    >>> for chunk in chunks:
+    ...     beat.tick(len(chunk))      # logs at most every 5 s
+    >>> beat.done()                    # always logs the final total
+    """
+
+    __slots__ = ("label", "interval", "count", "_t0", "_last",
+                 "_logger", "_clock")
+
+    def __init__(self, label: str, interval: float = 5.0,
+                 logger: logging.Logger | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.label = label
+        self.interval = interval
+        self.count = 0
+        self._clock = clock
+        self._t0 = clock()
+        self._last = self._t0
+        self._logger = logger or get_logger("progress")
+
+    def __call__(self, amount: int = 1) -> None:
+        self.tick(amount)
+
+    def tick(self, amount: int = 1) -> None:
+        """Add ``amount`` to the running count; maybe log."""
+        self.count += amount
+        now = self._clock()
+        if now - self._last >= self.interval:
+            self._last = now
+            self._log(now)
+
+    def done(self) -> None:
+        """Log the final total unconditionally."""
+        self._log(self._clock(), final=True)
+
+    def _log(self, now: float, final: bool = False) -> None:
+        elapsed = now - self._t0
+        rate = self.count / elapsed if elapsed > 0 else 0.0
+        self._logger.info(
+            "%s%s: %d in %.1fs (%.0f/s)",
+            "done, " if final else "", self.label, self.count,
+            elapsed, rate,
+        )
+
+
+def enable_progress_logging() -> None:
+    """Make heartbeat INFO lines visible even at the default warning
+    level, without revealing unrelated info chatter."""
+    get_logger("progress").setLevel(logging.INFO)

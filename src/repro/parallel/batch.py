@@ -157,11 +157,14 @@ def run_batch(
     jobs: int = 1,
     config: DetectorConfig | None = None,
     duration: float | None = None,
+    progress=None,
 ) -> BatchResult:
     """Run detection over several traces concurrently.
 
     ``targets`` defaults to all four Table I scenarios.  ``duration``
-    overrides scenario length (ignored for pcap targets).
+    overrides scenario length (ignored for pcap targets).  ``progress``
+    is called as ``progress(item)`` with each finished
+    :class:`BatchItemResult`, in target order, as results stream in.
     """
     if jobs < 1:
         raise BatchError(f"jobs must be >= 1: {jobs}")
@@ -174,11 +177,18 @@ def run_batch(
         (*classify_target(target), config, duration) for target in targets
     ]
     started = time.perf_counter()
+    items: list[BatchItemResult] = []
     if jobs == 1 or len(specs) == 1:
-        items = [_run_batch_target(spec) for spec in specs]
+        for spec in specs:
+            items.append(_run_batch_target(spec))
+            if progress is not None:
+                progress(items[-1])
     else:
         with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
-            items = list(pool.map(_run_batch_target, specs))
+            for item in pool.map(_run_batch_target, specs):
+                items.append(item)
+                if progress is not None:
+                    progress(item)
     return BatchResult(
         items=items,
         jobs=jobs,

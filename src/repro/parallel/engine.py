@@ -42,6 +42,7 @@ from repro.core.replica import (
 )
 from repro.core.report import format_table
 from repro.core.streams import PrefixIndex, validate_streams
+from repro.obs.tracing import NULL_TRACER
 from repro.net.pcap import DEFAULT_CHUNK_RECORDS, iter_pcap_chunks
 from repro.net.trace import SNAPLEN_40, Trace
 from repro.parallel.shard import ShardError, ShardPartition
@@ -183,6 +184,7 @@ class ParallelLoopDetector:
         config: DetectorConfig | None = None,
         jobs: int = 1,
         shards: int | None = None,
+        tracer=NULL_TRACER,
     ) -> None:
         if jobs < 1:
             raise ParallelError(f"jobs must be >= 1: {jobs}")
@@ -191,6 +193,9 @@ class ParallelLoopDetector:
         self.config = config or DetectorConfig()
         self.jobs = jobs
         self.shards = shards if shards is not None else jobs
+        self.tracer = tracer
+        #: Stats of the most recent run, published by the pull collector.
+        self.last_stats: ParallelStats | None = None
 
     # -- entry points ---------------------------------------------------------
 
@@ -216,10 +221,16 @@ class ParallelLoopDetector:
         path: str | Path,
         link_name: str = "",
         chunk_records: int = DEFAULT_CHUNK_RECORDS,
+        progress=None,
     ) -> ParallelDetectionResult:
         """Run the sharded pipeline over a pcap file via the chunked
         reader — the whole trace is never materialized; ``result.trace``
-        is a :class:`TraceSummary`."""
+        is a :class:`TraceSummary`.
+
+        ``progress`` is called as ``progress(records_partitioned)`` once
+        per chunk — hand it a rate-limited
+        :class:`~repro.obs.progress.Heartbeat` for long files.
+        """
         started = time.perf_counter()
         partition = ShardPartition(num_shards=self.shards)
         needs_index = (self.config.check_prefix_consistency
@@ -242,6 +253,8 @@ class ParallelLoopDetector:
                 summary.record_count += 1
                 summary.total_bytes += record.wire_length
                 index += 1
+            if progress is not None:
+                progress(len(chunk.records))
         partition_seconds = time.perf_counter() - started
         return self._finish(
             partition, prefix_index, summary, started, partition_seconds
@@ -315,6 +328,9 @@ class ParallelLoopDetector:
             shard_skew=partition.skew,
             per_shard=per_shard,
         )
+        self.last_stats = stats
+        self._emit_trace(stats, started, detect_started, merge_started,
+                         merge_seconds, loops)
         return ParallelDetectionResult(
             trace=trace,
             config=config,
@@ -324,6 +340,71 @@ class ParallelLoopDetector:
             scan_stats=scan_stats,
             parallel=stats,
         )
+
+    def _emit_trace(self, stats: ParallelStats, started: float,
+                    detect_started: float, merge_started: float,
+                    merge_seconds: float, loops) -> None:
+        """Phase spans for the run (no-ops on the null tracer).
+
+        Timings were already measured for :class:`ParallelStats`; the
+        spans reuse them, so tracing adds no clock reads to the pipeline.
+        Shard spans are duration-accurate (worker-measured) and anchored
+        at the detect phase start; loop spans are in trace time.
+        """
+        tracer = self.tracer
+        tracer.span("parallel.partition", started,
+                    started + stats.partition_seconds, clock="wall",
+                    records=stats.records_total, shards=stats.shards)
+        detect_span = tracer.span(
+            "parallel.detect", detect_started,
+            detect_started + stats.detect_seconds, clock="wall",
+            jobs=stats.jobs, skew=stats.shard_skew,
+        )
+        for shard in stats.per_shard:
+            tracer.span("parallel.shard", detect_started,
+                        detect_started + shard.seconds, parent=detect_span,
+                        clock="wall", shard=shard.shard_id,
+                        records=shard.records,
+                        streams=shard.candidate_streams)
+        tracer.span("parallel.merge", merge_started,
+                    merge_started + merge_seconds, clock="wall",
+                    loops=len(loops))
+        for loop in loops:
+            tracer.span("loop", loop.start, loop.end,
+                        prefix=str(loop.prefix), streams=loop.stream_count)
+
+    def register_metrics(self, registry) -> None:
+        """Publish the most recent run's :class:`ParallelStats`."""
+        registry.register_collector(self._publish_metrics)
+
+    def _publish_metrics(self, registry) -> None:
+        stats = self.last_stats
+        if stats is None:
+            return
+        registry.counter(
+            "parallel_records_total", "Records partitioned across shards"
+        ).set(stats.records_total)
+        registry.gauge(
+            "parallel_jobs", "Worker processes of the last run"
+        ).set(stats.jobs)
+        registry.gauge(
+            "parallel_shard_skew",
+            "Largest shard relative to the ideal even split",
+        ).set(stats.shard_skew)
+        registry.gauge(
+            "parallel_records_per_sec",
+            "End-to-end throughput of the last run",
+        ).set(stats.records_per_sec)
+        for label, seconds in (
+            ("partition", stats.partition_seconds),
+            ("detect", stats.detect_seconds),
+            ("merge", stats.merge_seconds),
+            ("wall", stats.wall_seconds),
+        ):
+            registry.gauge(
+                f"parallel_{label}_seconds",
+                f"Wall-clock seconds of the {label} phase (last run)",
+            ).set(seconds)
 
     def _run_shards(
         self, partition: ShardPartition

@@ -23,6 +23,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.net.addr import IPv4Address, IPv4Prefix
+from repro.obs.tracing import NULL_TRACER
 from repro.routing.events import EventScheduler
 from repro.routing.fib import Fib
 from repro.routing.journal import EventKind, RoutingJournal
@@ -91,6 +92,8 @@ class BgpProcess:
             name: {} for name in topology.routers
         }
         self._prefixes: set[IPv4Prefix] = set()
+        #: Control-plane tracer (see :class:`LinkStateProtocol.tracer`).
+        self.tracer = NULL_TRACER
         self.updates_sent = 0
         #: Monotonic count of BGP-driven FIB changes across all routers.
         #: Cache validity itself rides on the per-router ``Fib.epoch``
@@ -148,6 +151,8 @@ class BgpProcess:
                     else EventKind.BGP_WITHDRAW_SENT)
             self.journal.record(self.scheduler.now, kind, egress,
                                 prefix=prefix)
+        self.tracer.event("bgp_advertise" if advertise else "bgp_withdraw",
+                          egress=egress, prefix=str(prefix))
         for router in self.topology.routers:
             self.updates_sent += 1
             delay = (0.0 if router == egress
@@ -219,6 +224,9 @@ class BgpProcess:
                 self.scheduler.now, EventKind.BGP_EGRESS_CHANGED, router,
                 detail=f"{state.chosen}->{new_choice}", prefix=prefix,
             )
+        self.tracer.event("bgp_egress_changed", router=router,
+                          prefix=str(prefix), old=state.chosen,
+                          new=new_choice)
         state.chosen = new_choice
         delay = self.timers.sample_fib(self.rng)
         self.scheduler.schedule(

@@ -59,6 +59,39 @@ class EventHandle:
         return self._event[_TIME]
 
 
+class RepeatingEvent:
+    """Handle for :meth:`EventScheduler.every`; allows cancel.
+
+    The next occurrence is scheduled only after the current one fires, so
+    cancelling stops the series immediately and leaves at most one dead
+    queue entry behind.
+    """
+
+    __slots__ = ("_scheduler", "_interval", "_fn", "_args", "_cancelled")
+
+    def __init__(self, scheduler: "EventScheduler", interval: float,
+                 fn: Callable[..., Any], args: tuple) -> None:
+        self._scheduler = scheduler
+        self._interval = interval
+        self._fn = fn
+        self._args = args
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self._fn(*self._args)
+        if not self._cancelled:
+            self._scheduler.call(self._interval, self._fire)
+
+
 class EventScheduler:
     """A time-ordered event queue with deterministic tie-breaking.
 
@@ -124,6 +157,21 @@ class EventScheduler:
             )
         heapq.heappush(self._queue, [time, self._sequence, fn, args, False])
         self._sequence += 1
+
+    def every(self, interval: float, fn: Callable[..., Any],
+              *args: Any) -> RepeatingEvent:
+        """Run ``fn(*args)`` every ``interval`` seconds until cancelled.
+
+        First fires ``interval`` from now.  Beware :meth:`run_all`: an
+        uncancelled repeating event keeps the queue non-empty forever —
+        pair this with a bounded :meth:`run` (progress heartbeats cancel
+        after the bounded drain).
+        """
+        if interval <= 0:
+            raise SchedulerError(f"interval must be positive: {interval}")
+        repeating = RepeatingEvent(self, interval, fn, args)
+        self.call(interval, repeating._fire)
+        return repeating
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
         """Run events in order until the queue drains or limits are hit.

@@ -109,6 +109,8 @@ def _apply_event(topology: Topology, igp: LinkStateProtocol,
         kind = EventKind.LINK_UP if event.up else EventKind.LINK_DOWN
         igp.journal.record(igp.scheduler.now, kind, link.a,
                            detail=link.name)
+    igp.tracer.event("link_up" if event.up else "link_down",
+                     link=link.name, a=link.a, b=link.b)
     if event.up:
         igp.notify_link_up(link)
     else:

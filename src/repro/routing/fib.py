@@ -56,6 +56,12 @@ class Fib:
         self._probes: list[tuple[int, dict[int, FibEntry]]] = []
         #: Monotonic change counter; bumped by every install/withdraw.
         self.epoch = 0
+        #: Optional observer called as ``on_mutation(op, prefix,
+        #: next_hop, epoch)`` after every install/withdraw.  The backbone
+        #: scenario wires this to the tracer; mutations are control-plane
+        #: rate, so one ``is not None`` check here never touches the
+        #: per-packet path.
+        self.on_mutation = None
 
     def install(self, prefix: IPv4Prefix, next_hop: str, now: float = 0.0) -> None:
         """Install or replace the route for ``prefix``."""
@@ -75,6 +81,8 @@ class Fib:
         table[prefix.network] = FibEntry(prefix=prefix, next_hop=next_hop,
                                          updated_at=now)
         self.epoch += 1
+        if self.on_mutation is not None:
+            self.on_mutation("install", prefix, next_hop, self.epoch)
 
     def withdraw(self, prefix: IPv4Prefix) -> bool:
         """Remove the route for ``prefix``; True if it existed."""
@@ -85,6 +93,8 @@ class Fib:
         removed = table.pop(prefix.network, None) is not None
         if removed:
             self.epoch += 1
+            if self.on_mutation is not None:
+                self.on_mutation("withdraw", prefix, None, self.epoch)
             if not table:
                 del self._tables[length]
                 index = self._lengths_desc.index(length)

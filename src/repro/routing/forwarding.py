@@ -382,6 +382,40 @@ class ForwardingEngine:
             "hit_rate": self.cache_hit_rate,
         }
 
+    def register_metrics(self, registry) -> None:
+        """Publish engine counters through a pull collector.
+
+        The hot path keeps its plain-int counters; the collector mirrors
+        them into the registry only when an export runs, so registering
+        costs nothing per packet.  The registry holds the collector by
+        weak reference — it never extends the engine's lifetime.
+        """
+        registry.register_collector(self._publish_metrics)
+
+    def _publish_metrics(self, registry) -> None:
+        registry.counter(
+            "sim_packets_injected_total", "Packets handed to the AS"
+        ).set(self._next_packet_id)
+        for fate, count in self.fate_counts.items():
+            registry.counter(
+                f"sim_packets_{fate.value}_total",
+                f"Packets whose final fate was {fate.value}",
+            ).set(count)
+        registry.counter(
+            "sim_route_cache_hits_total", "Resolved-route cache hits"
+        ).set(self.cache_hits)
+        registry.counter(
+            "sim_route_cache_misses_total", "Resolved-route cache misses"
+        ).set(self.cache_misses)
+        registry.counter(
+            "sim_route_cache_invalidations_total",
+            "Cached routes discarded after an epoch change",
+        ).set(self.cache_invalidations)
+        registry.gauge(
+            "sim_route_cache_hit_rate",
+            "Fraction of per-hop resolutions served from cache",
+        ).set(self.cache_hit_rate)
+
     # -- per-hop machinery (fast path) ----------------------------------------
 
     def _resolve(self, router: str, dst: IPv4Address,

@@ -17,6 +17,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.obs.tracing import NULL_TRACER
 from repro.routing.events import EventHandle, EventScheduler
 from repro.routing.journal import EventKind, RoutingJournal
 from repro.routing.topology import (
@@ -91,6 +92,8 @@ class _RouterState:
     spf_pending: bool = False
     pending_fib: EventHandle | None = None
     fib_updates: int = 0
+    # Open tracer span covering SPF-done → FIB-installed (0 = none).
+    pending_span: int = 0
 
 
 FibUpdateCallback = Callable[[str, float], None]
@@ -116,6 +119,11 @@ class LinkStateProtocol:
             name: _RouterState(name=name) for name in topology.routers
         }
         self._fib_callbacks: list[FibUpdateCallback] = []
+        #: Control-plane tracer; the backbone scenario swaps in a real
+        #: :class:`repro.obs.tracing.Tracer` clocked on simulation time.
+        #: Null dispatch when tracing is off — and only at control-plane
+        #: rate, never per packet.
+        self.tracer = NULL_TRACER
         self.lsas_flooded = 0
         self.spf_runs = 0
         #: Per-router monotonic FIB-install counter.  The forwarding
@@ -251,6 +259,10 @@ class LinkStateProtocol:
                     else EventKind.ADJACENCY_LOST)
             self.journal.record(self.scheduler.now, kind, router,
                                 detail=neighbor)
+        self.tracer.event(
+            "adjacency_formed" if cost is not None else "adjacency_lost",
+            router=router, neighbor=neighbor,
+        )
         state.sequence += 1
         lsa = Lsa(
             origin=router,
@@ -261,6 +273,8 @@ class LinkStateProtocol:
             self.journal.record(self.scheduler.now,
                                 EventKind.LSA_ORIGINATED, router,
                                 detail=f"seq={state.sequence}")
+        self.tracer.event("lsa_originated", router=router,
+                          seq=state.sequence)
         self._receive_lsa(router, lsa, from_neighbor=None)
         if cost is not None:
             # Database exchange: a newly formed adjacency synchronizes
@@ -294,9 +308,11 @@ class LinkStateProtocol:
 
     def _flood(self, router: str, lsa: Lsa, exclude: str | None) -> None:
         """Forward the LSA to all up-neighbors except the sender."""
+        fanout = 0
         for neighbor in self.topology.neighbors(router, only_up=True):
             if neighbor == exclude:
                 continue
+            fanout += 1
             self.lsas_flooded += 1
             delay = self.timers.sample_flooding(self.rng)
             self.scheduler.schedule(
@@ -304,6 +320,9 @@ class LinkStateProtocol:
                 lambda target=neighbor, payload=lsa, sender=router:
                     self._receive_lsa(target, payload, from_neighbor=sender),
             )
+        if fanout:
+            self.tracer.event("lsa_flood", router=router, origin=lsa.origin,
+                              seq=lsa.sequence, fanout=fanout)
 
     def _schedule_spf(self, state: _RouterState) -> None:
         """Damped SPF: one run covers all LSAs arriving before it fires."""
@@ -322,10 +341,17 @@ class LinkStateProtocol:
         if self.journal is not None:
             self.journal.record(self.scheduler.now, EventKind.SPF_RUN,
                                 router)
+        self.tracer.event("spf_run", router=router)
         # The new tree is computed now but *installed* after the FIB delay;
         # a newer SPF supersedes a pending install.
         if state.pending_fib is not None:
             state.pending_fib.cancel()
+        if state.pending_span:
+            self.tracer.end(state.pending_span, superseded=True)
+        # Per-router spans interleave freely across routers, so parent
+        # explicitly at the root instead of using the tracer's stack.
+        state.pending_span = self.tracer.begin("fib_update", parent=0,
+                                               router=router)
         delay = self.timers.sample_fib(self.rng)
         state.pending_fib = self.scheduler.schedule(
             delay, lambda name=router: self._complete_fib_update(name)
@@ -353,6 +379,12 @@ class LinkStateProtocol:
             if self.journal is not None:
                 self.journal.record(now, EventKind.IGP_FIB_INSTALLED,
                                     state.name)
+            if state.pending_span:
+                self.tracer.end(state.pending_span,
+                                epoch=self.epochs[state.name])
+                state.pending_span = 0
+            self.tracer.event("igp_fib_install", router=state.name,
+                              epoch=self.epochs[state.name])
             for callback in self._fib_callbacks:
                 callback(state.name, now)
 

@@ -101,6 +101,7 @@ class ScenarioRun:
     generator: WorkloadGenerator
     monitor_direction: tuple[str, str]
     journal: RoutingJournal
+    monitor: LinkMonitor
 
     @property
     def ground_truth_looped(self) -> int:
@@ -141,8 +142,17 @@ class BackboneScenario:
 
     # -- assembly ------------------------------------------------------------
 
-    def build(self, record_crossings: bool = False) -> ScenarioRun:
-        """Wire the full stack without running it."""
+    def build(self, record_crossings: bool = False,
+              tracer=None) -> ScenarioRun:
+        """Wire the full stack without running it.
+
+        ``tracer`` (a :class:`repro.obs.tracing.Tracer`) is re-clocked to
+        simulation time and attached to the control plane — IGP, BGP, the
+        failure injector (which reads ``igp.tracer``), and every
+        per-router prefix FIB.  It is wired *after* protocol start so the
+        trace records convergence activity, not the thousands of initial
+        route installs.
+        """
         config = self.config
         seed = config.seed
         topo_rng = random.Random(seed)
@@ -203,6 +213,18 @@ class BackboneScenario:
         igp.start()
         bgp.start()
 
+        if tracer is not None:
+            tracer.clock = lambda: scheduler.now
+            igp.tracer = tracer
+            bgp.tracer = tracer
+            for name in routers:
+                bgp.fib(name).on_mutation = (
+                    lambda op, prefix, next_hop, epoch, router=name:
+                        tracer.event("fib_mutation", router=router, op=op,
+                                     prefix=str(prefix), next_hop=next_hop,
+                                     epoch=epoch)
+                )
+
         engine = ForwardingEngine(
             topology, scheduler, igp, bgp,
             rng=random.Random(seed + 4),
@@ -234,19 +256,36 @@ class BackboneScenario:
             generator=generator,
             monitor_direction=monitor_direction,
             journal=journal,
+            monitor=monitor,
         )
         self._monitor = monitor
         self._schedule_events(run, random.Random(seed + 6))
         return run
 
-    def run(self, record_crossings: bool = False) -> ScenarioRun:
-        """Build, execute to completion, and finalize the trace."""
-        run = self.build(record_crossings=record_crossings)
+    def run(self, record_crossings: bool = False, tracer=None,
+            progress=None) -> ScenarioRun:
+        """Build, execute to completion, and finalize the trace.
+
+        ``progress`` is called as ``progress(sim_now)`` at 1/20th of the
+        scenario duration (at least every simulated second) — a heartbeat
+        for long runs.  The repeating event is cancelled after the drain,
+        so the scheduler queue still empties.
+        """
+        run = self.build(record_crossings=record_crossings, tracer=tracer)
         config = self.config
+        scheduler = run.engine.scheduler
+        heartbeat = None
+        if progress is not None:
+            interval = max(config.duration / 20.0, 1.0)
+            heartbeat = scheduler.every(
+                interval, lambda: progress(scheduler.now)
+            )
         run.generator.run(0.0, config.duration)
         # Drain: events (BGP propagation, in-flight packets) can outlive
         # the workload window.
-        run.engine.scheduler.run(until=config.duration + 120.0)
+        scheduler.run(until=config.duration + 120.0)
+        if heartbeat is not None:
+            heartbeat.cancel()
         self._monitor.finalize()
         return run
 

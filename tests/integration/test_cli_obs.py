@@ -1,0 +1,183 @@
+"""CLI observability flags: --metrics-out, --trace-out, --progress,
+--log-level, and the metrics/lifecycle sections of --json output."""
+
+import json
+import random
+
+import pytest
+
+from repro.cli import main
+from repro.net.addr import IPv4Prefix
+from repro.net.pcap import write_pcap
+from repro.obs.metrics import get_registry, parse_prometheus
+from repro.obs.tracing import read_trace, spans
+from repro.traffic.synthetic import SyntheticTraceBuilder
+
+
+@pytest.fixture
+def pcap_with_loop(tmp_path):
+    builder = SyntheticTraceBuilder(rng=random.Random(0))
+    builder.add_background(100, 0.0, 30.0,
+                           prefixes=[IPv4Prefix.parse("198.51.100.0/24")])
+    builder.add_loop(5.0, IPv4Prefix.parse("192.0.2.0/24"), n_packets=2,
+                     replicas_per_packet=5, spacing=0.01, entry_ttl=40)
+    path = tmp_path / "loop.pcap"
+    write_pcap(builder.build(), path)
+    return path
+
+
+class TestMetricsOut:
+    def test_prometheus_file(self, pcap_with_loop, tmp_path, capsys):
+        out = tmp_path / "metrics.prom"
+        code = main(["detect", str(pcap_with_loop),
+                     "--metrics-out", str(out)])
+        assert code == 0
+        parsed = parse_prometheus(out.read_text())
+        assert parsed["counters"]["detect_loops_total"] == 1
+        assert parsed["counters"]["detect_records_total"] == 110
+
+    def test_json_file_by_suffix(self, pcap_with_loop, tmp_path, capsys):
+        out = tmp_path / "metrics.json"
+        code = main(["detect", str(pcap_with_loop),
+                     "--metrics-out", str(out)])
+        assert code == 0
+        snapshot = json.loads(out.read_text())
+        assert snapshot["counters"]["detect_loops_total"] == 1
+
+    def test_registry_restored_after_run(self, pcap_with_loop, tmp_path,
+                                         capsys):
+        before = get_registry()
+        main(["detect", str(pcap_with_loop),
+              "--metrics-out", str(tmp_path / "m.prom")])
+        assert get_registry() is before
+
+    def test_streaming_metrics(self, pcap_with_loop, tmp_path, capsys):
+        out = tmp_path / "metrics.prom"
+        code = main(["detect", str(pcap_with_loop), "--streaming",
+                     "--metrics-out", str(out)])
+        assert code == 0
+        parsed = parse_prometheus(out.read_text())
+        assert parsed["counters"]["streaming_records_total"] == 110
+        assert parsed["counters"]["streaming_loops_emitted_total"] == 1
+
+    def test_parallel_metrics(self, pcap_with_loop, tmp_path, capsys):
+        out = tmp_path / "metrics.prom"
+        code = main(["detect", str(pcap_with_loop), "--jobs", "2",
+                     "--metrics-out", str(out)])
+        assert code == 0
+        parsed = parse_prometheus(out.read_text())
+        assert parsed["counters"]["parallel_records_total"] == 110
+        assert parsed["gauges"]["parallel_jobs"] == 2
+
+
+class TestDetectJson:
+    def test_json_includes_metrics_section(self, pcap_with_loop, capsys):
+        code = main(["detect", str(pcap_with_loop), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metrics"]["counters"]["detect_loops_total"] == 1
+        assert payload["summary"]["loops"] == 1
+
+
+class TestTraceOut:
+    def test_detect_trace_has_phases_and_loops(self, pcap_with_loop,
+                                               tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        code = main(["detect", str(pcap_with_loop),
+                     "--trace-out", str(out)])
+        assert code == 0
+        records = read_trace(out)
+        names = {r["name"] for r in records}
+        assert {"detect.replicas", "detect.validate",
+                "detect.merge"} <= names
+        assert len(spans(records, "loop")) == 1
+
+    def test_simulate_trace_and_lifecycle(self, tmp_path, capsys):
+        out = tmp_path / "sim.jsonl"
+        code = main(["simulate", "backbone3", "--duration", "20",
+                     "--trace-out", str(out)])
+        assert code == 0
+        assert "loop lifecycle:" in capsys.readouterr().out
+        records = read_trace(out)
+        names = {r["name"] for r in records}
+        # Control-plane events plus detection-pipeline phases in one file.
+        assert "spf_run" in names
+        assert "igp_fib_install" in names
+        assert "detect.merge" in names
+
+
+class TestSimulateJson:
+    def test_json_carries_route_cache_and_metrics(self, capsys):
+        code = main(["simulate", "backbone3", "--duration", "20",
+                     "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["route_cache"]["enabled"] is True
+        assert payload["route_cache"]["hits"] > 0
+        assert "ttl_expiries" in payload["ground_truth"]
+        counters = payload["metrics"]["counters"]
+        assert counters["sim_packets_injected_total"] > 0
+        assert counters["monitor_packets_seen_total"] > 0
+
+    def test_json_with_trace_adds_lifecycle(self, tmp_path, capsys):
+        code = main(["simulate", "backbone3", "--duration", "20",
+                     "--json", "--trace-out", str(tmp_path / "t.jsonl")])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["lifecycle"]["loops"] == payload["summary"]["loops"]
+
+
+class TestProgressAndLogging:
+    def test_progress_logs_heartbeats(self, pcap_with_loop, capsys):
+        code = main(["detect", str(pcap_with_loop), "--progress"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "read" in err and "done," in err
+
+    def test_error_goes_through_logger(self, capsys):
+        code = main(["detect", "/no/such/file.pcap"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+
+    def test_log_level_error_silences_warnings(self, tmp_path, capsys):
+        # A truncated pcap warns at warning level; --log-level error
+        # hides the log line (the result still prints).
+        source = tmp_path / "trunc.pcap"
+        builder = SyntheticTraceBuilder(rng=random.Random(1))
+        builder.add_background(20, 0.0, 5.0)
+        write_pcap(builder.build(), source)
+        data = source.read_bytes()
+        source.write_bytes(data[:-7])
+        with pytest.warns(Warning):
+            code = main(["detect", str(source), "--log-level", "error"])
+        assert code == 0
+        assert "mid-record" not in capsys.readouterr().err
+
+    def test_truncated_pcap_logged_with_filename(self, tmp_path, capsys):
+        source = tmp_path / "trunc.pcap"
+        builder = SyntheticTraceBuilder(rng=random.Random(1))
+        builder.add_background(20, 0.0, 5.0)
+        write_pcap(builder.build(), source)
+        data = source.read_bytes()
+        source.write_bytes(data[:-7])
+        with pytest.warns(Warning):
+            code = main(["detect", str(source)])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "trunc.pcap" in err
+        assert "mid-record" in err
+
+    def test_truncation_counter_in_metrics(self, tmp_path, capsys):
+        source = tmp_path / "trunc.pcap"
+        builder = SyntheticTraceBuilder(rng=random.Random(1))
+        builder.add_background(20, 0.0, 5.0)
+        write_pcap(builder.build(), source)
+        data = source.read_bytes()
+        source.write_bytes(data[:-7])
+        out = tmp_path / "m.prom"
+        with pytest.warns(Warning):
+            code = main(["detect", str(source), "--metrics-out", str(out)])
+        assert code == 0
+        parsed = parse_prometheus(out.read_text())
+        assert parsed["counters"]["pcap_truncated_records_total"] == 1

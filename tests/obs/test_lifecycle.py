@@ -1,0 +1,199 @@
+"""Tests for loop-lifecycle correlation.
+
+The unit tests drive :func:`correlate_lifecycles` with hand-built record
+dicts; the scenario test runs a churn-heavy backbone with a live tracer
+and requires **every** detected loop to be attributed to an injected
+failure — the end-to-end property the observability layer exists for.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.detector import LoopDetector
+from repro.obs.lifecycle import correlate_lifecycles
+from repro.obs.tracing import Tracer
+from repro.routing.linkstate import LinkStateTimers
+from repro.sim.backbone import BackboneScenario, ScenarioConfig
+
+
+def event(name: str, t: float, **attrs):
+    return {"type": "event", "name": name, "t": t, "attrs": attrs}
+
+
+def loop_span(prefix: str, t0: float, t1: float):
+    return {"type": "span", "id": 1, "parent": 0, "name": "loop",
+            "t0": t0, "t1": t1, "attrs": {"prefix": prefix}}
+
+
+class TestIgpAttribution:
+    def records(self):
+        return [
+            event("link_down", 10.0, link="pop0-pop1"),
+            event("adjacency_lost", 10.03, router="pop0", neighbor="pop1"),
+            event("lsa_originated", 10.03, router="pop0", seq=2),
+            event("lsa_flood", 10.05, router="pop0", origin="pop0", seq=2),
+            event("spf_run", 10.2, router="pop2"),
+            event("igp_fib_install", 11.1, router="pop2", epoch=5),
+            event("igp_fib_install", 11.9, router="pop3", epoch=6),
+            loop_span("10.1.0.0/24", 10.4, 11.8),
+        ]
+
+    def test_loop_attributed_to_link_down(self):
+        report = correlate_lifecycles(self.records())
+        (lc,) = report.lifecycles
+        assert lc.attributed
+        assert lc.cause_family == "igp"
+        assert lc.cause["name"] == "link_down"
+        assert report.attributed_fraction == 1.0
+
+    def test_phase_decomposition(self):
+        (lc,) = correlate_lifecycles(self.records()).lifecycles
+        phases = lc.phase_offsets()
+        assert phases["detection"] == pytest.approx(0.03)
+        assert phases["flooding"] == pytest.approx(0.03)
+        assert phases["spf"] == pytest.approx(0.2)
+        # Convergence ends at the *last* install inside the window.
+        assert phases["fib_install"] == pytest.approx(1.9)
+        assert lc.convergence_time == pytest.approx(1.9)
+        assert lc.fib_installs == 2
+
+    def test_cause_outside_lead_window_ignored(self):
+        records = [event("link_down", 10.0),
+                   loop_span("10.1.0.0/24", 40.0, 41.0)]
+        report = correlate_lifecycles(records, igp_lead=15.0)
+        (lc,) = report.lifecycles
+        assert not lc.attributed
+        assert lc.cause_family == "unknown"
+        assert report.attributed_fraction == 0.0
+
+
+class TestEgpAttribution:
+    def test_withdrawal_must_match_prefix(self):
+        records = [
+            event("bgp_withdraw", 5.0, egress="pop0", prefix="10.1.0.0/24"),
+            loop_span("10.1.0.0/24", 8.0, 12.0),
+            loop_span("10.2.0.0/24", 8.0, 12.0),
+        ]
+        report = correlate_lifecycles(records)
+        matched, unmatched = report.lifecycles
+        assert matched.cause_family == "egp"
+        assert not unmatched.attributed
+        assert report.cause_counts() == {"igp": 0, "egp": 1, "unknown": 1}
+
+    def test_egp_convergence_uses_prefix_matched_mutations(self):
+        records = [
+            event("bgp_withdraw", 5.0, egress="pop0", prefix="10.1.0.0/24"),
+            event("fib_mutation", 6.0, router="pop2", op="install",
+                  prefix="10.1.0.0/24", next_hop="pop1", epoch=3),
+            event("fib_mutation", 7.5, router="pop3", op="install",
+                  prefix="10.1.0.0/24", next_hop="pop1", epoch=4),
+            event("fib_mutation", 7.0, router="pop3", op="install",
+                  prefix="10.9.0.0/24", next_hop="pop1", epoch=5),
+            loop_span("10.1.0.0/24", 6.5, 8.0),
+        ]
+        (lc,) = correlate_lifecycles(records).lifecycles
+        assert lc.fib_installs == 2  # the 10.9.0.0/24 install is excluded
+        assert lc.convergence_time == pytest.approx(2.5)
+
+    def test_latest_eligible_cause_wins(self):
+        records = [
+            event("bgp_withdraw", 2.0, prefix="10.1.0.0/24"),
+            event("link_down", 9.0),
+            loop_span("10.1.0.0/24", 10.0, 11.0),
+        ]
+        (lc,) = correlate_lifecycles(records).lifecycles
+        assert lc.cause_family == "igp"
+        assert lc.cause_time == 9.0
+
+
+class TestReport:
+    def test_empty_report_is_fully_attributed(self):
+        report = correlate_lifecycles([])
+        assert report.lifecycles == []
+        assert report.attributed_fraction == 1.0
+
+    def test_to_dict_shape(self):
+        records = [event("link_down", 10.0),
+                   loop_span("10.1.0.0/24", 10.5, 11.0)]
+        payload = correlate_lifecycles(records).to_dict()
+        assert payload["loops"] == 1
+        assert payload["attributed"] == 1
+        (row,) = payload["lifecycles"]
+        assert row["cause"] == "link_down"
+        assert row["cause_family"] == "igp"
+        assert row["duration"] == pytest.approx(0.5)
+
+    def test_render_mentions_attribution(self):
+        records = [event("link_down", 10.0),
+                   loop_span("10.1.0.0/24", 10.5, 11.0)]
+        text = correlate_lifecycles(records).render()
+        assert "1/1 loops attributed" in text
+        assert "cause: link_down" in text
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            correlate_lifecycles([], igp_lead=-1.0)
+
+    def test_loops_objects_override_spans(self):
+        # When RoutingLoop objects are passed, span records are ignored.
+        records = [loop_span("10.1.0.0/24", 1.0, 2.0)]
+        report = correlate_lifecycles(records, loops=[])
+        assert report.lifecycles == []
+
+
+class TestChurnScenarioAttribution:
+    """Acceptance: every loop in a churn-heavy run traces back to an
+    injected failure, with convergence phases filled in."""
+
+    @pytest.fixture(scope="class")
+    def traced_run(self):
+        config = ScenarioConfig(
+            name="lifecycle-churn",
+            seed=23,
+            pops=6,
+            extra_edges=2,
+            duration=60.0,
+            rate_pps=200.0,
+            n_prefixes=40,
+            n_flows=200,
+            igp_flaps=4,
+            flap_downtime=(3.0, 6.0),
+            bgp_withdrawals=2,
+            withdrawal_holdtime=15.0,
+            igp_timers=LinkStateTimers(fib_update_delay=0.4,
+                                       fib_update_jitter=1.2),
+        )
+        tracer = Tracer()
+        run = BackboneScenario(config).run(tracer=tracer)
+        result = LoopDetector().detect(run.trace)
+        return tracer, result
+
+    def test_all_loops_attributed(self, traced_run):
+        tracer, result = traced_run
+        assert result.loop_count > 0, "churn scenario must produce loops"
+        report = correlate_lifecycles(tracer.records, result.loops)
+        assert len(report.lifecycles) == result.loop_count
+        assert report.attributed_fraction == 1.0
+        assert report.cause_counts()["unknown"] == 0
+
+    def test_attributed_loops_have_convergence(self, traced_run):
+        tracer, result = traced_run
+        report = correlate_lifecycles(tracer.records, result.loops)
+        for lc in report.lifecycles:
+            assert lc.convergence_time is not None
+            assert lc.convergence_time > 0.0
+            assert lc.fib_installs > 0
+
+    def test_igp_loops_decompose_into_phases(self, traced_run):
+        tracer, result = traced_run
+        report = correlate_lifecycles(tracer.records, result.loops)
+        igp = [lc for lc in report.lifecycles if lc.cause_family == "igp"]
+        assert igp, "churn scenario must produce IGP-caused loops"
+        for lc in igp:
+            phases = lc.phase_offsets()
+            assert {"detection", "flooding", "spf",
+                    "fib_install"} <= set(phases)
+            # Phases are ordered: detect, flood, SPF, install.
+            assert phases["detection"] <= phases["spf"]
+            assert phases["spf"] <= phases["fib_install"]

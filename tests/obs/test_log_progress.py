@@ -1,0 +1,104 @@
+"""Tests for logging configuration and heartbeat progress."""
+
+from __future__ import annotations
+
+import io
+import logging
+
+import pytest
+
+from repro.obs.log import configure_logging, get_logger
+from repro.obs.progress import Heartbeat
+
+
+@pytest.fixture(autouse=True)
+def restore_logging():
+    yield
+    # Leave the session the way other tests expect it.
+    configure_logging("warning")
+
+
+class TestConfigureLogging:
+    def test_lowercase_prefixed_format(self):
+        stream = io.StringIO()
+        configure_logging("warning", stream=stream)
+        get_logger("unit").error("boom: %s", 7)
+        assert stream.getvalue() == "error: boom: 7\n"
+
+    def test_level_filtering(self):
+        stream = io.StringIO()
+        configure_logging("error", stream=stream)
+        logger = get_logger("unit")
+        logger.warning("dropped")
+        logger.error("kept")
+        assert stream.getvalue() == "error: kept\n"
+
+    def test_reconfigure_replaces_handler(self):
+        first, second = io.StringIO(), io.StringIO()
+        configure_logging("info", stream=first)
+        configure_logging("info", stream=second)
+        get_logger("unit").info("hello")
+        assert first.getvalue() == ""
+        assert second.getvalue() == "info: hello\n"
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            configure_logging("loud")
+
+    def test_loggers_share_the_repro_namespace(self):
+        assert get_logger("pcap").name == "repro.pcap"
+        assert get_logger("pcap").parent.name == "repro"
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestHeartbeat:
+    def make(self, interval=5.0):
+        clock = FakeClock()
+        logger = logging.getLogger("test.heartbeat")
+        logger.setLevel(logging.INFO)
+        records = []
+
+        class Capture(logging.Handler):
+            def emit(self, record):
+                records.append(record.getMessage())
+
+        handler = Capture()
+        logger.addHandler(handler)
+        logger.propagate = False
+        heartbeat = Heartbeat("load", interval=interval, logger=logger,
+                              clock=clock)
+        return heartbeat, clock, records
+
+    def test_rate_limited_ticks(self):
+        heartbeat, clock, records = self.make(interval=5.0)
+        for _ in range(100):
+            heartbeat(1)
+        assert records == []  # under the interval: silent
+        clock.now = 6.0
+        heartbeat(1)
+        assert len(records) == 1
+        assert "101" in records[0]
+
+    def test_done_logs_final_total(self):
+        heartbeat, clock, records = self.make()
+        heartbeat(7)
+        clock.now = 2.0
+        heartbeat.done()
+        assert len(records) == 1
+        assert "7" in records[-1]
+
+    def test_callable_protocol(self):
+        # read_pcap/detect_file call progress(amount) directly.
+        heartbeat, clock, records = self.make()
+        heartbeat(3)
+        heartbeat.tick(4)
+        clock.now = 10.0
+        heartbeat(0)
+        assert "7" in records[0]

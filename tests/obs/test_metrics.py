@@ -1,0 +1,184 @@
+"""Tests for the metrics registry and its exporters."""
+
+import gc
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    MetricsError,
+    MetricsRegistry,
+    get_registry,
+    parse_prometheus,
+    set_registry,
+)
+
+
+class TestInstruments:
+    def test_counter_inc(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total", "Requests served")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_is_shared_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total").inc()
+        registry.counter("hits_total").inc()
+        assert registry.counter("hits_total").value == 2
+
+    def test_gauge_set_inc_dec(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(5)
+        assert gauge.value == 7
+
+    def test_histogram_observe(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency_seconds",
+                                       buckets=[0.1, 1.0, 10.0])
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(56.05)
+        cumulative = histogram.cumulative()
+        # Cumulative counts: <=0.1, <=1.0, <=10.0, <=+Inf.
+        assert [count for _, count in cumulative] == [1, 3, 4, 5]
+
+    def test_kind_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(MetricsError):
+            registry.gauge("x")
+
+
+class TestDisabledRegistry:
+    def test_hands_out_null_singletons(self):
+        registry = MetricsRegistry(enabled=False)
+        assert registry.counter("a") is NULL_COUNTER
+        assert registry.gauge("b") is NULL_GAUGE
+        assert registry.histogram("c") is NULL_HISTOGRAM
+
+    def test_null_instruments_are_inert(self):
+        NULL_COUNTER.inc()
+        NULL_COUNTER.inc(10)
+        NULL_GAUGE.set(3)
+        NULL_HISTOGRAM.observe(1.0)
+        assert NULL_COUNTER.value == 0
+        assert NULL_GAUGE.value == 0
+        assert NULL_HISTOGRAM.count == 0
+
+    def test_snapshot_is_empty(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("a").inc()
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+
+class TestCollectors:
+    def test_collector_runs_on_snapshot(self):
+        registry = MetricsRegistry()
+        calls = []
+
+        def publish(reg):
+            calls.append(1)
+            reg.counter("pulled_total").set(42)
+
+        registry.register_collector(publish)
+        snapshot = registry.snapshot()
+        assert calls == [1]
+        assert snapshot["counters"]["pulled_total"] == 42
+
+    def test_bound_method_collector_is_weak(self):
+        registry = MetricsRegistry()
+
+        class Source:
+            def publish(self, reg):
+                reg.counter("src_total").inc()
+
+        source = Source()
+        registry.register_collector(source.publish)
+        registry.collect()
+        assert registry.counter("src_total").value == 1
+        del source
+        gc.collect()
+        registry.collect()  # dead collector pruned, not called
+        assert registry.counter("src_total").value == 1
+
+    def test_disabled_registry_ignores_collectors(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.register_collector(lambda reg: 1 / 0)
+        registry.collect()  # would raise if the collector ran
+
+
+class TestExporters:
+    def _populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("requests_total", "Requests served").inc(7)
+        registry.gauge("queue_depth", "Current queue depth").set(2.5)
+        histogram = registry.histogram("latency_seconds", "Latency",
+                                       buckets=[0.1, 1.0])
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(5.0)
+        return registry
+
+    def test_json_snapshot_shape(self):
+        snapshot = self._populated().snapshot()
+        assert snapshot["counters"] == {"requests_total": 7}
+        assert snapshot["gauges"] == {"queue_depth": 2.5}
+        hist = snapshot["histograms"]["latency_seconds"]
+        assert hist["count"] == 3
+        assert hist["sum"] == pytest.approx(5.55)
+        assert hist["buckets"] == [[0.1, 1], [1.0, 2], ["+Inf", 3]]
+
+    def test_to_json_round_trips(self):
+        registry = self._populated()
+        assert json.loads(registry.to_json()) == registry.snapshot()
+
+    def test_prometheus_text_format(self):
+        text = self._populated().render_prometheus()
+        assert "# HELP requests_total Requests served" in text
+        assert "# TYPE requests_total counter" in text
+        assert "requests_total 7" in text
+        assert "# TYPE queue_depth gauge" in text
+        assert "queue_depth 2.5" in text
+        assert 'latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "latency_seconds_count 3" in text
+        assert text.endswith("\n")
+
+    def test_prometheus_round_trip_matches_snapshot(self):
+        registry = self._populated()
+        parsed = parse_prometheus(registry.render_prometheus())
+        expected = json.loads(registry.to_json())
+        assert parsed["counters"] == expected["counters"]
+        assert parsed["gauges"] == expected["gauges"]
+        hist = parsed["histograms"]["latency_seconds"]
+        want = expected["histograms"]["latency_seconds"]
+        assert hist["count"] == want["count"]
+        assert hist["sum"] == pytest.approx(want["sum"])
+        assert hist["buckets"] == want["buckets"]
+
+
+class TestProcessRegistry:
+    def test_set_registry_swaps_and_returns_previous(self):
+        original = get_registry()
+        replacement = MetricsRegistry()
+        try:
+            previous = set_registry(replacement)
+            assert previous is original
+            assert get_registry() is replacement
+        finally:
+            set_registry(original)
+        assert get_registry() is original
+
+    def test_default_registry_is_disabled(self):
+        assert get_registry().enabled is False
