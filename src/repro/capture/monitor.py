@@ -43,6 +43,20 @@ class LinkMonitor:
             TraceRecord.capture(timestamp, packet, self.snaplen)
         )
 
+    def drain_since(self, cursor: int) -> tuple[int, list[TraceRecord]]:
+        """Buffered records not yet seen by a live feed.
+
+        ``cursor`` is the value returned by the previous call (0 to
+        start).  Cursors index the pending buffer, so they are only
+        valid between :meth:`finalize` calls — live feeds drain fully
+        before finalizing.  Records come back in capture order, which
+        may include scheduler-tie reorderings; live consumers are
+        expected to tolerate that (the trace itself is sorted at
+        finalize, exactly as before).
+        """
+        pending = self._pending
+        return len(pending), pending[cursor:]
+
     def finalize(self) -> Trace:
         """Merge buffered records into the trace and return it.
 

@@ -7,13 +7,19 @@ Subcommands::
     repro-loops batch [targets...]         # several traces concurrently
     repro-loops simulate <scenario>        # run a Table I scenario
     repro-loops report <scenario>          # scenario + full figure report
+    repro-loops monitor <trace.pcap>       # stream + live scrape endpoint
 
 ``python -m repro`` is equivalent.
 
-Observability flags shared by ``detect``, ``batch``, ``simulate``, and
-``report``: ``--metrics-out`` (Prometheus text, or JSON for ``.json``
-paths), ``--trace-out`` (JSONL span/event trace), ``--progress``
-(heartbeat logging for long runs), ``--log-level``.
+Observability flags shared by ``detect``, ``batch``, ``simulate``,
+``report``, and ``monitor``: ``--metrics-out`` (Prometheus text, or
+JSON for ``.json`` paths), ``--trace-out`` (JSONL span/event trace),
+``--progress`` (heartbeat logging for long runs), ``--log-level``, and
+the live-monitoring trio — ``--serve PORT`` (background ``/metrics``,
+``/healthz``, ``/state`` and dashboard endpoint), ``--alerts``
+(paper-grounded alert rules on window boundaries), and
+``--dashboard-out FILE`` (self-contained HTML dashboard written on
+exit).
 """
 
 from __future__ import annotations
@@ -65,6 +71,17 @@ def _obs_parent() -> argparse.ArgumentParser:
     group.add_argument("--log-level", default="warning",
                        choices=("debug", "info", "warning", "error"),
                        help="logging verbosity (default: warning)")
+    live = parent.add_argument_group("live monitoring")
+    live.add_argument("--serve", type=int, default=None, metavar="PORT",
+                      help="serve /metrics, /healthz, /state and the "
+                           "dashboard on 127.0.0.1:PORT while running "
+                           "(0 = ephemeral port)")
+    live.add_argument("--alerts", action="store_true",
+                      help="evaluate the paper-grounded alert rules on "
+                           "window boundaries and log fired alerts")
+    live.add_argument("--dashboard-out", default=None, metavar="FILE",
+                      help="write the self-contained HTML dashboard to "
+                           "FILE on exit")
     return parent
 
 
@@ -72,18 +89,31 @@ class _Obs:
     """Per-invocation observability wiring from the shared CLI flags.
 
     Installs an enabled :class:`MetricsRegistry` as the process registry
-    when metrics will be exported (``--metrics-out`` or ``--json``), opens
-    the ``--trace-out`` sink, and undoes both in :meth:`finish` — so unit
-    tests that call :func:`main` repeatedly never leak registry state.
+    when metrics will be exported (``--metrics-out``, ``--json``, or any
+    live-monitoring flag), opens the ``--trace-out`` sink, and undoes
+    both in :meth:`finish` — so unit tests that call :func:`main`
+    repeatedly never leak registry state.
+
+    The live-monitoring flags (``--serve``, ``--alerts``,
+    ``--dashboard-out``) additionally create a
+    :class:`~repro.obs.live.LiveMonitor` (``self.monitor``) for the
+    command to feed, and — under ``--serve`` — start the background
+    scrape server before any work begins.
     """
 
     def __init__(self, args: argparse.Namespace) -> None:
         self.metrics_out = getattr(args, "metrics_out", None)
         self.trace_out = getattr(args, "trace_out", None)
         self.progress = bool(getattr(args, "progress", False))
+        self.serve = getattr(args, "serve", None)
+        self.dashboard_out = getattr(args, "dashboard_out", None)
+        monitoring = (self.serve is not None
+                      or bool(getattr(args, "alerts", False))
+                      or bool(self.dashboard_out)
+                      or bool(getattr(args, "force_monitor", False)))
         self._previous_registry = None
         self.registry = MetricsRegistry(enabled=False)
-        if self.metrics_out or getattr(args, "json", False):
+        if self.metrics_out or getattr(args, "json", False) or monitoring:
             self.registry = MetricsRegistry(enabled=True)
             self._previous_registry = set_registry(self.registry)
         self._sink = None
@@ -93,6 +123,22 @@ class _Obs:
             self.tracer = Tracer(sink=self._sink)
         if self.progress:
             enable_progress_logging()
+        self.monitor = None
+        self.server = None
+        if monitoring:
+            from repro.obs.dashboard import render_html
+            from repro.obs.live import LiveMonitor
+
+            self.monitor = LiveMonitor(registry=self.registry,
+                                       tracer=self.tracer)
+            if self.serve is not None:
+                from repro.obs.server import MonitorServer
+
+                monitor = self.monitor
+                self.server = MonitorServer(
+                    monitor, port=self.serve,
+                    dashboard_renderer=lambda: render_html(monitor),
+                ).start()
 
     def heartbeat(self, label: str) -> Heartbeat | None:
         """A rate-limited progress callable, or None without --progress."""
@@ -104,7 +150,40 @@ class _Obs:
         self.registry.collect()
         return self.registry.snapshot()
 
+    def feed_monitor(self, trace=None, loops=()) -> None:
+        """Post-hoc monitor feed for commands whose detection path is
+        not incremental (offline / parallel / simulate): replay record
+        timestamps and emitted loops into the live monitor, then close
+        its final window."""
+        if self.monitor is None:
+            return
+        if trace is not None:
+            for record in trace:
+                self.monitor.observe_record(record.timestamp)
+        for loop in loops:
+            self.monitor.observe_loop(loop)
+        self.monitor.finish()
+
+    def write_dashboard(self) -> None:
+        """Write --dashboard-out now.  Called as soon as the monitored
+        stream finishes (so a killed --linger run still leaves the file
+        behind) and again from :meth:`finish` as a safety net — the
+        second write renders the same finished monitor."""
+        if self.monitor is None or not self.dashboard_out:
+            return
+        from repro.obs.dashboard import render_html
+
+        with open(self.dashboard_out, "w", encoding="utf-8") as stream:
+            stream.write(render_html(self.monitor))
+        _logger.info("dashboard written to %s", self.dashboard_out)
+
     def finish(self) -> None:
+        if self.monitor is not None:
+            self.monitor.finish()
+            self.write_dashboard()
+        if self.server is not None:
+            self.server.stop()
+            self.server = None
         self.registry.collect()
         if self.metrics_out:
             if str(self.metrics_out).endswith(".json"):
@@ -200,6 +279,28 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--no-route-cache", action="store_true",
                         help="disable the forwarding engine's "
                              "resolved-route cache")
+
+    monitor = sub.add_parser(
+        "monitor", parents=[obs],
+        help="stream a pcap through the online detector with live "
+             "monitoring (alerts, windows, scrape endpoint)",
+    )
+    monitor.add_argument("trace", help="pcap file to stream")
+    monitor.add_argument("--merge-gap", type=float, default=60.0,
+                         help="stream merge gap in seconds (default 60)")
+    monitor.add_argument("--min-stream-size", type=int, default=3,
+                         help="minimum replicas per stream (default 3)")
+    monitor.add_argument("--prefix-length", type=int, default=24,
+                         help="validation prefix length (default 24)")
+    monitor.add_argument("--no-validate", action="store_true",
+                         help="skip the prefix-consistency validation")
+    monitor.add_argument("--linger", type=float, default=0.0,
+                         metavar="SECONDS",
+                         help="keep serving for SECONDS after the trace "
+                              "ends (with --serve; default 0)")
+    monitor.add_argument("--no-dashboard", action="store_true",
+                         help="skip the ASCII dashboard on stdout")
+    monitor.set_defaults(force_monitor=True)
 
     anonymize = sub.add_parser(
         "anonymize",
@@ -299,6 +400,38 @@ def _publish_result_metrics(obs: _Obs, result) -> None:
                      ).set(result.looped_packet_count)
 
 
+def _stream_with_monitor(streaming, trace, monitor):
+    """Drive the streaming detector record by record, feeding the live
+    monitor as loops close and sampling its windows on second
+    boundaries — identical output to :meth:`process_trace`, observable
+    while it runs, and the per-record monitoring cost is one float
+    compare (the detector's own record counter is the data source)."""
+    monitor.add_state_source("detector", streaming.state_snapshot)
+    previous = streaming.on_loop
+    if previous is None:
+        streaming.on_loop = monitor.on_loop
+    else:
+        def chained(loop, _inner=previous):
+            monitor.observe_loop(loop)
+            _inner(loop)
+
+        streaming.on_loop = chained
+    monitor.set_record_source(lambda: streaming.stats.records)
+    sample = monitor.sample
+    boundary = monitor.next_boundary
+    process = streaming.process
+    loops = []
+    extend = loops.extend
+    for record in trace:
+        timestamp = record.timestamp
+        if timestamp >= boundary:
+            boundary = sample(timestamp)
+        extend(process(timestamp, record.data))
+    extend(streaming.flush())
+    monitor.finish()
+    return loops
+
+
 def _cmd_detect(args: argparse.Namespace) -> int:
     if args.streaming and args.jobs > 1:
         _logger.error("--streaming and --jobs are mutually exclusive")
@@ -313,7 +446,11 @@ def _cmd_detect(args: argparse.Namespace) -> int:
                                               tracer=obs.tracer)
             streaming.register_metrics(obs.registry)
             trace = _read_trace_file(args.trace, obs)
-            loops = streaming.process_trace(trace)
+            if obs.monitor is not None:
+                loops = _stream_with_monitor(streaming, trace,
+                                             obs.monitor)
+            else:
+                loops = streaming.process_trace(trace)
             print(f"records: {streaming.stats.records}")
             print(f"streams completed: {streaming.stats.streams_completed}")
             print(f"routing loops: {len(loops)}")
@@ -343,6 +480,15 @@ def _cmd_detect(args: argparse.Namespace) -> int:
                 if heartbeat is not None:
                     heartbeat.done()
             _publish_result_metrics(obs, result)
+            if obs.monitor is not None:
+                obs.monitor.add_state_source("parallel",
+                                             engine.state_snapshot)
+                # detect_file never materializes the trace; feed the
+                # loops (windows then cover looped traffic only).
+                obs.feed_monitor(
+                    result.trace if args.figures or args.json else None,
+                    result.loops,
+                )
             if args.json:
                 from repro.core.serialize import result_to_json
 
@@ -357,6 +503,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         trace = _read_trace_file(args.trace, obs)
         result = detector.detect(trace)
         _publish_result_metrics(obs, result)
+        obs.feed_monitor(trace, result.loops)
         if args.json:
             from repro.core.serialize import result_to_json
 
@@ -423,7 +570,7 @@ def _sim_progress(name: str, duration: float):
 
 def _run_scenario(name: str, duration: float | None,
                   route_cache: bool = True, tracer=None,
-                  progress: bool = False):
+                  progress: bool = False, live_monitor=None):
     from repro.sim import table1_scenario
 
     overrides = {}
@@ -435,7 +582,8 @@ def _run_scenario(name: str, duration: float | None,
     tick = None
     if progress:
         tick = _sim_progress(name, scenario.config.duration)
-    return scenario.run(tracer=tracer, progress=tick)
+    return scenario.run(tracer=tracer, progress=tick,
+                        live_monitor=live_monitor)
 
 
 def _render_cache_stats(engine) -> str:
@@ -458,7 +606,8 @@ def _scenario_pipeline(args: argparse.Namespace, obs: _Obs):
     run = _run_scenario(args.scenario, args.duration,
                         route_cache=not args.no_route_cache,
                         tracer=obs.tracer if obs.tracer.enabled else None,
-                        progress=obs.progress)
+                        progress=obs.progress,
+                        live_monitor=obs.monitor)
     run.engine.register_metrics(obs.registry)
     run.monitor.register_metrics(obs.registry)
     tracer = obs.tracer
@@ -471,6 +620,12 @@ def _scenario_pipeline(args: argparse.Namespace, obs: _Obs):
         from repro.obs.lifecycle import correlate_lifecycles
 
         lifecycle = correlate_lifecycles(tracer.records, result.loops)
+    if obs.monitor is not None:
+        # Records streamed in during the run; loops come from the
+        # post-run detection pass.
+        if lifecycle is not None:
+            obs.monitor.add_state_source("lifecycle", lifecycle.to_dict)
+        obs.feed_monitor(None, result.loops)
     return run, result, lifecycle
 
 
@@ -527,6 +682,42 @@ def _cmd_report(args: argparse.Namespace) -> int:
         obs.finish()
 
 
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from repro.core.streaming import StreamingLoopDetector
+
+    obs = _Obs(args)
+    try:
+        config = DetectorConfig(
+            merge_gap=args.merge_gap,
+            min_stream_size=args.min_stream_size,
+            prefix_length=args.prefix_length,
+            check_prefix_consistency=not args.no_validate,
+            check_gap_consistency=not args.no_validate,
+        )
+        streaming = StreamingLoopDetector(config, tracer=obs.tracer)
+        streaming.register_metrics(obs.registry)
+        if obs.server is not None:
+            print(f"monitoring endpoints at {obs.server.url}",
+                  flush=True)
+        trace = _read_trace_file(args.trace, obs)
+        loops = _stream_with_monitor(streaming, trace, obs.monitor)
+        obs.write_dashboard()
+        if not args.no_dashboard:
+            from repro.obs.dashboard import render_ascii
+
+            print(render_ascii(obs.monitor), end="")
+        else:
+            print(f"records: {streaming.stats.records}")
+            print(f"routing loops: {len(loops)}")
+            print(f"alerts: {len(obs.monitor.alerts.history)}")
+        if obs.server is not None and args.linger > 0:
+            _logger.info("serving for another %.0fs", args.linger)
+            time.sleep(args.linger)
+        return 0
+    finally:
+        obs.finish()
+
+
 def _cmd_anonymize(args: argparse.Namespace) -> int:
     from repro.net.anonymize import PrefixPreservingAnonymizer
 
@@ -546,11 +737,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         "batch": _cmd_batch,
         "simulate": _cmd_simulate,
         "report": _cmd_report,
+        "monitor": _cmd_monitor,
         "anonymize": _cmd_anonymize,
     }
     try:
         return handlers[args.command](args)
-    except (FileNotFoundError, KeyError, ValueError) as error:
+    except (FileNotFoundError, KeyError, ValueError, OSError) as error:
         _logger.error("%s", error)
         return 1
 

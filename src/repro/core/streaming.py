@@ -161,6 +161,52 @@ class StreamingLoopDetector:
         self._expire(infinity)
         return self._emitted
 
+    def state_snapshot(self) -> dict:
+        """JSON-ready view of the detector's live state for the
+        monitoring ``/state`` endpoint: in-flight candidate streams,
+        open (unemitted) loops, and the running stats.
+
+        This reads sizes and summaries only — it never mutates detector
+        state, so serving it from another thread cannot change what the
+        detector emits.
+        """
+        open_streams = [
+            {
+                "replicas": len(stream.replicas),
+                "first_ttl": stream.replicas[0].ttl,
+                "last_ttl": stream.last.ttl,
+                "start": stream.replicas[0].timestamp,
+                "last_seen": stream.last.timestamp,
+            }
+            for streams in self._open_streams.values()
+            for stream in streams
+        ]
+        open_loops = [
+            {
+                "prefix_net": loop.prefix_net,
+                "streams": len(loop.streams),
+                "start": min(s.start for s in loop.streams),
+                "end": loop.end,
+            }
+            for loop in self._open_loops.values()
+        ]
+        stats = self.stats
+        return {
+            "now": None if self._now == float("-inf") else self._now,
+            "singletons": len(self._singletons),
+            "open_streams": open_streams,
+            "open_loops": open_loops,
+            "tracked_prefixes": len(self._history),
+            "stats": {
+                "records": stats.records,
+                "skipped_short": stats.skipped_short,
+                "streams_completed": stats.streams_completed,
+                "streams_rejected_small": stats.streams_rejected_small,
+                "streams_rejected_conflict": stats.streams_rejected_conflict,
+                "loops_emitted": stats.loops_emitted,
+            },
+        }
+
     def register_metrics(self, registry) -> None:
         """Publish :class:`StreamingStats` via a weakly-held collector;
         the per-record path keeps its plain-int counters."""

@@ -27,11 +27,14 @@ CLI) with **zero cost when disabled**:
   reporting for long runs and the shared ``repro`` logger.
 """
 
+from repro.obs.alerts import Alert, AlertEngine, AlertRule, default_rules
+from repro.obs.dashboard import render_ascii, render_html
 from repro.obs.lifecycle import (
     LifecycleReport,
     LoopLifecycle,
     correlate_lifecycles,
 )
+from repro.obs.live import LiveMonitor
 from repro.obs.log import configure_logging, get_logger
 from repro.obs.metrics import (
     NULL_COUNTER,
@@ -46,6 +49,8 @@ from repro.obs.metrics import (
     set_registry,
 )
 from repro.obs.progress import Heartbeat
+from repro.obs.recorder import BoundedBucketSeries, WindowedRecorder
+from repro.obs.server import MonitorServer
 from repro.obs.tracing import NULL_TRACER, Tracer, read_trace
 
 __all__ = [
@@ -53,19 +58,29 @@ __all__ = [
     "NULL_GAUGE",
     "NULL_HISTOGRAM",
     "NULL_TRACER",
+    "Alert",
+    "AlertEngine",
+    "AlertRule",
+    "BoundedBucketSeries",
     "Counter",
     "Gauge",
     "Heartbeat",
     "Histogram",
     "LifecycleReport",
+    "LiveMonitor",
     "LoopLifecycle",
     "MetricsRegistry",
+    "MonitorServer",
     "Tracer",
+    "WindowedRecorder",
     "configure_logging",
     "correlate_lifecycles",
+    "default_rules",
     "get_logger",
     "get_registry",
     "parse_prometheus",
     "read_trace",
+    "render_ascii",
+    "render_html",
     "set_registry",
 ]

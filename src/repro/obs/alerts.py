@@ -1,0 +1,343 @@
+"""Declarative alerting over the windowed recorder.
+
+The paper's Sec. VI is an operator's case for caring about loops live:
+they contribute up to 9% of a minute's packet loss and 25–300 ms of
+extra delay.  :class:`AlertEngine` turns those findings into default
+alert rules evaluated on window boundaries:
+
+* ``looped_loss_share`` — a closed minute's looped-traffic share crossed
+  the Sec. VI ceiling (9% by default);
+* ``loop_duration_tail`` — a loop outlived the Fig. 8/9 tail (90% of
+  loops resolve under 10 s; one that doesn't is convergence gone wrong
+  or a persistent loop forming);
+* ``ttl_delta_shift`` — the recent TTL-delta distribution moved away
+  from the Fig. 2 baseline (deltas 2–3 dominate healthy transient
+  loops; a shift means new loop geometry, e.g. longer micro-loop
+  cycles);
+* ``replica_rate_spike`` — looped-replica rate in the latest closed
+  minute spiked against the trailing mean.
+
+Rules are plain data (:class:`AlertRule` wraps a ``check`` callable), so
+deployments add their own without touching the engine.  Firing is
+deduplicated per ``(rule, key)`` with a cooldown; every fired alert goes
+through the ``repro.alerts`` logger, is recorded as a trace event, and
+lands in the bounded history the dashboard and ``/state`` expose.
+
+Evaluation, like the recorder, runs on **trace time** — replaying a
+pcap fires exactly the alerts a live capture would have fired.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.obs.log import get_logger
+from repro.obs.recorder import WindowedRecorder
+from repro.obs.tracing import NULL_TRACER
+
+#: Sec. VI: "routing loops contribute up to 9% of per-minute loss".
+DEFAULT_LOSS_SHARE_THRESHOLD = 0.09
+#: Figs. 8/9: ~90% of streams/loops last under 10 seconds.
+DEFAULT_DURATION_TAIL_SECONDS = 10.0
+#: Fig. 2: TTL deltas 2 and 3 dominate (two- and three-router loops).
+DEFAULT_TTL_DELTA_BASELINE: dict[int, float] = {2: 0.62, 3: 0.28, 4: 0.06,
+                                                5: 0.04}
+DEFAULT_TTL_SHIFT_DISTANCE = 0.35
+DEFAULT_SPIKE_FACTOR = 4.0
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule hit, before dedup: the dedup key plus evidence."""
+
+    key: str
+    value: float
+    threshold: float
+    message: str
+
+
+RuleCheck = Callable[[WindowedRecorder, float], Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """A named condition over the recorder state.
+
+    ``cooldown`` is the minimum trace time between re-fires of the
+    *same* finding key.  The default (infinity) fires each key exactly
+    once — right for keys naming immutable facts (a closed minute, an
+    emitted loop).  Rules whose key names a recurring condition set a
+    finite cooldown to re-notify while it persists.
+    """
+
+    name: str
+    description: str
+    check: RuleCheck
+    severity: str = "warning"  # "warning" | "critical"
+    cooldown: float = float("inf")
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One fired alert (post-dedup)."""
+
+    rule: str
+    severity: str
+    time: float
+    key: str
+    value: float
+    threshold: float
+    message: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "time": self.time,
+            "key": self.key,
+            "value": self.value,
+            "threshold": self.threshold,
+            "message": self.message,
+        }
+
+
+def _closed_minutes(recorder: WindowedRecorder,
+                    now: float) -> Iterator[int]:
+    """Minute buckets that can no longer grow (strictly before now's)."""
+    current = int(now // 60.0)
+    for bucket in recorder.minute_records.buckets:
+        if bucket < current:
+            yield bucket
+
+
+def looped_loss_share_rule(
+    threshold: float = DEFAULT_LOSS_SHARE_THRESHOLD,
+) -> AlertRule:
+    def check(recorder: WindowedRecorder,
+              now: float) -> Iterator[Finding]:
+        for minute in _closed_minutes(recorder, now):
+            share = recorder.looped_share(minute)
+            if share is not None and share > threshold:
+                yield Finding(
+                    key=f"minute:{minute}",
+                    value=share,
+                    threshold=threshold,
+                    message=(
+                        f"looped traffic is {share:.1%} of minute "
+                        f"{minute} (> {threshold:.0%}, the Sec. VI "
+                        f"per-minute loss ceiling)"
+                    ),
+                )
+
+    return AlertRule(
+        name="looped_loss_share",
+        description="Looped share of a minute window above the Sec. VI "
+                    "ceiling",
+        check=check,
+        severity="critical",
+    )
+
+
+def loop_duration_tail_rule(
+    threshold: float = DEFAULT_DURATION_TAIL_SECONDS,
+) -> AlertRule:
+    def check(recorder: WindowedRecorder,
+              now: float) -> Iterator[Finding]:
+        for loop in recorder.loops:
+            if loop["duration"] > threshold:
+                yield Finding(
+                    key=f"{loop['prefix']}@{loop['start']:.3f}",
+                    value=loop["duration"],
+                    threshold=threshold,
+                    message=(
+                        f"loop on {loop['prefix']} lived "
+                        f"{loop['duration']:.1f}s (> {threshold:.0f}s, "
+                        f"the Fig. 8/9 tail: ~90% of loops resolve "
+                        f"faster)"
+                    ),
+                )
+
+    return AlertRule(
+        name="loop_duration_tail",
+        description="A loop outlived the Fig. 8/9 duration tail",
+        check=check,
+        severity="warning",
+    )
+
+
+def total_variation(p: dict[int, float], q: dict[int, float]) -> float:
+    """Total-variation distance between two discrete distributions
+    (0 = identical, 1 = disjoint)."""
+    keys = set(p) | set(q)
+    return 0.5 * sum(abs(p.get(k, 0.0) - q.get(k, 0.0)) for k in keys)
+
+
+def ttl_delta_shift_rule(
+    baseline: dict[int, float] | None = None,
+    threshold: float = DEFAULT_TTL_SHIFT_DISTANCE,
+    window_minutes: int = 5,
+    min_loops: int = 5,
+) -> AlertRule:
+    base = dict(baseline or DEFAULT_TTL_DELTA_BASELINE)
+    total = sum(base.values())
+    base = {k: v / total for k, v in base.items()}
+
+    def check(recorder: WindowedRecorder,
+              now: float) -> Iterator[Finding]:
+        window = recorder.ttl_delta_window(window_minutes)
+        count = sum(window.values())
+        if count < min_loops:
+            return
+        observed = {k: v / count for k, v in window.items()}
+        distance = total_variation(observed, base)
+        if distance > threshold:
+            dominant = max(observed, key=lambda k: observed[k])
+            # One key per whole window, so a persistent shift fires
+            # once per window_minutes rather than every minute.
+            yield Finding(
+                key=f"window:{int(now // 60.0) // window_minutes}",
+                value=distance,
+                threshold=threshold,
+                message=(
+                    f"TTL-delta distribution drifted {distance:.2f} "
+                    f"(TV) from the Fig. 2 baseline over the last "
+                    f"{window_minutes} min; dominant delta now "
+                    f"{dominant} ({observed[dominant]:.0%} of "
+                    f"{count} loops)"
+                ),
+            )
+
+    return AlertRule(
+        name="ttl_delta_shift",
+        description="Recent TTL-delta distribution shifted from the "
+                    "Fig. 2 baseline",
+        check=check,
+        severity="warning",
+    )
+
+
+def replica_rate_spike_rule(
+    factor: float = DEFAULT_SPIKE_FACTOR,
+    min_history: int = 3,
+    min_replicas: float = 20.0,
+) -> AlertRule:
+    def check(recorder: WindowedRecorder,
+              now: float) -> Iterator[Finding]:
+        closed = list(_closed_minutes(recorder, now))
+        if len(closed) < min_history + 1:
+            return
+        latest = closed[-1]
+        history = closed[:-1][-10:]
+        mean = (sum(recorder.minute_looped.get(b) for b in history)
+                / len(history))
+        current = recorder.minute_looped.get(latest)
+        if current >= min_replicas and current > factor * max(mean, 1.0):
+            yield Finding(
+                key=f"minute:{latest}",
+                value=current,
+                threshold=factor * max(mean, 1.0),
+                message=(
+                    f"looped-replica rate spiked to {current:.0f}/min "
+                    f"in minute {latest} ({factor:.0f}x over the "
+                    f"trailing mean of {mean:.1f}/min)"
+                ),
+            )
+
+    return AlertRule(
+        name="replica_rate_spike",
+        description="Looped-replica rate spiked against the trailing "
+                    "mean",
+        check=check,
+        severity="warning",
+    )
+
+
+def default_rules(
+    loss_share_threshold: float = DEFAULT_LOSS_SHARE_THRESHOLD,
+    duration_tail_seconds: float = DEFAULT_DURATION_TAIL_SECONDS,
+    ttl_baseline: dict[int, float] | None = None,
+) -> list[AlertRule]:
+    """The paper-grounded rule set, with the headline thresholds
+    overridable per deployment."""
+    return [
+        looped_loss_share_rule(loss_share_threshold),
+        loop_duration_tail_rule(duration_tail_seconds),
+        ttl_delta_shift_rule(ttl_baseline),
+        replica_rate_spike_rule(),
+    ]
+
+
+@dataclass
+class AlertEngine:
+    """Evaluates rules, dedups, and fans fired alerts out to the logger,
+    the tracer, and a bounded history."""
+
+    rules: list[AlertRule] = field(default_factory=default_rules)
+    tracer: Any = NULL_TRACER
+    max_history: int = 500
+
+    def __post_init__(self) -> None:
+        self.history: deque[Alert] = deque(maxlen=self.max_history)
+        self.fired_total = 0
+        self._last_fired: dict[tuple[str, str], float] = {}
+        self._logger = get_logger("alerts")
+
+    def evaluate(self, recorder: WindowedRecorder,
+                 now: float) -> list[Alert]:
+        """Run every rule; returns (and records) newly fired alerts."""
+        fired: list[Alert] = []
+        for rule in self.rules:
+            for finding in rule.check(recorder, now):
+                dedup = (rule.name, finding.key)
+                last = self._last_fired.get(dedup)
+                if last is not None and (
+                    rule.cooldown == float("inf")
+                    or now - last < rule.cooldown
+                ):
+                    continue
+                self._last_fired[dedup] = now
+                alert = Alert(
+                    rule=rule.name,
+                    severity=rule.severity,
+                    time=now,
+                    key=finding.key,
+                    value=finding.value,
+                    threshold=finding.threshold,
+                    message=finding.message,
+                )
+                fired.append(alert)
+                self.history.append(alert)
+                self.fired_total += 1
+                self._logger.warning("alert [%s] %s: %s", alert.severity,
+                                     alert.rule, alert.message)
+                self.tracer.event(
+                    "alert", time=now, rule=alert.rule,
+                    severity=alert.severity, key=alert.key,
+                    value=alert.value, threshold=alert.threshold,
+                    message=alert.message,
+                )
+        return fired
+
+    def register_metrics(self, registry) -> None:
+        """Publish alert counts via a weakly-held pull collector."""
+        registry.register_collector(self._publish_metrics)
+
+    def _publish_metrics(self, registry) -> None:
+        registry.counter(
+            "alerts_fired_total", "Alerts fired (post-dedup)"
+        ).set(self.fired_total)
+        by_rule: dict[str, int] = {}
+        for alert in self.history:
+            by_rule[alert.rule] = by_rule.get(alert.rule, 0) + 1
+        for rule in self.rules:
+            registry.counter(
+                "alerts_fired_by_rule_total",
+                "Alerts in the retained history, per rule",
+                labels={"rule": rule.name},
+            ).set(by_rule.get(rule.name, 0))
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """JSON-ready alert history, oldest first."""
+        return [alert.to_dict() for alert in self.history]

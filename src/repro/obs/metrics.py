@@ -34,6 +34,7 @@ from bisect import bisect_left
 from typing import Any, Callable, Iterable
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
 
 #: Default histogram buckets, tuned for loop/phase durations in seconds
 #: (the paper's Fig. 9 spans ~100 ms to minutes).
@@ -53,6 +54,70 @@ def _check_name(name: str) -> str:
     return name
 
 
+#: Canonical label storage: sorted ``(name, value)`` pairs.
+Labels = tuple[tuple[str, str], ...]
+
+
+def _check_labels(labels: "dict[str, str] | None") -> Labels:
+    if not labels:
+        return ()
+    out = []
+    for key in sorted(labels):
+        if not _LABEL_NAME_RE.match(key):
+            raise MetricsError(f"invalid label name {key!r}")
+        out.append((key, str(labels[key])))
+    return tuple(out)
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text format: backslash,
+    double quote, and line feed."""
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
+def unescape_label_value(text: str) -> str:
+    """Inverse of :func:`escape_label_value`."""
+    out: list[str] = []
+    i = 0
+    while i < len(text):
+        char = text[i]
+        if char == "\\" and i + 1 < len(text):
+            nxt = text[i + 1]
+            if nxt == "\\":
+                out.append("\\")
+            elif nxt == '"':
+                out.append('"')
+            elif nxt == "n":
+                out.append("\n")
+            else:
+                # Unknown escape: the spec says pass it through verbatim.
+                out.append(char)
+                out.append(nxt)
+            i += 2
+            continue
+        out.append(char)
+        i += 1
+    return "".join(out)
+
+
+def _render_labels(labels: Labels) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{escape_label_value(value)}"' for key, value in labels
+    )
+    return "{" + inner + "}"
+
+
+def series_id(name: str, labels: Labels = ()) -> str:
+    """The canonical exported series name: ``name{label="value",...}``
+    with sorted label names and escaped values (bare name when
+    unlabeled).  Snapshot keys and the text exposition use this form."""
+    return name + _render_labels(labels)
+
+
 class Counter:
     """A monotonically increasing count.
 
@@ -60,12 +125,14 @@ class Counter:
     maintained plain-int counter (it must never be used to go backwards).
     """
 
-    __slots__ = ("name", "help", "_value")
+    __slots__ = ("name", "help", "labels", "_value")
     kind = "counter"
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(self, name: str, help: str = "",
+                 labels: dict[str, str] | None = None) -> None:
         self.name = _check_name(name)
         self.help = help
+        self.labels = _check_labels(labels)
         self._value: float = 0
 
     def inc(self, amount: float = 1) -> None:
@@ -83,12 +150,14 @@ class Counter:
 class Gauge:
     """A value that can go up and down."""
 
-    __slots__ = ("name", "help", "_value")
+    __slots__ = ("name", "help", "labels", "_value")
     kind = "gauge"
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(self, name: str, help: str = "",
+                 labels: dict[str, str] | None = None) -> None:
         self.name = _check_name(name)
         self.help = help
+        self.labels = _check_labels(labels)
         self._value: float = 0
 
     def set(self, value: float) -> None:
@@ -113,13 +182,16 @@ class Histogram:
     so :meth:`observe` is one bisect plus one list increment.
     """
 
-    __slots__ = ("name", "help", "bounds", "_counts", "_sum", "_count")
+    __slots__ = ("name", "help", "labels", "bounds", "_counts", "_sum",
+                 "_count")
     kind = "histogram"
 
     def __init__(self, name: str, help: str = "",
-                 buckets: Iterable[float] = DEFAULT_BUCKETS) -> None:
+                 buckets: Iterable[float] = DEFAULT_BUCKETS,
+                 labels: dict[str, str] | None = None) -> None:
         self.name = _check_name(name)
         self.help = help
+        self.labels = _check_labels(labels)
         bounds = tuple(sorted(float(b) for b in buckets))
         if not bounds:
             raise MetricsError(f"histogram {name!r} needs >= 1 bucket")
@@ -159,6 +231,7 @@ class _NullCounter:
     kind = "counter"
     name = ""
     help = ""
+    labels: Labels = ()
     value = 0
 
     def inc(self, amount: float = 1) -> None:
@@ -173,6 +246,7 @@ class _NullGauge:
     kind = "gauge"
     name = ""
     help = ""
+    labels: Labels = ()
     value = 0
 
     def set(self, value: float) -> None:
@@ -190,6 +264,7 @@ class _NullHistogram:
     kind = "histogram"
     name = ""
     help = ""
+    labels: Labels = ()
     count = 0
     sum = 0.0
     bounds: tuple[float, ...] = ()
@@ -219,30 +294,38 @@ class MetricsRegistry:
 
     # -- instrument factories -------------------------------------------------
 
-    def _get(self, name: str, kind: str, factory):
+    def _get(self, name: str, kind: str, factory,
+             labels: dict[str, str] | None = None):
         if not self.enabled:
             return {"counter": NULL_COUNTER, "gauge": NULL_GAUGE,
                     "histogram": NULL_HISTOGRAM}[kind]
-        metric = self._metrics.get(name)
+        key = series_id(_check_name(name), _check_labels(labels))
+        metric = self._metrics.get(key)
         if metric is None:
             metric = factory()
-            self._metrics[name] = metric
+            self._metrics[key] = metric
         elif metric.kind != kind:
             raise MetricsError(
                 f"metric {name!r} already registered as {metric.kind}"
             )
         return metric
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        return self._get(name, "counter", lambda: Counter(name, help))
+    def counter(self, name: str, help: str = "",
+                labels: dict[str, str] | None = None) -> Counter:
+        return self._get(name, "counter",
+                         lambda: Counter(name, help, labels), labels)
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        return self._get(name, "gauge", lambda: Gauge(name, help))
+    def gauge(self, name: str, help: str = "",
+              labels: dict[str, str] | None = None) -> Gauge:
+        return self._get(name, "gauge",
+                         lambda: Gauge(name, help, labels), labels)
 
     def histogram(self, name: str, help: str = "",
-                  buckets: Iterable[float] = DEFAULT_BUCKETS) -> Histogram:
+                  buckets: Iterable[float] = DEFAULT_BUCKETS,
+                  labels: dict[str, str] | None = None) -> Histogram:
         return self._get(name, "histogram",
-                         lambda: Histogram(name, help, buckets))
+                         lambda: Histogram(name, help, buckets, labels),
+                         labels)
 
     # -- pull collectors ------------------------------------------------------
 
@@ -275,19 +358,30 @@ class MetricsRegistry:
 
     # -- export ---------------------------------------------------------------
 
+    def _sorted_metrics(self):
+        """Instruments sorted by family name then labelset, so labeled
+        series of one family stay adjacent in the exposition."""
+        return sorted(self._metrics.values(),
+                      key=lambda m: (m.name, m.labels))
+
     def snapshot(self) -> dict[str, Any]:
-        """All current values as a JSON-ready dict (runs collectors)."""
+        """All current values as a JSON-ready dict (runs collectors).
+
+        Keys are :func:`series_id` strings — the bare metric name for
+        unlabeled instruments, ``name{label="value",...}`` otherwise.
+        """
         self.collect()
         counters: dict[str, float] = {}
         gauges: dict[str, float] = {}
         histograms: dict[str, Any] = {}
-        for name, metric in sorted(self._metrics.items()):
+        for metric in self._sorted_metrics():
+            key = series_id(metric.name, metric.labels)
             if isinstance(metric, Counter):
-                counters[name] = metric.value
+                counters[key] = metric.value
             elif isinstance(metric, Gauge):
-                gauges[name] = metric.value
+                gauges[key] = metric.value
             else:
-                histograms[name] = {
+                histograms[key] = {
                     "count": metric.count,
                     "sum": metric.sum,
                     "buckets": [
@@ -302,21 +396,40 @@ class MetricsRegistry:
         return json.dumps(self.snapshot(), indent=indent)
 
     def render_prometheus(self) -> str:
-        """Prometheus text exposition format (version 0.0.4)."""
+        """Prometheus text exposition format (version 0.0.4).
+
+        Label values are escaped per the spec (``\\`` → ``\\\\``,
+        ``"`` → ``\\"``, newline → ``\\n``); HELP/TYPE headers are
+        emitted once per metric family.
+        """
         self.collect()
         lines: list[str] = []
-        for name, metric in sorted(self._metrics.items()):
-            if metric.help:
-                lines.append(f"# HELP {name} {metric.help}")
-            lines.append(f"# TYPE {name} {metric.kind}")
+        seen_families: set[str] = set()
+        for metric in self._sorted_metrics():
+            name = metric.name
+            if name not in seen_families:
+                seen_families.add(name)
+                if metric.help:
+                    help_text = (metric.help.replace("\\", "\\\\")
+                                            .replace("\n", "\\n"))
+                    lines.append(f"# HELP {name} {help_text}")
+                lines.append(f"# TYPE {name} {metric.kind}")
             if isinstance(metric, Histogram):
                 for bound, count in metric.cumulative():
                     le = "+Inf" if math.isinf(bound) else _num(bound)
-                    lines.append(f'{name}_bucket{{le="{le}"}} {count}')
-                lines.append(f"{name}_sum {_num(metric.sum)}")
-                lines.append(f"{name}_count {metric.count}")
+                    bucket_labels = metric.labels + (("le", le),)
+                    lines.append(
+                        f"{name}_bucket{_render_labels(bucket_labels)} "
+                        f"{count}"
+                    )
+                suffix = _render_labels(metric.labels)
+                lines.append(f"{name}_sum{suffix} {_num(metric.sum)}")
+                lines.append(f"{name}_count{suffix} {metric.count}")
             else:
-                lines.append(f"{name} {_num(metric.value)}")
+                lines.append(
+                    f"{name}{_render_labels(metric.labels)} "
+                    f"{_num(metric.value)}"
+                )
         return "\n".join(lines) + "\n"
 
 
@@ -327,14 +440,82 @@ def _num(value: float) -> str:
     return repr(value)
 
 
+def _parse_labels(text: str) -> dict[str, str]:
+    """Parse the inside of a ``{...}`` label block, honouring escapes.
+
+    A naive ``split('"')`` breaks the moment a value contains an escaped
+    quote or a second label follows — this is a small scanner instead.
+    """
+    labels: dict[str, str] = {}
+    i = 0
+    length = len(text)
+    while i < length:
+        while i < length and text[i] in ", \t":
+            i += 1
+        if i >= length:
+            break
+        eq = text.find("=", i)
+        if eq < 0:
+            raise MetricsError(f"malformed label block {text!r}")
+        name = text[i:eq].strip()
+        if not _LABEL_NAME_RE.match(name):
+            raise MetricsError(f"invalid label name {name!r}")
+        i = eq + 1
+        if i >= length or text[i] != '"':
+            raise MetricsError(f"unquoted label value in {text!r}")
+        i += 1
+        raw: list[str] = []
+        while i < length:
+            char = text[i]
+            if char == "\\" and i + 1 < length:
+                raw.append(text[i:i + 2])
+                i += 2
+                continue
+            if char == '"':
+                break
+            raw.append(char)
+            i += 1
+        if i >= length:
+            raise MetricsError(f"unterminated label value in {text!r}")
+        i += 1  # closing quote
+        labels[name] = unescape_label_value("".join(raw))
+    return labels
+
+
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?$", re.DOTALL
+)
+
+
+def _split_sample(name_part: str) -> tuple[str, dict[str, str]]:
+    match = _SAMPLE_RE.match(name_part)
+    if match is None:
+        raise MetricsError(f"malformed sample name {name_part!r}")
+    name, label_text = match.group(1), match.group(2)
+    return name, _parse_labels(label_text) if label_text else {}
+
+
 def parse_prometheus(text: str) -> dict[str, Any]:
     """Parse text produced by :meth:`MetricsRegistry.render_prometheus`
     back into the :meth:`MetricsRegistry.snapshot` shape (round-trip
-    support for tests and downstream tooling)."""
+    support for tests and downstream tooling).
+
+    Handles escaped label values (``\\\\``, ``\\"``, ``\\n``) and
+    multi-label metrics — histogram bucket lines may carry labels besides
+    ``le``; each distinct labelset becomes its own histogram entry keyed
+    by :func:`series_id`.
+    """
     kinds: dict[str, str] = {}
     counters: dict[str, float] = {}
     gauges: dict[str, float] = {}
     histograms: dict[str, Any] = {}
+
+    def hist_entry(base: str, labels: dict[str, str]) -> dict[str, Any]:
+        key = series_id(base, _check_labels(labels))
+        return histograms.setdefault(
+            key, {"count": 0, "sum": 0.0, "buckets": []}
+        )
+
     for line in text.splitlines():
         line = line.strip()
         if not line:
@@ -346,31 +527,26 @@ def parse_prometheus(text: str) -> dict[str, Any]:
             continue
         name_part, value_text = line.rsplit(None, 1)
         value = float(value_text)
-        if "{" in name_part:
-            name, label_part = name_part.split("{", 1)
-            base = name[:-len("_bucket")]
-            le_text = label_part.split('"')[1]
+        name, labels = _split_sample(name_part)
+        if (name.endswith("_bucket") and "le" in labels
+                and kinds.get(name[:-len("_bucket")]) == "histogram"):
+            le_text = labels.pop("le")
             bound: Any = "+Inf" if le_text == "+Inf" else float(le_text)
-            hist = histograms.setdefault(
-                base, {"count": 0, "sum": 0.0, "buckets": []}
+            hist_entry(name[:-len("_bucket")], labels)["buckets"].append(
+                [bound, int(value)]
             )
-            hist["buckets"].append([bound, int(value)])
             continue
-        name = name_part
-        if name.endswith("_sum") and name[:-4] in kinds \
-                and kinds[name[:-4]] == "histogram":
-            histograms.setdefault(
-                name[:-4], {"count": 0, "sum": 0.0, "buckets": []}
-            )["sum"] = value
-        elif name.endswith("_count") and name[:-6] in kinds \
-                and kinds[name[:-6]] == "histogram":
-            histograms.setdefault(
-                name[:-6], {"count": 0, "sum": 0.0, "buckets": []}
-            )["count"] = int(value)
-        elif kinds.get(name) == "gauge":
-            gauges[name] = value
+        if name.endswith("_sum") and kinds.get(name[:-4]) == "histogram":
+            hist_entry(name[:-4], labels)["sum"] = value
+            continue
+        if name.endswith("_count") and kinds.get(name[:-6]) == "histogram":
+            hist_entry(name[:-6], labels)["count"] = int(value)
+            continue
+        key = series_id(name, _check_labels(labels))
+        if kinds.get(name) == "gauge":
+            gauges[key] = value
         else:
-            counters[name] = value
+            counters[key] = value
     return {"counters": counters, "gauges": gauges,
             "histograms": histograms}
 

@@ -47,16 +47,26 @@ class Heartbeat:
         """Add ``amount`` to the running count; maybe log."""
         self.count += amount
         now = self._clock()
+        if now < self._last:
+            # Non-monotonic clock (a fake clock in tests, or a clock
+            # swap): re-anchor instead of going silent until the old
+            # watermark is reached again.
+            self._last = now
+            self._t0 = min(self._t0, now)
+            return
         if now - self._last >= self.interval:
             self._last = now
             self._log(now)
 
     def done(self) -> None:
-        """Log the final total unconditionally."""
+        """Log the final summary unconditionally — even when no tick was
+        ever recorded, so every stage leaves a closing line."""
         self._log(self._clock(), final=True)
 
     def _log(self, now: float, final: bool = False) -> None:
-        elapsed = now - self._t0
+        # Clamp: a clock running backwards must not report a negative
+        # elapsed time or rate.
+        elapsed = max(0.0, now - self._t0)
         rate = self.count / elapsed if elapsed > 0 else 0.0
         self._logger.info(
             "%s%s: %d in %.1fs (%.0f/s)",

@@ -1,0 +1,259 @@
+"""Bounded windowed time-series recorder for live monitoring.
+
+The scrape endpoint (:mod:`repro.obs.server`) exposes *current* counter
+values; an operator also wants *rates and windows* — "what share of this
+minute's traffic was looping?" is the paper's Sec. VI question asked
+live.  :class:`WindowedRecorder` answers it without Prometheus: it keeps
+per-second and per-minute event counts in bounded ring-buffer bucket
+series (the :class:`~repro.stats.timeseries.BucketSeries` semantics,
+with a capacity cap), plus a bounded log of emitted loops and a
+windowed TTL-delta distribution.
+
+Everything is timestamp-driven in *trace time* — the recorder never
+reads a wall clock, so replaying a recorded pcap produces exactly the
+windows a live capture would have produced.  Sampling of registry
+counters happens on window boundaries (the caller decides when), never
+per packet; per-record bookkeeping is two dict increments.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any
+
+from repro.stats.timeseries import BucketSeries, SeriesError
+
+#: Default ring capacities: three hours of minutes, ten minutes of
+#: seconds — enough for every Sec. VI window and the dashboard panels.
+DEFAULT_MINUTE_CAPACITY = 180
+DEFAULT_SECOND_CAPACITY = 600
+DEFAULT_MAX_LOOPS = 1000
+DEFAULT_MAX_SAMPLES = 20_000
+
+
+class BoundedBucketSeries(BucketSeries):
+    """A :class:`BucketSeries` that keeps only the newest ``capacity``
+    buckets — a ring buffer over time windows.
+
+    Pruning drops the *oldest* bucket ids, so long-running feeds hold
+    bounded state while every recent-window query (ratios, rates,
+    dashboard panels) behaves exactly like the unbounded series.  A
+    min-heap of live bucket ids makes pruning O(log capacity) per new
+    bucket — adds to an existing bucket touch no heap at all, so
+    per-replica feeds stay cheap even once the ring is full.
+    """
+
+    def __init__(self, width: float, capacity: int) -> None:
+        if capacity < 1:
+            raise SeriesError(f"capacity must be >= 1: {capacity}")
+        super().__init__(width=width)
+        self.capacity = capacity
+        self._order: list[int] = []
+
+    def add(self, time: float, amount: float = 1.0) -> None:
+        bucket = int(time // self.width)
+        counts = self.counts
+        if bucket in counts:
+            counts[bucket] += amount
+            return
+        counts[bucket] = amount
+        # Buckets leave `counts` only through this pruning, so the heap
+        # top is always a live bucket — no lazy-deletion sweep needed.
+        heapq.heappush(self._order, bucket)
+        if len(counts) > self.capacity:
+            del counts[heapq.heappop(self._order)]
+
+    def latest_bucket(self) -> int | None:
+        return max(self.counts) if self.counts else None
+
+
+class WindowedRecorder:
+    """Per-second and per-minute windows over a live record feed.
+
+    Feed it raw observations (:meth:`observe_record`,
+    :meth:`observe_loop`) and sample registry counters on window
+    boundaries (:meth:`sample_counters`); query windows, ratios, and a
+    JSON-ready snapshot at any time.
+    """
+
+    def __init__(
+        self,
+        minute_capacity: int = DEFAULT_MINUTE_CAPACITY,
+        second_capacity: int = DEFAULT_SECOND_CAPACITY,
+        max_loops: int = DEFAULT_MAX_LOOPS,
+        max_samples: int = DEFAULT_MAX_SAMPLES,
+    ) -> None:
+        self.minute_records = BoundedBucketSeries(60.0, minute_capacity)
+        self.second_records = BoundedBucketSeries(1.0, second_capacity)
+        #: Replicas of detected loops, bucketed by replica timestamp —
+        #: the numerator of the Sec. VI looped-share ratio.
+        self.minute_looped = BoundedBucketSeries(60.0, minute_capacity)
+        self.second_looped = BoundedBucketSeries(1.0, second_capacity)
+        #: Loop count per minute, bucketed by loop end (emission) time.
+        self.minute_loops = BoundedBucketSeries(60.0, minute_capacity)
+        self.loops: deque[dict[str, Any]] = deque(maxlen=max_loops)
+        #: Bounded per-stream samples for the paper's CDF panels
+        #: (Fig. 3 sizes, Fig. 4 spacings, Fig. 8 durations).
+        self.stream_sizes: deque[int] = deque(maxlen=max_samples)
+        self.stream_durations: deque[float] = deque(maxlen=max_samples)
+        self.replica_spacings: deque[float] = deque(maxlen=max_samples)
+        #: TTL-delta counts: cumulative, and per recent minute for the
+        #: distribution-shift alert.
+        self.ttl_delta_total: dict[int, int] = {}
+        self._ttl_delta_minutes: dict[int, dict[int, int]] = {}
+        self._minute_capacity = minute_capacity
+        #: Per-minute deltas of sampled registry counters, keyed by
+        #: series id.
+        self.counter_deltas: dict[str, BoundedBucketSeries] = {}
+        self._last_counter_values: dict[str, float] = {}
+        self.now = float("-inf")
+        self.records = 0
+
+    # -- feeding ---------------------------------------------------------------
+
+    def observe_record(self, timestamp: float) -> None:
+        """Count one captured record (any record, looping or not)."""
+        self.observe_records(timestamp, 1)
+
+    def observe_records(self, timestamp: float, count: int) -> None:
+        """Count ``count`` records in ``timestamp``'s windows at once —
+        the bulk entry point window-boundary sampling feeds."""
+        self.records += count
+        if timestamp > self.now:
+            self.now = timestamp
+        self.minute_records.add(timestamp, count)
+        self.second_records.add(timestamp, count)
+
+    def observe_loop(self, loop) -> None:
+        """Record an emitted :class:`~repro.core.merge.RoutingLoop`:
+        the loop row, its replicas into the looped series, and its
+        TTL-delta into the windowed distribution."""
+        self.minute_loops.add(loop.end)
+        # Replicas cluster into a handful of windows per loop, so
+        # aggregate locally and touch the bucket series once per
+        # (window, loop) instead of once per replica.
+        minute_counts: dict[int, int] = {}
+        second_counts: dict[int, int] = {}
+        for stream in loop.streams:
+            self.stream_sizes.append(len(stream.replicas))
+            self.stream_durations.append(stream.end - stream.start)
+            previous = None
+            for replica in stream.replicas:
+                timestamp = replica.timestamp
+                second = int(timestamp)
+                second_counts[second] = second_counts.get(second, 0) + 1
+                minute = second // 60
+                minute_counts[minute] = minute_counts.get(minute, 0) + 1
+                if previous is not None:
+                    self.replica_spacings.append(timestamp - previous)
+                previous = timestamp
+        for minute, count in minute_counts.items():
+            self.minute_looped.add(minute * 60.0, count)
+        for second, count in second_counts.items():
+            self.second_looped.add(float(second), count)
+        delta = loop.ttl_delta
+        self.ttl_delta_total[delta] = self.ttl_delta_total.get(delta, 0) + 1
+        minute = int(loop.end // 60.0)
+        per_minute = self._ttl_delta_minutes.setdefault(minute, {})
+        per_minute[delta] = per_minute.get(delta, 0) + 1
+        if len(self._ttl_delta_minutes) > self._minute_capacity:
+            for bucket in sorted(
+                self._ttl_delta_minutes
+            )[:-self._minute_capacity]:
+                del self._ttl_delta_minutes[bucket]
+        self.loops.append({
+            "prefix": str(loop.prefix),
+            "start": loop.start,
+            "end": loop.end,
+            "duration": loop.duration,
+            "streams": loop.stream_count,
+            "replicas": loop.replica_count,
+            "ttl_delta": delta,
+        })
+
+    def sample_counters(self, registry) -> None:
+        """Sample registry counters into per-minute delta series.
+
+        Call on window boundaries (the live monitor does); each call
+        banks the growth since the previous sample into the current
+        minute bucket, so ``counter_deltas[name]`` reads as a rate
+        series without a Prometheus server doing the differencing.
+        """
+        if self.now == float("-inf"):
+            return
+        snapshot = registry.snapshot()
+        for name, value in snapshot["counters"].items():
+            previous = self._last_counter_values.get(name, 0.0)
+            delta = value - previous
+            self._last_counter_values[name] = value
+            if delta > 0:
+                self.counter_deltas.setdefault(
+                    name,
+                    BoundedBucketSeries(60.0, self._minute_capacity),
+                ).add(self.now, delta)
+
+    # -- queries ---------------------------------------------------------------
+
+    def looped_share(self, minute: int) -> float | None:
+        """Looped replicas as a share of all records in ``minute``
+        (None when the minute saw no traffic — idle windows never
+        divide by zero)."""
+        total = self.minute_records.get(minute)
+        if total <= 0:
+            return None
+        return self.minute_looped.get(minute) / total
+
+    def looped_share_series(self) -> dict[int, float]:
+        """Per-minute looped-traffic share — the Sec. VI panel series."""
+        return self.minute_looped.ratio_series(self.minute_records)
+
+    def peak_looped_share(self) -> float:
+        return self.minute_looped.max_ratio(self.minute_records)
+
+    def ttl_delta_window(self, minutes: int = 5) -> dict[int, int]:
+        """TTL-delta counts over the trailing ``minutes`` windows."""
+        if self.now == float("-inf"):
+            return {}
+        horizon = int(self.now // 60.0) - minutes
+        out: dict[int, int] = {}
+        for minute, counts in self._ttl_delta_minutes.items():
+            if minute > horizon:
+                for delta, count in counts.items():
+                    out[delta] = out.get(delta, 0) + count
+        return out
+
+    def minute_rows(self, last: int | None = None) -> list[dict[str, Any]]:
+        """Chronological per-minute rows for the dashboard/``/state``:
+        records, looped replicas, loops closed, looped share."""
+        buckets = self.minute_records.buckets
+        if last is not None:
+            buckets = buckets[-last:]
+        rows = []
+        for bucket in buckets:
+            records = self.minute_records.get(bucket)
+            looped = self.minute_looped.get(bucket)
+            rows.append({
+                "minute": bucket,
+                "t0": bucket * 60.0,
+                "records": records,
+                "looped": looped,
+                "loops": self.minute_loops.get(bucket),
+                "share": looped / records if records > 0 else 0.0,
+            })
+        return rows
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready view of the recorder for ``/state`` and the
+        dashboard renderer."""
+        return {
+            "now": None if self.now == float("-inf") else self.now,
+            "records": self.records,
+            "minutes": self.minute_rows(),
+            "loops": list(self.loops),
+            "peak_looped_share": self.peak_looped_share(),
+            "ttl_delta_total": {
+                str(delta): count
+                for delta, count in sorted(self.ttl_delta_total.items())
+            },
+        }

@@ -1,0 +1,146 @@
+"""Stdlib HTTP scrape endpoint for live monitoring.
+
+:class:`MonitorServer` serves three routes from a background thread
+while the detection loop runs in the foreground:
+
+* ``GET /metrics`` — Prometheus text exposition from the monitor's
+  registry (``text/plain; version=0.0.4``);
+* ``GET /healthz`` — liveness JSON: records seen, finished flag,
+  alert count;
+* ``GET /state`` — the full :meth:`~repro.obs.live.LiveMonitor.state`
+  snapshot as JSON: recorder windows, alert history, and any registered
+  detector state sources (active replica streams, open loops,
+  lifecycle attributions).
+
+Built entirely on :mod:`http.server` — no dependencies.  The server
+binds on construction (so ``port=0`` resolves to a real ephemeral port
+before any scrape), serves on a daemon thread via
+:class:`~http.server.ThreadingHTTPServer` (each request gets its own
+handler thread; state reads are lock-consistent snapshots from the
+monitor), and shuts down cleanly as a context manager.  Request logging
+goes through the ``repro.http`` logger at DEBUG, not stderr.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.obs.live import LiveMonitor
+from repro.obs.log import get_logger
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # Set per server class in MonitorServer.__init__.
+    monitor: LiveMonitor
+    dashboard_renderer = None
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        path = self.path.split("?", 1)[0]
+        try:
+            if path == "/metrics":
+                self._send(200, PROMETHEUS_CONTENT_TYPE,
+                           self.monitor.render_prometheus())
+            elif path == "/healthz":
+                self._send_json(200, self._health())
+            elif path == "/state":
+                self._send_json(200, self.monitor.state())
+            elif path == "/" and self.dashboard_renderer is not None:
+                self._send(200, "text/html; charset=utf-8",
+                           self.dashboard_renderer())
+            else:
+                self._send_json(404, {"error": "not found", "path": path})
+        except BrokenPipeError:
+            pass  # client went away mid-response
+
+    def _health(self) -> dict[str, Any]:
+        with self.monitor._lock:
+            recorder = self.monitor.recorder
+            return {
+                "status": "ok",
+                "records": recorder.records,
+                "loops": len(recorder.loops),
+                "alerts": len(self.monitor.alerts.history),
+                "finished": self.monitor.finished,
+            }
+
+    def _send(self, status: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_json(self, status: int, body: Any) -> None:
+        self._send(status, "application/json",
+                   json.dumps(body, sort_keys=True))
+
+    def log_message(self, format: str, *args: Any) -> None:
+        get_logger("http").debug("%s %s", self.address_string(),
+                                 format % args)
+
+
+class MonitorServer:
+    """Background-thread HTTP server over a :class:`LiveMonitor`.
+
+    >>> with MonitorServer(monitor, port=0) as server:
+    ...     print(server.url)          # http://127.0.0.1:<ephemeral>
+    ...     run_detection()            # foreground; scrapes serve live
+    """
+
+    def __init__(self, monitor: LiveMonitor, host: str = "127.0.0.1",
+                 port: int = 9464, dashboard_renderer=None) -> None:
+        self.monitor = monitor
+        handler = type("_BoundHandler", (_Handler,), {
+            "monitor": monitor,
+            "dashboard_renderer": staticmethod(dashboard_renderer)
+            if dashboard_renderer is not None else None,
+        })
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the real one)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "MonitorServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-monitor-http",
+            daemon=True,
+        )
+        self._thread.start()
+        get_logger("http").info("monitoring endpoint at %s", self.url)
+        return self
+
+    def stop(self) -> None:
+        # shutdown() blocks until serve_forever() acknowledges, so it
+        # must only run when the serving thread actually started —
+        # stop() on a constructed-but-never-started server (or a second
+        # stop()) just closes the socket.
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "MonitorServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

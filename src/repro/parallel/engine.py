@@ -373,6 +373,36 @@ class ParallelLoopDetector:
             tracer.span("loop", loop.start, loop.end,
                         prefix=str(loop.prefix), streams=loop.stream_count)
 
+    def state_snapshot(self) -> dict:
+        """JSON-ready view of the engine for the monitoring ``/state``
+        endpoint: configuration plus the most recent run's stats."""
+        state: dict = {
+            "jobs": self.jobs,
+            "shards": self.shards,
+            "last_run": None,
+        }
+        stats = self.last_stats
+        if stats is not None:
+            state["last_run"] = {
+                "records_total": stats.records_total,
+                "wall_seconds": stats.wall_seconds,
+                "partition_seconds": stats.partition_seconds,
+                "detect_seconds": stats.detect_seconds,
+                "merge_seconds": stats.merge_seconds,
+                "records_per_sec": stats.records_per_sec,
+                "shard_skew": stats.shard_skew,
+                "per_shard": [
+                    {
+                        "shard_id": shard.shard_id,
+                        "records": shard.records,
+                        "candidate_streams": shard.candidate_streams,
+                        "seconds": shard.seconds,
+                    }
+                    for shard in stats.per_shard
+                ],
+            }
+        return state
+
     def register_metrics(self, registry) -> None:
         """Publish the most recent run's :class:`ParallelStats`."""
         registry.register_collector(self._publish_metrics)

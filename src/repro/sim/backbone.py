@@ -263,13 +263,19 @@ class BackboneScenario:
         return run
 
     def run(self, record_crossings: bool = False, tracer=None,
-            progress=None) -> ScenarioRun:
+            progress=None, live_monitor=None) -> ScenarioRun:
         """Build, execute to completion, and finalize the trace.
 
         ``progress`` is called as ``progress(sim_now)`` at 1/20th of the
         scenario duration (at least every simulated second) — a heartbeat
         for long runs.  The repeating event is cancelled after the drain,
         so the scheduler queue still empties.
+
+        ``live_monitor`` (a :class:`~repro.obs.live.LiveMonitor`) is fed
+        the tap's captured records as the simulation advances — drained
+        once per simulated second from the capture buffer, never from
+        the per-packet path — so a scrape endpoint running alongside the
+        simulation shows windows filling in simulation time.
         """
         run = self.build(record_crossings=record_crossings, tracer=tracer)
         config = self.config
@@ -280,14 +286,33 @@ class BackboneScenario:
             heartbeat = scheduler.every(
                 interval, lambda: progress(scheduler.now)
             )
+        feeder = None
+        if live_monitor is not None:
+            cursor = [0]
+
+            def feed() -> None:
+                cursor[0] = self._feed_live(live_monitor, cursor[0])
+
+            feeder = scheduler.every(1.0, feed)
         run.generator.run(0.0, config.duration)
         # Drain: events (BGP propagation, in-flight packets) can outlive
         # the workload window.
         scheduler.run(until=config.duration + 120.0)
         if heartbeat is not None:
             heartbeat.cancel()
+        if feeder is not None:
+            feeder.cancel()
+            self._feed_live(live_monitor, cursor[0])
         self._monitor.finalize()
         return run
+
+    def _feed_live(self, live_monitor, cursor: int) -> int:
+        """Feed records captured since ``cursor`` into the live monitor;
+        returns the new cursor."""
+        cursor, records = self._monitor.drain_since(cursor)
+        for record in records:
+            live_monitor.observe_record(record.timestamp)
+        return cursor
 
     # -- event scheduling ----------------------------------------------------------
 

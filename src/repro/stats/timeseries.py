@@ -42,8 +42,15 @@ class BucketSeries:
         return sorted(self.counts)
 
     def ratio_series(self, denominator: "BucketSeries") -> dict[int, float]:
-        """Per-bucket self/denominator ratios (buckets with zero
-        denominator are skipped)."""
+        """Per-bucket self/denominator ratios.
+
+        Buckets whose denominator is zero — absent entirely, or recorded
+        with an explicit ``0.0`` count (an idle minute on the monitored
+        link) — are **skipped**, never divided: the Sec. VI loss-ratio
+        panel must not raise :class:`ZeroDivisionError` on quiet windows.
+        Negative denominator counts (a mis-fed series) are skipped under
+        the same ``<= 0`` rule rather than producing nonsense ratios.
+        """
         if denominator.width != self.width:
             raise SeriesError("bucket widths differ")
         ratios: dict[int, float] = {}
@@ -54,6 +61,10 @@ class BucketSeries:
         return ratios
 
     def max_ratio(self, denominator: "BucketSeries") -> float:
-        """The peak per-bucket ratio (0.0 when there is no overlap)."""
+        """The peak per-bucket ratio.
+
+        0.0 when no bucket survives :meth:`ratio_series` — disjoint
+        series, or every overlapping denominator bucket zero-valued.
+        """
         ratios = self.ratio_series(denominator)
         return max(ratios.values(), default=0.0)

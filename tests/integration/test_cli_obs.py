@@ -181,3 +181,86 @@ class TestProgressAndLogging:
         assert code == 0
         parsed = parse_prometheus(out.read_text())
         assert parsed["counters"]["pcap_truncated_records_total"] == 1
+
+
+class TestMonitorCommand:
+    def test_ascii_dashboard_and_summary(self, pcap_with_loop, capsys):
+        assert main(["monitor", str(pcap_with_loop)]) == 0
+        out = capsys.readouterr().out
+        assert "routing-loop live monitor" in out
+        assert "looped share per minute (Sec. VI)" in out
+
+    def test_no_dashboard_summary(self, pcap_with_loop, capsys):
+        assert main(["monitor", str(pcap_with_loop),
+                     "--no-dashboard"]) == 0
+        out = capsys.readouterr().out
+        assert "records: 110" in out
+        assert "routing loops:" in out
+
+    def test_alerts_and_dashboard_out(self, pcap_with_loop, tmp_path,
+                                      capsys):
+        dashboard = tmp_path / "dash.html"
+        assert main(["monitor", str(pcap_with_loop), "--alerts",
+                     "--dashboard-out", str(dashboard)]) == 0
+        html = dashboard.read_text(encoding="utf-8")
+        assert "Looped traffic share per minute" in html
+        assert "<svg" in html
+        # The synthetic loop pushes the looped share over the Sec. VI
+        # ceiling within minute 0, so the alert must have fired.
+        out = capsys.readouterr().out
+        assert "looped_loss_share" in out
+
+    def test_metrics_out_composes(self, pcap_with_loop, tmp_path,
+                                  capsys):
+        metrics = tmp_path / "metrics.prom"
+        assert main(["monitor", str(pcap_with_loop), "--alerts",
+                     "--metrics-out", str(metrics)]) == 0
+        parsed = parse_prometheus(metrics.read_text(encoding="utf-8"))
+        assert parsed["counters"]["alerts_fired_total"] >= 1
+
+
+class TestServeEndToEnd:
+    def test_serve_scrapes_during_run(self, pcap_with_loop, tmp_path):
+        """Full black-box run: spawn the CLI with --serve 0 --linger,
+        parse the printed endpoint URL, scrape /metrics and /healthz
+        while it lingers, then let it exit cleanly."""
+        import os
+        import subprocess
+        import sys
+        import urllib.request
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        process = subprocess.Popen(
+            [sys.executable, "-c",
+             "from repro.cli import main; raise SystemExit(main())",
+             "monitor", str(pcap_with_loop), "--serve", "0",
+             "--alerts", "--no-dashboard", "--linger", "20"],
+            cwd="/root/repo", env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+            text=True,
+        )
+        try:
+            line = process.stdout.readline()
+            assert line.startswith("monitoring endpoints at http://")
+            url = line.rsplit(None, 1)[-1]
+
+            def fetch(path):
+                with urllib.request.urlopen(url + path,
+                                            timeout=10.0) as resp:
+                    return resp.read().decode("utf-8")
+
+            deadline = 100
+            while True:
+                health = json.loads(fetch("/healthz"))
+                if health["finished"]:
+                    break
+                deadline -= 1
+                assert deadline > 0, "stream never finished"
+            assert health["records"] == 110
+            parsed = parse_prometheus(fetch("/metrics"))
+            assert parsed["counters"]["alerts_fired_total"] >= 1
+            assert "<svg" in fetch("/")
+        finally:
+            process.terminate()
+            process.wait(timeout=10.0)

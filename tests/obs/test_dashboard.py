@@ -1,0 +1,117 @@
+"""Tests for the ASCII and HTML dashboard renderers."""
+
+from __future__ import annotations
+
+import re
+import xml.etree.ElementTree as ET
+
+from repro.obs.alerts import AlertEngine, looped_loss_share_rule
+from repro.obs.live import LiveMonitor
+
+from tests.obs.test_recorder import make_loop
+from repro.obs.dashboard import render_ascii, render_html
+
+
+def populated_monitor() -> LiveMonitor:
+    engine = AlertEngine(rules=[looped_loss_share_rule(0.05)])
+    monitor = LiveMonitor(alert_engine=engine)
+    for minute in range(3):
+        for i in range(20):
+            monitor.observe_record(minute * 60.0 + i)
+        monitor.observe_loop(
+            make_loop(start=minute * 60.0 + 2.0, replicas=4,
+                      spacing=0.5)
+        )
+    monitor.finish()
+    return monitor
+
+
+class TestAsciiDashboard:
+    def test_empty_monitor_renders(self):
+        text = render_ascii(LiveMonitor())
+        assert "routing-loop live monitor" in text
+        assert "alerts: none fired" in text
+
+    def test_panels_present_when_populated(self):
+        text = render_ascii(populated_monitor())
+        for fragment in (
+            "looped share per minute (Sec. VI)",
+            "TTL delta distribution (Fig. 2)",
+            "stream size CDF, replicas (Fig. 3)",
+            "replica spacing CDF, seconds (Fig. 4)",
+            "stream duration CDF, seconds (Fig. 8)",
+            "loop duration CDF, seconds (Fig. 9)",
+        ):
+            assert fragment in text, fragment
+
+    def test_alert_lines_listed(self):
+        text = render_ascii(populated_monitor())
+        assert "alerts:" in text
+        assert "[critical] looped_loss_share" in text
+
+
+class TestHtmlDashboard:
+    def test_svgs_are_well_formed_xml(self):
+        html = render_html(populated_monitor())
+        svgs = re.findall(r"<svg.*?</svg>", html, re.S)
+        assert len(svgs) == 6
+        for svg in svgs:
+            ET.fromstring(svg)  # must parse
+        assert "NaN" not in html
+
+    def test_panel_titles_present(self):
+        html = render_html(populated_monitor())
+        for title in (
+            "Looped traffic share per minute",
+            "TTL-delta distribution (Fig. 2)",
+            "Stream size CDF (Fig. 3)",
+            "Replica spacing CDF (Fig. 4)",
+            "Stream duration CDF (Fig. 8)",
+            "Loop duration CDF (Fig. 9)",
+            "Alert history",
+            "Per-minute windows",
+            "Recent loops",
+        ):
+            assert title in html, title
+
+    def test_coordinates_stay_in_viewbox(self):
+        html = render_html(populated_monitor())
+        for x in re.findall(r'[\s"](?:x|x1|x2|cx)="([-\d.]+)"', html):
+            assert -5.0 <= float(x) <= 565.0
+        for y in re.findall(r'[\s"](?:y|y1|y2|cy)="([-\d.]+)"', html):
+            assert -5.0 <= float(y) <= 235.0
+
+    def test_title_and_prefix_escaping(self):
+        monitor = LiveMonitor()
+        monitor.observe_record(1.0)
+        monitor.observe_loop(make_loop(start=1.0))
+        # Adversarial row injected the way a hostile pcap would: via
+        # the recorder's loop log.
+        monitor.recorder.loops[-1]["prefix"] = '<script>"&x</script>'
+        html = render_html(monitor, title="<b>&title</b>")
+        assert "<script>" not in html
+        assert "&lt;script&gt;" in html
+        assert "<b>&title</b>" not in html
+
+    def test_dark_mode_and_palette_tokens(self):
+        html = render_html(populated_monitor())
+        assert "prefers-color-scheme: dark" in html
+        assert 'data-theme="dark"' in html
+        assert "#2a78d6" in html  # series blue, light mode
+        assert "tabular-nums" in html
+
+    def test_alert_severity_has_icon_and_label(self):
+        html = render_html(populated_monitor())
+        assert "●" in html  # critical icon
+        assert "critical" in html
+
+    def test_threshold_hairline_labeled(self):
+        html = render_html(populated_monitor())
+        assert "Sec. VI ceiling 9%" in html
+
+    def test_empty_monitor_html_renders(self):
+        html = render_html(LiveMonitor())
+        assert "no records yet" in html
+        assert "no loops detected yet" in html
+        for svg in re.findall(r"<svg.*?</svg>", html, re.S):
+            ET.fromstring(svg)

@@ -109,3 +109,32 @@ class TestParallelDetector:
         for shard in shard_spans:
             assert shard["parent"] == detect_span["id"]
         assert len(spans(tracer.records, "loop")) == result.loop_count
+
+
+class TestLiveMonitoring:
+    def test_monitored_streaming_identical_output(self, trace):
+        from repro.cli import _stream_with_monitor
+        from repro.obs.live import LiveMonitor
+
+        config = DetectorConfig()
+        plain = StreamingLoopDetector(config).process_trace(trace)
+        monitor = LiveMonitor()
+        monitored = _stream_with_monitor(
+            StreamingLoopDetector(config), trace, monitor
+        )
+        assert loop_rows(monitored) == loop_rows(plain)
+        assert monitor.recorder.records == len(trace)
+        assert monitor.finished
+
+    def test_sampled_windows_match_trace_shape(self, trace):
+        from repro.cli import _stream_with_monitor
+        from repro.obs.live import LiveMonitor
+
+        monitor = LiveMonitor()
+        _stream_with_monitor(
+            StreamingLoopDetector(DetectorConfig()), trace, monitor
+        )
+        assert sum(monitor.recorder.minute_records.counts.values()) == (
+            len(trace)
+        )
+        assert monitor.recorder.peak_looped_share() > 0.0

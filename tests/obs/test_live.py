@@ -1,0 +1,163 @@
+"""Tests for the LiveMonitor glue: feeding styles, boundaries, state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.alerts import AlertEngine, looped_loss_share_rule
+from repro.obs.live import LiveMonitor
+from repro.obs.metrics import MetricsRegistry
+
+from tests.obs.test_recorder import make_loop
+
+
+class TestDirectFeed:
+    def test_records_and_loops_reach_recorder(self):
+        monitor = LiveMonitor()
+        for t in (1.0, 2.0, 61.0):
+            monitor.observe_record(t)
+        monitor.observe_loop(make_loop(start=2.0, replicas=3))
+        assert monitor.recorder.records == 3
+        assert monitor.recorder.minute_records.get(1) == 1
+        assert len(monitor.recorder.loops) == 1
+
+    def test_minute_boundary_evaluates_alerts(self):
+        engine = AlertEngine(rules=[looped_loss_share_rule(0.05)])
+        monitor = LiveMonitor(alert_engine=engine)
+        for _ in range(10):
+            monitor.observe_record(5.0)
+        monitor.observe_loop(make_loop(start=5.0, replicas=3))
+        assert engine.fired_total == 0  # minute still open
+        monitor.observe_record(65.0)  # crossing evaluates minute 0
+        assert engine.fired_total == 1
+
+    def test_out_of_order_counted_and_banked(self):
+        monitor = LiveMonitor()
+        monitor.observe_record(70.0)
+        monitor.observe_record(5.0)  # regression into minute 0
+        assert monitor.out_of_order == 1
+        assert monitor.recorder.minute_records.get(0) == 1
+        assert monitor.recorder.minute_records.get(1) == 1
+
+    def test_finish_closes_final_minute(self):
+        engine = AlertEngine(rules=[looped_loss_share_rule(0.05)])
+        monitor = LiveMonitor(alert_engine=engine)
+        for _ in range(10):
+            monitor.observe_record(5.0)
+        monitor.observe_loop(make_loop(start=5.0, replicas=3))
+        monitor.finish()
+        assert monitor.finished
+        assert engine.fired_total == 1
+
+    def test_finish_is_idempotent(self):
+        engine = AlertEngine(rules=[looped_loss_share_rule(0.05)])
+        monitor = LiveMonitor(alert_engine=engine)
+        for _ in range(10):
+            monitor.observe_record(5.0)
+        monitor.observe_loop(make_loop(start=5.0, replicas=3))
+        monitor.finish()
+        monitor.finish()
+        assert engine.fired_total == 1
+
+
+class TestSampledFeed:
+    def _feed(self, monitor: LiveMonitor, timestamps: list[float],
+              counter: list[int]) -> None:
+        """The hot-loop protocol: compare against next_boundary, sample
+        before processing the crossing record."""
+        boundary = monitor.next_boundary
+        for timestamp in timestamps:
+            if timestamp >= boundary:
+                boundary = monitor.sample(timestamp)
+            counter[0] += 1  # "process" the record
+
+    def test_windows_match_direct_feed_exactly(self):
+        timestamps = [0.1, 0.5, 1.2, 3.7, 3.9, 64.0, 64.2, 130.0]
+        direct = LiveMonitor()
+        for t in timestamps:
+            direct.observe_record(t)
+        direct.finish()
+
+        counter = [0]
+        sampled = LiveMonitor()
+        sampled.set_record_source(lambda: counter[0])
+        self._feed(sampled, timestamps, counter)
+        sampled.finish()
+
+        assert sampled.recorder.records == direct.recorder.records == 8
+        for minute in (0, 1, 2):
+            assert (sampled.recorder.minute_records.get(minute)
+                    == direct.recorder.minute_records.get(minute))
+        for second in (0, 1, 3, 64, 130):
+            assert (sampled.recorder.second_records.get(second)
+                    == direct.recorder.second_records.get(second))
+
+    def test_idle_gap_attribution(self):
+        # Records in second 2, silence, then second 9: the pending
+        # delta banks into second 2, never smeared into the gap.
+        counter = [0]
+        monitor = LiveMonitor()
+        monitor.set_record_source(lambda: counter[0])
+        self._feed(monitor, [2.0, 2.5, 2.9, 9.1], counter)
+        monitor.finish()
+        assert monitor.recorder.second_records.get(2) == 3
+        assert monitor.recorder.second_records.get(9) == 1
+        for second in range(3, 9):
+            assert monitor.recorder.second_records.get(second) == 0
+
+    def test_boundary_work_fires_on_minute_advance(self):
+        engine = AlertEngine(rules=[looped_loss_share_rule(0.05)])
+        counter = [0]
+        monitor = LiveMonitor(alert_engine=engine)
+        monitor.set_record_source(lambda: counter[0])
+        timestamps = [float(t) for t in range(0, 10)]
+        self._feed(monitor, timestamps, counter)
+        monitor.observe_loop(make_loop(start=5.0, replicas=3))
+        self._feed(monitor, [62.0, 63.0], counter)
+        monitor.finish()
+        assert engine.fired_total == 1
+        assert engine.history[0].key == "minute:0"
+
+    def test_registry_counters_sampled_on_boundary(self):
+        registry = MetricsRegistry(enabled=True)
+        external = registry.counter("external_total", "external")
+        counter = [0]
+        monitor = LiveMonitor(registry=registry)
+        monitor.set_record_source(lambda: counter[0])
+        self._feed(monitor, [1.0], counter)
+        external.inc(7)
+        self._feed(monitor, [65.0, 125.0], counter)
+        monitor.finish()
+        deltas = monitor.recorder.counter_deltas["external_total"]
+        assert sum(deltas.counts.values()) == 7
+
+
+class TestState:
+    def test_state_sources_merge_into_snapshot(self):
+        monitor = LiveMonitor()
+        monitor.add_state_source("detector", lambda: {"open": 3})
+        monitor.observe_record(1.0)
+        state = monitor.state()
+        assert state["detector"] == {"open": 3}
+        assert state["recorder"]["records"] == 1
+        assert state["alerts"] == []
+        assert state["finished"] is False
+        assert state["out_of_order"] == 0
+
+    def test_samples_snapshot(self):
+        monitor = LiveMonitor()
+        monitor.observe_loop(make_loop(replicas=4, spacing=0.5))
+        samples = monitor.samples()
+        assert samples["stream_sizes"] == (4,)
+        assert samples["stream_durations"] == (pytest.approx(1.5),)
+        assert len(samples["replica_spacings"]) == 3
+        assert samples["loop_durations"] == (pytest.approx(1.5),)
+
+    def test_registry_registers_alert_metrics(self):
+        registry = MetricsRegistry(enabled=True)
+        monitor = LiveMonitor(registry=registry)
+        assert "alerts_fired_total" in registry.snapshot()["counters"]
+        assert monitor.render_prometheus().startswith("# HELP")
+
+    def test_render_prometheus_empty_without_registry(self):
+        assert LiveMonitor().render_prometheus() == ""

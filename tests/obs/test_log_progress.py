@@ -102,3 +102,28 @@ class TestHeartbeat:
         clock.now = 10.0
         heartbeat(0)
         assert "7" in records[0]
+
+    def test_done_at_zero_ticks_logs_closing_line(self):
+        heartbeat, clock, records = self.make()
+        heartbeat.done()
+        assert records == ["done, load: 0 in 0.0s (0/s)"]
+
+    def test_non_monotonic_clock_reanchors(self):
+        heartbeat, clock, records = self.make(interval=5.0)
+        clock.now = 100.0
+        heartbeat(1)  # logs, watermark now 100
+        assert len(records) == 1
+        clock.now = 3.0  # clock jumps backwards
+        heartbeat(1)  # must re-anchor, not log
+        assert len(records) == 1
+        clock.now = 9.0  # 6 s past the re-anchored watermark
+        heartbeat(1)
+        assert len(records) == 2
+
+    def test_backwards_clock_never_reports_negative_rate(self):
+        heartbeat, clock, records = self.make()
+        clock.now = 50.0
+        heartbeat(5)
+        clock.now = 0.0
+        heartbeat.done()
+        assert records[-1] == "done, load: 5 in 0.0s (0/s)"

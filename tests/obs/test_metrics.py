@@ -182,3 +182,66 @@ class TestProcessRegistry:
 
     def test_default_registry_is_disabled(self):
         assert get_registry().enabled is False
+
+
+class TestLabelEscaping:
+    ADVERSARIAL = [
+        'plain',
+        'with "quotes"',
+        "back\\slash",
+        "trailing backslash\\",
+        "new\nline",
+        'all three: "\\\n"',
+        "unicode: préfixe→∞",
+        "{braces}, commas, = signs",
+        "",
+    ]
+
+    def test_escape_unescape_round_trip(self):
+        from repro.obs.metrics import (
+            escape_label_value,
+            unescape_label_value,
+        )
+
+        for value in self.ADVERSARIAL:
+            escaped = escape_label_value(value)
+            assert "\n" not in escaped
+            assert unescape_label_value(escaped) == value
+
+    def test_unknown_escape_passes_through(self):
+        from repro.obs.metrics import unescape_label_value
+
+        assert unescape_label_value("\\t") == "\\t"
+        assert unescape_label_value("tail\\") == "tail\\"
+
+    def test_labeled_counters_round_trip_through_exposition(self):
+        registry = MetricsRegistry(enabled=True)
+        for i, value in enumerate(self.ADVERSARIAL):
+            registry.counter("adversarial_total", "t",
+                             labels={"prefix": value}).inc(i + 1)
+        parsed = parse_prometheus(registry.render_prometheus())
+        assert parsed["counters"] == (
+            registry.snapshot()["counters"]
+        )
+        assert len(parsed["counters"]) == len(self.ADVERSARIAL)
+
+    def test_multi_label_histogram_round_trip(self):
+        registry = MetricsRegistry(enabled=True)
+        histogram = registry.histogram(
+            "loop_duration_seconds", "d",
+            labels={"pop": 'east "1"', "proto": "udp\n"},
+        )
+        for value in (0.5, 3.0, 42.0):
+            histogram.observe(value)
+        parsed = parse_prometheus(registry.render_prometheus())
+        assert parsed["histograms"] == (
+            registry.snapshot()["histograms"]
+        )
+        (entry,) = parsed["histograms"].values()
+        assert entry["count"] == 3
+        assert entry["sum"] == pytest.approx(45.5)
+
+    def test_invalid_label_name_rejected(self):
+        registry = MetricsRegistry(enabled=True)
+        with pytest.raises(MetricsError):
+            registry.counter("x_total", "t", labels={"bad-name": "v"})

@@ -1,0 +1,197 @@
+"""Tests for the bounded windowed recorder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.merge import RoutingLoop
+from repro.core.replica import Replica, ReplicaStream
+from repro.net.addr import IPv4Address, IPv4Prefix
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import BoundedBucketSeries, WindowedRecorder
+from repro.stats.timeseries import SeriesError
+
+
+def make_loop(start: float = 5.0, ttl_delta: int = 2, replicas: int = 4,
+              spacing: float = 0.5,
+              prefix: str = "192.0.2.0/24") -> RoutingLoop:
+    """A real RoutingLoop with one stream of evenly spaced replicas
+    whose TTL decreases by ``ttl_delta`` per step."""
+    stream = ReplicaStream(
+        key=b"k",
+        replicas=[
+            Replica(index=i, timestamp=start + i * spacing,
+                    ttl=60 - i * ttl_delta)
+            for i in range(replicas)
+        ],
+        src=IPv4Address.parse("10.0.0.1"),
+        dst=IPv4Address.parse("192.0.2.9"),
+        protocol=17,
+        first_data=b"",
+    )
+    return RoutingLoop(prefix=IPv4Prefix.parse(prefix), streams=[stream])
+
+
+class TestBoundedBucketSeries:
+    def test_capacity_validation(self):
+        with pytest.raises(SeriesError):
+            BoundedBucketSeries(60.0, 0)
+
+    def test_prunes_oldest_buckets(self):
+        series = BoundedBucketSeries(1.0, 3)
+        for t in (0.0, 1.0, 2.0, 3.0, 4.0):
+            series.add(t)
+        assert series.buckets == [2, 3, 4]
+        assert series.get(0) == 0.0
+        assert series.get(4) == 1.0
+
+    def test_adds_to_existing_bucket_do_not_prune(self):
+        series = BoundedBucketSeries(1.0, 2)
+        series.add(0.0)
+        series.add(1.0)
+        series.add(0.5, 5.0)
+        assert series.buckets == [0, 1]
+        assert series.get(0) == 6.0
+
+    def test_out_of_order_add_is_pruned_next(self):
+        series = BoundedBucketSeries(1.0, 2)
+        for t in (5.0, 6.0):
+            series.add(t)
+        series.add(0.0)  # older than everything already retained
+        series.add(7.0)
+        assert 0 not in series.counts
+        assert len(series.counts) == 2
+
+    def test_latest_bucket(self):
+        series = BoundedBucketSeries(60.0, 5)
+        assert series.latest_bucket() is None
+        series.add(30.0)
+        series.add(180.0)
+        assert series.latest_bucket() == 3
+
+    def test_long_feed_stays_bounded(self):
+        series = BoundedBucketSeries(1.0, 10)
+        for t in range(1000):
+            series.add(float(t))
+        assert len(series.counts) == 10
+        assert series.buckets == list(range(990, 1000))
+
+
+class TestWindowedRecorderFeed:
+    def test_observe_record_counts_windows(self):
+        recorder = WindowedRecorder()
+        recorder.observe_record(10.0)
+        recorder.observe_record(61.0)
+        recorder.observe_record(61.5)
+        assert recorder.records == 3
+        assert recorder.now == 61.5
+        assert recorder.minute_records.get(0) == 1
+        assert recorder.minute_records.get(1) == 2
+        assert recorder.second_records.get(61) == 2
+
+    def test_observe_records_bulk_matches_singles(self):
+        one = WindowedRecorder()
+        for _ in range(7):
+            one.observe_record(42.0)
+        bulk = WindowedRecorder()
+        bulk.observe_records(42.0, 7)
+        assert bulk.records == one.records == 7
+        assert bulk.minute_records.get(0) == one.minute_records.get(0)
+        assert bulk.second_records.get(42) == one.second_records.get(42)
+
+    def test_observe_loop_banks_replicas_and_ttl_delta(self):
+        recorder = WindowedRecorder()
+        loop = make_loop(start=5.0, ttl_delta=3, replicas=4, spacing=0.5)
+        recorder.observe_loop(loop)
+        assert recorder.minute_looped.get(0) == 4
+        # Replicas at 5.0, 5.5, 6.0, 6.5 → seconds 5 and 6 get two each.
+        assert recorder.second_looped.get(5) == 2
+        assert recorder.second_looped.get(6) == 2
+        assert recorder.minute_loops.get(0) == 1
+        assert recorder.ttl_delta_total == {3: 1}
+        assert recorder.stream_sizes[-1] == 4
+        assert recorder.stream_durations[-1] == pytest.approx(1.5)
+        assert list(recorder.replica_spacings) == pytest.approx(
+            [0.5, 0.5, 0.5]
+        )
+        row = recorder.loops[-1]
+        assert row["prefix"] == "192.0.2.0/24"
+        assert row["replicas"] == 4
+        assert row["ttl_delta"] == 3
+
+    def test_sample_counters_banks_deltas(self):
+        registry = MetricsRegistry(enabled=True)
+        counter = registry.counter("records_total", "records")
+        recorder = WindowedRecorder()
+        recorder.observe_record(30.0)
+        counter.inc(10)
+        recorder.sample_counters(registry)
+        counter.inc(5)
+        recorder.observe_record(90.0)
+        recorder.sample_counters(registry)
+        deltas = recorder.counter_deltas["records_total"]
+        assert deltas.get(0) == 10
+        assert deltas.get(1) == 5
+
+    def test_sample_counters_noop_before_first_record(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("x_total").inc()
+        recorder = WindowedRecorder()
+        recorder.sample_counters(registry)
+        assert recorder.counter_deltas == {}
+
+
+class TestWindowedRecorderQueries:
+    def test_looped_share_none_for_idle_minute(self):
+        recorder = WindowedRecorder()
+        assert recorder.looped_share(3) is None
+
+    def test_looped_share_ratio(self):
+        recorder = WindowedRecorder()
+        recorder.observe_records(10.0, 100)
+        recorder.observe_loop(make_loop(start=10.0, replicas=9))
+        assert recorder.looped_share(0) == pytest.approx(9 / 100)
+        assert recorder.peak_looped_share() == pytest.approx(9 / 100)
+        assert recorder.looped_share_series() == {
+            0: pytest.approx(9 / 100)
+        }
+
+    def test_ttl_delta_window_trails_now(self):
+        recorder = WindowedRecorder()
+        recorder.observe_loop(make_loop(start=10.0, ttl_delta=2))
+        recorder.observe_records(610.0, 1)  # now -> minute 10
+        recorder.observe_loop(make_loop(start=600.0, ttl_delta=4))
+        window = recorder.ttl_delta_window(minutes=5)
+        assert window == {4: 1}  # the minute-0 loop aged out
+        assert recorder.ttl_delta_total == {2: 1, 4: 1}
+
+    def test_minute_rows_shape(self):
+        recorder = WindowedRecorder()
+        recorder.observe_records(5.0, 10)
+        recorder.observe_records(65.0, 20)
+        recorder.observe_loop(make_loop(start=65.0, replicas=5))
+        rows = recorder.minute_rows()
+        assert [row["minute"] for row in rows] == [0, 1]
+        assert rows[1]["records"] == 20
+        assert rows[1]["looped"] == 5
+        assert rows[1]["loops"] == 1
+        assert rows[1]["share"] == pytest.approx(0.25)
+        assert recorder.minute_rows(last=1)[0]["minute"] == 1
+
+    def test_snapshot_is_json_ready(self):
+        import json
+
+        recorder = WindowedRecorder()
+        recorder.observe_records(5.0, 10)
+        recorder.observe_loop(make_loop())
+        snapshot = recorder.snapshot()
+        json.dumps(snapshot)  # must not raise
+        assert snapshot["records"] == 10
+        assert snapshot["now"] == 5.0
+        assert snapshot["ttl_delta_total"] == {"2": 1}
+
+    def test_empty_snapshot(self):
+        snapshot = WindowedRecorder().snapshot()
+        assert snapshot["now"] is None
+        assert snapshot["records"] == 0
+        assert snapshot["minutes"] == []

@@ -1,0 +1,158 @@
+"""Tests for the scrape endpoint: routes, content, concurrency."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.live import LiveMonitor
+from repro.obs.metrics import MetricsRegistry, parse_prometheus
+from repro.obs.server import PROMETHEUS_CONTENT_TYPE, MonitorServer
+
+from tests.obs.test_recorder import make_loop
+
+
+def fetch(url: str):
+    with urllib.request.urlopen(url, timeout=5.0) as response:
+        return (response.status, response.headers.get("Content-Type"),
+                response.read().decode("utf-8"))
+
+
+@pytest.fixture()
+def monitor():
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("records_total", "records").inc(42)
+    monitor = LiveMonitor(registry=registry)
+    monitor.observe_record(5.0)
+    monitor.observe_loop(make_loop(start=5.0, replicas=3))
+    monitor.add_state_source("detector", lambda: {"open_streams": []})
+    return monitor
+
+
+class TestRoutes:
+    def test_port_zero_resolves_before_start(self, monitor):
+        server = MonitorServer(monitor, port=0)
+        try:
+            assert server.port > 0
+            assert server.url == f"http://127.0.0.1:{server.port}"
+        finally:
+            server.stop()
+
+    def test_metrics_route(self, monitor):
+        with MonitorServer(monitor, port=0) as server:
+            status, content_type, body = fetch(f"{server.url}/metrics")
+        assert status == 200
+        assert content_type == PROMETHEUS_CONTENT_TYPE
+        parsed = parse_prometheus(body)
+        assert parsed["counters"]["records_total"] == 42
+        assert "alerts_fired_total" in parsed["counters"]
+
+    def test_healthz_route(self, monitor):
+        with MonitorServer(monitor, port=0) as server:
+            status, content_type, body = fetch(f"{server.url}/healthz")
+        assert status == 200
+        assert content_type == "application/json"
+        health = json.loads(body)
+        assert health == {"status": "ok", "records": 1, "loops": 1,
+                          "alerts": 0, "finished": False}
+
+    def test_state_route(self, monitor):
+        with MonitorServer(monitor, port=0) as server:
+            status, _, body = fetch(f"{server.url}/state")
+        assert status == 200
+        state = json.loads(body)
+        assert state["recorder"]["records"] == 1
+        assert state["detector"] == {"open_streams": []}
+        assert state["alerts"] == []
+
+    def test_dashboard_served_at_root_when_configured(self, monitor):
+        with MonitorServer(
+            monitor, port=0,
+            dashboard_renderer=lambda: "<html>dash</html>",
+        ) as server:
+            status, content_type, body = fetch(f"{server.url}/")
+        assert status == 200
+        assert content_type == "text/html; charset=utf-8"
+        assert body == "<html>dash</html>"
+
+    def test_root_404_without_dashboard(self, monitor):
+        with MonitorServer(monitor, port=0) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                fetch(f"{server.url}/")
+            assert excinfo.value.code == 404
+            assert json.loads(excinfo.value.read())["path"] == "/"
+
+    def test_unknown_path_404(self, monitor):
+        with MonitorServer(monitor, port=0) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                fetch(f"{server.url}/nope")
+            assert excinfo.value.code == 404
+
+    def test_query_string_ignored(self, monitor):
+        with MonitorServer(monitor, port=0) as server:
+            status, _, _ = fetch(f"{server.url}/healthz?probe=1")
+        assert status == 200
+
+
+class TestConcurrency:
+    def test_scrapes_during_feed_stay_coherent(self):
+        """Hammer /metrics, /healthz, and /state from threads while the
+        foreground thread feeds records and loops — every response must
+        parse and every health snapshot must be internally consistent."""
+        registry = MetricsRegistry(enabled=True)
+        monitor = LiveMonitor(registry=registry)
+        errors: list[Exception] = []
+        stop = threading.Event()
+
+        def scraper(path: str) -> None:
+            while not stop.is_set():
+                try:
+                    status, _, body = fetch(f"{server.url}{path}")
+                    assert status == 200
+                    if path == "/healthz":
+                        health = json.loads(body)
+                        assert health["status"] == "ok"
+                        assert 0 <= health["loops"] <= 50
+                    elif path == "/state":
+                        state = json.loads(body)
+                        assert (state["recorder"]["records"]
+                                >= state["recorder"]["minutes"][0]
+                                ["records"] if state["recorder"]
+                                ["minutes"] else True)
+                    else:
+                        parse_prometheus(body)
+                except Exception as exc:  # noqa: BLE001 - collected
+                    errors.append(exc)
+                    return
+
+        with MonitorServer(monitor, port=0) as server:
+            threads = [
+                threading.Thread(target=scraper, args=(path,))
+                for path in ("/metrics", "/healthz", "/state")
+            ]
+            for thread in threads:
+                thread.start()
+            try:
+                for i in range(50):
+                    monitor.observe_record(float(i))
+                    monitor.observe_loop(
+                        make_loop(start=float(i), replicas=3)
+                    )
+                monitor.finish()
+            finally:
+                stop.set()
+                for thread in threads:
+                    thread.join(timeout=5.0)
+        assert errors == []
+
+    def test_stop_is_clean_and_repeat_start_possible(self, monitor):
+        server = MonitorServer(monitor, port=0).start()
+        url = server.url
+        assert fetch(f"{url}/healthz")[0] == 200
+        server.stop()
+        with pytest.raises(OSError):
+            fetch(f"{url}/healthz")

@@ -60,3 +60,28 @@ class TestBucketSeries:
 
     def test_max_ratio_empty(self):
         assert BucketSeries().max_ratio(BucketSeries()) == 0.0
+
+    def test_ratio_skips_explicit_zero_denominator(self):
+        # An idle minute recorded with an explicit 0.0 count must be
+        # skipped exactly like an absent bucket, not divided.
+        loss = BucketSeries(width=60.0)
+        total = BucketSeries(width=60.0)
+        loss.add(10.0, 5)
+        loss.add(70.0, 2)
+        total.add(10.0, 0.0)
+        total.add(70.0, 10)
+        assert loss.ratio_series(total) == {1: pytest.approx(0.2)}
+
+    def test_ratio_skips_negative_denominator(self):
+        loss = BucketSeries(width=60.0)
+        total = BucketSeries(width=60.0)
+        loss.add(10.0, 5)
+        total.add(10.0, -3)
+        assert loss.ratio_series(total) == {}
+
+    def test_max_ratio_all_zero_denominators(self):
+        loss = BucketSeries(width=60.0)
+        total = BucketSeries(width=60.0)
+        loss.add(10.0, 5)
+        total.add(10.0, 0.0)
+        assert loss.max_ratio(total) == 0.0
