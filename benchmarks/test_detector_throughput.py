@@ -6,13 +6,16 @@ scan.  Benchmarks each pipeline stage on a 100k-record synthetic trace.
 """
 
 import random
+import time
 
 import pytest
 
 from repro.core.detector import LoopDetector
-from repro.core.replica import detect_replicas
+from repro.core.replica import detect_replicas, detect_replicas_columnar
+from repro.core.report import format_table
 from repro.core.streams import PrefixIndex, validate_streams
 from repro.net.addr import IPv4Prefix
+from repro.net.pcap import read_pcap, read_pcap_columnar, write_pcap
 from repro.traffic.synthetic import SyntheticTraceBuilder
 
 
@@ -55,6 +58,96 @@ def test_validation_throughput(big_trace, benchmark):
         iterations=1,
     )
     assert len(result.valid) == 80
+
+
+def _best_pair(rounds, run_ref, run_col):
+    """Best-of-N for two contenders with interleaved rounds.
+
+    Alternating ref/col within each round keeps the ratio honest when
+    the machine's speed drifts between blocks (shared runners, thermal
+    throttling) — both sides sample the same conditions."""
+    best_ref = best_col = float("inf")
+    result_ref = result_col = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result_ref = run_ref()
+        best_ref = min(best_ref, time.perf_counter() - started)
+        started = time.perf_counter()
+        result_col = run_col()
+        best_col = min(best_col, time.perf_counter() - started)
+    return best_ref, best_col, result_ref, result_col
+
+
+def _stream_fp(stream):
+    return (
+        stream.key,
+        stream.first_data,
+        tuple((r.index, r.timestamp, r.ttl) for r in stream.replicas),
+    )
+
+
+def test_columnar_step1_throughput(big_trace, tmp_path_factory, emit):
+    """The zero-copy ingest + batched kernel vs the reference path.
+
+    Measures the three legs of step 1 on the same on-disk pcap: ingest
+    (pcap to records in memory), the detection kernel over pre-ingested
+    records, and the end-to-end step-1 path (pcap to candidate streams)
+    — which is what both pipelines actually pay, since the reference
+    cannot detect without first materializing one ``TraceRecord`` per
+    packet.  Exactness is asserted before any timing matters."""
+    path = tmp_path_factory.mktemp("columnar_bench") / "big.pcap"
+    write_pcap(big_trace, path)
+    rounds = 5
+    n = len(big_trace)
+
+    ingest_ref, ingest_col, trace, ctrace = _best_pair(
+        rounds, lambda: read_pcap(path), lambda: read_pcap_columnar(path)
+    )
+
+    kernel_ref, kernel_col, reference, columnar = _best_pair(
+        rounds,
+        lambda: detect_replicas(trace),
+        lambda: detect_replicas_columnar(ctrace.chunks),
+    )
+
+    # A fast wrong answer is worthless: byte-identical streams first.
+    assert ([_stream_fp(s) for s in columnar]
+            == [_stream_fp(s) for s in reference])
+    assert len(reference) == 80
+
+    step1_ref, step1_col, _, _ = _best_pair(
+        rounds,
+        lambda: detect_replicas(read_pcap(path)),
+        lambda: detect_replicas_columnar(read_pcap_columnar(path).chunks),
+    )
+
+    rows = []
+    speedups = {}
+    for label, ref_s, col_s in (
+        ("ingest (pcap -> records)", ingest_ref, ingest_col),
+        ("step-1 kernel (pre-ingested)", kernel_ref, kernel_col),
+        ("step 1 (pcap -> streams)", step1_ref, step1_col),
+    ):
+        speedups[label] = ref_s / col_s
+        rows.append([
+            label, f"{ref_s:.3f}", f"{col_s:.3f}",
+            f"{n / col_s:,.0f}", f"{speedups[label]:.2f}",
+        ])
+    table = format_table(
+        ["Stage", "Reference s", "Columnar s", "Columnar rec/s",
+         "Speedup"],
+        rows,
+        title=(f"Columnar step 1 — {n} records, 40-byte captures, "
+               f"best of {rounds}"),
+    )
+    emit("columnar_step1", table)
+
+    # The ISSUE's acceptance bar: >= 2x single-core step-1 records/s.
+    # Typical measurements are ~6x ingest and ~3x end to end, so these
+    # floors hold with margin even on a noisy shared runner.
+    assert speedups["ingest (pcap -> records)"] >= 2.0
+    assert speedups["step 1 (pcap -> streams)"] >= 2.0
+    assert speedups["step-1 kernel (pre-ingested)"] >= 1.2
 
 
 def test_full_pipeline_throughput(big_trace, benchmark):

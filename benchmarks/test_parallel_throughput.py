@@ -12,15 +12,18 @@ still documents.
 """
 
 import os
+import pickle
 import random
 import time
 
 import pytest
 
-from repro.core.detector import LoopDetector
+from repro.core.detector import DetectorConfig, LoopDetector
 from repro.core.report import format_table
 from repro.net.addr import IPv4Prefix
+from repro.net.columnar import ColumnarTrace
 from repro.parallel import ParallelLoopDetector
+from repro.parallel.shard import ColumnarShardPartition, ShardPartition
 from repro.traffic.synthetic import SyntheticTraceBuilder
 
 JOBS = (1, 2, 4)
@@ -97,4 +100,58 @@ def test_parallel_scaling(big_trace, emit):
         assert speedups[4] >= 2.0, (
             f"expected >= 2x speedup at 4 workers on {cores} cores, "
             f"got {speedups[4]:.2f}x"
+        )
+
+
+def test_fanout_payload_size(big_trace, emit):
+    """Parent -> worker serialization: columnar slabs vs tuple lists.
+
+    Measures ``pickle.dumps`` of exactly what each engine ships per
+    shard — the tuple path's ``(shard_id, [(index, timestamp, bytes),
+    ...], config)`` jobs against the columnar path's ``(shard_id, slab,
+    timestamps, lengths, config)`` payloads — and commits the byte
+    counts.  The columnar payload drops the per-record pickle framing
+    and the offsets column (rebuilt worker-side from cumulative
+    lengths), so it must come in strictly smaller."""
+    config = DetectorConfig()
+    ctrace = ColumnarTrace.from_trace(big_trace)
+    rows = []
+    reductions = {}
+    for shards in (2, 4, 8):
+        tuple_partition = ShardPartition(num_shards=shards)
+        for i, record in enumerate(big_trace.records):
+            tuple_partition.add(i, record.timestamp, record.data)
+        tuple_bytes = sum(
+            len(pickle.dumps((shard_id, shard, config),
+                             protocol=pickle.HIGHEST_PROTOCOL))
+            for shard_id, shard in enumerate(tuple_partition.shards)
+            if shard
+        )
+
+        columnar_partition = ColumnarShardPartition(num_shards=shards)
+        for chunk in ctrace.chunks:
+            columnar_partition.add_chunk(chunk)
+        columnar_bytes = sum(
+            len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+            for payload in columnar_partition.payloads(config)
+        )
+
+        reductions[shards] = tuple_bytes / columnar_bytes
+        rows.append([
+            shards, f"{tuple_bytes:,}", f"{columnar_bytes:,}",
+            f"{reductions[shards]:.2f}x",
+        ])
+
+    table = format_table(
+        ["Shards", "Tuple-list bytes", "Columnar bytes", "Reduction"],
+        rows,
+        title=(f"Fan-out payload (pickled) — {len(big_trace)} records, "
+               f"measured per shard set"),
+    )
+    emit("parallel_fanout", table)
+
+    for shards, reduction in reductions.items():
+        assert reduction > 1.0, (
+            f"columnar payload not smaller at {shards} shards: "
+            f"{reduction:.2f}x"
         )

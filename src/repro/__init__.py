@@ -26,9 +26,17 @@ or simulate a backbone and detect loops in its monitor trace::
 
 from repro.core.detector import DetectionResult, DetectorConfig, LoopDetector
 from repro.core.merge import RoutingLoop
-from repro.core.replica import Replica, ReplicaStream
+from repro.core.replica import Replica, ReplicaStream, detect_replicas_columnar
 from repro.core.streaming import StreamingLoopDetector
-from repro.net.pcap import iter_pcap, iter_pcap_chunks, read_pcap, write_pcap
+from repro.net.columnar import ColumnarChunk, ColumnarTrace
+from repro.net.pcap import (
+    iter_pcap,
+    iter_pcap_chunks,
+    iter_pcap_columnar,
+    read_pcap,
+    read_pcap_columnar,
+    write_pcap,
+)
 from repro.net.trace import Trace, TraceRecord
 from repro.parallel import ParallelLoopDetector, run_batch
 
@@ -46,9 +54,14 @@ __all__ = [
     "Replica",
     "Trace",
     "TraceRecord",
+    "ColumnarChunk",
+    "ColumnarTrace",
     "read_pcap",
+    "read_pcap_columnar",
     "write_pcap",
     "iter_pcap",
     "iter_pcap_chunks",
+    "iter_pcap_columnar",
+    "detect_replicas_columnar",
     "__version__",
 ]

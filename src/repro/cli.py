@@ -47,7 +47,7 @@ from repro.core.report import (
     render_summary,
     render_traffic_types,
 )
-from repro.net.pcap import read_pcap, write_pcap
+from repro.net.pcap import read_pcap, read_pcap_columnar, write_pcap
 from repro.obs.log import configure_logging, get_logger
 from repro.obs.metrics import MetricsRegistry, set_registry
 from repro.obs.progress import Heartbeat, enable_progress_logging
@@ -158,8 +158,14 @@ class _Obs:
         if self.monitor is None:
             return
         if trace is not None:
-            for record in trace:
-                self.monitor.observe_record(record.timestamp)
+            if hasattr(trace, "iter_timestamps"):
+                # Columnar traces expose timestamps straight off the
+                # columns — no record objects needed.
+                for timestamp in trace.iter_timestamps():
+                    self.monitor.observe_record(timestamp)
+            else:
+                for record in trace:
+                    self.monitor.observe_record(record.timestamp)
         for loop in loops:
             self.monitor.observe_loop(loop)
         self.monitor.finish()
@@ -214,6 +220,15 @@ def _build_parser() -> argparse.ArgumentParser:
     detect = sub.add_parser("detect", parents=[obs],
                             help="detect loops in a pcap trace")
     detect.add_argument("trace", help="pcap file to analyze")
+    detect.add_argument("--columnar", default=True,
+                        action=argparse.BooleanOptionalAction,
+                        help="read via the zero-copy mmap columnar "
+                             "pipeline (default; --no-columnar selects "
+                             "the per-record reference path, identical "
+                             "output)")
+    detect.add_argument("--profile", default=None, metavar="OUT",
+                        help="profile the run with cProfile and write "
+                             "pstats data to OUT")
     detect.add_argument("--merge-gap", type=float, default=60.0,
                         help="stream merge gap in seconds (default 60)")
     detect.add_argument("--min-stream-size", type=int, default=3,
@@ -250,6 +265,14 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="stream merge gap in seconds (default 60)")
     batch.add_argument("--min-stream-size", type=int, default=3,
                        help="minimum replicas per stream (default 3)")
+    batch.add_argument("--columnar", default=True,
+                       action=argparse.BooleanOptionalAction,
+                       help="analyze pcap targets via the zero-copy "
+                            "columnar pipeline (default; scenario "
+                            "targets are unaffected)")
+    batch.add_argument("--profile", default=None, metavar="OUT",
+                       help="profile the run with cProfile and write "
+                            "pstats data to OUT")
 
     simulate = sub.add_parser(
         "simulate", parents=[obs],
@@ -300,6 +323,10 @@ def _build_parser() -> argparse.ArgumentParser:
                               "ends (with --serve; default 0)")
     monitor.add_argument("--no-dashboard", action="store_true",
                          help="skip the ASCII dashboard on stdout")
+    monitor.add_argument("--columnar", default=True,
+                         action=argparse.BooleanOptionalAction,
+                         help="stream from the zero-copy mmap columnar "
+                              "reader (default; identical output)")
     monitor.set_defaults(force_monitor=True)
 
     anonymize = sub.add_parser(
@@ -328,6 +355,15 @@ def _detector_from_args(args: argparse.Namespace,
 def _read_trace_file(path: str, obs: _Obs, link_name: str = ""):
     heartbeat = obs.heartbeat(f"read {path}")
     trace = read_pcap(path, link_name=link_name, progress=heartbeat)
+    if heartbeat is not None:
+        heartbeat.done()
+    return trace
+
+
+def _read_trace_file_columnar(path: str, obs: _Obs, link_name: str = ""):
+    heartbeat = obs.heartbeat(f"read {path}")
+    trace = read_pcap_columnar(path, link_name=link_name,
+                               progress=heartbeat)
     if heartbeat is not None:
         heartbeat.done()
     return trace
@@ -400,6 +436,17 @@ def _publish_result_metrics(obs: _Obs, result) -> None:
                      ).set(result.looped_packet_count)
 
 
+def _trace_pairs(trace):
+    """``(timestamp, data)`` pairs from either trace representation.
+
+    Columnar traces yield zero-copy memoryviews (the streaming detector
+    materializes bytes only when a stream forms); materialized traces
+    yield their record bytes."""
+    if hasattr(trace, "iter_views"):
+        return trace.iter_views()
+    return ((record.timestamp, record.data) for record in trace)
+
+
 def _stream_with_monitor(streaming, trace, monitor):
     """Drive the streaming detector record by record, feeding the live
     monitor as loops close and sampling its windows on second
@@ -422,11 +469,10 @@ def _stream_with_monitor(streaming, trace, monitor):
     process = streaming.process
     loops = []
     extend = loops.extend
-    for record in trace:
-        timestamp = record.timestamp
+    for timestamp, data in _trace_pairs(trace):
         if timestamp >= boundary:
             boundary = sample(timestamp)
-        extend(process(timestamp, record.data))
+        extend(process(timestamp, data))
     extend(streaming.flush())
     monitor.finish()
     return loops
@@ -445,10 +491,15 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             streaming = StreamingLoopDetector(detector.config,
                                               tracer=obs.tracer)
             streaming.register_metrics(obs.registry)
-            trace = _read_trace_file(args.trace, obs)
+            if args.columnar:
+                trace = _read_trace_file_columnar(args.trace, obs)
+            else:
+                trace = _read_trace_file(args.trace, obs)
             if obs.monitor is not None:
                 loops = _stream_with_monitor(streaming, trace,
                                              obs.monitor)
+            elif args.columnar:
+                loops = streaming.process_trace_columnar(trace)
             else:
                 loops = streaming.process_trace(trace)
             print(f"records: {streaming.stats.records}")
@@ -464,14 +515,22 @@ def _cmd_detect(args: argparse.Namespace) -> int:
 
             engine = ParallelLoopDetector(
                 detector.config, jobs=args.jobs, shards=args.shards,
-                tracer=obs.tracer,
+                tracer=obs.tracer, columnar=args.columnar,
             )
             engine.register_metrics(obs.registry)
             if args.figures or args.json:
                 # Figure statistics and JSON need the full trace in memory.
-                result = engine.detect(
-                    _read_trace_file(args.trace, obs, link_name=args.trace)
-                )
+                if args.columnar:
+                    ctrace = _read_trace_file_columnar(
+                        args.trace, obs, link_name=args.trace
+                    )
+                    result = engine.detect_columnar(ctrace)
+                    result.trace = ctrace.to_trace()
+                else:
+                    result = engine.detect(
+                        _read_trace_file(args.trace, obs,
+                                         link_name=args.trace)
+                    )
             else:
                 heartbeat = obs.heartbeat(f"detect {args.trace}")
                 result = engine.detect_file(args.trace,
@@ -500,8 +559,14 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             if args.figures:
                 _print_figures(result)
             return 0
-        trace = _read_trace_file(args.trace, obs)
-        result = detector.detect(trace)
+        if args.columnar:
+            trace = _read_trace_file_columnar(args.trace, obs)
+            result = detector.detect_columnar(trace)
+            if args.figures or args.json:
+                result.trace = trace.to_trace()
+        else:
+            trace = _read_trace_file(args.trace, obs)
+            result = detector.detect(trace)
         _publish_result_metrics(obs, result)
         obs.feed_monitor(trace, result.loops)
         if args.json:
@@ -549,6 +614,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             config=config,
             duration=args.duration,
             progress=_batch_progress() if obs.progress else None,
+            columnar=args.columnar,
         )
         print(result.render())
         return 1 if result.failed else 0
@@ -699,7 +765,10 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         if obs.server is not None:
             print(f"monitoring endpoints at {obs.server.url}",
                   flush=True)
-        trace = _read_trace_file(args.trace, obs)
+        if args.columnar:
+            trace = read_pcap_columnar(args.trace)
+        else:
+            trace = _read_trace_file(args.trace, obs)
         loops = _stream_with_monitor(streaming, trace, obs.monitor)
         obs.write_dashboard()
         if not args.no_dashboard:
@@ -740,8 +809,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         "monitor": _cmd_monitor,
         "anonymize": _cmd_anonymize,
     }
+    handler = handlers[args.command]
+    profile_out = getattr(args, "profile", None)
     try:
-        return handlers[args.command](args)
+        if profile_out:
+            import cProfile
+
+            profiler = cProfile.Profile()
+            try:
+                return profiler.runcall(handler, args)
+            finally:
+                profiler.dump_stats(profile_out)
+                _logger.info("profile written to %s", profile_out)
+        return handler(args)
     except (FileNotFoundError, KeyError, ValueError, OSError) as error:
         _logger.error("%s", error)
         return 1

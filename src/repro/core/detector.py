@@ -15,7 +15,12 @@ from dataclasses import dataclass, field
 from repro.net.trace import Trace
 from repro.obs.tracing import NULL_TRACER
 from repro.core.merge import RoutingLoop, merge_streams
-from repro.core.replica import ReplicaScanStats, ReplicaStream, detect_replicas
+from repro.core.replica import (
+    ReplicaScanStats,
+    ReplicaStream,
+    detect_replicas,
+    detect_replicas_columnar,
+)
 from repro.core.streams import PrefixIndex, ValidationResult, validate_streams
 
 
@@ -152,6 +157,72 @@ class LoopDetector:
                         prefix=str(loop.prefix), streams=loop.stream_count)
         return DetectionResult(
             trace=trace,
+            config=config,
+            candidate_streams=candidates,
+            validation=validation,
+            loops=loops,
+            scan_stats=scan_stats,
+        )
+
+    def detect_columnar(self, ctrace) -> DetectionResult:
+        """Run the full pipeline over a columnar trace.
+
+        Same three steps, same output as :meth:`detect` on the
+        materialized equivalent of ``ctrace`` (the equivalence suite
+        asserts this stream for stream), but step 1 runs the batched
+        columnar kernel and the prefix index is built straight off the
+        data slabs.  ``result.trace`` is the
+        :class:`~repro.net.columnar.ColumnarTrace` itself, which carries
+        the summary surface (record count, duration, bandwidth) the
+        reports need.
+        """
+        config = self.config
+        tracer = self.tracer
+        scan_stats = ReplicaScanStats()
+        with tracer.phase("detect.replicas", clock="wall") as phase:
+            candidates = detect_replicas_columnar(
+                ctrace,
+                min_ttl_delta=config.min_ttl_delta,
+                max_replica_gap=config.max_replica_gap,
+                eviction_interval=config.eviction_interval,
+                stats=scan_stats,
+            )
+            phase.note(records=scan_stats.records_scanned,
+                       candidates=len(candidates))
+        needs_index = (config.check_prefix_consistency
+                       or config.check_gap_consistency)
+        prefix_index = None
+        if needs_index:
+            prefix_index = PrefixIndex(prefix_length=config.prefix_length)
+            for chunk in ctrace.chunks:
+                prefix_index.add_chunk(chunk)
+        empty = Trace()
+        with tracer.phase("detect.validate", clock="wall") as phase:
+            validation = validate_streams(
+                candidates,
+                empty,
+                min_stream_size=config.min_stream_size,
+                prefix_length=config.prefix_length,
+                check_prefix_consistency=config.check_prefix_consistency,
+                prefix_index=prefix_index,
+            )
+            phase.note(valid=len(validation.valid))
+        with tracer.phase("detect.merge", clock="wall") as phase:
+            loops = merge_streams(
+                validation.valid,
+                empty,
+                merge_gap=config.merge_gap,
+                prefix_length=config.prefix_length,
+                check_gap_consistency=config.check_gap_consistency,
+                prefix_index=prefix_index,
+                candidates=candidates,
+            )
+            phase.note(loops=len(loops))
+        for loop in loops:
+            tracer.span("loop", loop.start, loop.end,
+                        prefix=str(loop.prefix), streams=loop.stream_count)
+        return DetectionResult(
+            trace=ctrace,
             config=config,
             candidate_streams=candidates,
             validation=validation,

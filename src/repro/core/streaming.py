@@ -154,6 +154,37 @@ class StreamingLoopDetector:
             phase.note(records=self.stats.records, loops=len(loops))
         return loops
 
+    def process_chunk(self, chunk) -> list[RoutingLoop]:
+        """Feed one :class:`~repro.net.columnar.ColumnarChunk`.
+
+        Records are fed as zero-copy ``memoryview`` slices of the chunk's
+        data slab; the chaining state stores the views and materializes
+        ``bytes`` only when a stream actually forms, so the emitted loops
+        are byte-identical to a record-by-record :meth:`process` feed.
+        """
+        loops: list[RoutingLoop] = []
+        extend = loops.extend
+        process = self.process
+        view = memoryview(chunk.data)
+        offsets = chunk.offsets
+        timestamps = chunk.timestamps
+        for i, length in enumerate(chunk.lengths):
+            offset = offsets[i]
+            extend(process(timestamps[i], view[offset:offset + length]))
+        return loops
+
+    def process_trace_columnar(self, ctrace) -> list[RoutingLoop]:
+        """Feed a whole :class:`~repro.net.columnar.ColumnarTrace`;
+        returns all loops (including those closed by the final flush)."""
+        loops: list[RoutingLoop] = []
+        with self.tracer.phase("streaming.process_trace",
+                               clock="wall") as phase:
+            for chunk in ctrace.chunks:
+                loops.extend(self.process_chunk(chunk))
+            loops.extend(self.flush())
+            phase.note(records=self.stats.records, loops=len(loops))
+        return loops
+
     def flush(self) -> list[RoutingLoop]:
         """End of input: complete every open stream and close every loop."""
         self._emitted = []
@@ -263,6 +294,10 @@ class StreamingLoopDetector:
             prev_index, prev_time, prev_ttl, prev_data = previous
             if (prev_ttl - ttl >= config.min_ttl_delta
                     and timestamp - prev_time <= config.max_replica_gap):
+                if type(prev_data) is not bytes:
+                    # Columnar feeds store zero-copy views; materialize
+                    # only now that a stream actually formed.
+                    prev_data = bytes(prev_data)
                 stream = _OpenStream(
                     key=key,
                     first_data=prev_data,

@@ -16,10 +16,13 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
+from struct import Struct
 
 from repro.net.addr import IPv4Prefix
 from repro.net.trace import Trace
 from repro.core.replica import ReplicaStream
+
+_DST_STRUCT = Struct(">I")
 
 
 @dataclass(slots=True)
@@ -64,6 +67,32 @@ class PrefixIndex:
         self._by_prefix.setdefault(dst >> self._shift, []).append(
             (timestamp, index)
         )
+
+    def add_chunk(self, chunk) -> None:
+        """Index a :class:`~repro.net.columnar.ColumnarChunk` in one pass.
+
+        Destination addresses are decoded straight off the data slab with
+        ``unpack_from`` — no per-record slice or ``bytes`` copy.  Feeding
+        order across chunks must remain time-ordered, as with
+        :meth:`add_record`.
+        """
+        buf = chunk.data
+        timestamps = chunk.timestamps
+        offsets = chunk.offsets
+        indices = chunk.indices
+        base_index = chunk.base_index
+        unpack_dst = _DST_STRUCT.unpack_from
+        shift = self._shift
+        by_prefix = self._by_prefix
+        for i, length in enumerate(chunk.lengths):
+            if length < 20:
+                continue
+            (dst,) = unpack_dst(buf, offsets[i] + 16)
+            index = indices[i] if indices is not None else base_index + i
+            bucket = by_prefix.get(dst >> shift)
+            if bucket is None:
+                bucket = by_prefix.setdefault(dst >> shift, [])
+            bucket.append((timestamps[i], index))
 
     def _bucket(self, prefix: IPv4Prefix) -> list[tuple[float, int]]:
         if prefix.length != self.prefix_length:

@@ -23,7 +23,12 @@ from repro.parallel.engine import (
     ShardRunStats,
     TraceSummary,
 )
-from repro.parallel.shard import ShardPartition, assign_shard, shard_key
+from repro.parallel.shard import (
+    ColumnarShardPartition,
+    ShardPartition,
+    assign_shard,
+    shard_key,
+)
 
 __all__ = [
     "ParallelLoopDetector",
@@ -32,6 +37,7 @@ __all__ = [
     "ShardRunStats",
     "TraceSummary",
     "ShardPartition",
+    "ColumnarShardPartition",
     "assign_shard",
     "shard_key",
     "BatchItemResult",

@@ -22,7 +22,7 @@ from pathlib import Path
 
 from repro.core.detector import DetectorConfig, LoopDetector
 from repro.core.report import format_table
-from repro.net.pcap import read_pcap
+from repro.net.pcap import read_pcap, read_pcap_columnar
 
 
 class BatchError(ValueError):
@@ -103,15 +103,18 @@ class BatchResult:
 
 
 def _run_batch_target(
-    spec: tuple[str, str, DetectorConfig, float | None],
+    spec: tuple[str, str, DetectorConfig, float | None, bool],
 ) -> BatchItemResult:
     """Worker entry point: produce one trace and detect loops on it.
 
     Returns compact counters, not the full result — a worker's
     DetectionResult drags the whole trace through pickling, and the batch
-    report only needs Table I/II numbers.
+    report only needs Table I/II numbers.  With ``columnar``, pcap
+    targets go through the mmap columnar reader and the batched kernel
+    (identical counters); scenario traces are born in memory, so the
+    flag does not apply to them.
     """
-    kind, name, config, duration = spec
+    kind, name, config, duration, columnar = spec
     item = BatchItemResult(name=name, kind=kind)
     started = time.perf_counter()
     try:
@@ -120,9 +123,13 @@ def _run_batch_target(
 
             overrides = {} if duration is None else {"duration": duration}
             trace = table1_scenario(name, **overrides).run().trace
+            result = LoopDetector(config).detect(trace)
+        elif columnar:
+            trace = read_pcap_columnar(name, link_name=name)
+            result = LoopDetector(config).detect_columnar(trace)
         else:
             trace = read_pcap(name, link_name=name)
-        result = LoopDetector(config).detect(trace)
+            result = LoopDetector(config).detect(trace)
     except Exception as error:  # surface per-trace failures, don't abort
         item.error = f"{type(error).__name__}: {error}"
         item.wall_seconds = time.perf_counter() - started
@@ -158,6 +165,7 @@ def run_batch(
     config: DetectorConfig | None = None,
     duration: float | None = None,
     progress=None,
+    columnar: bool = False,
 ) -> BatchResult:
     """Run detection over several traces concurrently.
 
@@ -165,6 +173,7 @@ def run_batch(
     overrides scenario length (ignored for pcap targets).  ``progress``
     is called as ``progress(item)`` with each finished
     :class:`BatchItemResult`, in target order, as results stream in.
+    ``columnar`` routes pcap targets through the mmap columnar pipeline.
     """
     if jobs < 1:
         raise BatchError(f"jobs must be >= 1: {jobs}")
@@ -174,7 +183,8 @@ def run_batch(
         targets = list(TABLE1_SCENARIOS)
     config = config or DetectorConfig()
     specs = [
-        (*classify_target(target), config, duration) for target in targets
+        (*classify_target(target), config, duration, columnar)
+        for target in targets
     ]
     started = time.perf_counter()
     items: list[BatchItemResult] = []

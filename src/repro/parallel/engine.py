@@ -35,17 +35,29 @@ from pathlib import Path
 from repro.core.detector import DetectionResult, DetectorConfig
 from repro.core.merge import merge_streams
 from repro.core.replica import (
+    Replica,
     ReplicaScanStats,
     ReplicaStream,
+    detect_replicas_columnar,
     detect_replicas_indexed,
     stream_sort_key,
 )
 from repro.core.report import format_table
 from repro.core.streams import PrefixIndex, validate_streams
 from repro.obs.tracing import NULL_TRACER
-from repro.net.pcap import DEFAULT_CHUNK_RECORDS, iter_pcap_chunks
+from repro.net.columnar import ColumnarTrace
+from repro.net.pcap import (
+    DEFAULT_CHUNK_RECORDS,
+    iter_pcap_chunks,
+    read_pcap_columnar,
+)
 from repro.net.trace import SNAPLEN_40, Trace
-from repro.parallel.shard import ShardError, ShardPartition
+from repro.parallel.shard import (
+    ColumnarShardPartition,
+    ShardError,
+    ShardPartition,
+    rebuild_shard_chunk,
+)
 
 
 class ParallelError(ValueError):
@@ -78,6 +90,7 @@ class ParallelStats:
     merge_seconds: float = 0.0
     wall_seconds: float = 0.0
     shard_skew: float = 1.0
+    fanout_bytes: int = 0
     per_shard: list[ShardRunStats] = field(default_factory=list)
 
     @property
@@ -96,6 +109,7 @@ class ParallelStats:
             f"merge {self.merge_seconds:.3f})",
             f"throughput: {self.records_per_sec:,.0f} records/s",
             f"shard skew: {self.shard_skew:.2f}x",
+            f"fan-out payload: {self.fanout_bytes:,} bytes",
         ]
         if self.per_shard:
             lines.append(format_table(
@@ -171,6 +185,28 @@ def _detect_shard(
     return shard_id, streams, stats, time.perf_counter() - started
 
 
+def _detect_shard_columnar(
+    payload: tuple[int, bytes, object, object, DetectorConfig],
+) -> tuple[int, list[ReplicaStream], ReplicaScanStats, float]:
+    """Columnar worker entry point: chain one shard's slab with the
+    batched kernel.  The payload crossed the process boundary as three
+    pickled buffers (slab, timestamps, lengths), not per-record tuples;
+    the returned streams carry *local* shard positions as replica
+    indices, remapped to trace-global numbers by the parent."""
+    shard_id, slab, timestamps, lengths, config = payload
+    stats = ReplicaScanStats()
+    started = time.perf_counter()
+    chunk = rebuild_shard_chunk(slab, timestamps, lengths)
+    streams = detect_replicas_columnar(
+        [chunk],
+        min_ttl_delta=config.min_ttl_delta,
+        max_replica_gap=config.max_replica_gap,
+        eviction_interval=config.eviction_interval,
+        stats=stats,
+    )
+    return shard_id, streams, stats, time.perf_counter() - started
+
+
 class ParallelLoopDetector:
     """Multi-process detect → validate → merge, identical to offline.
 
@@ -185,6 +221,7 @@ class ParallelLoopDetector:
         jobs: int = 1,
         shards: int | None = None,
         tracer=NULL_TRACER,
+        columnar: bool = False,
     ) -> None:
         if jobs < 1:
             raise ParallelError(f"jobs must be >= 1: {jobs}")
@@ -194,6 +231,10 @@ class ParallelLoopDetector:
         self.jobs = jobs
         self.shards = shards if shards is not None else jobs
         self.tracer = tracer
+        #: When True, :meth:`detect_file` reads via the mmap columnar
+        #: reader and fans out slab payloads (:class:`~repro.parallel.
+        #: shard.ColumnarShardPartition`) instead of tuple lists.
+        self.columnar = columnar
         #: Stats of the most recent run, published by the pull collector.
         self.last_stats: ParallelStats | None = None
 
@@ -216,12 +257,31 @@ class ParallelLoopDetector:
             partition, prefix_index, trace, started, partition_seconds
         )
 
+    def detect_columnar(self, ctrace: ColumnarTrace) -> ParallelDetectionResult:
+        """Run the sharded pipeline over a columnar trace: slab fan-out,
+        batched kernel in each worker, identical streams and loops."""
+        started = time.perf_counter()
+        partition = ColumnarShardPartition(num_shards=self.shards)
+        needs_index = (self.config.check_prefix_consistency
+                       or self.config.check_gap_consistency)
+        prefix_index = (PrefixIndex(prefix_length=self.config.prefix_length)
+                        if needs_index else None)
+        for chunk in ctrace.chunks:
+            partition.add_chunk(chunk)
+            if prefix_index is not None:
+                prefix_index.add_chunk(chunk)
+        partition_seconds = time.perf_counter() - started
+        return self._finish(
+            partition, prefix_index, ctrace, started, partition_seconds
+        )
+
     def detect_file(
         self,
         path: str | Path,
         link_name: str = "",
         chunk_records: int = DEFAULT_CHUNK_RECORDS,
         progress=None,
+        columnar: bool | None = None,
     ) -> ParallelDetectionResult:
         """Run the sharded pipeline over a pcap file via the chunked
         reader — the whole trace is never materialized; ``result.trace``
@@ -230,7 +290,37 @@ class ParallelLoopDetector:
         ``progress`` is called as ``progress(records_partitioned)`` once
         per chunk — hand it a rate-limited
         :class:`~repro.obs.progress.Heartbeat` for long files.
+
+        ``columnar`` (default: the engine's ``columnar`` flag) switches
+        to the mmap columnar reader and slab fan-out; ``result.trace`` is
+        then the :class:`~repro.net.columnar.ColumnarTrace`, whose record
+        bodies are zero-copy views of the page cache rather than heap
+        copies.
         """
+        use_columnar = self.columnar if columnar is None else columnar
+        if use_columnar:
+            started = time.perf_counter()
+            ctrace = read_pcap_columnar(
+                path, link_name=link_name or str(path),
+                chunk_records=chunk_records,
+            )
+            partition = ColumnarShardPartition(num_shards=self.shards)
+            needs_index = (self.config.check_prefix_consistency
+                           or self.config.check_gap_consistency)
+            prefix_index = (
+                PrefixIndex(prefix_length=self.config.prefix_length)
+                if needs_index else None
+            )
+            for chunk in ctrace.chunks:
+                partition.add_chunk(chunk)
+                if prefix_index is not None:
+                    prefix_index.add_chunk(chunk)
+                if progress is not None:
+                    progress(len(chunk))
+            partition_seconds = time.perf_counter() - started
+            return self._finish(
+                partition, prefix_index, ctrace, started, partition_seconds
+            )
         started = time.perf_counter()
         partition = ShardPartition(num_shards=self.shards)
         needs_index = (self.config.check_prefix_consistency
@@ -264,7 +354,7 @@ class ParallelLoopDetector:
 
     def _finish(
         self,
-        partition: ShardPartition,
+        partition: ShardPartition | ColumnarShardPartition,
         prefix_index: PrefixIndex | None,
         trace,
         started: float,
@@ -326,6 +416,7 @@ class ParallelLoopDetector:
             merge_seconds=merge_seconds,
             wall_seconds=time.perf_counter() - started,
             shard_skew=partition.skew,
+            fanout_bytes=partition.fanout_bytes,
             per_shard=per_shard,
         )
         self.last_stats = stats
@@ -391,6 +482,7 @@ class ParallelLoopDetector:
                 "merge_seconds": stats.merge_seconds,
                 "records_per_sec": stats.records_per_sec,
                 "shard_skew": stats.shard_skew,
+                "fanout_bytes": stats.fanout_bytes,
                 "per_shard": [
                     {
                         "shard_id": shard.shard_id,
@@ -425,6 +517,10 @@ class ParallelLoopDetector:
             "parallel_records_per_sec",
             "End-to-end throughput of the last run",
         ).set(stats.records_per_sec)
+        registry.gauge(
+            "parallel_fanout_bytes",
+            "Nominal worker fan-out payload bytes of the last run",
+        ).set(stats.fanout_bytes)
         for label, seconds in (
             ("partition", stats.partition_seconds),
             ("detect", stats.detect_seconds),
@@ -437,17 +533,37 @@ class ParallelLoopDetector:
             ).set(seconds)
 
     def _run_shards(
-        self, partition: ShardPartition
+        self, partition: ShardPartition | ColumnarShardPartition
     ) -> list[tuple[int, list[ReplicaStream], ReplicaScanStats, float]]:
-        payloads = [
-            (shard_id, records, self.config)
-            for shard_id, records in enumerate(partition.shards)
-            if records
-        ]
+        columnar = isinstance(partition, ColumnarShardPartition)
+        if columnar:
+            payloads = partition.payloads(self.config)
+            worker = _detect_shard_columnar
+        else:
+            payloads = [
+                (shard_id, records, self.config)
+                for shard_id, records in enumerate(partition.shards)
+                if records
+            ]
+            worker = _detect_shard
         if not payloads:
             return []
         if self.jobs == 1 or len(payloads) == 1:
-            return [_detect_shard(payload) for payload in payloads]
-        workers = min(self.jobs, len(payloads))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_detect_shard, payloads))
+            outputs = [worker(payload) for payload in payloads]
+        else:
+            workers = min(self.jobs, len(payloads))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                outputs = list(pool.map(worker, payloads))
+        if columnar:
+            # Workers chained by local shard position; restore the
+            # trace-global record numbers from the kept index column.
+            # Only stream members (rare) are touched.
+            for shard_id, streams, _, _ in outputs:
+                mapping = partition.shard_global_indices(shard_id)
+                for stream in streams:
+                    stream.replicas = [
+                        Replica(index=mapping[r.index],
+                                timestamp=r.timestamp, ttl=r.ttl)
+                        for r in stream.replicas
+                    ]
+        return outputs

@@ -17,8 +17,12 @@ salted per interpreter).
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
+from itertools import accumulate
 from zlib import crc32
+
+from repro.net.columnar import ColumnarChunk
 
 #: Wire offsets of the fields a loop legitimately changes (see
 #: :mod:`repro.core.replica`): TTL at byte 8, header checksum at 10–11.
@@ -94,6 +98,18 @@ class ShardPartition:
         return [len(shard) for shard in self.shards]
 
     @property
+    def fanout_bytes(self) -> int:
+        """Nominal fan-out payload size: record bytes plus the index and
+        timestamp scalars of every triple, excluding per-object pickle
+        framing (which the tuple form pays on top — see the parallel
+        throughput benchmark for measured ``pickle.dumps`` sizes)."""
+        return sum(
+            len(data) + 16
+            for shard in self.shards
+            for _, _, data in shard
+        )
+
+    @property
     def skew(self) -> float:
         """Largest shard over the mean shard size (1.0 = perfectly even).
 
@@ -115,3 +131,177 @@ def partition_records(
     for index, timestamp, data in records:
         partition.add(index, timestamp, data)
     return partition
+
+
+@dataclass(slots=True)
+class ColumnarShardPartition:
+    """Per-shard *columnar slabs* of one trace.
+
+    The tuple-list partition above ships one pickled Python object per
+    record to each worker.  This partition instead accumulates, per
+    shard, one contiguous ``bytearray`` slab of record bodies plus
+    ``array`` columns (global indices, timestamps, captured lengths) that
+    pickle as single buffers — the fan-out payload for a shard of a
+    million 40-byte records is four buffers instead of a million tuples.
+
+    Shard assignment hashes the *zeroed* mask (CRC-32 of the scratch key
+    the columnar kernel computes anyway) rather than :func:`shard_key`'s
+    byte-removal form.  Two records have equal zeroed masks exactly when
+    they have equal shard keys, so both assignments group replicas
+    identically; the shard *ids* differ between the two partitions, but
+    the global candidate sort makes the final output independent of
+    which shard chained which key.
+
+    Global record indices never cross the process boundary: workers
+    chain by *local* shard position and the parent remaps the (rare)
+    stream members back through the per-shard index column it kept.
+    Offsets are likewise rebuilt worker-side from the cumulative
+    lengths, so the wire payload per record is its captured bytes plus
+    one float64 timestamp and one 2- or 4-byte length.
+    """
+
+    num_shards: int
+    records_total: int = 0
+    records_short: int = 0
+    _slabs: list[bytearray] = field(default_factory=list)
+    _indices: list[array] = field(default_factory=list)
+    _timestamps: list[array] = field(default_factory=list)
+    _lengths: list[array] = field(default_factory=list)
+    _payload_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ShardError(f"num_shards must be >= 1: {self.num_shards}")
+        if not self._slabs:
+            self._slabs = [bytearray() for _ in range(self.num_shards)]
+            self._indices = [array("Q") for _ in range(self.num_shards)]
+            self._timestamps = [array("d") for _ in range(self.num_shards)]
+            self._lengths = [array("I") for _ in range(self.num_shards)]
+
+    def add_chunk(self, chunk: ColumnarChunk) -> None:
+        """Route one columnar chunk's records to their shards (call in
+        trace order).  Record bodies are copied straight from the chunk's
+        data slab into the shard slabs — no intermediate ``bytes``."""
+        view = memoryview(chunk.data)
+        offsets = chunk.offsets
+        timestamps = chunk.timestamps
+        indices = chunk.indices
+        base_index = chunk.base_index
+        num_shards = self.num_shards
+        slabs = self._slabs
+        shard_indices = self._indices
+        shard_timestamps = self._timestamps
+        shard_lengths = self._lengths
+        scratch = bytearray(40)
+        total = 0
+        short = 0
+        for i, length in enumerate(chunk.lengths):
+            total += 1
+            if length < MIN_CAPTURE:
+                short += 1
+                continue
+            offset = offsets[i]
+            end = offset + length
+            if num_shards > 1:
+                if len(scratch) != length:
+                    scratch = bytearray(length)
+                scratch[:] = view[offset:end]
+                scratch[_TTL_OFFSET] = 0
+                scratch[_CHECKSUM_OFFSET] = 0
+                scratch[_CHECKSUM_OFFSET + 1] = 0
+                shard = crc32(scratch) % num_shards
+            else:
+                shard = 0
+            slabs[shard] += view[offset:end]
+            shard_indices[shard].append(
+                indices[i] if indices is not None else base_index + i
+            )
+            shard_timestamps[shard].append(timestamps[i])
+            shard_lengths[shard].append(length)
+        self.records_total += total
+        self.records_short += short
+
+    def payloads(
+        self, config
+    ) -> list[tuple[int, bytes, array, array, object]]:
+        """Worker payloads: one ``(shard_id, slab, timestamps, lengths,
+        config)`` per non-empty shard — four pickled buffers, no
+        per-record objects.  The slab is frozen to ``bytes``; lengths are
+        narrowed to ``'H'`` when every record fits in 16 bits (always,
+        for snaplen-capped traces).  Use :func:`rebuild_shard_chunk` on
+        the worker side and :meth:`shard_global_indices` to map the
+        resulting local stream-member positions back to trace-global
+        record numbers."""
+        payloads = []
+        total = 0
+        for shard_id in range(self.num_shards):
+            lengths = self._lengths[shard_id]
+            if not len(lengths):
+                continue
+            if max(lengths) < 65536:
+                lengths = array("H", lengths)
+            slab = bytes(self._slabs[shard_id])
+            timestamps = self._timestamps[shard_id]
+            total += (len(slab) + 8 * len(timestamps)
+                      + lengths.itemsize * len(lengths))
+            payloads.append((shard_id, slab, timestamps, lengths, config))
+        self._payload_bytes = total
+        return payloads
+
+    def shard_global_indices(self, shard_id: int) -> array:
+        """The trace-global record index of each of ``shard_id``'s
+        records, by local position."""
+        return self._indices[shard_id]
+
+    @property
+    def fanout_bytes(self) -> int:
+        """Fan-out payload size: slab bytes plus the per-record column
+        scalars that actually cross the process boundary, excluding
+        pickle framing (a constant few dozen bytes per shard).  Exact
+        once :meth:`payloads` has run; the nominal 12-bytes-per-record
+        estimate before."""
+        if self._payload_bytes is not None:
+            return self._payload_bytes
+        total = 0
+        for shard_id in range(self.num_shards):
+            total += (len(self._slabs[shard_id])
+                      + 12 * len(self._lengths[shard_id]))
+        return total
+
+    @property
+    def shard_sizes(self) -> list[int]:
+        return [len(lengths) for lengths in self._lengths]
+
+    @property
+    def skew(self) -> float:
+        """Largest shard over the mean shard size (1.0 = perfectly even),
+        same definition as :attr:`ShardPartition.skew`."""
+        sizes = self.shard_sizes
+        total = sum(sizes)
+        if not total:
+            return 1.0
+        return max(sizes) / (total / len(sizes))
+
+
+def rebuild_shard_chunk(slab, timestamps: array, lengths: array) -> ColumnarChunk:
+    """Reassemble a worker-side :class:`ColumnarChunk` from a
+    :meth:`ColumnarShardPartition.payloads` payload.
+
+    Offsets are the cumulative lengths (records were appended to the
+    slab back to back), rebuilt here with C-speed ``accumulate`` rather
+    than shipped.  ``base_index`` stays 0: detection over the chunk
+    yields *local* positions, remapped by the parent."""
+    offsets = array("Q", accumulate(lengths, initial=0))
+    offsets.pop()
+    # Back-to-back layout: uniform lengths imply a uniform stride, which
+    # lets the worker-side kernel take its bulk-masking fast path.
+    stride = None
+    if lengths and min(lengths) == max(lengths):
+        stride = lengths[0]
+    return ColumnarChunk(
+        data=slab,
+        timestamps=timestamps,
+        offsets=offsets,
+        lengths=lengths,
+        stride=stride,
+    )
