@@ -9,6 +9,8 @@ per-link detections into AS-wide loop events.
 
 from __future__ import annotations
 
+import heapq
+
 from repro.capture.monitor import LinkMonitor
 from repro.net.trace import SNAPLEN_40, Trace
 from repro.routing.forwarding import ForwardingEngine
@@ -45,3 +47,35 @@ class MonitorArray:
             f"{a}->{b}": monitor.finalize()
             for (a, b), monitor in self._monitors.items()
         }
+
+    def finalize_merged(self, link_name: str = "merged") -> Trace:
+        """All directions merged into one time-ordered trace.
+
+        Two links can capture records at the *identical* timestamp (the
+        simulator stamps departures sharing one scheduler tick, and real
+        taps share clock granularity).  A plain timestamp sort would
+        order such ties by whichever link happened to be visited first —
+        dict insertion order, i.e. the ``directions`` constructor
+        argument — so two arrays watching the same links in a different
+        order would produce different merged traces.  The merge instead
+        breaks timestamp ties by link id (the sorted ``"a->b"`` name),
+        and preserves capture order within one link, so the result is a
+        deterministic function of what was captured.
+        """
+        per_link = sorted(self.finalize().items())
+        merged = Trace(link_name=link_name,
+                       snaplen=max(trace.snaplen
+                                   for _, trace in per_link))
+        streams = [
+            ((record.timestamp, link_id, record)
+             for record in trace.records)
+            for link_id, trace in per_link
+        ]
+        # heapq.merge is stable: for equal (timestamp, link_id) keys —
+        # ties within one link — records keep their per-link order.
+        merged.records = [
+            record for _, _, record in heapq.merge(
+                *streams, key=lambda item: (item[0], item[1])
+            )
+        ]
+        return merged

@@ -8,6 +8,7 @@ Subcommands::
     repro-loops simulate <scenario>        # run a Table I scenario
     repro-loops report <scenario>          # scenario + full figure report
     repro-loops monitor <trace.pcap>       # stream + live scrape endpoint
+    repro-loops fleet <fleet.toml>         # multi-link monitoring daemon
 
 ``python -m repro`` is equivalent.
 
@@ -329,6 +330,29 @@ def _build_parser() -> argparse.ArgumentParser:
                               "reader (default; identical output)")
     monitor.set_defaults(force_monitor=True)
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="run the fleet monitoring daemon: N supervised link "
+             "pipelines plus the fleet-wide HTTP API",
+    )
+    fleet.add_argument("config",
+                       help="fleet config file (.toml on Python >= "
+                            "3.11, or the same structure as JSON)")
+    fleet.add_argument("--serve", type=int, default=None, metavar="PORT",
+                       help="override the configured API port "
+                            "(0 = ephemeral)")
+    fleet.add_argument("--run-for", type=float, default=None,
+                       metavar="SECONDS",
+                       help="stop the fleet after SECONDS (default: "
+                            "run until every source finishes, or "
+                            "forever for watch sources)")
+    fleet.add_argument("--summary-json", default=None, metavar="FILE",
+                       help="write the final /links document to FILE "
+                            "on exit")
+    fleet.add_argument("--log-level", default="warning",
+                       choices=("debug", "info", "warning", "error"),
+                       help="logging verbosity (default: warning)")
+
     anonymize = sub.add_parser(
         "anonymize",
         help="prefix-preserving anonymization of a pcap trace",
@@ -451,29 +475,13 @@ def _stream_with_monitor(streaming, trace, monitor):
     """Drive the streaming detector record by record, feeding the live
     monitor as loops close and sampling its windows on second
     boundaries — identical output to :meth:`process_trace`, observable
-    while it runs, and the per-record monitoring cost is one float
-    compare (the detector's own record counter is the data source)."""
-    monitor.add_state_source("detector", streaming.state_snapshot)
-    previous = streaming.on_loop
-    if previous is None:
-        streaming.on_loop = monitor.on_loop
-    else:
-        def chained(loop, _inner=previous):
-            monitor.observe_loop(loop)
-            _inner(loop)
+    while it runs (the fleet daemon's per-link pipelines run the same
+    helpers batch by batch)."""
+    from repro.obs.live import attach_detector, feed_pairs
 
-        streaming.on_loop = chained
-    monitor.set_record_source(lambda: streaming.stats.records)
-    sample = monitor.sample
-    boundary = monitor.next_boundary
-    process = streaming.process
-    loops = []
-    extend = loops.extend
-    for timestamp, data in _trace_pairs(trace):
-        if timestamp >= boundary:
-            boundary = sample(timestamp)
-        extend(process(timestamp, data))
-    extend(streaming.flush())
+    attach_detector(monitor, streaming)
+    loops = feed_pairs(streaming, monitor, _trace_pairs(trace))
+    loops.extend(streaming.flush())
     monitor.finish()
     return loops
 
@@ -787,6 +795,59 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         obs.finish()
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.fleet import FleetConfig, FleetServer, FleetSupervisor
+
+    config = FleetConfig.load(args.config)
+    supervisor = FleetSupervisor(config)
+    port = config.port if args.serve is None else args.serve
+    server = FleetServer(supervisor, host=config.host, port=port)
+    server.start()
+    print(f"fleet endpoints at {server.url}", flush=True)
+
+    async def _run_until_signalled() -> None:
+        # SIGTERM must stop the daemon as cleanly as Ctrl-C — CI and
+        # process managers send it — and background processes in
+        # non-interactive shells ignore SIGINT entirely.
+        import signal
+
+        loop = asyncio.get_running_loop()
+        installed = []
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, supervisor.shutdown)
+            except (NotImplementedError, RuntimeError):
+                continue  # non-unix / nested loop: KeyboardInterrupt path
+            installed.append(signum)
+        try:
+            await supervisor.run(run_for=args.run_for)
+        finally:
+            for signum in installed:
+                loop.remove_signal_handler(signum)
+
+    try:
+        try:
+            asyncio.run(_run_until_signalled())
+        except KeyboardInterrupt:
+            _logger.info("interrupted; stopping fleet")
+        snapshot = supervisor.snapshot()
+        if args.summary_json:
+            with open(args.summary_json, "w", encoding="utf-8") as stream:
+                json.dump(snapshot, stream, sort_keys=True, indent=2)
+            _logger.info("fleet summary written to %s", args.summary_json)
+        for row in snapshot["links"]:
+            print(f"link {row['id']}: {row['state']} "
+                  f"records={row['records']} loops={row['loops']} "
+                  f"crashes={row['crashes_total']} "
+                  f"restarts={row['restarts_total']}")
+        return 0
+    finally:
+        server.stop()
+
+
 def _cmd_anonymize(args: argparse.Namespace) -> int:
     from repro.net.anonymize import PrefixPreservingAnonymizer
 
@@ -807,6 +868,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "report": _cmd_report,
         "monitor": _cmd_monitor,
+        "fleet": _cmd_fleet,
         "anonymize": _cmd_anonymize,
     }
     handler = handlers[args.command]

@@ -1,0 +1,179 @@
+"""The fleet-wide HTTP API.
+
+One server for the whole fleet, grown from the single-link
+:class:`~repro.obs.server.MonitorServer` scaffolding (same daemon
+thread, same quiet-disconnect handler base):
+
+========================================  =====================================
+``GET /``                                 route index (JSON)
+``GET /healthz``                          fleet liveness: link/state tally
+``GET /links``                            every link: lifecycle + counters
+``GET /links/<id>/state``                 one link's full monitor snapshot
+``GET /links/<id>/dashboard``             one link's live HTML dashboard
+``GET /links/<id>/metrics``               one link's bare registry
+``GET /metrics``                          all registries merged, ``link`` label
+``POST /links/<id>/restart``              restart that pipeline (202)
+========================================  =====================================
+
+Restart requests cross from the HTTP handler thread to the event-loop
+thread via ``call_soon_threadsafe`` inside
+:meth:`~repro.fleet.supervisor.FleetSupervisor.request_restart`; the
+202 means "handed to the supervisor", not "already restarted" — poll
+``/links`` for the transition.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import ThreadingHTTPServer
+from typing import Any
+
+from repro.fleet.supervisor import FleetSupervisor
+from repro.obs.dashboard import render_html
+from repro.obs.log import get_logger
+from repro.obs.server import PROMETHEUS_CONTENT_TYPE, JSONRequestHandler
+
+
+class _FleetHandler(JSONRequestHandler):
+    # Bound per server class in FleetServer.__init__.
+    supervisor: FleetSupervisor
+
+    # -- routing ---------------------------------------------------------------
+
+    def _link_route(self, path: str) -> tuple[str, str] | None:
+        """``/links/<id>/<action>`` → ``(link_id, action)``, else None."""
+        parts = path.strip("/").split("/")
+        if len(parts) == 3 and parts[0] == "links":
+            return parts[1], parts[2]
+        return None
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        path = self.path.split("?", 1)[0]
+        if path == "/":
+            self._send_json(200, _INDEX)
+        elif path == "/healthz":
+            self._send_json(200, self._health())
+        elif path == "/links":
+            self._send_json(200, self.supervisor.snapshot())
+        elif path == "/metrics":
+            self._send(200, PROMETHEUS_CONTENT_TYPE,
+                       self.supervisor.render_metrics())
+        elif (route := self._link_route(path)) is not None:
+            self._get_link(*route)
+        else:
+            self._send_json(404, {"error": "not found", "path": path})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        path = self.path.split("?", 1)[0]
+        route = self._link_route(path)
+        if route is None or route[1] != "restart":
+            self._send_json(404, {"error": "not found", "path": path})
+            return
+        link_id = route[0]
+        if self.supervisor.request_restart(link_id):
+            self._send_json(202, {"status": "restart requested",
+                                  "link": link_id})
+        else:
+            self._send_json(404, {"error": "unknown link",
+                                  "link": link_id})
+
+    # -- link endpoints --------------------------------------------------------
+
+    def _get_link(self, link_id: str, action: str) -> None:
+        pipeline = self.supervisor.pipelines.get(link_id)
+        if pipeline is None:
+            self._send_json(404, {"error": "unknown link",
+                                  "link": link_id})
+            return
+        if action == "state":
+            state = pipeline.state()
+            state["task"] = self.supervisor.tasks[link_id].snapshot()
+            self._send_json(200, state)
+        elif action == "dashboard":
+            monitor = pipeline.monitor
+            if monitor is None:
+                self._send_json(503, {"error": "link has not started",
+                                      "link": link_id})
+                return
+            self._send(200, "text/html; charset=utf-8",
+                       render_html(monitor, title=f"link {link_id}"))
+        elif action == "metrics":
+            registry = pipeline.registry
+            body = "" if registry is None else registry.render_prometheus()
+            self._send(200, PROMETHEUS_CONTENT_TYPE, body)
+        else:
+            self._send_json(404, {"error": "not found",
+                                  "link": link_id, "action": action})
+
+    def _health(self) -> dict[str, Any]:
+        snapshot = self.supervisor.snapshot()
+        return {"status": "ok",
+                "links": len(snapshot["links"]),
+                "states": snapshot["states"]}
+
+
+_INDEX = {
+    "service": "repro fleet",
+    "routes": [
+        "GET /healthz",
+        "GET /links",
+        "GET /links/<id>/state",
+        "GET /links/<id>/dashboard",
+        "GET /links/<id>/metrics",
+        "GET /metrics",
+        "POST /links/<id>/restart",
+    ],
+}
+
+
+class FleetServer:
+    """Background-thread HTTP server over a :class:`FleetSupervisor`.
+
+    Same lifecycle contract as :class:`~repro.obs.server.MonitorServer`:
+    binds on construction (``port=0`` resolves immediately), serves from
+    a daemon thread, stops cleanly as a context manager.
+    """
+
+    def __init__(self, supervisor: FleetSupervisor,
+                 host: str = "127.0.0.1", port: int = 9470) -> None:
+        self.supervisor = supervisor
+        handler = type("_BoundFleetHandler", (_FleetHandler,),
+                       {"supervisor": supervisor})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "FleetServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-fleet-http",
+            daemon=True,
+        )
+        self._thread.start()
+        get_logger("http").info("fleet endpoints at %s", self.url)
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "FleetServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,166 @@
+"""One link's monitored detection pipeline.
+
+:class:`LinkPipeline` is the ``body`` a :class:`~repro.fleet.task.
+SupervisedTask` runs: source batches → streaming detection → windowed
+recorder/alerts, using the exact same monitored feed as ``repro-loops
+monitor`` (:func:`~repro.obs.live.attach_detector` /
+:func:`~repro.obs.live.feed_pairs`), so a fleet link's loop counts are
+byte-identical to an independent ``detect`` run over the same records.
+
+Every (re)start builds the whole chain fresh — registry, recorder,
+alert engine, detector.  That is what makes restarts sound: the
+streaming detector rejects time travel on its input, so resuming a
+half-fed detector after a crash would poison it; replaying from scratch
+into fresh state reproduces an uncrashed run exactly.  The previous
+run's objects stay readable (the HTTP API swaps to the new ones via a
+single attribute write) but are never fed again.
+
+Record batches are processed on the default executor so N link
+pipelines make progress on N cores while the event loop only
+schedules.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.streaming import StreamingLoopDetector
+from repro.fleet.config import LinkConfig
+from repro.fleet.sources import build_source
+from repro.obs.alerts import AlertEngine, HysteresisConfig, default_rules
+from repro.obs.live import LiveMonitor, attach_detector, feed_pairs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_TRACER
+
+
+@dataclass
+class RunArtifacts:
+    """Everything one pipeline run builds; swapped atomically on
+    (re)start so HTTP readers always see one coherent run."""
+
+    registry: MetricsRegistry
+    monitor: LiveMonitor
+    streaming: StreamingLoopDetector
+    started_at: float
+    loops: list = field(default_factory=list)
+    finished: bool = False
+
+
+def _build_monitor(config: LinkConfig, tracer) -> tuple[
+        MetricsRegistry, LiveMonitor]:
+    registry = MetricsRegistry(enabled=True)
+    alerts = config.alerts
+    engine = AlertEngine(
+        rules=default_rules(
+            loss_share_threshold=alerts.loss_share_threshold,
+            duration_tail_seconds=alerts.duration_tail_seconds,
+        ) if alerts.enabled else [],
+        tracer=tracer,
+        hysteresis=HysteresisConfig(
+            fire_after=alerts.fire_after,
+            clear_after=alerts.clear_after,
+        ),
+    )
+    monitor = LiveMonitor(
+        registry=registry, alert_engine=engine, tracer=tracer
+    )
+    return registry, monitor
+
+
+class LinkPipeline:
+    """The restartable capture → detect → record chain for one link."""
+
+    def __init__(self, config: LinkConfig, tracer=NULL_TRACER,
+                 clock=time.time) -> None:
+        self.config = config
+        self.tracer = tracer
+        self._clock = clock
+        self.current: RunArtifacts | None = None
+
+    # -- the supervised body ---------------------------------------------------
+
+    async def run(self) -> None:
+        registry, monitor = _build_monitor(self.config, self.tracer)
+        streaming = StreamingLoopDetector(
+            config=self.config.detector, tracer=self.tracer
+        )
+        streaming.register_metrics(registry)
+        attach_detector(monitor, streaming)
+        artifacts = RunArtifacts(
+            registry=registry,
+            monitor=monitor,
+            streaming=streaming,
+            started_at=self._clock(),
+        )
+        self.current = artifacts
+        source = build_source(self.config.source)
+        loop = asyncio.get_running_loop()
+        try:
+            async for batch in source.batches():
+                closed = await loop.run_in_executor(
+                    None, feed_pairs, streaming, monitor, batch
+                )
+                artifacts.loops.extend(closed)
+        finally:
+            # Close the books even on cancellation so the final partial
+            # windows are visible; a crashed run is replaced wholesale
+            # by the next run's fresh artifacts anyway.
+            artifacts.loops.extend(streaming.flush())
+            monitor.finish()
+            artifacts.finished = True
+
+    # -- read side (HTTP handler threads) --------------------------------------
+
+    @property
+    def registry(self) -> MetricsRegistry | None:
+        current = self.current
+        return None if current is None else current.registry
+
+    @property
+    def monitor(self) -> LiveMonitor | None:
+        current = self.current
+        return None if current is None else current.monitor
+
+    def row(self) -> dict[str, Any]:
+        """The ``/links`` summary row for this pipeline."""
+        current = self.current
+        row: dict[str, Any] = {
+            "id": self.config.id,
+            "source": self.config.source.describe(),
+            "records": 0,
+            "loops": 0,
+            "alerts_active": 0,
+            "run_started_at": None,
+            "run_finished": False,
+        }
+        if current is None:
+            return row
+        stats = current.streaming.stats
+        row.update(
+            records=stats.records,
+            loops=stats.loops_emitted,
+            alerts_active=len(current.monitor.alerts.active_rules()),
+            run_started_at=current.started_at,
+            run_finished=current.finished,
+        )
+        return row
+
+    def state(self) -> dict[str, Any]:
+        """The full per-link ``/state`` document."""
+        current = self.current
+        if current is None:
+            return {"id": self.config.id,
+                    "source": self.config.source.describe(),
+                    "run": None}
+        state = current.monitor.state()
+        state["id"] = self.config.id
+        state["source"] = self.config.source.describe()
+        state["run"] = {
+            "started_at": current.started_at,
+            "finished": current.finished,
+            "loops": current.streaming.stats.loops_emitted,
+        }
+        return state

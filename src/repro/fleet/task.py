@@ -1,0 +1,282 @@
+"""Restartable supervised asyncio tasks.
+
+A fleet pipeline must not die because one pcap was truncated or one
+simulator tick raised: the supervisor wraps each link's run loop in a
+:class:`SupervisedTask` that restarts it with bounded exponential
+backoff and keeps a visible lifecycle the HTTP API can report.
+
+State machine::
+
+     start()
+        │
+        ▼
+    STARTING ──────────► RUNNING ──── body returns ────► STOPPED
+        ▲                   │
+        │    body raises    │ body raises
+        │                   ▼
+        └── backoff ──── DEGRADED ── budget exhausted ──► FAILED
+                                                            │
+                                      restart() re-arms ◄───┘
+
+``stop()`` cancels from any state and lands in STOPPED.  ``restart()``
+(and its thread-safe twin ``request_restart()``) re-runs the body
+immediately *without* consuming the crash budget — a manual restart is
+an operator action, not a failure — and re-arms a FAILED task with a
+fresh budget.
+
+The clock, sleeper, and jitter rng are injectable so tests can drive
+the machine deterministically without real waiting.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import logging
+import random
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Awaitable, Callable
+
+logger = logging.getLogger("repro.fleet")
+
+#: Transitions kept per task for the API's ``history`` field.
+HISTORY_LIMIT = 100
+
+
+class TaskState(str, enum.Enum):
+    """Lifecycle of a supervised task."""
+
+    STARTING = "starting"
+    RUNNING = "running"
+    DEGRADED = "degraded"
+    FAILED = "failed"
+    STOPPED = "stopped"
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """Bounded exponential backoff with jitter.
+
+    The *i*-th consecutive crash (0-based) waits
+    ``min(backoff_cap, backoff_base * 2**i)`` seconds, stretched by up
+    to ``jitter`` fractionally so a fleet of simultaneously-crashing
+    pipelines does not restart in lockstep.  After ``max_restarts``
+    consecutive crashes the task is declared FAILED and left for an
+    operator.  A stretch of successful running resets the count.
+    """
+
+    max_restarts: int = 5
+    backoff_base: float = 0.5
+    backoff_cap: float = 30.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if self.backoff_base <= 0:
+            raise ValueError("backoff_base must be > 0")
+        if self.backoff_cap < self.backoff_base:
+            raise ValueError("backoff_cap must be >= backoff_base")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay(self, crashes: int, rng: random.Random) -> float:
+        """Backoff before restart number ``crashes`` (1-based count of
+        consecutive crashes so far)."""
+        exponent = max(0, crashes - 1)
+        base = min(self.backoff_cap, self.backoff_base * (2.0 ** exponent))
+        return base * (1.0 + self.jitter * rng.random())
+
+
+class SupervisedTask:
+    """One restartable background job with a visible lifecycle.
+
+    ``body`` is an async callable run to completion; it is awaited anew
+    on every (re)start, so per-run state belongs inside the body (the
+    link pipeline rebuilds its detector/recorder/registry each run —
+    that is what makes a restarted run reproduce a fresh one exactly).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        body: Callable[[], Awaitable[Any]],
+        policy: RestartPolicy | None = None,
+        *,
+        clock: Callable[[], float] = time.time,
+        sleep: Callable[[float], Awaitable[None]] = asyncio.sleep,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.name = name
+        self.body = body
+        self.policy = policy or RestartPolicy()
+        self._clock = clock
+        self._sleep = sleep
+        # Deterministic per-task jitter: same name, same sequence.
+        self._rng = rng or random.Random(name)
+        self.state = TaskState.STOPPED
+        self.crashes = 0  # consecutive crashes since last success/restart
+        self.crashes_total = 0
+        self.restarts_total = 0
+        self.runs_completed = 0
+        self.last_error: str | None = None
+        self.since = self._clock()
+        self.history: deque[dict[str, Any]] = deque(maxlen=HISTORY_LIMIT)
+        self._task: asyncio.Task | None = None
+        self._inner: asyncio.Future | None = None
+        self._restart_requested = False
+        self._stop_requested = False
+
+    # -- state bookkeeping -----------------------------------------------------
+
+    def _transition(self, state: TaskState, detail: str = "") -> None:
+        self.state = state
+        self.since = self._clock()
+        self.history.append(
+            {"at": self.since, "state": state.value, "detail": detail}
+        )
+        level = (logging.WARNING
+                 if state in (TaskState.DEGRADED, TaskState.FAILED)
+                 else logging.INFO)
+        logger.log(level, "task %s -> %s%s", self.name, state.value,
+                   f" ({detail})" if detail else "")
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> asyncio.Task:
+        """Start (or re-start a terminal) task on the running loop."""
+        if self._task is not None and not self._task.done():
+            return self._task
+        self._stop_requested = False
+        self._restart_requested = False
+        self.crashes = 0
+        self._task = asyncio.get_running_loop().create_task(
+            self._run(), name=f"fleet:{self.name}"
+        )
+        return self._task
+
+    async def stop(self) -> None:
+        """Cancel the task and wait for it to land in STOPPED."""
+        self._stop_requested = True
+        task = self._task
+        if task is None or task.done():
+            if self.state is not TaskState.STOPPED:
+                self._transition(TaskState.STOPPED, "stopped")
+            return
+        task.cancel()
+        try:
+            await task
+        except asyncio.CancelledError:
+            pass
+
+    def restart(self) -> None:
+        """Re-run the body now, without consuming the crash budget.
+
+        From a live state this cancels the current run and starts over;
+        from FAILED/STOPPED it re-arms the budget and starts fresh.
+        Must be called on the event-loop thread — HTTP handlers use
+        :meth:`request_restart` via ``call_soon_threadsafe`` instead.
+        """
+        self.restarts_total += 1
+        self.crashes = 0
+        if self._task is None or self._task.done():
+            self.start()
+            return
+        self._restart_requested = True
+        inner = self._inner
+        if inner is not None and not inner.done():
+            inner.cancel()
+
+    def request_restart(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Thread-safe :meth:`restart` for HTTP handler threads."""
+        loop.call_soon_threadsafe(self.restart)
+
+    # -- the run loop ----------------------------------------------------------
+
+    async def _await_interruptible(self, future: asyncio.Future) -> bool:
+        """Await ``future`` as ``self._inner`` so a restart (which
+        cancels ``_inner``) or a stop (which cancels this task) can
+        interrupt it.  Returns True when interrupted by a restart;
+        transitions to STOPPED and re-raises on a real cancellation.
+        """
+        self._inner = future
+        try:
+            await future
+        except asyncio.CancelledError:
+            # Outer cancellation (stop()) does not cancel the awaited
+            # task on its own; reap it before leaving.
+            if not future.done():
+                future.cancel()
+                try:
+                    await future
+                except (asyncio.CancelledError, Exception):
+                    pass
+            if self._restart_requested and not self._stop_requested:
+                self._restart_requested = False
+                return True
+            self._transition(TaskState.STOPPED, "cancelled")
+            raise
+        finally:
+            self._inner = None
+        return False
+
+    async def _run(self) -> None:
+        while True:
+            self._transition(TaskState.STARTING,
+                             "restart" if self.restarts_total else "start")
+            body = asyncio.ensure_future(self.body())
+            self._transition(TaskState.RUNNING)
+            try:
+                if await self._await_interruptible(body):
+                    continue
+            except asyncio.CancelledError:
+                raise
+            except Exception as error:
+                self.crashes += 1
+                self.crashes_total += 1
+                self.last_error = "".join(
+                    traceback.format_exception_only(error)
+                ).strip()
+                if self.crashes > self.policy.max_restarts:
+                    self._transition(
+                        TaskState.FAILED,
+                        f"crash budget exhausted after "
+                        f"{self.crashes} consecutive crashes: "
+                        f"{self.last_error}",
+                    )
+                    return
+                delay = self.policy.delay(self.crashes, self._rng)
+                self._transition(
+                    TaskState.DEGRADED,
+                    f"crash {self.crashes}/{self.policy.max_restarts}, "
+                    f"restarting in {delay:.2f}s: {self.last_error}",
+                )
+                sleeper = asyncio.ensure_future(self._sleep(delay))
+                await self._await_interruptible(sleeper)
+                continue
+            self.runs_completed += 1
+            self.crashes = 0
+            if self._restart_requested:
+                self._restart_requested = False
+                continue
+            self._transition(TaskState.STOPPED, "completed")
+            return
+
+    # -- reporting -------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready lifecycle snapshot for the HTTP API."""
+        return {
+            "name": self.name,
+            "state": self.state.value,
+            "since": self.since,
+            "crashes": self.crashes,
+            "crashes_total": self.crashes_total,
+            "restarts_total": self.restarts_total,
+            "runs_completed": self.runs_completed,
+            "last_error": self.last_error,
+            "history": list(self.history),
+        }

@@ -23,6 +23,15 @@ deduplicated per ``(rule, key)`` with a cooldown; every fired alert goes
 through the ``repro.alerts`` logger, is recorded as a trace event, and
 lands in the bounded history the dashboard and ``/state`` expose.
 
+Long-running deployments (the fleet daemon) can opt into **hysteresis**
+instead: construct the engine with a :class:`HysteresisConfig` and each
+rule becomes a two-state condition — it must breach on ``fire_after``
+*consecutive* evaluations before one alert fires, and then recover on
+``clear_after`` consecutive evaluations before the condition clears and
+re-arms.  This replaces the per-key infinite-cooldown dedup (which is
+right for one-shot trace analysis, where every key names an immutable
+fact) with the flap-suppression an always-on monitor needs.
+
 Evaluation, like the recorder, runs on **trace time** — replaying a
 pcap fires exactly the alerts a live capture would have fired.
 """
@@ -269,24 +278,66 @@ def default_rules(
     ]
 
 
+@dataclass(frozen=True)
+class HysteresisConfig:
+    """Consecutive-evaluation counters for flap suppression.
+
+    ``fire_after`` breaching evaluations in a row arm-and-fire a rule;
+    ``clear_after`` clean evaluations in a row clear it again (one clean
+    evaluation resets the breach counter of a rule that has not fired
+    yet).  Both counts are exact: a rule with ``fire_after=3`` fires on
+    the third consecutive breach, never the second or fourth.
+    """
+
+    fire_after: int = 3
+    clear_after: int = 2
+
+    def __post_init__(self) -> None:
+        if self.fire_after < 1:
+            raise ValueError(f"fire_after must be >= 1: {self.fire_after}")
+        if self.clear_after < 1:
+            raise ValueError(
+                f"clear_after must be >= 1: {self.clear_after}"
+            )
+
+
+@dataclass
+class _RuleState:
+    """Per-rule hysteresis counters (engine-internal)."""
+
+    breaches: int = 0
+    recoveries: int = 0
+    active: bool = False
+    last_alert: Alert | None = None
+
+
 @dataclass
 class AlertEngine:
     """Evaluates rules, dedups, and fans fired alerts out to the logger,
-    the tracer, and a bounded history."""
+    the tracer, and a bounded history.
+
+    With ``hysteresis`` set, per-key dedup is replaced by per-rule
+    consecutive-breach/recovery counting (see module docstring).
+    """
 
     rules: list[AlertRule] = field(default_factory=default_rules)
     tracer: Any = NULL_TRACER
     max_history: int = 500
+    hysteresis: HysteresisConfig | None = None
 
     def __post_init__(self) -> None:
         self.history: deque[Alert] = deque(maxlen=self.max_history)
         self.fired_total = 0
+        self.cleared_total = 0
         self._last_fired: dict[tuple[str, str], float] = {}
+        self._rule_states: dict[str, _RuleState] = {}
         self._logger = get_logger("alerts")
 
     def evaluate(self, recorder: WindowedRecorder,
                  now: float) -> list[Alert]:
         """Run every rule; returns (and records) newly fired alerts."""
+        if self.hysteresis is not None:
+            return self._evaluate_hysteresis(recorder, now)
         fired: list[Alert] = []
         for rule in self.rules:
             for finding in rule.check(recorder, now):
@@ -298,27 +349,80 @@ class AlertEngine:
                 ):
                     continue
                 self._last_fired[dedup] = now
-                alert = Alert(
-                    rule=rule.name,
-                    severity=rule.severity,
-                    time=now,
-                    key=finding.key,
-                    value=finding.value,
-                    threshold=finding.threshold,
-                    message=finding.message,
-                )
-                fired.append(alert)
-                self.history.append(alert)
-                self.fired_total += 1
-                self._logger.warning("alert [%s] %s: %s", alert.severity,
-                                     alert.rule, alert.message)
-                self.tracer.event(
-                    "alert", time=now, rule=alert.rule,
-                    severity=alert.severity, key=alert.key,
-                    value=alert.value, threshold=alert.threshold,
-                    message=alert.message,
-                )
+                fired.append(self._fire(rule, finding, now))
         return fired
+
+    def _fire(self, rule: AlertRule, finding: Finding,
+              now: float) -> Alert:
+        alert = Alert(
+            rule=rule.name,
+            severity=rule.severity,
+            time=now,
+            key=finding.key,
+            value=finding.value,
+            threshold=finding.threshold,
+            message=finding.message,
+        )
+        self.history.append(alert)
+        self.fired_total += 1
+        self._logger.warning("alert [%s] %s: %s", alert.severity,
+                             alert.rule, alert.message)
+        self.tracer.event(
+            "alert", time=now, rule=alert.rule,
+            severity=alert.severity, key=alert.key,
+            value=alert.value, threshold=alert.threshold,
+            message=alert.message,
+        )
+        return alert
+
+    def _evaluate_hysteresis(self, recorder: WindowedRecorder,
+                             now: float) -> list[Alert]:
+        config = self.hysteresis
+        fired: list[Alert] = []
+        for rule in self.rules:
+            state = self._rule_states.setdefault(rule.name, _RuleState())
+            findings = list(rule.check(recorder, now))
+            if findings:
+                state.recoveries = 0
+                state.breaches += 1
+                if (not state.active
+                        and state.breaches >= config.fire_after):
+                    state.active = True
+                    alert = self._fire(rule, findings[-1], now)
+                    state.last_alert = alert
+                    fired.append(alert)
+            elif state.active:
+                state.recoveries += 1
+                if state.recoveries >= config.clear_after:
+                    state.active = False
+                    state.breaches = 0
+                    state.recoveries = 0
+                    self.cleared_total += 1
+                    self._logger.info(
+                        "alert cleared [%s] %s after %d clean "
+                        "evaluations", rule.severity, rule.name,
+                        config.clear_after,
+                    )
+                    self.tracer.event("alert_cleared", time=now,
+                                      rule=rule.name)
+            else:
+                state.breaches = 0
+        return fired
+
+    def active_rules(self) -> list[dict[str, Any]]:
+        """Currently firing rules under hysteresis (empty without it):
+        rule name plus the alert that armed it."""
+        out = []
+        for name, state in sorted(self._rule_states.items()):
+            if state.active:
+                out.append({
+                    "rule": name,
+                    "since": (state.last_alert.time
+                              if state.last_alert else None),
+                    "alert": (state.last_alert.to_dict()
+                              if state.last_alert else None),
+                })
+        return out
 
     def register_metrics(self, registry) -> None:
         """Publish alert counts via a weakly-held pull collector."""
@@ -328,6 +432,10 @@ class AlertEngine:
         registry.counter(
             "alerts_fired_total", "Alerts fired (post-dedup)"
         ).set(self.fired_total)
+        registry.counter(
+            "alerts_cleared_total",
+            "Hysteresis alerts cleared after recovery",
+        ).set(self.cleared_total)
         by_rule: dict[str, int] = {}
         for alert in self.history:
             by_rule[alert.rule] = by_rule.get(alert.rule, 0) + 1

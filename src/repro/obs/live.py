@@ -207,3 +207,51 @@ class LiveMonitor:
         if self.registry is None:
             return ""
         return self.registry.render_prometheus()
+
+
+# -- monitored streaming feeds -------------------------------------------------
+#
+# The CLI's `monitor` hot loop and the fleet daemon's per-link pipelines
+# drive the exact same monitored feed; these helpers keep them
+# byte-identical instead of two hand-copied loops.
+
+
+def attach_detector(monitor: LiveMonitor, streaming) -> None:
+    """Wire a :class:`~repro.core.streaming.StreamingLoopDetector` to
+    the monitor: expose its state snapshot under ``detector``, chain its
+    ``on_loop`` callback into the recorder, and use its record counter
+    as the boundary-sampling source."""
+    monitor.add_state_source("detector", streaming.state_snapshot)
+    previous = streaming.on_loop
+    if previous is None:
+        streaming.on_loop = monitor.on_loop
+    else:
+        def chained(loop, _inner=previous):
+            monitor.observe_loop(loop)
+            _inner(loop)
+
+        streaming.on_loop = chained
+    monitor.set_record_source(lambda: streaming.stats.records)
+
+
+def feed_pairs(streaming, monitor: LiveMonitor, pairs) -> list:
+    """Feed ``(timestamp, data)`` pairs through the detector with
+    window-boundary sampling; returns the loops that closed.
+
+    The per-record monitoring cost is one float compare — record counts
+    come from differencing the detector's own counter on second
+    boundaries (see :meth:`LiveMonitor.sample`).  Safe to call
+    repeatedly with successive batches of one ordered feed; call
+    :meth:`~repro.core.streaming.StreamingLoopDetector.flush` and
+    :meth:`LiveMonitor.finish` after the last batch.
+    """
+    boundary = monitor.next_boundary
+    sample = monitor.sample
+    process = streaming.process
+    loops: list = []
+    extend = loops.extend
+    for timestamp, data in pairs:
+        if timestamp >= boundary:
+            boundary = sample(timestamp)
+        extend(process(timestamp, data))
+    return loops

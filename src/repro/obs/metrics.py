@@ -433,6 +433,55 @@ class MetricsRegistry:
         return "\n".join(lines) + "\n"
 
 
+def merged_registry(
+    named: "dict[str, MetricsRegistry]",
+    label: str = "link",
+) -> MetricsRegistry:
+    """Merge several registries into one, tagging every series with a
+    constant ``label="<name>"`` pair.
+
+    The fleet ``/metrics`` endpoint aggregates per-link registries this
+    way: two links both exporting ``streaming_records_total`` become two
+    series of one family (``streaming_records_total{link="a"}`` and
+    ``{link="b"}``) instead of colliding.  Each source registry's pull
+    collectors run once (via :meth:`MetricsRegistry.collect`), then its
+    instruments are *copied* — the merged registry is a point-in-time
+    snapshot, safe to render from another thread while the sources keep
+    counting.
+
+    Raises :class:`MetricsError` for an invalid label name or when a
+    source instrument already carries ``label`` (the merge would
+    silently overwrite it otherwise).
+    """
+    if not _LABEL_NAME_RE.match(label):
+        raise MetricsError(f"invalid label name {label!r}")
+    merged = MetricsRegistry(enabled=True)
+    for value in sorted(named):
+        registry = named[value]
+        registry.collect()
+        for metric in registry._sorted_metrics():
+            if any(key == label for key, _ in metric.labels):
+                raise MetricsError(
+                    f"metric {metric.name!r} already carries label "
+                    f"{label!r}; cannot merge registry {value!r}"
+                )
+            labels = dict(metric.labels)
+            labels[label] = str(value)
+            if isinstance(metric, Counter):
+                merged.counter(metric.name, metric.help,
+                               labels).set(metric.value)
+            elif isinstance(metric, Gauge):
+                merged.gauge(metric.name, metric.help,
+                             labels).set(metric.value)
+            else:
+                copy = merged.histogram(metric.name, metric.help,
+                                        metric.bounds, labels)
+                copy._counts = list(metric._counts)
+                copy._sum = metric.sum
+                copy._count = metric.count
+    return merged
+
+
 def _num(value: float) -> str:
     """Render a number losslessly, preferring the integer form."""
     if isinstance(value, float) and value.is_integer():

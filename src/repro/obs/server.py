@@ -34,28 +34,76 @@ from repro.obs.log import get_logger
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
-class _Handler(BaseHTTPRequestHandler):
+#: A client tearing down its socket mid-response surfaces as either of
+#: these depending on how far the kernel got; both mean "stop writing".
+CLIENT_GONE = (BrokenPipeError, ConnectionResetError)
+
+
+class JSONRequestHandler(BaseHTTPRequestHandler):
+    """Shared base for the monitoring endpoints: framed responses with
+    ``Content-Length``, JSON helpers, and quiet client disconnects.
+
+    Mid-scrape disconnects (a curl killed between header and body, a
+    Prometheus scrape timeout) raise :class:`BrokenPipeError` or
+    :class:`ConnectionResetError` from the socket write; :meth:`_send`
+    swallows both and logs at DEBUG, so they never surface tracebacks in
+    the ``repro.http`` logger at default level.
+    """
+
+    def _send(self, status: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+        except CLIENT_GONE:
+            self.close_connection = True
+            get_logger("http").debug(
+                "%s disconnected mid-response", self.address_string()
+            )
+
+    def _send_json(self, status: int, body: Any) -> None:
+        self._send(status, "application/json",
+                   json.dumps(body, sort_keys=True))
+
+    def log_message(self, format: str, *args: Any) -> None:
+        get_logger("http").debug("%s %s", self.address_string(),
+                                 format % args)
+
+    def handle(self) -> None:
+        # The base class handles requests straight off the socket; a
+        # peer resetting during the read path (before any _send) must be
+        # just as quiet as one resetting mid-write.
+        try:
+            super().handle()
+        except CLIENT_GONE:
+            self.close_connection = True
+            get_logger("http").debug(
+                "%s reset the connection", self.address_string()
+            )
+
+
+class _Handler(JSONRequestHandler):
     # Set per server class in MonitorServer.__init__.
     monitor: LiveMonitor
     dashboard_renderer = None
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         path = self.path.split("?", 1)[0]
-        try:
-            if path == "/metrics":
-                self._send(200, PROMETHEUS_CONTENT_TYPE,
-                           self.monitor.render_prometheus())
-            elif path == "/healthz":
-                self._send_json(200, self._health())
-            elif path == "/state":
-                self._send_json(200, self.monitor.state())
-            elif path == "/" and self.dashboard_renderer is not None:
-                self._send(200, "text/html; charset=utf-8",
-                           self.dashboard_renderer())
-            else:
-                self._send_json(404, {"error": "not found", "path": path})
-        except BrokenPipeError:
-            pass  # client went away mid-response
+        if path == "/metrics":
+            self._send(200, PROMETHEUS_CONTENT_TYPE,
+                       self.monitor.render_prometheus())
+        elif path == "/healthz":
+            self._send_json(200, self._health())
+        elif path == "/state":
+            self._send_json(200, self.monitor.state())
+        elif path == "/" and self.dashboard_renderer is not None:
+            self._send(200, "text/html; charset=utf-8",
+                       self.dashboard_renderer())
+        else:
+            self._send_json(404, {"error": "not found", "path": path})
 
     def _health(self) -> dict[str, Any]:
         with self.monitor._lock:
@@ -67,22 +115,6 @@ class _Handler(BaseHTTPRequestHandler):
                 "alerts": len(self.monitor.alerts.history),
                 "finished": self.monitor.finished,
             }
-
-    def _send(self, status: int, content_type: str, body: str) -> None:
-        payload = body.encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(payload)))
-        self.end_headers()
-        self.wfile.write(payload)
-
-    def _send_json(self, status: int, body: Any) -> None:
-        self._send(status, "application/json",
-                   json.dumps(body, sort_keys=True))
-
-    def log_message(self, format: str, *args: Any) -> None:
-        get_logger("http").debug("%s %s", self.address_string(),
-                                 format % args)
 
 
 class MonitorServer:

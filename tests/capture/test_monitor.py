@@ -74,3 +74,55 @@ class TestFinalize:
     def test_finalize_empty_monitor(self):
         monitor, _ = _monitor()
         assert monitor.finalize().records == []
+
+
+def _marked(timestamp: float, marker: int) -> TraceRecord:
+    data = bytes([0x45]) + bytes(18) + bytes([marker])
+    return TraceRecord(timestamp=timestamp, data=data, wire_length=40)
+
+
+def _array(directions):
+    from repro.capture.multimonitor import MonitorArray
+
+    return MonitorArray(_FakeEngine(), directions)
+
+
+class TestFinalizeMerged:
+    DIRECTIONS = [("a", "b"), ("c", "d")]
+
+    def _fill(self, array):
+        # Identical timestamps across links, plus a within-link tie.
+        array.monitor(("c", "d"))._pending.extend([
+            _marked(1.0, 0xCD), _marked(2.0, 0xC1), _marked(2.0, 0xC2),
+        ])
+        array.monitor(("a", "b"))._pending.extend([
+            _marked(1.0, 0xAB), _marked(3.0, 0xA1),
+        ])
+
+    def test_merge_is_time_ordered(self):
+        array = _array(self.DIRECTIONS)
+        self._fill(array)
+        merged = array.finalize_merged()
+        assert [r.timestamp for r in merged.records] == [
+            1.0, 1.0, 2.0, 2.0, 3.0
+        ]
+
+    def test_ties_break_by_link_id_not_construction_order(self):
+        # Same captures, opposite constructor order: the merged trace
+        # must be identical, with t=1.0 ties ordered a->b before c->d.
+        front = _array(self.DIRECTIONS)
+        back = _array(list(reversed(self.DIRECTIONS)))
+        self._fill(front)
+        self._fill(back)
+        want = [0xAB, 0xCD, 0xC1, 0xC2, 0xA1]
+        for array in (front, back):
+            merged = array.finalize_merged()
+            assert [r.data[-1] for r in merged.records] == want
+
+    def test_within_link_ties_keep_capture_order(self):
+        array = _array(self.DIRECTIONS)
+        array.monitor(("c", "d"))._pending.extend(
+            _marked(5.0, marker) for marker in (1, 2, 3)
+        )
+        merged = array.finalize_merged()
+        assert [r.data[-1] for r in merged.records] == [1, 2, 3]

@@ -1,0 +1,246 @@
+"""Tests for the fleet supervisor: crash recovery and reporting."""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.fleet.config import FleetConfig
+from repro.fleet.supervisor import FleetSupervisor
+from repro.net.addr import IPv4Prefix
+from repro.net.pcap import write_pcap
+from repro.obs.metrics import parse_prometheus
+from repro.traffic.synthetic import SyntheticTraceBuilder
+
+
+def build_trace(seed: int = 7):
+    builder = SyntheticTraceBuilder(rng=random.Random(seed))
+    builder.add_background(200, 0.0, 60.0,
+                           prefixes=[IPv4Prefix.parse("198.51.100.0/24")])
+    builder.add_loop(10.0, IPv4Prefix.parse("192.0.2.0/24"), n_packets=3,
+                     replicas_per_packet=6, spacing=0.02, entry_ttl=40)
+    builder.add_loop(35.0, IPv4Prefix.parse("203.0.113.0/24"), n_packets=2,
+                     replicas_per_packet=5, spacing=0.05, entry_ttl=50)
+    return builder.build()
+
+
+@pytest.fixture(scope="module")
+def good_pcap(tmp_path_factory):
+    path = tmp_path_factory.mktemp("fleet") / "good.pcap"
+    write_pcap(build_trace(), path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def regressing_pcap(tmp_path_factory):
+    """A capture whose final record travels back in time: it parses
+    fine, feeds the detector for a while, then crashes the pipeline
+    mid-stream (the streaming detector rejects time regressions)."""
+    from dataclasses import replace
+
+    path = tmp_path_factory.mktemp("fleet") / "regressing.pcap"
+    trace = build_trace()
+    trace.records.append(replace(trace.records[-1], timestamp=0.5))
+    write_pcap(trace, path)
+    return path
+
+
+def fleet_config(*links, max_restarts=2):
+    return FleetConfig.from_dict({
+        "fleet": {"restart": {"max_restarts": max_restarts,
+                              "backoff_base": 0.01,
+                              "backoff_cap": 0.05,
+                              "jitter": 0.0}},
+        "links": list(links),
+    })
+
+
+def pcap_link(link_id, path):
+    return {"id": link_id, "source": {"kind": "pcap", "path": str(path)}}
+
+
+class TestCrashRecovery:
+    def test_source_crash_backs_off_then_fails(self, regressing_pcap):
+        config = fleet_config(pcap_link("bad", regressing_pcap),
+                              max_restarts=2)
+        supervisor = FleetSupervisor(config)
+        asyncio.run(supervisor.run())
+        task = supervisor.tasks["bad"]
+        assert task.state.value == "failed"
+        assert task.crashes_total == 3  # initial run + 2 restarts
+        # Every transition of every attempt is visible to the API.
+        states = [entry["state"] for entry in task.history]
+        assert states == (["starting", "running", "degraded"] * 2
+                          + ["starting", "running", "failed"])
+        assert "budget exhausted" in task.history[-1]["detail"]
+        # The crashed run still closed its books: the records parsed
+        # before the truncation are visible.
+        row = supervisor.pipelines["bad"].row()
+        assert row["records"] > 0
+        assert row["run_finished"]
+
+    def test_one_bad_link_does_not_poison_neighbours(
+            self, good_pcap, regressing_pcap):
+        config = fleet_config(pcap_link("good", good_pcap),
+                              pcap_link("bad", regressing_pcap),
+                              max_restarts=1)
+        supervisor = FleetSupervisor(config)
+        asyncio.run(supervisor.run())
+        snapshot = supervisor.snapshot()
+        by_id = {row["id"]: row for row in snapshot["links"]}
+        assert by_id["good"]["state"] == "stopped"
+        assert by_id["good"]["loops"] == 2
+        assert by_id["bad"]["state"] == "failed"
+        assert snapshot["states"] == {"failed": 1, "stopped": 1}
+
+    def test_run_for_stops_an_endless_watch(self, tmp_path, good_pcap):
+        watch = tmp_path / "captures"
+        watch.mkdir()
+        (watch / "c-0001.pcap").write_bytes(good_pcap.read_bytes())
+        config = fleet_config({
+            "id": "w",
+            "source": {"kind": "watch", "directory": str(watch),
+                       "poll_interval": 0.01},
+        })
+        supervisor = FleetSupervisor(config)
+        asyncio.run(supervisor.run(run_for=0.7))
+        task = supervisor.tasks["w"]
+        assert task.state.value == "stopped"
+        assert supervisor.pipelines["w"].row()["loops"] == 2
+
+    def test_watch_picks_up_new_files(self, tmp_path, good_pcap):
+        watch = tmp_path / "captures"
+        watch.mkdir()
+        (watch / "c-0001.pcap").write_bytes(good_pcap.read_bytes())
+        config = fleet_config({
+            "id": "w",
+            "source": {"kind": "watch", "directory": str(watch),
+                       "poll_interval": 0.01},
+        })
+        supervisor = FleetSupervisor(config)
+
+        async def scenario():
+            supervisor.start()
+            pipeline = supervisor.pipelines["w"]
+            for _ in range(200):
+                await asyncio.sleep(0.01)
+                if pipeline.row()["records"]:
+                    break
+            first = pipeline.row()["records"]
+            assert first > 0
+            # Drop a second rotation: same records, shifted past the
+            # first file so the merged feed stays time-ordered.
+            from dataclasses import replace
+
+            trace = build_trace()
+            trace.records = [
+                replace(record, timestamp=record.timestamp + 120.0)
+                for record in trace.records
+            ]
+            write_pcap(trace, watch / "c-0002.pcap")
+            for _ in range(300):
+                await asyncio.sleep(0.01)
+                if pipeline.row()["records"] == 2 * first:
+                    break
+            await supervisor.stop()
+            return first, pipeline.row()
+
+        first, row = asyncio.run(scenario())
+        assert row["records"] == 2 * first
+
+    def test_shutdown_stops_an_endless_watch(self, tmp_path, good_pcap):
+        watch = tmp_path / "captures"
+        watch.mkdir()
+        (watch / "c-0001.pcap").write_bytes(good_pcap.read_bytes())
+        config = fleet_config({
+            "id": "w",
+            "source": {"kind": "watch", "directory": str(watch),
+                       "poll_interval": 0.01},
+        })
+        supervisor = FleetSupervisor(config)
+
+        async def scenario():
+            runner = asyncio.ensure_future(supervisor.run())
+            pipeline = supervisor.pipelines["w"]
+            for _ in range(200):
+                await asyncio.sleep(0.01)
+                if pipeline.row()["records"]:
+                    break
+            supervisor.shutdown()
+            await asyncio.wait_for(runner, timeout=5.0)
+
+        asyncio.run(scenario())
+        assert supervisor.tasks["w"].state.value == "stopped"
+        assert supervisor.pipelines["w"].row()["records"] > 0
+
+    def test_shutdown_before_start_is_remembered(self, tmp_path,
+                                                 good_pcap):
+        watch = tmp_path / "captures"
+        watch.mkdir()
+        config = fleet_config({
+            "id": "w",
+            "source": {"kind": "watch", "directory": str(watch),
+                       "poll_interval": 0.01},
+        })
+        supervisor = FleetSupervisor(config)
+        supervisor.shutdown()
+
+        async def scenario():
+            await asyncio.wait_for(supervisor.run(), timeout=5.0)
+
+        asyncio.run(scenario())
+        assert supervisor.tasks["w"].state.value == "stopped"
+
+    def test_natural_completion_leaves_failed_state(self,
+                                                    regressing_pcap):
+        # run() must not relabel a link that exhausted its crash
+        # budget: FAILED is an operator signal, not "stopped".
+        config = fleet_config(pcap_link("bad", regressing_pcap),
+                              max_restarts=0)
+        supervisor = FleetSupervisor(config)
+        asyncio.run(supervisor.run())
+        assert supervisor.tasks["bad"].state.value == "failed"
+
+    def test_request_restart_unknown_link(self, good_pcap):
+        supervisor = FleetSupervisor(
+            fleet_config(pcap_link("a", good_pcap))
+        )
+        assert not supervisor.request_restart("nope")
+        # Not started yet: even a known link cannot be restarted.
+        assert not supervisor.request_restart("a")
+
+
+class TestReporting:
+    def test_snapshot_merges_task_and_pipeline_rows(self, good_pcap):
+        config = fleet_config(pcap_link("a", good_pcap),
+                              pcap_link("b", good_pcap))
+        supervisor = FleetSupervisor(config)
+        asyncio.run(supervisor.run())
+        snapshot = supervisor.snapshot()
+        assert snapshot["states"] == {"stopped": 2}
+        for row in snapshot["links"]:
+            assert row["state"] == "stopped"
+            assert row["loops"] == 2
+            assert row["crashes_total"] == 0
+            assert row["source"]["kind"] == "pcap"
+            assert [h["state"] for h in row["history"]] == [
+                "starting", "running", "stopped"
+            ]
+
+    def test_metrics_merge_under_link_label(self, good_pcap,
+                                            regressing_pcap):
+        config = fleet_config(pcap_link("good", good_pcap),
+                              pcap_link("bad", regressing_pcap),
+                              max_restarts=0)
+        supervisor = FleetSupervisor(config)
+        asyncio.run(supervisor.run())
+        parsed = parse_prometheus(supervisor.render_metrics())
+        counters, gauges = parsed["counters"], parsed["gauges"]
+        assert gauges["fleet_links"] == 2
+        assert counters['fleet_task_crashes_total{link="good"}'] == 0
+        assert counters['fleet_task_crashes_total{link="bad"}'] == 1
+        assert gauges['fleet_task_up{link="good"}'] == 0
+        # Per-link detector counters appear under the same label.
+        assert counters['streaming_loops_emitted_total{link="good"}'] == 2

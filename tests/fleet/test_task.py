@@ -1,0 +1,247 @@
+"""Tests for the supervised-task state machine and restart policy."""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.fleet.task import RestartPolicy, SupervisedTask, TaskState
+
+
+class TestRestartPolicy:
+    def test_delay_doubles_up_to_cap(self):
+        policy = RestartPolicy(backoff_base=1.0, backoff_cap=8.0,
+                               jitter=0.0)
+        rng = random.Random(0)
+        delays = [policy.delay(i, rng) for i in range(1, 7)]
+        assert delays == [1.0, 2.0, 4.0, 8.0, 8.0, 8.0]
+
+    def test_jitter_only_stretches(self):
+        policy = RestartPolicy(backoff_base=1.0, backoff_cap=1.0,
+                               jitter=0.5)
+        rng = random.Random(42)
+        for _ in range(100):
+            delay = policy.delay(1, rng)
+            assert 1.0 <= delay <= 1.5
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_restarts": -1},
+        {"backoff_base": 0.0},
+        {"backoff_base": 2.0, "backoff_cap": 1.0},
+        {"jitter": 1.5},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RestartPolicy(**kwargs)
+
+
+class Recorder:
+    """Fake sleeper + clock so the machine runs without real waiting."""
+
+    def __init__(self):
+        self.delays: list[float] = []
+        self.now = 0.0
+
+    async def sleep(self, delay: float) -> None:
+        self.delays.append(delay)
+        self.now += delay
+        await asyncio.sleep(0)
+
+    def clock(self) -> float:
+        return self.now
+
+
+def make_task(body, policy=None, recorder=None) -> SupervisedTask:
+    recorder = recorder or Recorder()
+    return SupervisedTask(
+        "link", body, policy=policy or RestartPolicy(jitter=0.0),
+        clock=recorder.clock, sleep=recorder.sleep,
+        rng=random.Random(0),
+    )
+
+
+def states(task: SupervisedTask) -> list[str]:
+    return [entry["state"] for entry in task.history]
+
+
+class TestSupervisedTask:
+    def test_clean_completion(self):
+        async def body():
+            await asyncio.sleep(0)
+
+        async def scenario():
+            task = make_task(body)
+            await task.start()
+            return task
+
+        task = asyncio.run(scenario())
+        assert task.state is TaskState.STOPPED
+        assert task.runs_completed == 1
+        assert task.crashes_total == 0
+        assert states(task) == ["starting", "running", "stopped"]
+
+    def test_crash_restarts_with_backoff_then_fails(self):
+        recorder = Recorder()
+
+        async def body():
+            raise RuntimeError("pcap truncated")
+
+        async def scenario():
+            policy = RestartPolicy(max_restarts=3, backoff_base=0.5,
+                                   backoff_cap=10.0, jitter=0.0)
+            task = make_task(body, policy=policy, recorder=recorder)
+            await task.start()
+            return task
+
+        task = asyncio.run(scenario())
+        assert task.state is TaskState.FAILED
+        # 3 restarts allowed -> 4 runs total, 3 backoff sleeps.
+        assert task.crashes_total == 4
+        assert recorder.delays == [0.5, 1.0, 2.0]
+        assert "pcap truncated" in task.last_error
+        assert "budget exhausted" in task.history[-1]["detail"]
+        expected = (["starting", "running", "degraded"] * 3
+                    + ["starting", "running", "failed"])
+        assert states(task) == expected
+
+    def test_success_resets_crash_count(self):
+        attempts = []
+
+        async def body():
+            attempts.append(None)
+            if len(attempts) < 3:
+                raise RuntimeError("flaky start")
+
+        async def scenario():
+            task = make_task(body, policy=RestartPolicy(max_restarts=2,
+                                                        jitter=0.0))
+            await task.start()
+            return task
+
+        task = asyncio.run(scenario())
+        assert task.state is TaskState.STOPPED
+        assert task.crashes == 0
+        assert task.crashes_total == 2
+        assert task.runs_completed == 1
+
+    def test_stop_cancels_a_hung_body(self):
+        async def scenario():
+            ready = asyncio.Event()
+
+            async def body():
+                ready.set()
+                await asyncio.Event().wait()  # hangs forever
+
+            task = make_task(body)
+            task.start()
+            await ready.wait()
+            assert task.state is TaskState.RUNNING
+            await task.stop()
+            return task
+
+        task = asyncio.run(scenario())
+        assert task.state is TaskState.STOPPED
+        assert task.history[-1]["detail"] == "cancelled"
+
+    def test_manual_restart_does_not_consume_budget(self):
+        runs = []
+
+        async def scenario():
+            async def body():
+                runs.append(None)
+                await asyncio.Event().wait()  # hangs until cancelled
+
+            task = make_task(body, policy=RestartPolicy(max_restarts=0))
+            task.start()
+            for _ in range(10):
+                await asyncio.sleep(0)
+                if runs:
+                    break
+            assert task.state is TaskState.RUNNING
+            task.restart()
+            for _ in range(20):
+                await asyncio.sleep(0)
+                if len(runs) == 2:
+                    break
+            assert task.state is TaskState.RUNNING
+            await task.stop()
+            return task
+
+        task = asyncio.run(scenario())
+        assert len(runs) == 2
+        assert task.restarts_total == 1
+        assert task.crashes_total == 0
+
+    def test_restart_rearms_a_failed_task(self):
+        attempts = []
+
+        async def scenario():
+            async def body():
+                attempts.append(None)
+                if len(attempts) == 1:
+                    raise RuntimeError("bad capture")
+
+            task = make_task(body, policy=RestartPolicy(max_restarts=0))
+            await task.start()
+            assert task.state is TaskState.FAILED
+            task.restart()
+            await asyncio.sleep(0)
+            inner = task._task
+            assert inner is not None
+            await inner
+            return task
+
+        task = asyncio.run(scenario())
+        assert task.state is TaskState.STOPPED
+        assert len(attempts) == 2
+        assert task.runs_completed == 1
+
+    def test_restart_during_backoff_skips_the_wait(self):
+        attempts = []
+
+        async def scenario():
+            async def body():
+                attempts.append(None)
+                if len(attempts) == 1:
+                    raise RuntimeError("transient")
+                await asyncio.Event().wait()
+
+            # Enormous backoff: only a restart can get past it.
+            policy = RestartPolicy(max_restarts=5, backoff_base=3600.0,
+                                   backoff_cap=3600.0, jitter=0.0)
+            task = SupervisedTask("link", body, policy=policy,
+                                  rng=random.Random(0))
+            task.start()
+            for _ in range(10):
+                await asyncio.sleep(0)
+            assert task.state is TaskState.DEGRADED
+            task.restart()
+            for _ in range(10):
+                await asyncio.sleep(0)
+            assert task.state is TaskState.RUNNING
+            await task.stop()
+            return task
+
+        task = asyncio.run(scenario())
+        assert len(attempts) == 2
+
+    def test_snapshot_is_json_ready(self):
+        async def body():
+            await asyncio.sleep(0)
+
+        async def scenario():
+            task = make_task(body)
+            await task.start()
+            return task.snapshot()
+
+        snapshot = asyncio.run(scenario())
+        import json
+
+        json.dumps(snapshot)
+        assert snapshot["name"] == "link"
+        assert snapshot["state"] == "stopped"
+        assert [h["state"] for h in snapshot["history"]] == [
+            "starting", "running", "stopped"
+        ]

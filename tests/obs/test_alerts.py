@@ -261,3 +261,126 @@ class TestAlertEngine:
             "ttl_delta_shift",
             "replica_rate_spike",
         ]
+
+
+def switched_rule(breaching: list[bool]) -> AlertRule:
+    """A rule driven by a mutable schedule: ``breaching[0]`` decides
+    whether the next evaluation yields a finding."""
+
+    def check(recorder, now):
+        if breaching.pop(0):
+            yield Finding(key=f"t:{now}", value=1.0, threshold=0.5,
+                          message="synthetic breach")
+
+    return AlertRule(name="switched", description="test rule",
+                     check=check)
+
+
+class TestHysteresis:
+    def test_config_validation(self):
+        from repro.obs.alerts import HysteresisConfig
+
+        with pytest.raises(ValueError, match="fire_after"):
+            HysteresisConfig(fire_after=0)
+        with pytest.raises(ValueError, match="clear_after"):
+            HysteresisConfig(clear_after=0)
+
+    def test_fires_on_exactly_the_nth_consecutive_breach(self):
+        from repro.obs.alerts import HysteresisConfig
+
+        schedule = [True, True, True, True]
+        engine = engine_for(switched_rule(schedule),
+                            hysteresis=HysteresisConfig(fire_after=3))
+        recorder = WindowedRecorder()
+        assert engine.evaluate(recorder, now=1.0) == []
+        assert engine.evaluate(recorder, now=2.0) == []
+        fired = engine.evaluate(recorder, now=3.0)
+        assert [a.rule for a in fired] == ["switched"]
+        # Still breaching: active rules do not re-fire.
+        assert engine.evaluate(recorder, now=4.0) == []
+        assert engine.fired_total == 1
+        assert [entry["rule"] for entry in engine.active_rules()] == [
+            "switched"
+        ]
+
+    def test_single_clean_evaluation_resets_an_unfired_streak(self):
+        from repro.obs.alerts import HysteresisConfig
+
+        schedule = [True, True, False, True, True, True]
+        engine = engine_for(switched_rule(schedule),
+                            hysteresis=HysteresisConfig(fire_after=3))
+        recorder = WindowedRecorder()
+        for now in (1.0, 2.0, 3.0):  # two breaches, then clean
+            assert engine.evaluate(recorder, now=now) == []
+        # The streak restarted: two more breaches are not enough...
+        assert engine.evaluate(recorder, now=4.0) == []
+        assert engine.evaluate(recorder, now=5.0) == []
+        # ...the third consecutive one fires.
+        assert len(engine.evaluate(recorder, now=6.0)) == 1
+
+    def test_clears_after_exactly_the_configured_recoveries(self):
+        from repro.obs.alerts import HysteresisConfig
+
+        schedule = [True, False, False, True]
+        engine = engine_for(
+            switched_rule(schedule),
+            hysteresis=HysteresisConfig(fire_after=1, clear_after=2),
+        )
+        recorder = WindowedRecorder()
+        assert len(engine.evaluate(recorder, now=1.0)) == 1
+        engine.evaluate(recorder, now=2.0)   # first clean: still active
+        assert engine.active_rules()
+        assert engine.cleared_total == 0
+        engine.evaluate(recorder, now=3.0)   # second clean: clears
+        assert engine.active_rules() == []
+        assert engine.cleared_total == 1
+        # A fresh breach re-arms from zero and (fire_after=1) re-fires.
+        assert len(engine.evaluate(recorder, now=4.0)) == 1
+        assert engine.fired_total == 2
+
+    def test_recovery_streak_resets_on_breach(self):
+        from repro.obs.alerts import HysteresisConfig
+
+        schedule = [True, False, True, False, False]
+        engine = engine_for(
+            switched_rule(schedule),
+            hysteresis=HysteresisConfig(fire_after=1, clear_after=2),
+        )
+        recorder = WindowedRecorder()
+        engine.evaluate(recorder, now=1.0)   # fires
+        engine.evaluate(recorder, now=2.0)   # clean 1/2
+        engine.evaluate(recorder, now=3.0)   # breach: recovery resets
+        engine.evaluate(recorder, now=4.0)   # clean 1/2 again
+        assert engine.active_rules()
+        engine.evaluate(recorder, now=5.0)   # clean 2/2: clears
+        assert engine.active_rules() == []
+
+    def test_cleared_event_reaches_tracer_and_metrics(self):
+        from repro.obs.alerts import HysteresisConfig
+
+        schedule = [True, False]
+        tracer = Tracer()
+        engine = engine_for(
+            switched_rule(schedule), tracer=tracer,
+            hysteresis=HysteresisConfig(fire_after=1, clear_after=1),
+        )
+        registry = MetricsRegistry(enabled=True)
+        engine.register_metrics(registry)
+        recorder = WindowedRecorder()
+        engine.evaluate(recorder, now=1.0)
+        engine.evaluate(recorder, now=2.0)
+        events = [r["name"] for r in tracer.records
+                  if r["type"] == "event"]
+        assert events == ["alert", "alert_cleared"]
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["alerts_cleared_total"] == 1
+
+    def test_without_hysteresis_dedup_is_unchanged(self):
+        # The legacy engine path: one finding key fires exactly once.
+        recorder = WindowedRecorder()
+        recorder.observe_records(10.0, 100)
+        recorder.observe_loop(make_loop(start=10.0, replicas=15))
+        engine = engine_for(looped_loss_share_rule(0.09))
+        assert len(engine.evaluate(recorder, now=65.0)) == 1
+        assert engine.evaluate(recorder, now=66.0) == []
+        assert engine.active_rules() == []

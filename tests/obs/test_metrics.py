@@ -245,3 +245,88 @@ class TestLabelEscaping:
         registry = MetricsRegistry(enabled=True)
         with pytest.raises(MetricsError):
             registry.counter("x_total", "t", labels={"bad-name": "v"})
+
+
+class TestMergedRegistry:
+    def make(self, loops: int, records: int) -> MetricsRegistry:
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("loops_total", "Loops").set(loops)
+        registry.gauge("records", "Records").set(records)
+        histogram = registry.histogram("sizes", "Sizes",
+                                       buckets=(1.0, 10.0))
+        histogram.observe(0.5)
+        histogram.observe(5.0)
+        return registry
+
+    def test_series_gain_the_constant_label(self):
+        from repro.obs.metrics import merged_registry
+
+        merged = merged_registry({"a": self.make(3, 100),
+                                  "b": self.make(7, 200)})
+        snapshot = merged.snapshot()
+        assert snapshot["counters"]['loops_total{link="a"}'] == 3
+        assert snapshot["counters"]['loops_total{link="b"}'] == 7
+        assert snapshot["gauges"]['records{link="a"}'] == 100
+        assert snapshot["gauges"]['records{link="b"}'] == 200
+        assert snapshot["histograms"]['sizes{link="a"}']["count"] == 2
+
+    def test_custom_label_name(self):
+        from repro.obs.metrics import merged_registry
+
+        merged = merged_registry({"east": self.make(1, 1)},
+                                 label="direction")
+        assert ('loops_total{direction="east"}'
+                in merged.snapshot()["counters"])
+
+    def test_existing_labels_are_preserved(self):
+        from repro.obs.metrics import merged_registry
+
+        source = MetricsRegistry(enabled=True)
+        source.counter("fired_total", "Fired",
+                       labels={"rule": "loss"}).set(4)
+        merged = merged_registry({"a": source})
+        key = 'fired_total{link="a",rule="loss"}'
+        assert merged.snapshot()["counters"][key] == 4
+
+    def test_merge_is_a_point_in_time_copy(self):
+        from repro.obs.metrics import merged_registry
+
+        source = self.make(1, 1)
+        merged = merged_registry({"a": source})
+        source.counter("loops_total", "Loops").set(99)
+        assert merged.snapshot()["counters"]['loops_total{link="a"}'] == 1
+
+    def test_merge_runs_source_collectors(self):
+        from repro.obs.metrics import merged_registry
+
+        source = MetricsRegistry(enabled=True)
+        state = {"loops": 12}
+        source.register_collector(
+            lambda r: r.counter("pulled_total", "Pulled"
+                                ).set(state["loops"])
+        )
+        merged = merged_registry({"a": source})
+        assert merged.snapshot()["counters"]['pulled_total{link="a"}'] == 12
+
+    def test_label_collision_rejected(self):
+        from repro.obs.metrics import merged_registry
+
+        source = MetricsRegistry(enabled=True)
+        source.counter("x_total", "X", labels={"link": "inner"}).inc()
+        with pytest.raises(MetricsError, match="already carries"):
+            merged_registry({"outer": source})
+
+    def test_invalid_label_name_rejected(self):
+        from repro.obs.metrics import merged_registry
+
+        with pytest.raises(MetricsError, match="invalid label name"):
+            merged_registry({}, label="9bad")
+
+    def test_rendered_output_round_trips(self):
+        from repro.obs.metrics import merged_registry
+
+        merged = merged_registry({"a": self.make(3, 100),
+                                  "b": self.make(7, 200)})
+        parsed = parse_prometheus(merged.render_prometheus())
+        assert parsed["counters"]['loops_total{link="a"}'] == 3
+        assert parsed["histograms"]['sizes{link="b"}']["count"] == 2

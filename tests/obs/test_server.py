@@ -156,3 +156,75 @@ class TestConcurrency:
         server.stop()
         with pytest.raises(OSError):
             fetch(f"{url}/healthz")
+
+
+class TestClientDisconnects:
+    """Mid-scrape disconnects must never surface tracebacks — both
+    :class:`BrokenPipeError` and :class:`ConnectionResetError` mean
+    "the client is gone", not "the server is broken"."""
+
+    def test_content_length_header_frames_responses(self, monitor):
+        with MonitorServer(monitor, port=0) as server:
+            with urllib.request.urlopen(f"{server.url}/state",
+                                        timeout=5.0) as response:
+                declared = int(response.headers["Content-Length"])
+                body = response.read()
+        assert declared == len(body)
+
+    @pytest.mark.parametrize("error", [BrokenPipeError,
+                                       ConnectionResetError])
+    def test_send_swallows_client_gone_errors(self, monitor, error,
+                                              caplog):
+        import io
+        import logging
+
+        from repro.obs.server import _Handler
+
+        class Boom(io.BytesIO):
+            def write(self, data):
+                raise error("peer went away")
+
+        handler = _Handler.__new__(_Handler)
+        handler.monitor = monitor
+        handler.wfile = Boom()
+        handler.request_version = "HTTP/1.1"
+        handler.requestline = "GET /state HTTP/1.1"
+        handler.client_address = ("127.0.0.1", 12345)
+        handler.close_connection = False
+        with caplog.at_level(logging.INFO, logger="repro.http"):
+            handler._send(200, "text/plain", "hello")
+        assert handler.close_connection
+        # DEBUG-only: nothing at the default (WARNING/INFO) levels.
+        assert caplog.records == []
+
+    @pytest.mark.parametrize("error", [BrokenPipeError,
+                                       ConnectionResetError])
+    def test_abrupt_reset_during_read_is_quiet(self, monitor, error,
+                                               caplog):
+        import logging
+        import socket as socket_module
+
+        with caplog.at_level(logging.INFO, logger="repro.http"):
+            with MonitorServer(monitor, port=0) as server:
+                # A real connection torn down before sending a request:
+                # the handler thread hits the error on its read path.
+                sock = socket_module.create_connection(
+                    ("127.0.0.1", server.port), timeout=5.0
+                )
+                sock.setsockopt(socket_module.SOL_SOCKET,
+                                socket_module.SO_LINGER,
+                                b"\x01\x00\x00\x00\x00\x00\x00\x00")
+                sock.close()  # RST instead of FIN
+                # Prove the server survived: a normal scrape still works.
+                status, _, _ = fetch(f"{server.url}/healthz")
+        assert status == 200
+        # No warnings/errors and no tracebacks — the only non-DEBUG
+        # line allowed is the startup "monitoring endpoint at" INFO.
+        http_records = [record for record in caplog.records
+                        if record.name == "repro.http"]
+        assert all(record.levelno < logging.WARNING
+                   for record in http_records)
+        assert all(record.exc_info is None for record in http_records)
+        assert all("endpoint at" in record.getMessage()
+                   for record in http_records
+                   if record.levelno == logging.INFO)
