@@ -41,6 +41,7 @@ from repro.core.analysis import (
 )
 from repro.core.detector import DetectorConfig, LoopDetector
 from repro.core.impact import escape_analysis
+from repro.core.replica import KERNEL_TIERS
 from repro.core.report import (
     render_cdf,
     render_destination_classes,
@@ -227,6 +228,12 @@ def _build_parser() -> argparse.ArgumentParser:
                              "pipeline (default; --no-columnar selects "
                              "the per-record reference path, identical "
                              "output)")
+    detect.add_argument("--kernel", default=None, choices=KERNEL_TIERS,
+                        help="step-1 kernel tier (default: auto — "
+                             "vectorized when numpy is available — "
+                             "under columnar ingest, reference under "
+                             "--no-columnar); an explicit tier also "
+                             "picks the matching ingest path")
     detect.add_argument("--profile", default=None, metavar="OUT",
                         help="profile the run with cProfile and write "
                              "pstats data to OUT")
@@ -271,6 +278,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="analyze pcap targets via the zero-copy "
                             "columnar pipeline (default; scenario "
                             "targets are unaffected)")
+    batch.add_argument("--kernel", default=None, choices=KERNEL_TIERS,
+                       help="step-1 kernel tier for pcap targets "
+                            "(default: auto under columnar ingest)")
     batch.add_argument("--profile", default=None, metavar="OUT",
                        help="profile the run with cProfile and write "
                             "pstats data to OUT")
@@ -324,6 +334,12 @@ def _build_parser() -> argparse.ArgumentParser:
                               "ends (with --serve; default 0)")
     monitor.add_argument("--no-dashboard", action="store_true",
                          help="skip the ASCII dashboard on stdout")
+    monitor.add_argument("--kernel", default=None, choices=KERNEL_TIERS,
+                         help="step-1 kernel tier recorded in the "
+                             "detector config (streaming chains per "
+                             "record, so this only switches the ingest "
+                             "path: reference reads a materialized "
+                             "trace)")
     monitor.add_argument("--columnar", default=True,
                          action=argparse.BooleanOptionalAction,
                          help="stream from the zero-copy mmap columnar "
@@ -364,6 +380,21 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _kernel_from_args(args: argparse.Namespace) -> str:
+    """Resolve the step-1 kernel tier from ``--kernel``/``--columnar``.
+
+    An explicit ``--kernel`` wins and implies its ingest path
+    (``reference`` reads a materialized trace, every other tier reads
+    columnar); without it, the ingest flag picks the matching default —
+    ``auto`` under columnar ingest, ``reference`` under
+    ``--no-columnar``.  The caller applies the implied ingest by
+    re-deriving ``args.columnar`` from the returned tier."""
+    kernel = getattr(args, "kernel", None)
+    if kernel is None:
+        return "auto" if args.columnar else "reference"
+    return kernel
+
+
 def _detector_from_args(args: argparse.Namespace,
                         tracer=NULL_TRACER) -> LoopDetector:
     config = DetectorConfig(
@@ -372,6 +403,7 @@ def _detector_from_args(args: argparse.Namespace,
         prefix_length=args.prefix_length,
         check_prefix_consistency=not args.no_validate,
         check_gap_consistency=not args.no_validate,
+        kernel=_kernel_from_args(args),
     )
     return LoopDetector(config, tracer=tracer)
 
@@ -490,6 +522,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     if args.streaming and args.jobs > 1:
         _logger.error("--streaming and --jobs are mutually exclusive")
         return 1
+    args.columnar = _kernel_from_args(args) != "reference"
     obs = _Obs(args)
     try:
         detector = _detector_from_args(args, tracer=obs.tracer)
@@ -610,11 +643,14 @@ def _batch_progress():
 def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.parallel import run_batch
 
+    kernel = _kernel_from_args(args)
+    args.columnar = kernel != "reference"
     obs = _Obs(args)
     try:
         config = DetectorConfig(
             merge_gap=args.merge_gap,
             min_stream_size=args.min_stream_size,
+            kernel=kernel,
         )
         result = run_batch(
             targets=args.targets or None,
@@ -759,6 +795,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_monitor(args: argparse.Namespace) -> int:
     from repro.core.streaming import StreamingLoopDetector
 
+    kernel = _kernel_from_args(args)
+    args.columnar = kernel != "reference"
     obs = _Obs(args)
     try:
         config = DetectorConfig(
@@ -767,6 +805,7 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             prefix_length=args.prefix_length,
             check_prefix_consistency=not args.no_validate,
             check_gap_consistency=not args.no_validate,
+            kernel=kernel,
         )
         streaming = StreamingLoopDetector(config, tracer=obs.tracer)
         streaming.register_metrics(obs.registry)

@@ -16,10 +16,11 @@ from repro.net.trace import Trace
 from repro.obs.tracing import NULL_TRACER
 from repro.core.merge import RoutingLoop, merge_streams
 from repro.core.replica import (
+    KERNEL_TIERS,
     ReplicaScanStats,
     ReplicaStream,
     detect_replicas,
-    detect_replicas_columnar,
+    detect_replicas_with_kernel,
 )
 from repro.core.streams import PrefixIndex, ValidationResult, validate_streams
 
@@ -44,10 +45,22 @@ class DetectorConfig:
     merge_gap: float = 60.0
     check_gap_consistency: bool = True
     eviction_interval: int = 100_000
+    #: Step-1 kernel tier for columnar inputs (:meth:`LoopDetector.
+    #: detect_columnar` and the parallel slab workers): ``auto``
+    #: resolves to ``vectorized`` when numpy is available, else
+    #: ``columnar``.  All tiers are byte-identical; this knob only
+    #: picks the implementation.  Materialized-trace entry points
+    #: (:meth:`LoopDetector.detect`) always run the reference kernel.
+    kernel: str = "auto"
 
     def __post_init__(self) -> None:
         if self.min_ttl_delta < 1:
             raise DetectorError("min_ttl_delta must be >= 1")
+        if self.kernel not in KERNEL_TIERS:
+            raise DetectorError(
+                f"kernel must be one of {', '.join(KERNEL_TIERS)}: "
+                f"{self.kernel!r}"
+            )
         if self.min_stream_size < 2:
             raise DetectorError("min_stream_size must be >= 2")
         if not 8 <= self.prefix_length <= 32:
@@ -180,8 +193,9 @@ class LoopDetector:
         tracer = self.tracer
         scan_stats = ReplicaScanStats()
         with tracer.phase("detect.replicas", clock="wall") as phase:
-            candidates = detect_replicas_columnar(
+            candidates = detect_replicas_with_kernel(
                 ctrace,
+                kernel=config.kernel,
                 min_ttl_delta=config.min_ttl_delta,
                 max_replica_gap=config.max_replica_gap,
                 eviction_interval=config.eviction_interval,

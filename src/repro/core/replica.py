@@ -654,6 +654,367 @@ def detect_replicas_columnar(
     return finished
 
 
+#: The selectable step-1 implementations.  ``auto`` resolves to the
+#: fastest tier available at runtime: ``vectorized`` with numpy
+#: installed, ``columnar`` without.
+KERNEL_TIERS = ("auto", "reference", "columnar", "vectorized")
+
+#: numpy dtype per column itemsize, for viewing ``array``/``memoryview``
+#: length columns without copying.
+_LENGTH_DTYPES = {1: "u1", 2: "u2", 4: "u4", 8: "u8"}
+
+
+def resolve_kernel(kernel: str) -> str:
+    """Map a kernel tier name to the concrete tier that will run."""
+    if kernel not in KERNEL_TIERS:
+        raise ReplicaError(
+            f"unknown kernel {kernel!r} (choose from "
+            f"{', '.join(KERNEL_TIERS)})"
+        )
+    if kernel == "auto":
+        from repro.core import vectorize
+
+        return "vectorized" if vectorize.HAVE_NUMPY else "columnar"
+    return kernel
+
+
+def detect_replicas_with_kernel(
+    chunks,
+    kernel: str = "auto",
+    min_ttl_delta: int = 2,
+    max_replica_gap: float = 5.0,
+    eviction_interval: int = 100_000,
+    stats: ReplicaScanStats | None = None,
+) -> list[ReplicaStream]:
+    """Run step 1 over columnar chunks with an explicit kernel tier.
+
+    All tiers produce byte-identical streams and stats; ``kernel``
+    selects only the implementation.  ``reference`` materializes
+    per-record triples and runs :func:`detect_replicas_indexed` — the
+    oracle the other tiers are tested against.
+    """
+    resolved = resolve_kernel(kernel)
+    if resolved == "reference":
+        if hasattr(chunks, "chunks"):
+            chunks = chunks.chunks
+        triples = (
+            triple for chunk in chunks for triple in chunk.iter_triples()
+        )
+        return detect_replicas_indexed(
+            triples,
+            min_ttl_delta=min_ttl_delta,
+            max_replica_gap=max_replica_gap,
+            eviction_interval=eviction_interval,
+            stats=stats,
+        )
+    implementation = (detect_replicas_columnar if resolved == "columnar"
+                      else detect_replicas_vectorized)
+    return implementation(
+        chunks,
+        min_ttl_delta=min_ttl_delta,
+        max_replica_gap=max_replica_gap,
+        eviction_interval=eviction_interval,
+        stats=stats,
+    )
+
+
+def detect_replicas_vectorized(
+    chunks,
+    min_ttl_delta: int = 2,
+    max_replica_gap: float = 5.0,
+    eviction_interval: int = 100_000,
+    stats: ReplicaScanStats | None = None,
+) -> list[ReplicaStream]:
+    """The numpy-vectorized step-1 kernel — the third tier.
+
+    Byte-identical to :func:`detect_replicas_indexed` and
+    :func:`detect_replicas_columnar` on the same records (streams *and*
+    stats), but the per-record Python work collapses to two passes:
+
+    **Pass 1 (vectorized).**  Each regular chunk's slab is viewed as an
+    ``(n, length)`` uint8 matrix via the declared stride, copied
+    contiguous once, and masked with three whole-column assignments;
+    the TTL column falls out of the same matrix as one slice.  Every
+    masked record is hashed with one vectorized pass
+    (:func:`~repro.core.vectorize.hash_rows`), and an argsort-based
+    group-by over the hashes (``np.unique``) finds the records whose
+    masked key appears more than once.  Only those *survivors* — a tiny
+    fraction of any real trace — can ever attach, pair, or occupy a
+    singleton slot that matters.  Irregular chunks are masked per
+    record but hashed in the same bulk passes (grouped by record
+    length), so survivors are found across chunk kinds.
+
+    A hash collision can only create a *false* survivor (pass 2 uses
+    exact byte keys), never lose a real one: equal keys always hash
+    equal.  False survivors behave exactly as they would in the
+    reference — they just cost a dictionary probe each.
+
+    **Pass 2 (exact).**  The reference chaining logic replays over the
+    survivors alone, interleaved — in global scan order — with the
+    eviction boundaries the reference would have hit: a non-survivor
+    landing on a ``position % eviction_interval == 0`` boundary always
+    takes the singleton-insert path (its key is globally unique), so
+    its boundary always fires; a survivor's boundary fires only when
+    its replayed disposition is singleton-insert, exactly like the
+    reference's ``continue`` structure.  Evictions of the (unmaterial)
+    non-survivor singletons are counted vectorially afterwards from the
+    fired ``(position, horizon)`` events, so ``singletons_evicted``
+    matches the reference exactly.
+
+    Falls back wholesale to :func:`detect_replicas_columnar` when numpy
+    is absent or no chunk has a regular layout (the pure-python kernel
+    is faster than per-record numpy hashing there) — same output either
+    way.
+    """
+    if min_ttl_delta < 1:
+        raise ReplicaError(f"min_ttl_delta must be >= 1: {min_ttl_delta}")
+    if max_replica_gap <= 0:
+        raise ReplicaError(f"max_replica_gap must be positive: {max_replica_gap}")
+    from repro.core import vectorize
+
+    np = vectorize.np
+    if hasattr(chunks, "chunks"):
+        chunks = chunks.chunks
+    chunks = list(chunks)
+
+    regular_flags = []
+    if np is not None:
+        for chunk in chunks:
+            lengths = chunk.lengths
+            n = len(lengths)
+            flag = False
+            if n:
+                length = lengths[0]
+                stride = chunk.stride
+                if (stride is not None and length >= _MIN_CAPTURE
+                        and stride >= length):
+                    lengths_np = np.frombuffer(
+                        lengths, dtype=_LENGTH_DTYPES[lengths.itemsize]
+                    )
+                    flag = bool((lengths_np == length).all())
+            regular_flags.append(flag)
+    if np is None or not any(regular_flags):
+        return detect_replicas_columnar(
+            chunks,
+            min_ttl_delta=min_ttl_delta,
+            max_replica_gap=max_replica_gap,
+            eviction_interval=eviction_interval,
+            stats=stats,
+        )
+
+    stats = stats if stats is not None else ReplicaScanStats()
+    hash_parts = []
+    ts_parts = []
+    ok_parts = []
+    #: Per non-empty chunk: ("r", chunk, masked_matrix, ttl_column) or
+    #: ("i", chunk, keys_list, None).
+    infos: list[tuple] = []
+    chunk_starts: list[int] = []
+    #: record length -> ([global position], [key bytes]) for bulk
+    #: hashing of irregular records after the chunk loop.
+    pending: dict[int, tuple[list, list]] = {}
+    total = 0
+    skipped_short = 0
+
+    for chunk, flag in zip(chunks, regular_flags):
+        timestamps = chunk.timestamps
+        n = len(timestamps)
+        if not n:
+            continue
+        chunk_starts.append(total)
+        ts_parts.append(np.frombuffer(timestamps, dtype=np.float64, count=n))
+        offsets = chunk.offsets
+        lengths = chunk.lengths
+        if flag:
+            length = lengths[0]
+            stride = chunk.stride
+            first = offsets[0]
+            span = (n - 1) * stride + length
+            region = np.frombuffer(chunk.data, dtype=np.uint8,
+                                   offset=first, count=span)
+            rows = np.lib.stride_tricks.as_strided(
+                region, shape=(n, length), strides=(stride, 1)
+            )
+            # .copy() (not ascontiguousarray) — the region buffer is
+            # read-only and an already-contiguous view would be
+            # returned as-is.
+            masked = rows.copy()
+            ttls = masked[:, _TTL_OFFSET].copy()
+            masked[:, _TTL_OFFSET] = 0
+            masked[:, _CHECKSUM_OFFSET] = 0
+            masked[:, _CHECKSUM_OFFSET + 1] = 0
+            hash_parts.append(vectorize.hash_rows(masked))
+            ok_parts.append(np.ones(n, dtype=bool))
+            infos.append(("r", chunk, masked, ttls))
+        else:
+            view = memoryview(chunk.data)
+            keys: list = [None] * n
+            ok = np.zeros(n, dtype=bool)
+            scratch = bytearray(40)
+            for i in range(n):
+                length = lengths[i]
+                if length < _MIN_CAPTURE:
+                    skipped_short += 1
+                    continue
+                offset = offsets[i]
+                if len(scratch) != length:
+                    scratch = bytearray(length)
+                scratch[:] = view[offset:offset + length]
+                scratch[_TTL_OFFSET] = 0
+                scratch[_CHECKSUM_OFFSET] = 0
+                scratch[_CHECKSUM_OFFSET + 1] = 0
+                key = bytes(scratch)
+                keys[i] = key
+                ok[i] = True
+                bucket = pending.get(length)
+                if bucket is None:
+                    bucket = pending[length] = ([], [])
+                bucket[0].append(total + i)
+                bucket[1].append(key)
+            hash_parts.append(np.zeros(n, dtype=np.uint64))
+            ok_parts.append(ok)
+            infos.append(("i", chunk, keys, None))
+        total += n
+
+    stats.records_scanned += total
+    stats.records_skipped_short += skipped_short
+
+    hashes = np.concatenate(hash_parts)
+    ok_all = np.concatenate(ok_parts)
+    ts_all = np.concatenate(ts_parts)
+    for length, (positions, keys) in pending.items():
+        key_rows = np.frombuffer(
+            b"".join(keys), dtype=np.uint8
+        ).reshape(len(keys), length)
+        hashes[np.asarray(positions, dtype=np.intp)] = \
+            vectorize.hash_rows(key_rows)
+
+    _, inverse, counts = np.unique(
+        hashes, return_inverse=True, return_counts=True
+    )
+    keep = (counts[inverse] > 1) & ok_all
+    survivors = np.flatnonzero(keep)
+
+    if eviction_interval:
+        boundaries = np.arange(eviction_interval, total,
+                               eviction_interval, dtype=np.intp)
+        # A non-survivor on a boundary always singleton-inserts (its
+        # key is unique), so its eviction fires iff it is long enough
+        # to be scanned at all; survivor boundaries replay in pass 2.
+        static_events = boundaries[ok_all[boundaries] & ~keep[boundaries]]
+    else:
+        static_events = np.empty(0, dtype=np.intp)
+
+    starts = np.asarray(chunk_starts, dtype=np.intp)
+    surv_chunk = np.searchsorted(starts, survivors, side="right") - 1
+    surv_local = survivors - starts[surv_chunk]
+
+    singletons: dict[bytes, tuple] = {}
+    open_streams: dict[bytes, list[_OpenStream]] = {}
+    finished: list[ReplicaStream] = []
+    #: Eviction events that fired, as (position, horizon), in scan
+    #: order — replayed over the non-survivors afterwards.
+    fired: list[tuple[int, float]] = []
+    evicted = 0
+
+    def record_bytes(ci: int, li: int) -> bytes:
+        chunk = infos[ci][1]
+        offset = chunk.offsets[li]
+        return bytes(
+            memoryview(chunk.data)[offset:offset + chunk.lengths[li]]
+        )
+
+    static_list = static_events.tolist()
+    n_static = len(static_list)
+    si = 0
+    for g, ci, li in zip(survivors.tolist(), surv_chunk.tolist(),
+                         surv_local.tolist()):
+        while si < n_static and static_list[si] < g:
+            p = static_list[si]
+            horizon = float(ts_all[p]) - max_replica_gap
+            evicted += _evict_stale(singletons, open_streams, horizon,
+                                    finished)
+            fired.append((p, horizon))
+            si += 1
+        kind, chunk = infos[ci][0], infos[ci][1]
+        if kind == "r":
+            key = infos[ci][2][li].tobytes()
+            ttl = int(infos[ci][3][li])
+        else:
+            key = infos[ci][2][li]
+            ttl = chunk.data[chunk.offsets[li] + _TTL_OFFSET]
+        timestamp = chunk.timestamps[li]
+        indices = chunk.indices
+        index = indices[li] if indices is not None else chunk.base_index + li
+
+        streams = open_streams.get(key)
+        if streams is not None:
+            attached = False
+            for stream in reversed(streams):
+                last = stream.replicas[-1]
+                if (last.ttl - ttl >= min_ttl_delta
+                        and timestamp - last.timestamp <= max_replica_gap):
+                    stream.replicas.append(Replica(index, timestamp, ttl))
+                    attached = True
+                    break
+            if attached:
+                continue
+
+        previous = singletons.get(key)
+        if previous is not None:
+            prev_index, prev_time, prev_ttl, prev_ci, prev_li = previous
+            if (prev_ttl - ttl >= min_ttl_delta
+                    and timestamp - prev_time <= max_replica_gap):
+                open_streams.setdefault(key, []).append(_OpenStream(
+                    key=key,
+                    first_data=record_bytes(prev_ci, prev_li),
+                    replicas=[
+                        Replica(prev_index, prev_time, prev_ttl),
+                        Replica(index, timestamp, ttl),
+                    ],
+                ))
+                del singletons[key]
+                continue
+        singletons[key] = (index, timestamp, ttl, ci, li)
+
+        if eviction_interval and g and g % eviction_interval == 0:
+            horizon = timestamp - max_replica_gap
+            evicted += _evict_stale(singletons, open_streams, horizon,
+                                    finished)
+            fired.append((g, horizon))
+
+    while si < n_static:
+        p = static_list[si]
+        horizon = float(ts_all[p]) - max_replica_gap
+        evicted += _evict_stale(singletons, open_streams, horizon, finished)
+        fired.append((p, horizon))
+        si += 1
+
+    if fired:
+        # Each non-survivor singleton (never materialized) is evicted by
+        # the first fired event after its insertion whose horizon passes
+        # its timestamp — count them without ever building the dict.
+        ns_pos = np.flatnonzero(ok_all & ~keep)
+        if len(ns_pos):
+            ns_ts = ts_all[ns_pos]
+            ns_evicted = np.zeros(len(ns_pos), dtype=bool)
+            for p, horizon in fired:
+                newly = ~ns_evicted & (ns_pos < p) & (ns_ts < horizon)
+                count = int(newly.sum())
+                if count:
+                    evicted += count
+                    ns_evicted |= newly
+
+    for streams in open_streams.values():
+        for stream in streams:
+            finished.append(_finalize(stream))
+
+    stats.singletons_evicted += evicted
+    finished.sort(key=stream_sort_key)
+    stats.candidate_streams = len(finished)
+    return finished
+
+
 def stream_sort_key(stream: ReplicaStream) -> tuple[float, int]:
     """Total order on streams: start time, ties broken by the first
     replica's record index (unique across streams).  Shared by the offline

@@ -1,0 +1,118 @@
+"""numpy building blocks for the vectorized step-1 kernel tier.
+
+Everything here is optional: the module imports cleanly without numpy
+(``np`` is then ``None`` and ``HAVE_NUMPY`` is ``False``), and every
+caller — the vectorized kernel, the columnar shard partition — falls
+back to its pure-python path when numpy is absent.  Nothing outside
+this module imports numpy directly, so "does the repo work without
+numpy" is checkable by uninstalling it and running the tier-equivalence
+suite (CI does exactly that).
+
+Two primitives live here:
+
+* :func:`hash_rows` — a per-row 64-bit hash of a 2-D ``uint8`` array,
+  used by the vectorized kernel's duplicate filter.  Each row is padded
+  to a multiple of 8 bytes, viewed as ``uint64`` words, and dotted with
+  a fixed table of random odd weights (mod 2**64).  Equal rows always
+  hash equal — that is the property the filter's correctness rests on;
+  collisions merely cost a little pass-2 work (see
+  :func:`~repro.core.replica.detect_replicas_vectorized`).
+* :func:`crc32_rows` — table-driven CRC-32 over the rows, bit-identical
+  to :func:`zlib.crc32` per row, vectorized across rows one byte-column
+  at a time.  Used for chunk-level shard assignment, where placement
+  must match the scalar ``crc32(scratch)`` loop exactly.
+"""
+
+from __future__ import annotations
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None  # type: ignore[assignment]
+
+HAVE_NUMPY = np is not None
+
+#: Seed of the hash weight table.  The hash is process-internal (it
+#: never crosses a process boundary and nothing observable depends on
+#: its values), but a fixed seed keeps runs reproducible under perf
+#: tooling.
+_WEIGHT_SEED = 0x51F15EED
+
+#: Weights are grown in fixed blocks, each derived from its own seeded
+#: generator, so extending the table for a longer record NEVER changes
+#: the weights already handed out — two hashes of the same bytes must
+#: agree even when one was computed before the table grew.
+_WEIGHT_BLOCK = 64
+
+_weights = np.empty(0, dtype=np.uint64) if HAVE_NUMPY else None
+
+_crc_table = None
+
+
+def hash_weights(words: int):
+    """The first ``words`` hash weights (odd uint64s), growing the
+    shared table block by block as needed."""
+    global _weights
+    while len(_weights) < words:
+        block_id = len(_weights) // _WEIGHT_BLOCK
+        rng = np.random.default_rng(_WEIGHT_SEED + block_id)
+        block = rng.integers(0, 1 << 63, _WEIGHT_BLOCK, dtype=np.uint64)
+        _weights = np.concatenate([_weights, block * np.uint64(2)
+                                   + np.uint64(1)])
+    return _weights[:words]
+
+
+def hash_rows(rows):
+    """Per-row 64-bit hashes of a C-contiguous ``(n, length)`` uint8
+    array.  Equal rows hash equal; the row length participates via the
+    word count, and rows of different lengths are never compared by the
+    callers anyway (different lengths mean different keys)."""
+    n, length = rows.shape
+    padded_len = (length + 7) & ~7
+    if padded_len != length:
+        padded = np.zeros((n, padded_len), dtype=np.uint8)
+        padded[:, :length] = rows
+    else:
+        padded = np.ascontiguousarray(rows)
+    words = padded.view(np.uint64)
+    weights = hash_weights(words.shape[1])
+    # Element-wise multiply + sum keeps everything in wrapping uint64
+    # arithmetic (matmul would not).
+    return (words * weights).sum(axis=1, dtype=np.uint64)
+
+
+def hash_row_bytes(key) -> int:
+    """:func:`hash_rows` of one record's bytes (irregular-chunk path)."""
+    row = np.frombuffer(key, dtype=np.uint8).reshape(1, -1)
+    return int(hash_rows(row)[0])
+
+
+def crc32_table():
+    """The reflected CRC-32 (poly 0xEDB88320) byte table as uint32."""
+    global _crc_table
+    if _crc_table is None:
+        table = np.empty(256, dtype=np.uint32)
+        for i in range(256):
+            crc = i
+            for _ in range(8):
+                crc = (crc >> 1) ^ (0xEDB88320 if crc & 1 else 0)
+            table[i] = crc
+        _crc_table = table
+    return _crc_table
+
+
+def crc32_rows(rows):
+    """CRC-32 of each row of a ``(n, length)`` uint8 array.
+
+    Bit-identical to ``zlib.crc32(row)`` (same polynomial, init and
+    final xor), computed for all rows at once, one byte-column per
+    step — n-wide vector operations instead of n Python-level calls.
+    """
+    table = crc32_table()
+    n, length = rows.shape
+    crc = np.full(n, 0xFFFFFFFF, dtype=np.uint32)
+    mask = np.uint32(0xFF)
+    shift = np.uint32(8)
+    for column in range(length):
+        crc = (crc >> shift) ^ table[(crc ^ rows[:, column]) & mask]
+    return crc ^ np.uint32(0xFFFFFFFF)

@@ -27,6 +27,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.core.replica import resolve_kernel
 from repro.core.streaming import StreamingLoopDetector
 from repro.fleet.config import LinkConfig
 from repro.fleet.sources import build_source
@@ -158,6 +159,14 @@ class LinkPipeline:
         state = current.monitor.state()
         state["id"] = self.config.id
         state["source"] = self.config.source.describe()
+        # The streaming chain itself is per-record (tier-independent
+        # output); the kernel knob is surfaced so operators can see what
+        # any batch re-analysis of this link would run.
+        detector_state = state.setdefault("detector", {})
+        detector_state["kernel"] = self.config.detector.kernel
+        detector_state["resolved_kernel"] = resolve_kernel(
+            self.config.detector.kernel
+        )
         state["run"] = {
             "started_at": current.started_at,
             "finished": current.finished,

@@ -23,6 +23,16 @@
 bounded-memory :func:`~repro.net.pcap.iter_pcap_chunks` reader, building
 the prefix index incrementally instead of materializing a whole
 :class:`~repro.net.trace.Trace`.
+
+Columnar fan-out crosses the process boundary through ONE
+``multiprocessing.shared_memory`` segment when a pool actually runs:
+the parent lays out every shard's slab and columns back to back
+(:meth:`~repro.parallel.shard.ColumnarShardPartition.shm_layout`),
+writes the segment once, and ships only per-shard offset descriptors —
+a few dozen pickled bytes per worker instead of megabytes of slab.
+Workers attach read-only and chain straight off the mapping; the parent
+unlinks the segment in a ``finally`` so it cannot outlive the run, even
+on a worker crash or ``KeyboardInterrupt``.
 """
 
 from __future__ import annotations
@@ -30,6 +40,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from multiprocessing.shared_memory import SharedMemory
 from pathlib import Path
 
 from repro.core.detector import DetectionResult, DetectorConfig
@@ -38,8 +49,8 @@ from repro.core.replica import (
     Replica,
     ReplicaScanStats,
     ReplicaStream,
-    detect_replicas_columnar,
     detect_replicas_indexed,
+    detect_replicas_with_kernel,
     stream_sort_key,
 )
 from repro.core.report import format_table
@@ -91,6 +102,9 @@ class ParallelStats:
     wall_seconds: float = 0.0
     shard_skew: float = 1.0
     fanout_bytes: int = 0
+    #: Bytes handed to workers through the shared-memory segment (0 when
+    #: the run pickled its payloads: in-process runs, tuple-list shards).
+    shm_bytes: int = 0
     per_shard: list[ShardRunStats] = field(default_factory=list)
 
     @property
@@ -109,7 +123,9 @@ class ParallelStats:
             f"merge {self.merge_seconds:.3f})",
             f"throughput: {self.records_per_sec:,.0f} records/s",
             f"shard skew: {self.shard_skew:.2f}x",
-            f"fan-out payload: {self.fanout_bytes:,} bytes",
+            f"fan-out payload: {self.fanout_bytes:,} bytes"
+            + (f" ({self.shm_bytes:,} via shared memory)"
+               if self.shm_bytes else ""),
         ]
         if self.per_shard:
             lines.append(format_table(
@@ -189,22 +205,98 @@ def _detect_shard_columnar(
     payload: tuple[int, bytes, object, object, DetectorConfig],
 ) -> tuple[int, list[ReplicaStream], ReplicaScanStats, float]:
     """Columnar worker entry point: chain one shard's slab with the
-    batched kernel.  The payload crossed the process boundary as three
-    pickled buffers (slab, timestamps, lengths), not per-record tuples;
-    the returned streams carry *local* shard positions as replica
-    indices, remapped to trace-global numbers by the parent."""
+    kernel tier ``config.kernel`` selects.  The payload crossed the
+    process boundary as three pickled buffers (slab, timestamps,
+    lengths), not per-record tuples; the returned streams carry *local*
+    shard positions as replica indices, remapped to trace-global numbers
+    by the parent."""
     shard_id, slab, timestamps, lengths, config = payload
     stats = ReplicaScanStats()
     started = time.perf_counter()
     chunk = rebuild_shard_chunk(slab, timestamps, lengths)
-    streams = detect_replicas_columnar(
+    streams = detect_replicas_with_kernel(
         [chunk],
+        kernel=config.kernel,
         min_ttl_delta=config.min_ttl_delta,
         max_replica_gap=config.max_replica_gap,
         eviction_interval=config.eviction_interval,
         stats=stats,
     )
     return shard_id, streams, stats, time.perf_counter() - started
+
+
+def _attach_shm(name: str) -> SharedMemory:
+    """Attach to the parent's segment without adopting ownership.
+
+    The parent is the sole owner of the unlink; a worker that lets the
+    resource tracker register the mapping would have the tracker unlink
+    it a second time (warning noise) or, worse, while another worker is
+    still attached.  Python 3.13 has ``track=False`` for exactly this;
+    on older runtimes attach registers unconditionally, so the
+    registration is reverted by hand."""
+    try:
+        return SharedMemory(name=name, create=False, track=False)
+    except TypeError:  # Python < 3.13: no track= parameter
+        shm = SharedMemory(name=name, create=False)
+        import multiprocessing
+
+        if multiprocessing.get_start_method(allow_none=True) != "fork":
+            # Spawned workers run their own tracker, which would unlink
+            # the segment when the worker exits — revert its adoption.
+            # Forked workers share the parent's tracker (a set keyed by
+            # name, so the attach-time re-register was a no-op) and an
+            # unregister here would clobber the parent's entry instead.
+            try:
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:  # pragma: no cover - tracker moved
+                pass
+        return shm
+
+
+def _chain_shm_shard(buf, payload):
+    """Chain one shard straight off the shared mapping.
+
+    Separate frame on purpose: every view of ``buf`` created here is a
+    local, so by the time the caller closes the mapping the exports are
+    gone.  Nothing that leaves this frame references the buffer — stream
+    keys and first-replica bytes are copies by kernel contract."""
+    (_, shard_id, slab_off, slab_len, ts_off, count, len_off,
+     typecode, config) = payload
+    stats = ReplicaScanStats()
+    started = time.perf_counter()
+    slab = buf[slab_off:slab_off + slab_len]
+    timestamps = buf[ts_off:ts_off + 8 * count].cast("d")
+    itemsize = 2 if typecode == "H" else 4
+    lengths = buf[len_off:len_off + itemsize * count].cast(typecode)
+    chunk = rebuild_shard_chunk(slab, timestamps, lengths)
+    streams = detect_replicas_with_kernel(
+        [chunk],
+        kernel=config.kernel,
+        min_ttl_delta=config.min_ttl_delta,
+        max_replica_gap=config.max_replica_gap,
+        eviction_interval=config.eviction_interval,
+        stats=stats,
+    )
+    return shard_id, streams, stats, time.perf_counter() - started
+
+
+def _detect_shard_columnar_shm(
+    payload,
+) -> tuple[int, list[ReplicaStream], ReplicaScanStats, float]:
+    """Shared-memory worker entry point: the payload is a segment name
+    plus one :meth:`~repro.parallel.shard.ColumnarShardPartition.
+    shm_layout` descriptor — offsets into the parent's single segment
+    instead of the slab bytes themselves."""
+    shm = _attach_shm(payload[0])
+    try:
+        return _chain_shm_shard(shm.buf, payload)
+    finally:
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - exception pinned a view
+            pass
 
 
 class ParallelLoopDetector:
@@ -222,6 +314,7 @@ class ParallelLoopDetector:
         shards: int | None = None,
         tracer=NULL_TRACER,
         columnar: bool = False,
+        shared_memory: bool = True,
     ) -> None:
         if jobs < 1:
             raise ParallelError(f"jobs must be >= 1: {jobs}")
@@ -235,8 +328,18 @@ class ParallelLoopDetector:
         #: reader and fans out slab payloads (:class:`~repro.parallel.
         #: shard.ColumnarShardPartition`) instead of tuple lists.
         self.columnar = columnar
+        #: Escape hatch: when False, columnar fan-out always pickles its
+        #: payloads even when a pool runs (e.g. on a /dev/shm-less
+        #: platform).  Results are identical either way.
+        self.shared_memory = shared_memory
+        #: Name of the most recent run's shared segment (None until a
+        #: shared-memory fan-out has run).  The segment itself is
+        #: unlinked before the run returns; the name exists so tests can
+        #: assert exactly that.
+        self.last_shm_name: str | None = None
         #: Stats of the most recent run, published by the pull collector.
         self.last_stats: ParallelStats | None = None
+        self._last_shm_bytes = 0
 
     # -- entry points ---------------------------------------------------------
 
@@ -417,6 +520,7 @@ class ParallelLoopDetector:
             wall_seconds=time.perf_counter() - started,
             shard_skew=partition.skew,
             fanout_bytes=partition.fanout_bytes,
+            shm_bytes=self._last_shm_bytes,
             per_shard=per_shard,
         )
         self.last_stats = stats
@@ -483,6 +587,7 @@ class ParallelLoopDetector:
                 "records_per_sec": stats.records_per_sec,
                 "shard_skew": stats.shard_skew,
                 "fanout_bytes": stats.fanout_bytes,
+                "shm_bytes": stats.shm_bytes,
                 "per_shard": [
                     {
                         "shard_id": shard.shard_id,
@@ -521,6 +626,10 @@ class ParallelLoopDetector:
             "parallel_fanout_bytes",
             "Nominal worker fan-out payload bytes of the last run",
         ).set(stats.fanout_bytes)
+        registry.gauge(
+            "parallel_shm_bytes",
+            "Fan-out bytes carried by shared memory in the last run",
+        ).set(stats.shm_bytes)
         for label, seconds in (
             ("partition", stats.partition_seconds),
             ("detect", stats.detect_seconds),
@@ -535,8 +644,17 @@ class ParallelLoopDetector:
     def _run_shards(
         self, partition: ShardPartition | ColumnarShardPartition
     ) -> list[tuple[int, list[ReplicaStream], ReplicaScanStats, float]]:
+        self._last_shm_bytes = 0
         columnar = isinstance(partition, ColumnarShardPartition)
         if columnar:
+            if self.shared_memory and self.jobs > 1:
+                total_bytes, descriptors = partition.shm_layout(self.config)
+                if len(descriptors) > 1:
+                    outputs = self._run_shards_shm(
+                        partition, total_bytes, descriptors
+                    )
+                    self._remap_columnar(partition, outputs)
+                    return outputs
             payloads = partition.payloads(self.config)
             worker = _detect_shard_columnar
         else:
@@ -555,15 +673,43 @@ class ParallelLoopDetector:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 outputs = list(pool.map(worker, payloads))
         if columnar:
-            # Workers chained by local shard position; restore the
-            # trace-global record numbers from the kept index column.
-            # Only stream members (rare) are touched.
-            for shard_id, streams, _, _ in outputs:
-                mapping = partition.shard_global_indices(shard_id)
-                for stream in streams:
-                    stream.replicas = [
-                        Replica(index=mapping[r.index],
-                                timestamp=r.timestamp, ttl=r.ttl)
-                        for r in stream.replicas
-                    ]
+            self._remap_columnar(partition, outputs)
         return outputs
+
+    def _run_shards_shm(
+        self, partition: ColumnarShardPartition, total_bytes: int,
+        descriptors: list[tuple],
+    ) -> list[tuple[int, list[ReplicaStream], ReplicaScanStats, float]]:
+        """Pool fan-out through one shared segment: write once in the
+        parent, ship descriptors, unlink no matter how the pool ends —
+        a crashed worker (``BrokenProcessPool``) or a ``Ctrl-C`` must
+        not leak a ``/dev/shm`` segment."""
+        shm = SharedMemory(create=True, size=total_bytes)
+        self.last_shm_name = shm.name
+        try:
+            partition.write_shm(shm.buf, descriptors)
+            self._last_shm_bytes = partition.fanout_bytes
+            payloads = [(shm.name, *descriptor) for descriptor in descriptors]
+            workers = min(self.jobs, len(payloads))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(_detect_shard_columnar_shm, payloads))
+        finally:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    @staticmethod
+    def _remap_columnar(partition: ColumnarShardPartition, outputs) -> None:
+        # Workers chained by local shard position; restore the
+        # trace-global record numbers from the kept index column.
+        # Only stream members (rare) are touched.
+        for shard_id, streams, _, _ in outputs:
+            mapping = partition.shard_global_indices(shard_id)
+            for stream in streams:
+                stream.replicas = [
+                    Replica(index=mapping[r.index],
+                            timestamp=r.timestamp, ttl=r.ttl)
+                    for r in stream.replicas
+                ]

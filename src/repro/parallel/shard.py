@@ -114,12 +114,14 @@ class ShardPartition:
         """Largest shard over the mean shard size (1.0 = perfectly even).
 
         High skew means one hot key dominates and caps the parallel
-        speedup; it is reported in the engine's instrumentation.
+        speedup; it is reported in the engine's instrumentation.  An
+        empty partition reports 0.0 — "no skew observed" — rather than
+        pretending to be perfectly balanced.
         """
         sizes = self.shard_sizes
         total = sum(sizes)
         if not total:
-            return 1.0
+            return 0.0
         return max(sizes) / (total / len(sizes))
 
 
@@ -181,7 +183,16 @@ class ColumnarShardPartition:
     def add_chunk(self, chunk: ColumnarChunk) -> None:
         """Route one columnar chunk's records to their shards (call in
         trace order).  Record bodies are copied straight from the chunk's
-        data slab into the shard slabs — no intermediate ``bytes``."""
+        data slab into the shard slabs — no intermediate ``bytes``.
+
+        Regular chunks (declared stride, uniform record length) take a
+        chunk-level vectorized pass when numpy is available: the whole
+        chunk is masked with three column assignments and hashed with
+        :func:`~repro.core.vectorize.crc32_rows` — bit-identical to the
+        per-record ``crc32(scratch)`` loop, so placement never depends
+        on which path ran."""
+        if self._add_chunk_vectorized(chunk):
+            return
         view = memoryview(chunk.data)
         offsets = chunk.offsets
         timestamps = chunk.timestamps
@@ -221,6 +232,74 @@ class ColumnarShardPartition:
         self.records_total += total
         self.records_short += short
 
+    def _add_chunk_vectorized(self, chunk: ColumnarChunk) -> bool:
+        """Chunk-level shard assignment for regular chunks.  Returns
+        False when the chunk needs the per-record path (irregular
+        layout, sub-IP-header records, or no numpy)."""
+        from repro.core import vectorize
+
+        np = vectorize.np
+        if np is None:
+            return False
+        lengths = chunk.lengths
+        n = len(lengths)
+        if not n:
+            return True
+        length = lengths[0]
+        stride = chunk.stride
+        if stride is None or length < MIN_CAPTURE or stride < length:
+            return False
+        lengths_np = np.frombuffer(
+            lengths, dtype={2: "u2", 4: "u4", 8: "u8"}[lengths.itemsize]
+        )
+        if not bool((lengths_np == length).all()):
+            return False
+
+        offsets = chunk.offsets
+        first = offsets[0]
+        span = (n - 1) * stride + length
+        region = np.frombuffer(chunk.data, dtype=np.uint8,
+                               offset=first, count=span)
+        rows = np.lib.stride_tricks.as_strided(
+            region, shape=(n, length), strides=(stride, 1)
+        )
+        num_shards = self.num_shards
+        if num_shards > 1:
+            masked = rows.copy()
+            masked[:, _TTL_OFFSET] = 0
+            masked[:, _CHECKSUM_OFFSET] = 0
+            masked[:, _CHECKSUM_OFFSET + 1] = 0
+            shards = vectorize.crc32_rows(masked) % np.uint32(num_shards)
+        ts_np = np.frombuffer(chunk.timestamps, dtype=np.float64, count=n)
+        indices = chunk.indices
+        if indices is not None:
+            idx_np = np.frombuffer(indices, dtype=np.uint64, count=n)
+        else:
+            idx_np = np.arange(chunk.base_index, chunk.base_index + n,
+                               dtype=np.uint64)
+        for shard in range(num_shards):
+            if num_shards > 1:
+                selected = np.flatnonzero(shards == shard)
+                if not len(selected):
+                    continue
+                count = len(selected)
+                body = rows[selected]
+                self._indices[shard].frombytes(idx_np[selected].tobytes())
+                self._timestamps[shard].frombytes(
+                    ts_np[selected].tobytes()
+                )
+            else:
+                count = n
+                body = rows
+                self._indices[shard].frombytes(idx_np.tobytes())
+                self._timestamps[shard].frombytes(ts_np.tobytes())
+            self._slabs[shard] += body.tobytes()
+            self._lengths[shard].frombytes(
+                np.full(count, length, dtype=np.uint32).tobytes()
+            )
+        self.records_total += n
+        return True
+
     def payloads(
         self, config
     ) -> list[tuple[int, bytes, array, array, object]]:
@@ -247,6 +326,57 @@ class ColumnarShardPartition:
             payloads.append((shard_id, slab, timestamps, lengths, config))
         self._payload_bytes = total
         return payloads
+
+    def shm_layout(self, config) -> tuple[int, list[tuple]]:
+        """Plan one shared-memory segment holding every non-empty
+        shard's slab and columns back to back.
+
+        Returns ``(total_bytes, descriptors)``; each descriptor is
+        ``(shard_id, slab_off, slab_len, ts_off, count, len_off,
+        len_typecode, config)`` — everything a worker needs besides the
+        segment name.  The descriptors *are* the pickled fan-out
+        payload: a few scalars per shard instead of megabytes of slab
+        bytes.  Column regions are 8-byte aligned so workers can
+        ``cast``/``frombuffer`` them in place."""
+        descriptors = []
+        cursor = 0
+        for shard_id in range(self.num_shards):
+            lengths = self._lengths[shard_id]
+            count = len(lengths)
+            if not count:
+                continue
+            typecode = "H" if max(lengths) < 65536 else "I"
+            itemsize = 2 if typecode == "H" else 4
+            slab_off = cursor
+            slab_len = len(self._slabs[shard_id])
+            cursor = (cursor + slab_len + 7) & ~7
+            ts_off = cursor
+            cursor += 8 * count
+            len_off = cursor
+            cursor = (cursor + itemsize * count + 7) & ~7
+            descriptors.append((shard_id, slab_off, slab_len, ts_off,
+                                count, len_off, typecode, config))
+        return cursor, descriptors
+
+    def write_shm(self, buf, descriptors) -> None:
+        """Write every planned shard region into ``buf`` — the parent's
+        single write of the shared segment.  Also fixes
+        :attr:`fanout_bytes` to the exact byte volume handed to
+        workers, mirroring :meth:`payloads`."""
+        total = 0
+        for (shard_id, slab_off, slab_len, ts_off, count, len_off,
+                typecode, _config) in descriptors:
+            buf[slab_off:slab_off + slab_len] = self._slabs[shard_id]
+            buf[ts_off:ts_off + 8 * count] = \
+                memoryview(self._timestamps[shard_id]).cast("B")
+            lengths = self._lengths[shard_id]
+            if typecode != lengths.typecode:
+                lengths = array(typecode, lengths)
+            itemsize = lengths.itemsize
+            buf[len_off:len_off + itemsize * count] = \
+                memoryview(lengths).cast("B")
+            total += slab_len + 8 * count + itemsize * count
+        self._payload_bytes = total
 
     def shard_global_indices(self, shard_id: int) -> array:
         """The trace-global record index of each of ``shard_id``'s
@@ -275,11 +405,12 @@ class ColumnarShardPartition:
     @property
     def skew(self) -> float:
         """Largest shard over the mean shard size (1.0 = perfectly even),
-        same definition as :attr:`ShardPartition.skew`."""
+        same definition (including 0.0 on an empty partition) as
+        :attr:`ShardPartition.skew`."""
         sizes = self.shard_sizes
         total = sum(sizes)
         if not total:
-            return 1.0
+            return 0.0
         return max(sizes) / (total / len(sizes))
 
 

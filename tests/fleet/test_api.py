@@ -107,6 +107,9 @@ class TestEndpoints:
         assert state["task"]["state"] == "stopped"
         assert state["run"]["loops"] == state["detector"]["stats"][
             "loops_emitted"]
+        assert state["detector"]["kernel"] == "auto"
+        assert state["detector"]["resolved_kernel"] in (
+            "columnar", "vectorized")
 
     def test_per_link_dashboard_and_metrics(self, fleet):
         _, server = fleet

@@ -126,6 +126,18 @@ class TestFleetConfig:
         assert not link.detector.check_prefix_consistency
         assert not link.detector.check_gap_consistency
 
+    def test_detector_kernel_override(self):
+        data = minimal()
+        data["links"][0]["detector"] = {"kernel": "columnar"}
+        link = FleetConfig.from_dict(data).links[0]
+        assert link.detector.kernel == "columnar"
+
+    def test_detector_bad_kernel_rejected(self):
+        data = minimal()
+        data["links"][0]["detector"] = {"kernel": "simd"}
+        with pytest.raises(FleetConfigError, match="kernel"):
+            FleetConfig.from_dict(data)
+
     def test_bad_restart_policy_rejected(self):
         data = minimal()
         data["fleet"] = {"restart": {"backoff_base": -1.0}}

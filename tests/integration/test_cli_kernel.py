@@ -1,0 +1,97 @@
+"""CLI-level kernel-tier parity: --kernel never changes the answer.
+
+Every tier (and the parallel engine on top of the shared-memory
+fan-out) must print byte-identical JSON — the tier picks an
+implementation, not a result.  Plus flag semantics: an explicit
+--kernel overrides the --columnar ingest default.
+"""
+
+import random
+
+import pytest
+
+from repro.cli import main
+from repro.core.replica import KERNEL_TIERS
+from repro.net.addr import IPv4Prefix
+from repro.net.pcap import write_pcap
+from repro.traffic.synthetic import SyntheticTraceBuilder
+
+
+@pytest.fixture(scope="module")
+def loop_pcap(tmp_path_factory):
+    builder = SyntheticTraceBuilder(rng=random.Random(0))
+    builder.add_background(150, 0.0, 30.0,
+                           prefixes=[IPv4Prefix.parse("198.51.100.0/24")])
+    builder.add_loop(5.0, IPv4Prefix.parse("192.0.2.0/24"), n_packets=2,
+                     replicas_per_packet=5, spacing=0.01, entry_ttl=40)
+    path = tmp_path_factory.mktemp("cli_kernel") / "loop.pcap"
+    write_pcap(builder.build(), path)
+    return path
+
+
+def _run(capsys, argv):
+    code = main(argv)
+    out = capsys.readouterr().out
+    assert code == 0, out
+    return out
+
+
+class TestKernelParity:
+    def test_json_identical_across_tiers(self, loop_pcap, capsys):
+        outputs = {
+            tier: _run(capsys, ["detect", str(loop_pcap), "--json",
+                                "--kernel", tier])
+            for tier in KERNEL_TIERS
+        }
+        assert len(set(outputs.values())) == 1
+        assert '"loops"' in outputs["auto"]
+
+    def test_json_identical_with_parallel_shm_fanout(self, loop_pcap,
+                                                     capsys):
+        import json
+
+        single = json.loads(_run(capsys, ["detect", str(loop_pcap),
+                                          "--json",
+                                          "--kernel", "reference"]))
+        parallel = json.loads(_run(capsys, ["detect", str(loop_pcap),
+                                            "--json",
+                                            "--kernel", "vectorized",
+                                            "--jobs", "2"]))
+        # The parallel run adds wall-clock gauges and stamps the link
+        # name; every detection key must match byte for byte.
+        for key in single:
+            if key in ("metrics", "trace"):
+                continue
+            assert parallel[key] == single[key], key
+        single["trace"].pop("link")
+        parallel["trace"].pop("link")
+        assert parallel["trace"] == single["trace"]
+
+    def test_summary_identical_across_tiers(self, loop_pcap, capsys):
+        outputs = {
+            tier: _run(capsys, ["detect", str(loop_pcap),
+                                "--kernel", tier])
+            for tier in ("reference", "columnar", "vectorized")
+        }
+        assert len(set(outputs.values())) == 1
+        assert "routing loops: 1" in outputs["reference"]
+
+    def test_kernel_overrides_columnar_flag(self, loop_pcap, capsys):
+        # --no-columnar alone means the reference path; an explicit
+        # --kernel wins over it and still prints the same answer.
+        reference = _run(capsys, ["detect", str(loop_pcap), "--json",
+                                  "--no-columnar"])
+        overridden = _run(capsys, ["detect", str(loop_pcap), "--json",
+                                   "--no-columnar",
+                                   "--kernel", "vectorized"])
+        assert overridden == reference
+
+    def test_rejects_unknown_tier(self, loop_pcap, capsys):
+        with pytest.raises(SystemExit):
+            main(["detect", str(loop_pcap), "--kernel", "simd"])
+        capsys.readouterr()
+
+    def test_monitor_accepts_kernel(self, loop_pcap, capsys):
+        out = _run(capsys, ["monitor", str(loop_pcap), "--no-dashboard",
+                            "--kernel", "auto"])
+        assert "routing loops:" in out

@@ -4,9 +4,12 @@ import random
 
 import pytest
 
+from repro.core import vectorize
 from repro.core.replica import mask_mutable_fields
+from repro.net.columnar import ColumnarChunk
 from repro.parallel.shard import (
     MIN_CAPTURE,
+    ColumnarShardPartition,
     ShardError,
     ShardPartition,
     assign_shard,
@@ -105,8 +108,8 @@ class TestShardPartition:
             indices = [index for index, _, _ in shard]
             assert indices == sorted(indices)
 
-    def test_skew_of_empty_partition_is_one(self):
-        assert ShardPartition(num_shards=4).skew == 1.0
+    def test_skew_of_empty_partition_is_zero(self):
+        assert ShardPartition(num_shards=4).skew == 0.0
 
     def test_skew_detects_hot_shard(self):
         partition = ShardPartition(num_shards=2)
@@ -117,3 +120,81 @@ class TestShardPartition:
 
     def test_min_capture_matches_detector_threshold(self):
         assert MIN_CAPTURE == 20
+
+
+def _record_set(seed=0, count=300, lengths=(40,)):
+    rng = random.Random(seed)
+    records = []
+    for i in range(count):
+        if records and rng.random() < 0.3:
+            body = bytearray(rng.choice(records)[2])
+            body[8] = rng.randrange(256)
+            body = bytes(body)
+        else:
+            body = rng.randbytes(rng.choice(lengths))
+        records.append((i, i * 0.01, body))
+    return records
+
+
+class TestColumnarShardPartition:
+    def test_skew_of_empty_partition_is_zero(self):
+        assert ColumnarShardPartition(num_shards=4).skew == 0.0
+
+    def _fill(self, num_shards, records, chunk_records=64):
+        from repro.net.trace import TraceRecord
+
+        partition = ColumnarShardPartition(num_shards=num_shards)
+        for start in range(0, len(records), chunk_records):
+            batch = records[start:start + chunk_records]
+            chunk = ColumnarChunk.from_records(
+                [TraceRecord(timestamp=t, data=d, wire_length=len(d))
+                 for _, t, d in batch],
+                base_index=start,
+            )
+            partition.add_chunk(chunk)
+        return partition
+
+    @pytest.mark.parametrize("num_shards", [1, 3, 4])
+    def test_vectorized_placement_matches_scalar(
+        self, num_shards, monkeypatch
+    ):
+        pytest.importorskip("numpy", exc_type=ImportError)
+        records = _record_set()
+        fast = self._fill(num_shards, records)
+        monkeypatch.setattr(vectorize, "np", None)
+        slow = self._fill(num_shards, records)
+        assert fast.shard_sizes == slow.shard_sizes
+        for shard in range(num_shards):
+            assert bytes(fast._slabs[shard]) == bytes(slow._slabs[shard])
+            assert fast._indices[shard] == slow._indices[shard]
+            assert fast._timestamps[shard] == slow._timestamps[shard]
+            assert list(fast._lengths[shard]) == list(slow._lengths[shard])
+
+    def test_mixed_lengths_take_scalar_path_with_same_result(
+        self, monkeypatch
+    ):
+        # Irregular chunks (no uniform stride) must fall back to the
+        # per-record loop — and land every record identically.
+        records = _record_set(seed=3, lengths=(20, 28, 40))
+        fast = self._fill(4, records)
+        monkeypatch.setattr(vectorize, "np", None)
+        slow = self._fill(4, records)
+        assert fast.shard_sizes == slow.shard_sizes
+        for shard in range(4):
+            assert bytes(fast._slabs[shard]) == bytes(slow._slabs[shard])
+
+    def test_placement_matches_assign_contract(self):
+        # Chunk-level CRC placement groups replicas exactly like the
+        # per-record zlib.crc32 of the masked bytes.
+        from zlib import crc32
+
+        records = _record_set(seed=5)
+        partition = self._fill(4, records)
+        by_shard = {s: set(partition._indices[s]) for s in range(4)}
+        for index, _, data in records:
+            masked = bytearray(data)
+            masked[8] = 0
+            masked[10] = 0
+            masked[11] = 0
+            expected = crc32(bytes(masked)) % 4
+            assert index in by_shard[expected]
