@@ -1,0 +1,40 @@
+"""Benchmark provenance: machine-readable ``BENCH_<name>.json`` runs.
+
+Benchmarks that matter over time (throughput, overhead) call
+:func:`emit_bench` alongside their human-readable ``emit`` output.  Each
+call writes one ``repro-bench/1`` document (see
+:mod:`repro.obs.perf`) under ``benchmarks/output/`` — metric values,
+an optional per-stage timing breakdown, and the environment fingerprint
+(python, numpy, CPU count, git sha) that makes a number comparable to
+another run.  CI uploads the documents as artifacts and diffs them
+against the committed baselines in ``benchmarks/baselines/`` with::
+
+    repro-loops perf compare benchmarks/baselines/BENCH_x.json \
+        benchmarks/output/BENCH_x.json
+
+Exit 1 (regression beyond threshold) warns; exit 2 (schema mismatch)
+fails the job.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from repro.obs.perf import bench_document, write_bench
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def metric(value: float, unit: str,
+           higher_is_better: bool = True) -> dict[str, Any]:
+    """One ``metrics`` entry for :func:`emit_bench`."""
+    return {"value": float(value), "unit": unit,
+            "higher_is_better": higher_is_better}
+
+
+def emit_bench(name: str, metrics: dict[str, dict[str, Any]],
+               stages: dict[str, float] | None = None) -> Path:
+    """Write ``benchmarks/output/BENCH_<name>.json`` and return its path."""
+    doc = bench_document(name, metrics, stages=stages)
+    return write_bench(OUTPUT_DIR / f"BENCH_{name}.json", doc)

@@ -5,11 +5,13 @@ analysis feasible on multi-hour OC-12 traces: detection is a linear
 scan.  Benchmarks each pipeline stage on a 100k-record synthetic trace.
 """
 
+import gc
 import random
 import time
 
 import pytest
 
+from provenance import emit_bench, metric
 from repro.core.detector import LoopDetector
 from repro.core.replica import (
     detect_replicas,
@@ -20,6 +22,8 @@ from repro.core.report import format_table
 from repro.core.streams import PrefixIndex, validate_streams
 from repro.net.addr import IPv4Prefix
 from repro.net.pcap import read_pcap, read_pcap_columnar, write_pcap
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.perf import PipelineProfile
 from repro.traffic.synthetic import SyntheticTraceBuilder
 
 
@@ -154,6 +158,107 @@ def test_columnar_step1_throughput(big_trace, tmp_path_factory, emit):
     # pure-python columnar kernel on pre-ingested chunks (typical
     # measurements are ~8x, so the floor holds on noisy runners).
     assert kernel_col / kernel_vec >= 3.0
+
+    # Benchmark provenance: the machine-readable trajectory CI diffs
+    # against benchmarks/baselines/.  Stage seconds come from one
+    # instrumented full-pipeline run over the pre-ingested chunks.
+    profile = PipelineProfile()
+    LoopDetector(profile=profile).detect_columnar(ctrace)
+    emit_bench("columnar_step1", {
+        "ingest_records_per_sec": metric(n / ingest_col, "records/s"),
+        "kernel_columnar_records_per_sec": metric(n / kernel_col,
+                                                  "records/s"),
+        "kernel_vectorized_records_per_sec": metric(n / kernel_vec,
+                                                    "records/s"),
+        "step1_columnar_records_per_sec": metric(n / step1_col,
+                                                 "records/s"),
+        "step1_vectorized_records_per_sec": metric(n / step1_vec,
+                                                   "records/s"),
+        "ingest_speedup": metric(speedups["ingest (pcap -> records)"],
+                                 "x"),
+        "vectorized_over_columnar": metric(kernel_col / kernel_vec, "x"),
+    }, stages=profile.stage_seconds())
+
+
+def test_perf_instrumentation_overhead(big_trace, tmp_path_factory, emit):
+    """The perf flight recorder stays within 5% of the plain pipeline.
+
+    Times the full columnar pipeline (step-1 kernel + validate + merge)
+    plain vs. with a :class:`PipelineProfile` wired to an enabled
+    metrics registry — the exact configuration the fleet and ``--serve``
+    runs use.  Stage spans cost one lock acquisition per *stage*, never
+    per record, so the bound holds with margin.  Best pairwise ratio
+    over interleaved run pairs (the ``obs_overhead`` methodology):
+    scheduling noise only ever adds time, so the smallest back-to-back
+    ratio is the honest overhead.
+    """
+    path = tmp_path_factory.mktemp("perf_overhead") / "big.pcap"
+    write_pcap(big_trace, path)
+    ctrace = read_pcap_columnar(path)
+    n = len(ctrace)
+
+    def _run_plain():
+        return LoopDetector().detect_columnar(ctrace)
+
+    def _run_profiled():
+        registry = MetricsRegistry(enabled=True)
+        profile = PipelineProfile(registry)
+        return LoopDetector(profile=profile).detect_columnar(ctrace)
+
+    baseline = _run_plain()
+    pairs = 10
+    plain_wall = profiled_wall = float("inf")
+    ratios = []
+    for _ in range(pairs):
+        for runner, attr in ((_run_plain, "plain"), (_run_profiled, "prof")):
+            gc.collect()
+            gc.disable()
+            try:
+                t0 = time.perf_counter()
+                result = runner()
+                wall = time.perf_counter() - t0
+            finally:
+                gc.enable()
+            assert result.stream_count == baseline.stream_count
+            if attr == "plain":
+                wall_p = wall
+                plain_wall = min(plain_wall, wall)
+            else:
+                profiled_wall = min(profiled_wall, wall)
+                ratios.append(wall / wall_p - 1.0)
+    ratios.sort()
+    best = ratios[0]
+    median = ratios[len(ratios) // 2]
+
+    lines = [
+        "Perf flight-recorder overhead — columnar pipeline, "
+        f"{n:,} records",
+        "plain vs. PipelineProfile + enabled registry, best pairwise",
+        f"ratio over {pairs} interleaved run pairs",
+        "",
+        f"{'mode':<28}{'wall':>9}{'records/s':>12}{'overhead':>10}",
+        f"{'pipeline (plain)':<28}{plain_wall:>8.3f}s"
+        f"{n / plain_wall:>12,.0f}{'—':>10}",
+        f"{'pipeline + perf profile':<28}{profiled_wall:>8.3f}s"
+        f"{n / profiled_wall:>12,.0f}{median:>9.1%}",
+        "",
+        f"pairwise overhead: median {median:.1%}, best {best:.1%}.",
+        "stage spans take one lock per stage (6 stages per run), never",
+        "per record; histogram observation is one bisect per span.",
+    ]
+    emit("perf_overhead", "\n".join(lines))
+
+    emit_bench("perf_overhead", {
+        "profiled_records_per_sec": metric(n / profiled_wall, "records/s"),
+        "overhead_best_pairwise": metric(best, "fraction",
+                                         higher_is_better=False),
+    })
+
+    # The tentpole's acceptance bar: <= 5% on the step-1 throughput
+    # path with perf instrumentation enabled.
+    assert best < 0.05, (
+        f"perf instrumentation overhead {best:.1%} exceeds the 5% bound"
+    )
 
 
 def test_full_pipeline_throughput(big_trace, benchmark):

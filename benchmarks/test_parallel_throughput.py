@@ -18,6 +18,7 @@ import time
 
 import pytest
 
+from provenance import emit_bench, metric
 from repro.core.detector import DetectorConfig, LoopDetector
 from repro.core.report import format_table
 from repro.net.addr import IPv4Prefix
@@ -163,6 +164,13 @@ def test_fanout_payload_size(big_trace, emit):
                f"measured per shard set"),
     )
     emit("parallel_fanout", table)
+
+    # Benchmark provenance: byte counts are deterministic for a fixed
+    # trace, so any drift here is a real serialization change.
+    emit_bench("parallel_fanout", {
+        "columnar_gain_8_shards": metric(reductions[8], "x"),
+        "shm_pickle_gain_8_shards": metric(shm_reductions[8], "x"),
+    })
 
     for shards, reduction in reductions.items():
         assert reduction > 1.0, (

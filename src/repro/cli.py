@@ -9,13 +9,15 @@ Subcommands::
     repro-loops report <scenario>          # scenario + full figure report
     repro-loops monitor <trace.pcap>       # stream + live scrape endpoint
     repro-loops fleet <fleet.toml>         # multi-link monitoring daemon
+    repro-loops perf compare A.json B.json # diff two benchmark runs
 
 ``python -m repro`` is equivalent.
 
 Observability flags shared by ``detect``, ``batch``, ``simulate``,
 ``report``, and ``monitor``: ``--metrics-out`` (Prometheus text, or
 JSON for ``.json`` paths), ``--trace-out`` (JSONL span/event trace),
-``--progress`` (heartbeat logging for long runs), ``--log-level``, and
+``--progress`` (heartbeat logging for long runs), ``--sample-profile``
+(collapsed-stack sampling profiler output), ``--log-level``, and
 the live-monitoring trio — ``--serve PORT`` (background ``/metrics``,
 ``/healthz``, ``/state`` and dashboard endpoint), ``--alerts``
 (paper-grounded alert rules on window boundaries), and
@@ -68,6 +70,11 @@ def _obs_parent() -> argparse.ArgumentParser:
                             "Prometheus text format)")
     group.add_argument("--trace-out", default=None, metavar="FILE",
                        help="write a JSONL span/event trace to FILE")
+    group.add_argument("--sample-profile", default=None, metavar="FILE",
+                       help="run a ~100 Hz sampling stack profiler for "
+                            "the whole command and write collapsed "
+                            "stacks (flamegraph.pl / speedscope input) "
+                            "to FILE on exit")
     group.add_argument("--progress", action="store_true",
                        help="log heartbeat progress during long stages")
     group.add_argument("--log-level", default="warning",
@@ -123,6 +130,13 @@ class _Obs:
         if self.trace_out:
             self._sink = open(self.trace_out, "w", encoding="utf-8")
             self.tracer = Tracer(sink=self._sink)
+        self.sample_profile = getattr(args, "sample_profile", None)
+        self._profiler = None
+        if self.sample_profile:
+            from repro.obs.perf import SamplingProfiler
+
+            self._profiler = SamplingProfiler()
+            self._profiler.start()
         if self.progress:
             enable_progress_logging()
         self.monitor = None
@@ -186,6 +200,12 @@ class _Obs:
         _logger.info("dashboard written to %s", self.dashboard_out)
 
     def finish(self) -> None:
+        if self._profiler is not None:
+            self._profiler.stop()
+            self._profiler.write(self.sample_profile)
+            _logger.info("sampling profile (%d samples) written to %s",
+                         self._profiler.sample_count, self.sample_profile)
+            self._profiler = None
         if self.monitor is not None:
             self.monitor.finish()
             self.write_dashboard()
@@ -368,6 +388,22 @@ def _build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--log-level", default="warning",
                        choices=("debug", "info", "warning", "error"),
                        help="logging verbosity (default: warning)")
+
+    perf = sub.add_parser(
+        "perf",
+        help="benchmark-provenance utilities (compare BENCH_*.json runs)",
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+    compare = perf_sub.add_parser(
+        "compare",
+        help="diff two benchmark documents; exit 1 on regression "
+             "beyond --threshold, 2 on schema mismatch",
+    )
+    compare.add_argument("baseline", help="baseline BENCH_*.json")
+    compare.add_argument("current", help="current BENCH_*.json")
+    compare.add_argument("--threshold", type=float, default=0.1,
+                         help="fractional regression threshold "
+                              "(default 0.1 = 10%%)")
 
     anonymize = sub.add_parser(
         "anonymize",
@@ -887,6 +923,20 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         server.stop()
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from repro.obs.perf import BenchSchemaError, render_comparison
+
+    # Schema problems are exit 2 so CI can distinguish "benchmark got
+    # slower" (1, warn) from "documents don't line up" (2, hard fail).
+    # Caught here rather than raised: main() maps ValueError to 1.
+    try:
+        return render_comparison(args.baseline, args.current,
+                                 threshold=args.threshold)
+    except BenchSchemaError as error:
+        _logger.error("%s", error)
+        return 2
+
+
 def _cmd_anonymize(args: argparse.Namespace) -> int:
     from repro.net.anonymize import PrefixPreservingAnonymizer
 
@@ -908,6 +958,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "report": _cmd_report,
         "monitor": _cmd_monitor,
         "fleet": _cmd_fleet,
+        "perf": _cmd_perf,
         "anonymize": _cmd_anonymize,
     }
     handler = handlers[args.command]

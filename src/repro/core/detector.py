@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.net.trace import Trace
+from repro.obs.perf import NULL_PROFILE
 from repro.obs.tracing import NULL_TRACER
 from repro.core.merge import RoutingLoop, merge_streams
 from repro.core.replica import (
@@ -113,21 +114,28 @@ class LoopDetector:
     phase span per pipeline stage — ``detect.replicas``,
     ``detect.validate``, ``detect.merge`` — tagged ``clock="wall"`` so
     they coexist in one trace file with sim-time control-plane records.
-    Tracing changes nothing about the result: the phases wrap the exact
-    same calls.
+    ``profile`` (default: the shared null profile) accumulates the same
+    stages as :class:`~repro.obs.perf.PipelineProfile` spans — plus the
+    per-tier ``step1.kernel.<tier>`` span on the columnar path — for the
+    ``/perf`` endpoints and benchmark provenance.  Neither changes
+    anything about the result: they wrap the exact same calls.
     """
 
     def __init__(self, config: DetectorConfig | None = None,
-                 tracer=NULL_TRACER) -> None:
+                 tracer=NULL_TRACER, profile=NULL_PROFILE) -> None:
         self.config = config or DetectorConfig()
         self.tracer = tracer
+        self.profile = profile
 
     def detect(self, trace: Trace) -> DetectionResult:
         """Run the full pipeline on ``trace``."""
         config = self.config
         tracer = self.tracer
+        profile = self.profile
         scan_stats = ReplicaScanStats()
-        with tracer.phase("detect.replicas", clock="wall") as phase:
+        with tracer.phase("detect.replicas", clock="wall") as phase, \
+                profile.stage("detect.replicas",
+                              records=len(trace.records)):
             candidates = detect_replicas(
                 trace,
                 min_ttl_delta=config.min_ttl_delta,
@@ -141,7 +149,8 @@ class LoopDetector:
         prefix_index = (
             PrefixIndex(trace, config.prefix_length) if needs_index else None
         )
-        with tracer.phase("detect.validate", clock="wall") as phase:
+        with tracer.phase("detect.validate", clock="wall") as phase, \
+                profile.stage("detect.validate"):
             validation = validate_streams(
                 candidates,
                 trace,
@@ -151,7 +160,8 @@ class LoopDetector:
                 prefix_index=prefix_index,
             )
             phase.note(valid=len(validation.valid))
-        with tracer.phase("detect.merge", clock="wall") as phase:
+        with tracer.phase("detect.merge", clock="wall") as phase, \
+                profile.stage("detect.merge"):
             loops = merge_streams(
                 validation.valid,
                 trace,
@@ -191,8 +201,10 @@ class LoopDetector:
         """
         config = self.config
         tracer = self.tracer
+        profile = self.profile
         scan_stats = ReplicaScanStats()
-        with tracer.phase("detect.replicas", clock="wall") as phase:
+        with tracer.phase("detect.replicas", clock="wall") as phase, \
+                profile.stage("detect.replicas"):
             candidates = detect_replicas_with_kernel(
                 ctrace,
                 kernel=config.kernel,
@@ -200,6 +212,7 @@ class LoopDetector:
                 max_replica_gap=config.max_replica_gap,
                 eviction_interval=config.eviction_interval,
                 stats=scan_stats,
+                profile=profile,
             )
             phase.note(records=scan_stats.records_scanned,
                        candidates=len(candidates))
@@ -211,7 +224,8 @@ class LoopDetector:
             for chunk in ctrace.chunks:
                 prefix_index.add_chunk(chunk)
         empty = Trace()
-        with tracer.phase("detect.validate", clock="wall") as phase:
+        with tracer.phase("detect.validate", clock="wall") as phase, \
+                profile.stage("detect.validate"):
             validation = validate_streams(
                 candidates,
                 empty,
@@ -221,7 +235,8 @@ class LoopDetector:
                 prefix_index=prefix_index,
             )
             phase.note(valid=len(validation.valid))
-        with tracer.phase("detect.merge", clock="wall") as phase:
+        with tracer.phase("detect.merge", clock="wall") as phase, \
+                profile.stage("detect.merge"):
             loops = merge_streams(
                 validation.valid,
                 empty,

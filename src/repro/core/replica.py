@@ -685,6 +685,7 @@ def detect_replicas_with_kernel(
     max_replica_gap: float = 5.0,
     eviction_interval: int = 100_000,
     stats: ReplicaScanStats | None = None,
+    profile=None,
 ) -> list[ReplicaStream]:
     """Run step 1 over columnar chunks with an explicit kernel tier.
 
@@ -692,30 +693,46 @@ def detect_replicas_with_kernel(
     selects only the implementation.  ``reference`` materializes
     per-record triples and runs :func:`detect_replicas_indexed` — the
     oracle the other tiers are tested against.
+
+    ``profile`` (a :class:`~repro.obs.perf.PipelineProfile`) records one
+    ``step1.kernel.<tier>`` span per call, labeled with the *resolved*
+    tier so an ``auto`` run shows which implementation actually ran.
     """
     resolved = resolve_kernel(kernel)
-    if resolved == "reference":
-        if hasattr(chunks, "chunks"):
-            chunks = chunks.chunks
-        triples = (
-            triple for chunk in chunks for triple in chunk.iter_triples()
-        )
-        return detect_replicas_indexed(
-            triples,
-            min_ttl_delta=min_ttl_delta,
-            max_replica_gap=max_replica_gap,
-            eviction_interval=eviction_interval,
-            stats=stats,
-        )
-    implementation = (detect_replicas_columnar if resolved == "columnar"
-                      else detect_replicas_vectorized)
-    return implementation(
-        chunks,
-        min_ttl_delta=min_ttl_delta,
-        max_replica_gap=max_replica_gap,
-        eviction_interval=eviction_interval,
-        stats=stats,
-    )
+    if profile is None:
+        from repro.obs.perf import NULL_PROFILE
+
+        profile = NULL_PROFILE
+    before = stats.records_scanned if stats is not None else 0
+    with profile.stage(f"step1.kernel.{resolved}") as span:
+        if resolved == "reference":
+            if hasattr(chunks, "chunks"):
+                chunks = chunks.chunks
+            triples = (
+                triple for chunk in chunks
+                for triple in chunk.iter_triples()
+            )
+            streams = detect_replicas_indexed(
+                triples,
+                min_ttl_delta=min_ttl_delta,
+                max_replica_gap=max_replica_gap,
+                eviction_interval=eviction_interval,
+                stats=stats,
+            )
+        else:
+            implementation = (detect_replicas_columnar
+                              if resolved == "columnar"
+                              else detect_replicas_vectorized)
+            streams = implementation(
+                chunks,
+                min_ttl_delta=min_ttl_delta,
+                max_replica_gap=max_replica_gap,
+                eviction_interval=eviction_interval,
+                stats=stats,
+            )
+        if stats is not None:
+            span.add(records=stats.records_scanned - before)
+    return streams
 
 
 def detect_replicas_vectorized(

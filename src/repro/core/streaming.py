@@ -94,6 +94,7 @@ class StreamingLoopDetector:
 
         # Step 1 state.
         self._singletons: dict[bytes, tuple[int, float, int, bytes]] = {}
+        self._singleton_prefixes: dict[int, set[bytes]] = {}
         self._open_streams: dict[bytes, list[_OpenStream]] = {}
         self._stream_deadlines: list[tuple[float, int, _OpenStream]] = []
         self._singleton_deadlines: list[tuple[float, bytes, int]] = []
@@ -310,6 +311,7 @@ class StreamingLoopDetector:
                 self._open_streams.setdefault(key, []).append(stream)
                 del self._singletons[key]
                 prefix_net = self._prefix_net(prev_data)
+                self._drop_singleton_key(prefix_net, key)
                 self._open_stream_count[prefix_net] = (
                     self._open_stream_count.get(prefix_net, 0) + 1
                 )
@@ -319,6 +321,9 @@ class StreamingLoopDetector:
                 return
 
         self._singletons[key] = (index, timestamp, ttl, data)
+        self._singleton_prefixes.setdefault(
+            self._prefix_net(data), set()
+        ).add(key)
         self._deadline_seq += 1
         heapq.heappush(
             self._singleton_deadlines,
@@ -349,6 +354,7 @@ class StreamingLoopDetector:
             current = self._singletons.get(key)
             if current is not None and current[0] == index:
                 del self._singletons[key]
+                self._drop_singleton_key(self._prefix_net(current[3]), key)
 
         # Complete quiescent streams.
         while self._stream_deadlines and self._stream_deadlines[0][0] <= now:
@@ -376,14 +382,33 @@ class StreamingLoopDetector:
             deadline = loop.end + self.config.merge_gap
             if deadline > now:
                 continue  # extended since this entry was pushed
-            if self._open_stream_count.get(prefix_net, 0) > 0:
-                # A candidate stream for this prefix is still chaining;
-                # re-check once it resolves.
+            if (self._open_stream_count.get(prefix_net, 0) > 0
+                    or self._singleton_may_merge(prefix_net, loop)):
+                # A candidate stream for this prefix is still chaining
+                # (or a singleton inside the merge window could still
+                # start one); re-check once it resolves.
                 self._push_loop_deadline(prefix_net, now)
                 continue
             del self._open_loops[prefix_net]
             self._emit(loop)
             self._prune_history(prefix_net, now)
+
+    def _drop_singleton_key(self, prefix_net: int, key: bytes) -> None:
+        keys = self._singleton_prefixes.get(prefix_net)
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._singleton_prefixes[prefix_net]
+
+    def _singleton_may_merge(self, prefix_net: int, loop: _OpenLoop) -> bool:
+        """True while a live singleton on this prefix sits inside the
+        loop's merge window: if it chains, the resulting stream starts at
+        the singleton's timestamp and would merge into the loop, so the
+        loop cannot close yet.  (Singletons past the window can only seed
+        streams that start a new loop — those never block emission.)"""
+        horizon = loop.end + self.config.merge_gap
+        return any(self._singletons[key][1] < horizon
+                   for key in self._singleton_prefixes.get(prefix_net, ()))
 
     def _push_loop_deadline(self, prefix_net: int, now: float) -> None:
         loop = self._open_loops.get(prefix_net)

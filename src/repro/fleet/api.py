@@ -11,8 +11,11 @@ thread, same quiet-disconnect handler base):
 ``GET /links/<id>/state``                 one link's full monitor snapshot
 ``GET /links/<id>/dashboard``             one link's live HTML dashboard
 ``GET /links/<id>/metrics``               one link's bare registry
+``GET /links/<id>/perf``                  one link's stage-timing profile
 ``GET /metrics``                          all registries merged, ``link`` label
+``GET /perf``                             every link's stage-timing profile
 ``POST /links/<id>/restart``              restart that pipeline (202)
+``POST /links/<id>/profile``              sample stacks for ``?seconds=N``
 ========================================  =====================================
 
 Restart requests cross from the HTTP handler thread to the event-loop
@@ -20,18 +23,33 @@ thread via ``call_soon_threadsafe`` inside
 :meth:`~repro.fleet.supervisor.FleetSupervisor.request_restart`; the
 202 means "handed to the supervisor", not "already restarted" — poll
 ``/links`` for the transition.
+
+``POST /links/<id>/profile`` runs a
+:class:`~repro.obs.perf.SamplingProfiler` *in the handler thread* for a
+bounded duration (default 2 s, capped at 30 s) and returns collapsed
+stacks — the process is shared, so the capture covers every pipeline
+thread, which is exactly what a "why is the fleet slow" investigation
+wants.
 """
 
 from __future__ import annotations
 
 import threading
-from http.server import ThreadingHTTPServer
 from typing import Any
+from urllib.parse import parse_qs
 
 from repro.fleet.supervisor import FleetSupervisor
 from repro.obs.dashboard import render_html
 from repro.obs.log import get_logger
-from repro.obs.server import PROMETHEUS_CONTENT_TYPE, JSONRequestHandler
+from repro.obs.perf import SamplingProfiler
+from repro.obs.server import (
+    PROMETHEUS_CONTENT_TYPE,
+    JSONRequestHandler,
+    bind_http_server,
+)
+
+#: Upper bound on one ``POST .../profile`` capture, seconds.
+MAX_PROFILE_SECONDS = 30.0
 
 
 class _FleetHandler(JSONRequestHandler):
@@ -58,24 +76,61 @@ class _FleetHandler(JSONRequestHandler):
         elif path == "/metrics":
             self._send(200, PROMETHEUS_CONTENT_TYPE,
                        self.supervisor.render_metrics())
+        elif path == "/perf":
+            self._send_json(200, {
+                "links": {link_id: pipeline.perf()
+                          for link_id, pipeline
+                          in sorted(self.supervisor.pipelines.items())},
+            })
         elif (route := self._link_route(path)) is not None:
             self._get_link(*route)
         else:
             self._send_json(404, {"error": "not found", "path": path})
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
-        path = self.path.split("?", 1)[0]
+        path, _, query = self.path.partition("?")
         route = self._link_route(path)
-        if route is None or route[1] != "restart":
+        if route is None or route[1] not in ("restart", "profile"):
             self._send_json(404, {"error": "not found", "path": path})
             return
-        link_id = route[0]
+        link_id, action = route
+        if action == "profile":
+            self._profile_link(link_id, query)
+            return
         if self.supervisor.request_restart(link_id):
             self._send_json(202, {"status": "restart requested",
                                   "link": link_id})
         else:
             self._send_json(404, {"error": "unknown link",
                                   "link": link_id})
+
+    def _profile_link(self, link_id: str, query: str) -> None:
+        """Run a bounded sampling-profiler capture and return collapsed
+        stacks.  Blocks this handler thread only (the server threads per
+        request), so scrapes keep serving during the capture."""
+        if link_id not in self.supervisor.pipelines:
+            self._send_json(404, {"error": "unknown link",
+                                  "link": link_id})
+            return
+        params = parse_qs(query)
+        try:
+            seconds = float(params.get("seconds", ["2.0"])[0])
+        except ValueError:
+            self._send_json(400, {"error": "seconds must be a number"})
+            return
+        if not 0 < seconds <= MAX_PROFILE_SECONDS:
+            self._send_json(400, {
+                "error": f"seconds must be in (0, {MAX_PROFILE_SECONDS:g}]",
+            })
+            return
+        profiler = SamplingProfiler()
+        collapsed = profiler.run_for(seconds)
+        self._send_json(200, {
+            "link": link_id,
+            "seconds": seconds,
+            "samples": profiler.sample_count,
+            "collapsed": collapsed,
+        })
 
     # -- link endpoints --------------------------------------------------------
 
@@ -101,6 +156,8 @@ class _FleetHandler(JSONRequestHandler):
             registry = pipeline.registry
             body = "" if registry is None else registry.render_prometheus()
             self._send(200, PROMETHEUS_CONTENT_TYPE, body)
+        elif action == "perf":
+            self._send_json(200, {"link": link_id, **pipeline.perf()})
         else:
             self._send_json(404, {"error": "not found",
                                   "link": link_id, "action": action})
@@ -109,7 +166,8 @@ class _FleetHandler(JSONRequestHandler):
         snapshot = self.supervisor.snapshot()
         return {"status": "ok",
                 "links": len(snapshot["links"]),
-                "states": snapshot["states"]}
+                "states": snapshot["states"],
+                "port": self.server.server_address[1]}
 
 
 _INDEX = {
@@ -120,8 +178,11 @@ _INDEX = {
         "GET /links/<id>/state",
         "GET /links/<id>/dashboard",
         "GET /links/<id>/metrics",
+        "GET /links/<id>/perf",
         "GET /metrics",
+        "GET /perf",
         "POST /links/<id>/restart",
+        "POST /links/<id>/profile",
     ],
 }
 
@@ -139,8 +200,7 @@ class FleetServer:
         self.supervisor = supervisor
         handler = type("_BoundFleetHandler", (_FleetHandler,),
                        {"supervisor": supervisor})
-        self._httpd = ThreadingHTTPServer((host, port), handler)
-        self._httpd.daemon_threads = True
+        self._httpd = bind_http_server(host, port, handler)
         self._thread: threading.Thread | None = None
 
     @property

@@ -30,10 +30,11 @@ from typing import Any
 from repro.core.replica import resolve_kernel
 from repro.core.streaming import StreamingLoopDetector
 from repro.fleet.config import LinkConfig
-from repro.fleet.sources import build_source
+from repro.fleet.sources import build_source, prefetch_batches
 from repro.obs.alerts import AlertEngine, HysteresisConfig, default_rules
 from repro.obs.live import LiveMonitor, attach_detector, feed_pairs
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.perf import PipelineProfile
 from repro.obs.tracing import NULL_TRACER
 
 
@@ -45,6 +46,7 @@ class RunArtifacts:
     registry: MetricsRegistry
     monitor: LiveMonitor
     streaming: StreamingLoopDetector
+    profile: PipelineProfile
     started_at: float
     loops: list = field(default_factory=list)
     finished: bool = False
@@ -85,6 +87,8 @@ class LinkPipeline:
 
     async def run(self) -> None:
         registry, monitor = _build_monitor(self.config, self.tracer)
+        profile = PipelineProfile(registry)
+        monitor.add_state_source("perf", profile.snapshot)
         streaming = StreamingLoopDetector(
             config=self.config.detector, tracer=self.tracer
         )
@@ -94,22 +98,37 @@ class LinkPipeline:
             registry=registry,
             monitor=monitor,
             streaming=streaming,
+            profile=profile,
             started_at=self._clock(),
         )
         self.current = artifacts
         source = build_source(self.config.source)
         loop = asyncio.get_running_loop()
+        batches = prefetch_batches(source, profile)
         try:
-            async for batch in source.batches():
-                closed = await loop.run_in_executor(
-                    None, feed_pairs, streaming, monitor, batch
-                )
+            while True:
+                # source.wait is the time this pipeline spent starved
+                # for input; detect.feed is time actually detecting.
+                # Their ratio is the link's headroom.
+                with profile.stage("source.wait"):
+                    try:
+                        batch = await anext(batches)
+                    except StopAsyncIteration:
+                        break
+                with profile.stage("detect.feed",
+                                   records=len(batch)) as span:
+                    span.add(bytes=sum(len(data) for _, data in batch))
+                    closed = await loop.run_in_executor(
+                        None, feed_pairs, streaming, monitor, batch
+                    )
                 artifacts.loops.extend(closed)
         finally:
             # Close the books even on cancellation so the final partial
             # windows are visible; a crashed run is replaced wholesale
             # by the next run's fresh artifacts anyway.
-            artifacts.loops.extend(streaming.flush())
+            await batches.aclose()
+            with profile.stage("detect.flush"):
+                artifacts.loops.extend(streaming.flush())
             monitor.finish()
             artifacts.finished = True
 
@@ -124,6 +143,14 @@ class LinkPipeline:
     def monitor(self) -> LiveMonitor | None:
         current = self.current
         return None if current is None else current.monitor
+
+    def perf(self) -> dict[str, Any]:
+        """The current run's stage-timing snapshot (the ``/perf`` and
+        ``/links/<id>/perf`` document body)."""
+        current = self.current
+        if current is None:
+            return {"stages": [], "queues": {}}
+        return current.profile.snapshot()
 
     def row(self) -> dict[str, Any]:
         """The ``/links`` summary row for this pipeline."""

@@ -26,10 +26,56 @@ from typing import Any, AsyncIterator, Callable, Iterator
 from repro.fleet.config import SourceConfig
 from repro.net.columnar import ColumnarTrace
 from repro.net.pcap import iter_pcap_columnar
+from repro.obs.perf import NULL_PROFILE
 
 Batch = list  # list[tuple[float, memoryview]]
 
 _SENTINEL = object()
+
+
+async def prefetch_batches(source, profile=NULL_PROFILE,
+                           depth: int = 2) -> AsyncIterator[Batch]:
+    """Pull ``source.batches()`` ahead of the consumer through a bounded
+    queue, so reading the next batch overlaps detecting the current one.
+
+    The queue is the fleet's backpressure point: a slow detector fills
+    it and stalls the reader; a slow source leaves it empty and stalls
+    the detector.  ``profile`` (a :class:`~repro.obs.perf.
+    PipelineProfile`) gets a ``source.prefetch`` queue-depth gauge
+    updated on every hand-off, so ``/perf`` shows which side is behind.
+    Source errors propagate to the consumer; the producer task is
+    cancelled when the consumer stops early.
+    """
+    queue: asyncio.Queue = asyncio.Queue(maxsize=max(1, depth))
+
+    async def _produce() -> None:
+        try:
+            async for batch in source.batches():
+                await queue.put(("batch", batch))
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:
+            await queue.put(("error", exc))
+            return
+        await queue.put(("done", None))
+
+    task = asyncio.create_task(_produce())
+    try:
+        while True:
+            profile.queue_depth("source.prefetch", queue.qsize())
+            kind, payload = await queue.get()
+            if kind == "batch":
+                yield payload
+            elif kind == "error":
+                raise payload
+            else:
+                return
+    finally:
+        task.cancel()
+        try:
+            await task
+        except (asyncio.CancelledError, Exception):
+            pass
 
 
 async def _iter_off_thread(make_iterator: Callable[[], Iterator[Any]]

@@ -88,6 +88,21 @@ def render_ascii(monitor: LiveMonitor, width: int = 64) -> str:
                 width=width, log_x=log_x and min(values) > 0,
             ))
 
+    perf = state.get("perf")
+    if perf and perf.get("stages"):
+        parts.append("")
+        parts.append("pipeline stages:")
+        for stage in perf["stages"]:
+            line = (
+                f"  {stage['name']}: {stage['seconds']:.3f}s"
+                f" over {stage['count']} span(s)"
+            )
+            if stage["records"]:
+                line += f", {stage['records_per_sec']:,.0f} records/s"
+            parts.append(line)
+        for queue, depth in sorted(perf.get("queues", {}).items()):
+            parts.append(f"  queue {queue}: depth {depth:g}")
+
     parts.append("")
     if state["alerts"]:
         parts.append("alerts:")
@@ -487,6 +502,38 @@ def _minutes_table(minutes: Sequence[Mapping[str, Any]]) -> str:
     )
 
 
+def _perf_table(perf: Mapping[str, Any]) -> str:
+    """Stage-timing rows from a :class:`~repro.obs.perf.PipelineProfile`
+    snapshot (the ``perf`` state source); data as text, no chart —
+    stage counts are few and exact numbers are the point."""
+    stages = perf.get("stages") or []
+    if not stages:
+        return '<p class="note">no stages timed yet</p>'
+    rows = []
+    for stage in stages:
+        throughput = (f"{stage['records_per_sec']:,.0f}"
+                      if stage["records"] else "—")
+        rows.append(
+            "<tr>"
+            f'<td>{_esc(stage["name"])}</td>'
+            f'<td>{stage["count"]}</td>'
+            f'<td>{stage["seconds"]:.3f}s</td>'
+            f'<td>{throughput}</td>'
+            "</tr>"
+        )
+    table = (
+        "<table><thead><tr><th>stage</th><th>spans</th>"
+        "<th>total time</th><th>records/s</th></tr></thead><tbody>"
+        + "".join(rows) + "</tbody></table>"
+    )
+    queues = perf.get("queues") or {}
+    if queues:
+        depths = ", ".join(f"{_esc(name)}: {depth:g}"
+                           for name, depth in sorted(queues.items()))
+        table += f'<p class="note">queue depth — {depths}</p>'
+    return table
+
+
 def _loops_table(loops: Sequence[Mapping[str, Any]]) -> str:
     if not loops:
         return '<p class="note">no loops detected yet</p>'
@@ -578,6 +625,13 @@ def render_html(monitor: LiveMonitor,
         _panel("Recent loops", "last 20 merged loops",
                _loops_table(recorder["loops"])),
     ]
+    perf = state.get("perf")
+    if perf:
+        tables.append(_panel(
+            "Pipeline stage timings",
+            "wall-clock per detection stage (perf flight recorder)",
+            _perf_table(perf),
+        ))
 
     subtitle = (
         f"trace time {now:.1f}s" if now is not None else "no records yet"

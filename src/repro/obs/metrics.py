@@ -29,6 +29,7 @@ from __future__ import annotations
 import json
 import math
 import re
+import time
 import weakref
 from bisect import bisect_left
 from typing import Any, Callable, Iterable
@@ -174,6 +175,33 @@ class Gauge:
         return self._value
 
 
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    ``with histogram.time() as timer: ...`` observes the elapsed time
+    into the histogram on exit; ``timer.seconds`` stays readable
+    afterwards, so call sites that keep their own stats reuse the same
+    measurement instead of a second ``perf_counter`` pair.  A bare
+    ``Timer()`` (no histogram) is the registry-free form of that idiom.
+    """
+
+    __slots__ = ("_histogram", "_t0", "seconds")
+
+    def __init__(self, histogram: "Histogram | None" = None) -> None:
+        self._histogram = histogram
+        self._t0 = 0.0
+        self.seconds = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.seconds = time.perf_counter() - self._t0
+        if self._histogram is not None:
+            self._histogram.observe(self.seconds)
+
+
 class Histogram:
     """Fixed-bucket histogram of observations.
 
@@ -222,6 +250,10 @@ class Histogram:
             out.append((bound, running))
         out.append((math.inf, self._count))
         return out
+
+    def time(self) -> Timer:
+        """``with histogram.time(): ...`` — observe the elapsed seconds."""
+        return Timer(self)
 
 
 class _NullCounter:
@@ -275,6 +307,11 @@ class _NullHistogram:
     def cumulative(self) -> list[tuple[float, int]]:
         return []
 
+    def time(self) -> Timer:
+        # Still measures (callers may read timer.seconds); the
+        # observation itself is the no-op.
+        return Timer(None)
+
 
 #: Shared no-op instruments: one allocation per process, ever.
 NULL_COUNTER = _NullCounter()
@@ -326,6 +363,13 @@ class MetricsRegistry:
         return self._get(name, "histogram",
                          lambda: Histogram(name, help, buckets, labels),
                          labels)
+
+    def timer(self, name: str, help: str = "",
+              buckets: Iterable[float] = DEFAULT_BUCKETS,
+              labels: dict[str, str] | None = None) -> Timer:
+        """``with registry.timer("phase_seconds"): ...`` — time a block
+        into the named histogram (a no-op observation when disabled)."""
+        return self.histogram(name, help, buckets, labels).time()
 
     # -- pull collectors ------------------------------------------------------
 

@@ -39,6 +39,30 @@ PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 CLIENT_GONE = (BrokenPipeError, ConnectionResetError)
 
 
+def bind_http_server(host: str, port: int,
+                     handler: type) -> ThreadingHTTPServer:
+    """Bind a :class:`ThreadingHTTPServer`, turning bind failures into a
+    single clear log line + :class:`OSError` naming the address instead
+    of a raw ``[Errno 98]`` traceback.
+
+    ``port=0`` asks the kernel for an ephemeral port; the chosen port is
+    readable from the returned server's ``server_address`` (and is
+    reported by the ``/healthz`` routes and the startup log line).
+    """
+    try:
+        httpd = ThreadingHTTPServer((host, port), handler)
+    except OSError as exc:
+        message = (
+            f"cannot bind {host}:{port}: {exc.strerror or exc} "
+            f"(is another server already listening? pass port 0 "
+            f"to auto-assign)"
+        )
+        get_logger("http").error(message)
+        raise OSError(exc.errno, message) from exc
+    httpd.daemon_threads = True
+    return httpd
+
+
 class JSONRequestHandler(BaseHTTPRequestHandler):
     """Shared base for the monitoring endpoints: framed responses with
     ``Content-Length``, JSON helpers, and quiet client disconnects.
@@ -114,6 +138,7 @@ class _Handler(JSONRequestHandler):
                 "loops": len(recorder.loops),
                 "alerts": len(self.monitor.alerts.history),
                 "finished": self.monitor.finished,
+                "port": self.server.server_address[1],
             }
 
 
@@ -133,8 +158,7 @@ class MonitorServer:
             "dashboard_renderer": staticmethod(dashboard_renderer)
             if dashboard_renderer is not None else None,
         })
-        self._httpd = ThreadingHTTPServer((host, port), handler)
-        self._httpd.daemon_threads = True
+        self._httpd = bind_http_server(host, port, handler)
         self._thread: threading.Thread | None = None
 
     @property

@@ -17,7 +17,9 @@ tags its wall-clock phase spans with ``clock="wall"``, while loop
 intervals carry trace/simulation time).
 
 Records are kept in memory (``tracer.records``) and, when a ``sink`` is
-given, written eagerly as JSON lines.  Spans are written when they
+given, written eagerly as JSON lines and flushed every ``flush_every``
+records (default 32) — a pipeline task dying mid-run loses at most one
+batch of spans, not the whole buffer.  Spans are written when they
 *end*; within one process the file is therefore ordered by completion,
 and consumers that need start order sort on ``t0``.
 
@@ -129,14 +131,21 @@ class Tracer:
         sink: IO[str] | None = None,
         clock: Callable[[], float] = time.perf_counter,
         keep: bool = True,
+        flush_every: int = 32,
     ) -> None:
         self.sink = sink
         self.clock = clock
         self.keep = keep
+        #: Flush the sink after this many buffered records (crash
+        #: durability: a pipeline task dying mid-run loses at most one
+        #: batch of spans, not everything since open).  ``0`` restores
+        #: flush-on-close-only.
+        self.flush_every = flush_every
         self.records: list[dict[str, Any]] = []
         self._next_id = 1
         self._open: dict[int, dict[str, Any]] = {}
         self._stack: list[int] = []
+        self._unflushed = 0
 
     # -- emission -------------------------------------------------------------
 
@@ -145,6 +154,9 @@ class Tracer:
             self.records.append(record)
         if self.sink is not None:
             self.sink.write(json.dumps(record, sort_keys=True) + "\n")
+            self._unflushed += 1
+            if self.flush_every and self._unflushed >= self.flush_every:
+                self.flush()
 
     def event(self, name: str, time: float | None = None,
               **attrs: Any) -> None:
@@ -218,6 +230,7 @@ class Tracer:
     def flush(self) -> None:
         if self.sink is not None:
             self.sink.flush()
+        self._unflushed = 0
 
     def close(self) -> None:
         """End any spans left open (tagged ``unclosed``) and flush."""

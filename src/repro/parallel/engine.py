@@ -55,6 +55,8 @@ from repro.core.replica import (
 )
 from repro.core.report import format_table
 from repro.core.streams import PrefixIndex, validate_streams
+from repro.obs.metrics import Timer
+from repro.obs.perf import PipelineProfile
 from repro.obs.tracing import NULL_TRACER
 from repro.net.columnar import ColumnarTrace
 from repro.net.pcap import (
@@ -190,15 +192,15 @@ def _detect_shard(
     pickles into pool workers)."""
     shard_id, records, config = payload
     stats = ReplicaScanStats()
-    started = time.perf_counter()
-    streams = detect_replicas_indexed(
-        records,
-        min_ttl_delta=config.min_ttl_delta,
-        max_replica_gap=config.max_replica_gap,
-        eviction_interval=config.eviction_interval,
-        stats=stats,
-    )
-    return shard_id, streams, stats, time.perf_counter() - started
+    with Timer() as timer:
+        streams = detect_replicas_indexed(
+            records,
+            min_ttl_delta=config.min_ttl_delta,
+            max_replica_gap=config.max_replica_gap,
+            eviction_interval=config.eviction_interval,
+            stats=stats,
+        )
+    return shard_id, streams, stats, timer.seconds
 
 
 def _detect_shard_columnar(
@@ -212,17 +214,17 @@ def _detect_shard_columnar(
     by the parent."""
     shard_id, slab, timestamps, lengths, config = payload
     stats = ReplicaScanStats()
-    started = time.perf_counter()
-    chunk = rebuild_shard_chunk(slab, timestamps, lengths)
-    streams = detect_replicas_with_kernel(
-        [chunk],
-        kernel=config.kernel,
-        min_ttl_delta=config.min_ttl_delta,
-        max_replica_gap=config.max_replica_gap,
-        eviction_interval=config.eviction_interval,
-        stats=stats,
-    )
-    return shard_id, streams, stats, time.perf_counter() - started
+    with Timer() as timer:
+        chunk = rebuild_shard_chunk(slab, timestamps, lengths)
+        streams = detect_replicas_with_kernel(
+            [chunk],
+            kernel=config.kernel,
+            min_ttl_delta=config.min_ttl_delta,
+            max_replica_gap=config.max_replica_gap,
+            eviction_interval=config.eviction_interval,
+            stats=stats,
+        )
+    return shard_id, streams, stats, timer.seconds
 
 
 def _attach_shm(name: str) -> SharedMemory:
@@ -265,21 +267,21 @@ def _chain_shm_shard(buf, payload):
     (_, shard_id, slab_off, slab_len, ts_off, count, len_off,
      typecode, config) = payload
     stats = ReplicaScanStats()
-    started = time.perf_counter()
-    slab = buf[slab_off:slab_off + slab_len]
-    timestamps = buf[ts_off:ts_off + 8 * count].cast("d")
-    itemsize = 2 if typecode == "H" else 4
-    lengths = buf[len_off:len_off + itemsize * count].cast(typecode)
-    chunk = rebuild_shard_chunk(slab, timestamps, lengths)
-    streams = detect_replicas_with_kernel(
-        [chunk],
-        kernel=config.kernel,
-        min_ttl_delta=config.min_ttl_delta,
-        max_replica_gap=config.max_replica_gap,
-        eviction_interval=config.eviction_interval,
-        stats=stats,
-    )
-    return shard_id, streams, stats, time.perf_counter() - started
+    with Timer() as timer:
+        slab = buf[slab_off:slab_off + slab_len]
+        timestamps = buf[ts_off:ts_off + 8 * count].cast("d")
+        itemsize = 2 if typecode == "H" else 4
+        lengths = buf[len_off:len_off + itemsize * count].cast(typecode)
+        chunk = rebuild_shard_chunk(slab, timestamps, lengths)
+        streams = detect_replicas_with_kernel(
+            [chunk],
+            kernel=config.kernel,
+            min_ttl_delta=config.min_ttl_delta,
+            max_replica_gap=config.max_replica_gap,
+            eviction_interval=config.eviction_interval,
+            stats=stats,
+        )
+    return shard_id, streams, stats, timer.seconds
 
 
 def _detect_shard_columnar_shm(
@@ -315,6 +317,7 @@ class ParallelLoopDetector:
         tracer=NULL_TRACER,
         columnar: bool = False,
         shared_memory: bool = True,
+        profile: PipelineProfile | None = None,
     ) -> None:
         if jobs < 1:
             raise ParallelError(f"jobs must be >= 1: {jobs}")
@@ -324,6 +327,11 @@ class ParallelLoopDetector:
         self.jobs = jobs
         self.shards = shards if shards is not None else jobs
         self.tracer = tracer
+        #: Stage-timing accumulator; always real (never the null
+        #: profile) because :class:`ParallelStats` reads the span
+        #: timings back.  Histograms flow out only once a registry is
+        #: attached (pass one here, or via :meth:`register_metrics`).
+        self.profile = profile if profile is not None else PipelineProfile()
         #: When True, :meth:`detect_file` reads via the mmap columnar
         #: reader and fans out slab payloads (:class:`~repro.parallel.
         #: shard.ColumnarShardPartition`) instead of tuple lists.
@@ -346,36 +354,44 @@ class ParallelLoopDetector:
     def detect(self, trace: Trace) -> ParallelDetectionResult:
         """Run the sharded pipeline over an in-memory trace."""
         started = time.perf_counter()
-        partition = ShardPartition(num_shards=self.shards)
-        needs_index = (self.config.check_prefix_consistency
-                       or self.config.check_gap_consistency)
-        prefix_index = (PrefixIndex(prefix_length=self.config.prefix_length)
-                        if needs_index else None)
-        for index, record in enumerate(trace.records):
-            partition.add(index, record.timestamp, record.data)
-            if prefix_index is not None:
-                prefix_index.add_record(index, record.timestamp, record.data)
-        partition_seconds = time.perf_counter() - started
+        with self.profile.stage("parallel.partition") as span:
+            partition = ShardPartition(num_shards=self.shards)
+            needs_index = (self.config.check_prefix_consistency
+                           or self.config.check_gap_consistency)
+            prefix_index = (
+                PrefixIndex(prefix_length=self.config.prefix_length)
+                if needs_index else None
+            )
+            for index, record in enumerate(trace.records):
+                partition.add(index, record.timestamp, record.data)
+                if prefix_index is not None:
+                    prefix_index.add_record(
+                        index, record.timestamp, record.data
+                    )
+            span.add(records=partition.records_total)
         return self._finish(
-            partition, prefix_index, trace, started, partition_seconds
+            partition, prefix_index, trace, started, span.seconds
         )
 
     def detect_columnar(self, ctrace: ColumnarTrace) -> ParallelDetectionResult:
         """Run the sharded pipeline over a columnar trace: slab fan-out,
         batched kernel in each worker, identical streams and loops."""
         started = time.perf_counter()
-        partition = ColumnarShardPartition(num_shards=self.shards)
-        needs_index = (self.config.check_prefix_consistency
-                       or self.config.check_gap_consistency)
-        prefix_index = (PrefixIndex(prefix_length=self.config.prefix_length)
-                        if needs_index else None)
-        for chunk in ctrace.chunks:
-            partition.add_chunk(chunk)
-            if prefix_index is not None:
-                prefix_index.add_chunk(chunk)
-        partition_seconds = time.perf_counter() - started
+        with self.profile.stage("parallel.partition") as span:
+            partition = ColumnarShardPartition(num_shards=self.shards)
+            needs_index = (self.config.check_prefix_consistency
+                           or self.config.check_gap_consistency)
+            prefix_index = (
+                PrefixIndex(prefix_length=self.config.prefix_length)
+                if needs_index else None
+            )
+            for chunk in ctrace.chunks:
+                partition.add_chunk(chunk)
+                if prefix_index is not None:
+                    prefix_index.add_chunk(chunk)
+            span.add(records=partition.records_total)
         return self._finish(
-            partition, prefix_index, ctrace, started, partition_seconds
+            partition, prefix_index, ctrace, started, span.seconds
         )
 
     def detect_file(
@@ -403,54 +419,65 @@ class ParallelLoopDetector:
         use_columnar = self.columnar if columnar is None else columnar
         if use_columnar:
             started = time.perf_counter()
-            ctrace = read_pcap_columnar(
-                path, link_name=link_name or str(path),
-                chunk_records=chunk_records,
+            with self.profile.stage("ingest.columnar") as ingest:
+                ctrace = read_pcap_columnar(
+                    path, link_name=link_name or str(path),
+                    chunk_records=chunk_records,
+                )
+                ingest.add(records=len(ctrace), bytes=ctrace.total_bytes)
+            with self.profile.stage("parallel.partition") as span:
+                partition = ColumnarShardPartition(num_shards=self.shards)
+                needs_index = (self.config.check_prefix_consistency
+                               or self.config.check_gap_consistency)
+                prefix_index = (
+                    PrefixIndex(prefix_length=self.config.prefix_length)
+                    if needs_index else None
+                )
+                for chunk in ctrace.chunks:
+                    partition.add_chunk(chunk)
+                    if prefix_index is not None:
+                        prefix_index.add_chunk(chunk)
+                    if progress is not None:
+                        progress(len(chunk))
+                span.add(records=partition.records_total)
+            # Partition time includes the ingest read for stats-compat
+            # with the row-by-row branch (both measure "time to fan
+            # out"); the profile's ingest.columnar stage has the split.
+            return self._finish(
+                partition, prefix_index, ctrace, started,
+                ingest.seconds + span.seconds,
             )
-            partition = ColumnarShardPartition(num_shards=self.shards)
+        started = time.perf_counter()
+        with self.profile.stage("parallel.partition") as span:
+            partition = ShardPartition(num_shards=self.shards)
             needs_index = (self.config.check_prefix_consistency
                            or self.config.check_gap_consistency)
             prefix_index = (
                 PrefixIndex(prefix_length=self.config.prefix_length)
                 if needs_index else None
             )
-            for chunk in ctrace.chunks:
-                partition.add_chunk(chunk)
-                if prefix_index is not None:
-                    prefix_index.add_chunk(chunk)
+            summary = TraceSummary(link_name=link_name or str(path))
+            index = 0
+            for chunk in iter_pcap_chunks(path, chunk_records=chunk_records):
+                summary.snaplen = chunk.snaplen
+                for record in chunk.records:
+                    partition.add(index, record.timestamp, record.data)
+                    if prefix_index is not None:
+                        prefix_index.add_record(
+                            index, record.timestamp, record.data
+                        )
+                    if summary.record_count == 0:
+                        summary.start_time = record.timestamp
+                    summary.end_time = record.timestamp
+                    summary.record_count += 1
+                    summary.total_bytes += record.wire_length
+                    index += 1
                 if progress is not None:
-                    progress(len(chunk))
-            partition_seconds = time.perf_counter() - started
-            return self._finish(
-                partition, prefix_index, ctrace, started, partition_seconds
-            )
-        started = time.perf_counter()
-        partition = ShardPartition(num_shards=self.shards)
-        needs_index = (self.config.check_prefix_consistency
-                       or self.config.check_gap_consistency)
-        prefix_index = (PrefixIndex(prefix_length=self.config.prefix_length)
-                        if needs_index else None)
-        summary = TraceSummary(link_name=link_name or str(path))
-        index = 0
-        for chunk in iter_pcap_chunks(path, chunk_records=chunk_records):
-            summary.snaplen = chunk.snaplen
-            for record in chunk.records:
-                partition.add(index, record.timestamp, record.data)
-                if prefix_index is not None:
-                    prefix_index.add_record(
-                        index, record.timestamp, record.data
-                    )
-                if summary.record_count == 0:
-                    summary.start_time = record.timestamp
-                summary.end_time = record.timestamp
-                summary.record_count += 1
-                summary.total_bytes += record.wire_length
-                index += 1
-            if progress is not None:
-                progress(len(chunk.records))
-        partition_seconds = time.perf_counter() - started
+                    progress(len(chunk.records))
+            span.add(records=summary.record_count,
+                     bytes=summary.total_bytes)
         return self._finish(
-            partition, prefix_index, summary, started, partition_seconds
+            partition, prefix_index, summary, started, span.seconds
         )
 
     # -- pipeline internals ---------------------------------------------------
@@ -464,51 +491,55 @@ class ParallelLoopDetector:
         partition_seconds: float,
     ) -> ParallelDetectionResult:
         detect_started = time.perf_counter()
-        shard_outputs = self._run_shards(partition)
-        detect_seconds = time.perf_counter() - detect_started
+        with self.profile.stage(
+            "parallel.detect", records=partition.records_total
+        ) as detect_span:
+            shard_outputs = self._run_shards(partition)
+        detect_seconds = detect_span.seconds
 
         merge_started = time.perf_counter()
-        candidates: list[ReplicaStream] = []
-        scan_stats = ReplicaScanStats(
-            records_scanned=partition.records_total,
-            records_skipped_short=partition.records_short,
-        )
-        per_shard: list[ShardRunStats] = []
-        for shard_id, streams, shard_stats, seconds in shard_outputs:
-            candidates.extend(streams)
-            scan_stats.singletons_evicted += shard_stats.singletons_evicted
-            per_shard.append(ShardRunStats(
-                shard_id=shard_id,
-                records=shard_stats.records_scanned,
-                candidate_streams=shard_stats.candidate_streams,
-                seconds=seconds,
-            ))
-        # Restore the offline candidate order: the shared total order on
-        # (start time, first replica index) makes the concatenation
-        # byte-identical to one pass over the whole trace.
-        candidates.sort(key=stream_sort_key)
-        scan_stats.candidate_streams = len(candidates)
+        with self.profile.stage("parallel.validate_merge") as merge_span:
+            candidates: list[ReplicaStream] = []
+            scan_stats = ReplicaScanStats(
+                records_scanned=partition.records_total,
+                records_skipped_short=partition.records_short,
+            )
+            per_shard: list[ShardRunStats] = []
+            for shard_id, streams, shard_stats, seconds in shard_outputs:
+                candidates.extend(streams)
+                scan_stats.singletons_evicted += shard_stats.singletons_evicted
+                per_shard.append(ShardRunStats(
+                    shard_id=shard_id,
+                    records=shard_stats.records_scanned,
+                    candidate_streams=shard_stats.candidate_streams,
+                    seconds=seconds,
+                ))
+            # Restore the offline candidate order: the shared total order
+            # on (start time, first replica index) makes the concatenation
+            # byte-identical to one pass over the whole trace.
+            candidates.sort(key=stream_sort_key)
+            scan_stats.candidate_streams = len(candidates)
 
-        config = self.config
-        validation_trace = trace if isinstance(trace, Trace) else Trace()
-        validation = validate_streams(
-            candidates,
-            validation_trace,
-            min_stream_size=config.min_stream_size,
-            prefix_length=config.prefix_length,
-            check_prefix_consistency=config.check_prefix_consistency,
-            prefix_index=prefix_index,
-        )
-        loops = merge_streams(
-            validation.valid,
-            validation_trace,
-            merge_gap=config.merge_gap,
-            prefix_length=config.prefix_length,
-            check_gap_consistency=config.check_gap_consistency,
-            prefix_index=prefix_index,
-            candidates=candidates,
-        )
-        merge_seconds = time.perf_counter() - merge_started
+            config = self.config
+            validation_trace = trace if isinstance(trace, Trace) else Trace()
+            validation = validate_streams(
+                candidates,
+                validation_trace,
+                min_stream_size=config.min_stream_size,
+                prefix_length=config.prefix_length,
+                check_prefix_consistency=config.check_prefix_consistency,
+                prefix_index=prefix_index,
+            )
+            loops = merge_streams(
+                validation.valid,
+                validation_trace,
+                merge_gap=config.merge_gap,
+                prefix_length=config.prefix_length,
+                check_gap_consistency=config.check_gap_consistency,
+                prefix_index=prefix_index,
+                candidates=candidates,
+            )
+        merge_seconds = merge_span.seconds
 
         stats = ParallelStats(
             jobs=self.jobs,
@@ -574,6 +605,7 @@ class ParallelLoopDetector:
         state: dict = {
             "jobs": self.jobs,
             "shards": self.shards,
+            "perf": self.profile.snapshot(),
             "last_run": None,
         }
         stats = self.last_stats
@@ -601,8 +633,10 @@ class ParallelLoopDetector:
         return state
 
     def register_metrics(self, registry) -> None:
-        """Publish the most recent run's :class:`ParallelStats`."""
+        """Publish the most recent run's :class:`ParallelStats` and feed
+        subsequent runs' stage spans into ``perf_stage_seconds``."""
         registry.register_collector(self._publish_metrics)
+        self.profile.registry = registry
 
     def _publish_metrics(self, registry) -> None:
         stats = self.last_stats
@@ -687,7 +721,9 @@ class ParallelLoopDetector:
         shm = SharedMemory(create=True, size=total_bytes)
         self.last_shm_name = shm.name
         try:
-            partition.write_shm(shm.buf, descriptors)
+            with self.profile.stage("parallel.shm_write",
+                                    bytes=total_bytes):
+                partition.write_shm(shm.buf, descriptors)
             self._last_shm_bytes = partition.fanout_bytes
             payloads = [(shm.name, *descriptor) for descriptor in descriptors]
             workers = min(self.jobs, len(payloads))

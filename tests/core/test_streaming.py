@@ -88,6 +88,26 @@ class TestEquivalenceWithOffline:
             map(_loop_key, offline.loops)
         )
 
+    def test_singleton_in_merge_window_defers_close(self):
+        """Hypothesis-found regression: the second episode's first
+        replica is still an unchained singleton when the open loop's
+        merge deadline fires.  Closing then splits what offline merges —
+        the loop must stay open until the singleton resolves."""
+        builder = SyntheticTraceBuilder(rng=random.Random(0))
+        for when in (10.0, 10.0 + 2 * 12.375):
+            builder.add_loop(when, IPv4Prefix.parse("192.0.0.0/24"),
+                             ttl_delta=2, n_packets=2,
+                             replicas_per_packet=9, spacing=0.28125,
+                             packet_gap=0.5625, entry_ttl=18)
+        trace = builder.build()
+        config = DetectorConfig(merge_gap=22.0)
+        offline, online, _ = _compare(trace, config)
+        # The episodes sit just inside the merge gap: one loop, both ways.
+        assert offline.loop_count == 1
+        assert sorted(map(_loop_key, online)) == sorted(
+            map(_loop_key, offline.loops)
+        )
+
 
 class TestStreamingBehaviour:
     def test_loops_emitted_incrementally(self):

@@ -139,7 +139,72 @@ class TestEndpoints:
         _, server = fleet
         _, doc = fetch(server, "/healthz")
         assert doc == {"status": "ok", "links": 3,
-                       "states": {"stopped": 3}}
+                       "states": {"stopped": 3},
+                       "port": server.port}
+
+
+class TestPerf:
+    def test_fleet_perf_serves_all_links(self, fleet):
+        """/perf carries a per-stage breakdown for every link of the
+        3-link run: the stages the pipeline body times, with spans
+        counted and records attributed."""
+        _, server = fleet
+        status, doc = fetch(server, "/perf")
+        assert status == 200
+        assert set(doc["links"]) == {"east", "west", "lab"}
+        for link_id, perf in doc["links"].items():
+            stages = {stage["name"]: stage for stage in perf["stages"]}
+            assert {"source.wait", "detect.feed",
+                    "detect.flush"} <= set(stages)
+            feed = stages["detect.feed"]
+            assert feed["count"] >= 1
+            assert feed["records"] > 0
+            assert feed["bytes"] > 0
+            assert feed["seconds"] >= 0.0
+            assert perf["queues"].get("source.prefetch") is not None
+
+    def test_per_link_perf(self, fleet):
+        _, server = fleet
+        status, doc = fetch(server, "/links/east/perf")
+        assert status == 200
+        assert doc["link"] == "east"
+        names = [stage["name"] for stage in doc["stages"]]
+        assert "detect.feed" in names
+
+    def test_index_lists_perf_routes(self, fleet):
+        _, server = fleet
+        _, doc = fetch(server, "/")
+        assert "GET /perf" in doc["routes"]
+        assert "GET /links/<id>/perf" in doc["routes"]
+        assert "POST /links/<id>/profile" in doc["routes"]
+
+    def test_post_profile_returns_collapsed_stacks(self, fleet):
+        _, server = fleet
+        request = urllib.request.Request(
+            server.url + "/links/east/profile?seconds=0.2", method="POST"
+        )
+        with urllib.request.urlopen(request, timeout=10) as resp:
+            assert resp.status == 200
+            doc = json.loads(resp.read())
+        assert doc["link"] == "east"
+        assert doc["seconds"] == 0.2
+        assert doc["samples"] > 0
+        # Collapsed-stack format: "frame;frame;... count" lines.
+        for line in doc["collapsed"].splitlines():
+            stack, _, count = line.rpartition(" ")
+            assert stack and count.isdigit()
+
+    def test_post_profile_validates_input(self, fleet):
+        _, server = fleet
+        for path, code in (("/links/nope/profile", 404),
+                           ("/links/east/profile?seconds=nope", 400),
+                           ("/links/east/profile?seconds=99", 400),
+                           ("/links/east/profile?seconds=0", 400)):
+            request = urllib.request.Request(server.url + path,
+                                             method="POST")
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(request, timeout=10)
+            assert err.value.code == code
 
 
 class TestParity:

@@ -115,3 +115,69 @@ class TestHtmlDashboard:
         assert "no loops detected yet" in html
         for svg in re.findall(r"<svg.*?</svg>", html, re.S):
             ET.fromstring(svg)
+
+
+def short_lived_monitor() -> LiveMonitor:
+    """A run that died almost immediately: one record, no loops, no
+    closed windows — every panel must render a placeholder, not raise."""
+    monitor = LiveMonitor()
+    monitor.observe_record(0.25)
+    return monitor
+
+
+class TestShortLivedRun:
+    def test_ascii_renders_placeholders(self):
+        text = render_ascii(short_lived_monitor())
+        assert "routing-loop live monitor" in text
+        assert "alerts: none fired" in text
+
+    def test_html_renders_placeholders(self):
+        html = render_html(short_lived_monitor())
+        assert "no loops detected yet" in html
+        for svg in re.findall(r"<svg.*?</svg>", html, re.S):
+            ET.fromstring(svg)
+        assert "NaN" not in html
+
+
+class TestPerfPanel:
+    def make_monitor(self, perf) -> LiveMonitor:
+        monitor = LiveMonitor()
+        monitor.add_state_source("perf", lambda: perf)
+        return monitor
+
+    def perf_state(self) -> dict:
+        from repro.obs.perf import PipelineProfile
+
+        profile = PipelineProfile()
+        with profile.stage("detect.feed", records=1000, bytes=40_000):
+            pass
+        with profile.stage("detect.flush"):
+            pass
+        profile.queue_depth("source.prefetch", 2)
+        return profile.snapshot()
+
+    def test_ascii_lists_stages_and_queues(self):
+        text = render_ascii(self.make_monitor(self.perf_state()))
+        assert "pipeline stages:" in text
+        assert "detect.feed" in text
+        assert "records/s" in text
+        assert "queue source.prefetch: depth 2" in text
+
+    def test_html_panel_lists_stages(self):
+        html = render_html(self.make_monitor(self.perf_state()))
+        assert "Pipeline stage timings" in html
+        assert "detect.feed" in html
+        assert "source.prefetch" in html
+
+    def test_no_perf_source_keeps_panel_out(self):
+        html = render_html(LiveMonitor())
+        assert "Pipeline stage timings" not in html
+
+    def test_empty_perf_renders_placeholder(self):
+        perf = {"stages": [], "queues": {}}
+        html = render_html(self.make_monitor(perf))
+        # An attached but still-empty profile renders the placeholder
+        # note rather than an empty table.
+        assert "no stages timed yet" in html
+        text = render_ascii(self.make_monitor(perf))
+        assert "routing-loop live monitor" in text

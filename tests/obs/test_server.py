@@ -53,12 +53,24 @@ class TestRoutes:
 
     def test_healthz_route(self, monitor):
         with MonitorServer(monitor, port=0) as server:
+            port = server.port
             status, content_type, body = fetch(f"{server.url}/healthz")
         assert status == 200
         assert content_type == "application/json"
         health = json.loads(body)
         assert health == {"status": "ok", "records": 1, "loops": 1,
-                          "alerts": 0, "finished": False}
+                          "alerts": 0, "finished": False, "port": port}
+
+    def test_bind_failure_is_one_clear_error(self, monitor):
+        """A taken port must raise a clean OSError naming host:port and
+        suggesting port 0 — not a bare traceback from socket internals."""
+        with MonitorServer(monitor, port=0) as server:
+            with pytest.raises(OSError) as excinfo:
+                MonitorServer(monitor, port=server.port)
+        message = str(excinfo.value)
+        assert "cannot bind" in message
+        assert f"127.0.0.1:{server.port}" in message
+        assert "port 0" in message
 
     def test_state_route(self, monitor):
         with MonitorServer(monitor, port=0) as server:

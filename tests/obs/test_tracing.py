@@ -158,6 +158,65 @@ class TestSink:
         assert json.loads(sink.getvalue())["name"] == "tick"
 
 
+class CountingSink(io.StringIO):
+    def __init__(self):
+        super().__init__()
+        self.flushes = 0
+
+    def flush(self):
+        self.flushes += 1
+        super().flush()
+
+
+class TestFlushBudget:
+    def test_flushes_every_batch(self):
+        sink = CountingSink()
+        tracer = Tracer(sink=sink, clock=FakeClock(), flush_every=4)
+        for _ in range(9):
+            tracer.event("tick")
+        assert sink.flushes == 2  # after records 4 and 8
+
+    def test_zero_disables_periodic_flush(self):
+        sink = CountingSink()
+        tracer = Tracer(sink=sink, clock=FakeClock(), flush_every=0)
+        for _ in range(100):
+            tracer.event("tick")
+        assert sink.flushes == 0
+        tracer.close()
+        assert sink.flushes == 1
+
+    def test_killed_process_leaves_flushed_spans_behind(self, tmp_path):
+        """Crash durability: a run SIGKILLed mid-stream must leave the
+        already-batched spans readable in the JSONL file — no close(),
+        no atexit, no flush() call of its own."""
+        import subprocess
+        import sys
+        import textwrap
+
+        path = tmp_path / "trace.jsonl"
+        script = textwrap.dedent(f"""
+            import os, signal
+            from repro.obs.tracing import Tracer
+            sink = open({str(path)!r}, "w", encoding="utf-8")
+            tracer = Tracer(sink=sink)
+            for i in range(100):
+                span = tracer.begin("batch", index=i)
+                tracer.end(span)
+            os.kill(os.getpid(), signal.SIGKILL)
+        """)
+        process = subprocess.run(
+            [sys.executable, "-c", script],
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            cwd="/root/repo", timeout=60,
+        )
+        assert process.returncode == -9  # died by SIGKILL, no cleanup
+        survived = read_trace(path)
+        # 100 spans at flush_every=32: at least three full batches (96
+        # records) reached the disk; only the tail batch may be lost.
+        assert len(survived) >= 96
+        assert all(record["name"] == "batch" for record in survived)
+
+
 class TestQueries:
     def test_spans_sorted_by_start(self):
         tracer, clock = make_tracer()
