@@ -1,0 +1,209 @@
+"""Saturation — batched streaming tier and the process-parallel fleet.
+
+Two layers, measured separately:
+
+* ``test_batched_streaming_speedup`` times one link's detector fed
+  record-by-record vs. chunk-by-chunk (the batched tier) over the same
+  trace, asserts exactness, and asserts the >= 2x single-link floor
+  when the vectorized tier is available.
+* ``test_fleet_scaling`` runs whole fleets — N pcap links under the
+  process backend — and tabulates aggregate records/s as links (and
+  worker processes) grow, against the thread backend at the same width.
+  The scaling assertion only applies on a runner with at least 2 cores:
+  on one core the worker processes time-slice a single CPU and spawn
+  overhead dominates, which the emitted table still documents.
+
+Both emit ``repro-bench/1`` documents (``BENCH_streaming_batched``,
+``BENCH_fleet_scaling``) for the bench-provenance trajectory.
+"""
+
+import asyncio
+import os
+import random
+import time
+
+import pytest
+
+from provenance import emit_bench, metric
+from repro.core import vectorize
+from repro.core.report import format_table
+from repro.core.streaming import StreamingLoopDetector
+from repro.fleet import FleetConfig, build_supervisor
+from repro.net.addr import IPv4Prefix
+from repro.net.columnar import ColumnarTrace
+from repro.net.pcap import write_pcap
+from repro.traffic.synthetic import SyntheticTraceBuilder
+
+ROUNDS = 3
+FLEET_WIDTHS = (1, 2, 4)
+
+
+def _build_trace(n_records, seed=0):
+    builder = SyntheticTraceBuilder(rng=random.Random(seed))
+    prefixes = [
+        IPv4Prefix((198 << 24) | (51 << 16) | (i << 8), 24)
+        for i in range(40)
+    ]
+    builder.add_background(n_records, 0.0, 600.0, prefixes=prefixes)
+    for i in range(20):
+        builder.add_loop(
+            10.0 + i * 25.0,
+            IPv4Prefix((192 << 24) | (i << 8), 24),
+            n_packets=4,
+            replicas_per_packet=8,
+            spacing=0.01,
+            packet_gap=0.012,
+            entry_ttl=40,
+        )
+    return builder.build()
+
+
+@pytest.fixture(scope="module")
+def big_trace():
+    return _build_trace(100_000)
+
+
+def _best_of(rounds, run):
+    best, result = float("inf"), None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = run()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _loop_key(loop):
+    return (loop.prefix, round(loop.start, 6), round(loop.end, 6),
+            loop.stream_count, loop.replica_count)
+
+
+def test_batched_streaming_speedup(big_trace, emit):
+    columnar = ColumnarTrace.from_trace(big_trace)
+    records = [(r.timestamp, r.data) for r in big_trace.records]
+
+    def per_record():
+        detector = StreamingLoopDetector()
+        loops = []
+        process = detector.process
+        for timestamp, data in records:
+            loops.extend(process(timestamp, data))
+        loops.extend(detector.flush())
+        return detector, loops
+
+    def batched():
+        detector = StreamingLoopDetector()
+        loops = []
+        for chunk in columnar.chunks:
+            loops.extend(detector.process_chunk(chunk))
+        loops.extend(detector.flush())
+        return detector, loops
+
+    ref_seconds, (ref, ref_loops) = _best_of(ROUNDS, per_record)
+    fast_seconds, (fast, fast_loops) = _best_of(ROUNDS, batched)
+
+    # Exactness first: a fast wrong answer is worthless.
+    assert list(map(_loop_key, fast_loops)) \
+        == list(map(_loop_key, ref_loops))
+    assert len(fast_loops) == 20
+    assert fast.stats.records == ref.stats.records == len(big_trace)
+
+    ref_rate = len(big_trace) / ref_seconds
+    fast_rate = len(big_trace) / fast_seconds
+    speedup = ref_seconds / fast_seconds
+    emit("streaming_batched", format_table(
+        ["Feed", "Seconds", "Records/s", "Speedup"],
+        [
+            ["per-record process()", f"{ref_seconds:.3f}",
+             f"{ref_rate:,.0f}", "1.00"],
+            ["batched process_chunk()", f"{fast_seconds:.3f}",
+             f"{fast_rate:,.0f}", f"{speedup:.2f}"],
+        ],
+        title=(f"Streaming batched tier — {len(big_trace)} records, "
+               f"numpy={'yes' if vectorize.HAVE_NUMPY else 'no'}"),
+    ))
+    emit_bench("streaming_batched", {
+        "per_record_records_per_s": metric(ref_rate, "records/s"),
+        "batched_records_per_s": metric(fast_rate, "records/s"),
+        "batched_speedup": metric(speedup, "x"),
+    })
+
+    if vectorize.HAVE_NUMPY:
+        # The PR's single-link acceptance floor.
+        assert speedup >= 2.0, (
+            f"batched tier below the 2x floor: {speedup:.2f}x"
+        )
+
+
+@pytest.fixture(scope="module")
+def fleet_pcap(tmp_path_factory):
+    path = tmp_path_factory.mktemp("fleet-bench") / "link.pcap"
+    trace = _build_trace(50_000, seed=1)
+    write_pcap(trace, path)
+    return path, len(trace)
+
+
+def _fleet_config(path, n_links, backend):
+    return FleetConfig.from_dict({
+        "fleet": {"backend": backend, "workers": n_links},
+        "links": [
+            {"id": f"l{i}", "source": {"kind": "pcap", "path": str(path)}}
+            for i in range(n_links)
+        ],
+    })
+
+
+def _run_fleet(path, n_records, n_links, backend):
+    supervisor = build_supervisor(_fleet_config(path, n_links, backend))
+    started = time.perf_counter()
+    asyncio.run(supervisor.run())
+    seconds = time.perf_counter() - started
+    snapshot = supervisor.snapshot()
+    assert snapshot["states"] == {"stopped": n_links}
+    for row in snapshot["links"]:
+        assert row["records"] == n_records
+        assert row["loops"] == 20
+    return n_links * n_records / seconds
+
+
+def test_fleet_scaling(fleet_pcap, emit):
+    path, n_records = fleet_pcap
+    cores = os.cpu_count() or 1
+    rows = []
+    rates = {}
+    for n_links in FLEET_WIDTHS:
+        for backend in ("thread", "process"):
+            rate = _run_fleet(path, n_records, n_links, backend)
+            rates[(backend, n_links)] = rate
+            rows.append([
+                backend, n_links,
+                n_links if backend == "process" else 1,
+                f"{n_links * n_records:,}", f"{rate:,.0f}",
+            ])
+
+    emit("fleet_scaling", format_table(
+        ["Backend", "Links", "Processes", "Records", "Aggregate rec/s"],
+        rows,
+        title=(f"Fleet scaling — {n_records} records/link, "
+               f"{cores} core(s) available"),
+    ))
+    emit_bench("fleet_scaling", {
+        "thread_1_link_records_per_s":
+            metric(rates[("thread", 1)], "records/s"),
+        "process_1_link_records_per_s":
+            metric(rates[("process", 1)], "records/s"),
+        "process_2_links_records_per_s":
+            metric(rates[("process", 2)], "records/s"),
+        "process_4_links_records_per_s":
+            metric(rates[("process", 4)], "records/s"),
+        "process_scaling_4_over_1":
+            metric(rates[("process", 4)] / rates[("process", 1)], "x"),
+    })
+
+    if cores >= 2:
+        # Aggregate throughput must actually grow when links get their
+        # own processes — the whole point of the process backend.
+        assert rates[("process", 2)] >= 1.3 * rates[("process", 1)], (
+            "process backend did not scale from 1 to 2 links on "
+            f"{cores} cores: {rates[('process', 2)]:,.0f} vs "
+            f"{rates[('process', 1)]:,.0f} rec/s"
+        )

@@ -385,6 +385,14 @@ def _build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--summary-json", default=None, metavar="FILE",
                        help="write the final /links document to FILE "
                             "on exit")
+    fleet.add_argument("--backend", default=None,
+                       choices=("thread", "process"),
+                       help="override the configured pipeline backend: "
+                            "thread (one event loop) or process (link "
+                            "pipelines in supervised worker processes)")
+    fleet.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="process backend: worker-process count "
+                            "(0 = one per link, capped at CPU count)")
     fleet.add_argument("--log-level", default="warning",
                        choices=("debug", "info", "warning", "error"),
                        help="logging verbosity (default: warning)")
@@ -540,15 +548,22 @@ def _trace_pairs(trace):
 
 
 def _stream_with_monitor(streaming, trace, monitor):
-    """Drive the streaming detector record by record, feeding the live
-    monitor as loops close and sampling its windows on second
+    """Drive the streaming detector with the live monitor attached,
+    feeding it as loops close and sampling its windows on second
     boundaries — identical output to :meth:`process_trace`, observable
     while it runs (the fleet daemon's per-link pipelines run the same
-    helpers batch by batch)."""
-    from repro.obs.live import attach_detector, feed_pairs
+    helpers batch by batch).  Columnar traces go chunk by chunk so the
+    detector's batched tier stays engaged under monitoring; anything
+    else falls back to the per-record feed."""
+    from repro.obs.live import attach_detector, feed_chunk, feed_pairs
 
     attach_detector(monitor, streaming)
-    loops = feed_pairs(streaming, monitor, _trace_pairs(trace))
+    if hasattr(trace, "chunks"):
+        loops = []
+        for chunk in trace.chunks:
+            loops.extend(feed_chunk(streaming, monitor, chunk))
+    else:
+        loops = feed_pairs(streaming, monitor, _trace_pairs(trace))
     loops.extend(streaming.flush())
     monitor.finish()
     return loops
@@ -874,10 +889,22 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     import asyncio
     import json
 
-    from repro.fleet import FleetConfig, FleetServer, FleetSupervisor
+    from dataclasses import replace
+
+    from repro.fleet import FleetConfig, FleetServer, build_supervisor
 
     config = FleetConfig.load(args.config)
-    supervisor = FleetSupervisor(config)
+    overrides = {}
+    if args.backend is not None:
+        overrides["backend"] = args.backend
+    if args.workers is not None:
+        if args.workers < 0:
+            print("error: --workers must be >= 0", file=sys.stderr)
+            return 2
+        overrides["workers"] = args.workers
+    if overrides:
+        config = replace(config, **overrides)
+    supervisor = build_supervisor(config)
     port = config.port if args.serve is None else args.serve
     server = FleetServer(supervisor, host=config.host, port=port)
     server.start()

@@ -30,9 +30,11 @@ from typing import Callable
 
 from repro.net.addr import IPv4Address
 from repro.obs.tracing import NULL_TRACER
+from repro.core import vectorize
 from repro.core.detector import DetectorConfig
 from repro.core.merge import RoutingLoop
 from repro.core.replica import (
+    _LENGTH_DTYPES,
     Replica,
     ReplicaStream,
     mask_mutable_fields,
@@ -59,6 +61,44 @@ class _OpenLoop:
     prefix_net: int
     streams: list[ReplicaStream]
     end: float
+
+
+@dataclass(slots=True)
+class _BulkBatch:
+    """Columnar sidecar of singletons inserted by the batched tier.
+
+    A bulk record's singleton never interacts with anything unless a
+    later record carries the same masked key — and equal keys always
+    hash equal — so the batched tier parks whole chunks of singletons
+    here as parallel arrays instead of paying the per-record dict, set,
+    and heap maintenance.  Entries are *promoted* into the real
+    ``_singletons`` state the moment a later chunk's hash matches (or a
+    per-record feed resumes); eviction is a vectorized comparison
+    against the ascending ``dl`` column instead of a heap pop.  ``pf``
+    doubles as the tombstone column: ``-1`` marks an entry that was
+    promoted and must not be counted or promoted again.
+
+    All per-record columns cover the WHOLE source chunk (indexed by
+    chunk position); ``pf`` is ``-1`` at non-bulk (replayed) positions
+    too, so only bulk entries ever read as live.  ``hsorted``/``hpos``
+    cover just the bulk entries: the batch's row hashes in sorted order
+    and the chunk position behind each sorted slot, for O(log n)
+    cross-chunk membership probes with no per-record index to maintain.
+    """
+
+    keys: bytes        # packed masked rows, ``length`` bytes per record
+    ts: object         # float64 record timestamps, ascending
+    dl: object         # float64 eviction deadlines (ts + gap), ascending
+    ttls: object       # uint8 original TTL column
+    pf: object         # int64 dst prefixes; -1 = replayed or tombstoned
+    hsorted: object    # uint64 bulk-entry row hashes, sorted
+    hpos: object       # chunk position of each ``hsorted`` slot
+    dl_last: float     # final deadline (batch is all-dead past this)
+    data: object       # the chunk's data slab (kept alive for promotion)
+    first: int         # slab offset of chunk record 0
+    stride: int
+    length: int
+    index0: int        # global index of chunk record 0
 
 
 @dataclass(slots=True)
@@ -109,6 +149,14 @@ class StreamingLoopDetector:
         self._open_loops: dict[int, _OpenLoop] = {}
         self._loop_deadlines: list[tuple[float, int, int]] = []
 
+        # Batched-tier sidecar: bulk singletons parked in columnar
+        # batches, probed by sorted row hash for cross-chunk matching.
+        self._bulk_batches: list[_BulkBatch] = []
+        # In-flight chunk columns for mid-chunk merge-window scans:
+        # (ts, deadlines, prefixes, bulk mask), valid below _chunk_scan_upto.
+        self._chunk_scan: tuple | None = None
+        self._chunk_scan_upto = 0
+
         self._emitted: list[RoutingLoop] = []
 
     # -- public API -----------------------------------------------------------
@@ -119,6 +167,10 @@ class StreamingLoopDetector:
             raise ValueError(
                 f"records must be time-ordered: {timestamp} < {self._now}"
             )
+        if self._bulk_batches:
+            # A per-record feed probes ``_singletons`` directly; fold the
+            # batched tier's sidecar back into the exact state first.
+            self._materialize_bulk()
         self._now = timestamp
         self._emitted = []
         self.stats.records += 1
@@ -158,12 +210,23 @@ class StreamingLoopDetector:
     def process_chunk(self, chunk) -> list[RoutingLoop]:
         """Feed one :class:`~repro.net.columnar.ColumnarChunk`.
 
-        Records are fed as zero-copy ``memoryview`` slices of the chunk's
-        data slab; the chaining state stores the views and materializes
-        ``bytes`` only when a stream actually forms, so the emitted loops
-        are byte-identical to a record-by-record :meth:`process` feed.
+        Stride-regular chunks take the batched fast tier
+        (:meth:`_process_chunk_batched`): one vectorized pre-pass masks
+        the whole slab, hashes every record, and picks out the few
+        records that could interact with detector state; everything else
+        is bulk-inserted.  The result is byte-identical to a
+        record-by-record :meth:`process` feed — same loops, stats,
+        eviction cadence, and state — which the equivalence and property
+        suites assert.  Irregular chunks (or a numpy-less interpreter)
+        fall back to the per-record path: records are fed as zero-copy
+        ``memoryview`` slices of the chunk's data slab, and the chaining
+        state materializes ``bytes`` only when a stream actually forms.
         """
-        loops: list[RoutingLoop] = []
+        if len(chunk) and vectorize.HAVE_NUMPY and chunk.stride is not None:
+            loops = self._process_chunk_batched(chunk)
+            if loops is not None:
+                return loops
+        loops = []
         extend = loops.extend
         process = self.process
         view = memoryview(chunk.data)
@@ -173,6 +236,378 @@ class StreamingLoopDetector:
             offset = offsets[i]
             extend(process(timestamps[i], view[offset:offset + length]))
         return loops
+
+    def _process_chunk_batched(self, chunk) -> list[RoutingLoop] | None:
+        """The chunk-level fast tier; ``None`` means "take the fallback".
+
+        The per-record machine does four things per record: validate
+        time order, expire due deadlines, append to the /24 history, and
+        chain against key-level state.  For a stride-regular chunk the
+        first three vectorize, and chaining only matters for records
+        that can actually touch state:
+
+        * records whose masked hash repeats within the chunk (the PR 7
+          pass-1 filter; equal keys always hash equal, so every
+          potential in-chunk pair survives),
+        * records whose /24 prefix has an open stream or an open
+          (unemitted) loop — key equality implies prefix equality (the
+          dst bytes survive masking), so any record that could chain
+          against pre-chunk stream state is caught by its prefix.
+          Prefixes with only *history* need no replay: history is
+          appended in bulk, and plain-history records can neither chain
+          nor block a loop — or
+        * records whose masked hash or key matches a pending singleton
+          (the sidecar hash index or the real ``_singletons`` dict).
+
+        Those "survivors" replay through the exact per-record code.  The
+        rest — in steady traffic, nearly everything — never touch the
+        per-record singleton machinery at all: their history updates in
+        bulk stretches bounded by the next due stream/loop deadline,
+        replay survivor, or 20k-record pruning tick, and their
+        singletons are parked as one columnar :class:`_BulkBatch`.
+        Sidecar entries are *promoted* into the exact state the moment a
+        later chunk's hash matches (equal keys always hash equal, so no
+        interaction can be missed), evicted arithmetically against the
+        ascending deadline column, and consulted by
+        ``_singleton_may_merge``/``state_snapshot`` with ``now``-aware
+        scans — so loops, stats, eviction cadence, and snapshots stay
+        byte-identical to the reference.
+        """
+        np = vectorize.np
+        n = len(chunk)
+        if n < 32:
+            # The vectorized pre-pass costs more than it saves on tiny
+            # chunks; the per-record fallback folds the sidecar back
+            # into exact state and stays correct.
+            return None
+        lengths = chunk.lengths
+        length = lengths[0]
+        stride = chunk.stride
+        if length < _MIN_CAPTURE or stride < length:
+            return None
+        lengths_np = np.frombuffer(
+            lengths, dtype=_LENGTH_DTYPES[lengths.itemsize]
+        )
+        if not bool((lengths_np == length).all()):
+            return None
+        ts_np = np.frombuffer(chunk.timestamps, dtype=np.float64, count=n)
+        if ts_np[0] < self._now:
+            return None  # fallback raises at the offending record
+        if n > 1 and bool((np.diff(ts_np) < 0).any()):
+            return None
+
+        config = self.config
+        gap = config.max_replica_gap
+
+        rows, masked, ttls = vectorize.masked_rows(
+            chunk.data, chunk.offsets[0], n, stride, length
+        )
+        hashes = vectorize.hash_rows(masked)
+        prefixes = vectorize.dst_prefixes(masked, self._shift)
+        dl_np = ts_np + gap
+
+        _, inverse, counts = np.unique(
+            hashes, return_inverse=True, return_counts=True
+        )
+        replay_np = counts[inverse] > 1
+        # Prefix-level gating is reserved for open streams and open
+        # loops; pending singletons gate by KEY/hash below — chaining
+        # probes singleton state by masked key, and in steady traffic
+        # nearly every prefix holds *some* singleton, so gating
+        # singletons by prefix would replay everything and erase the
+        # speedup.
+        active = {prefix_net
+                  for prefix_net, count in self._open_stream_count.items()
+                  if count > 0}
+        active.update(self._open_loops)
+        if active:
+            replay_np |= np.isin(
+                prefixes, np.fromiter(active, dtype=np.int64, count=len(active))
+            )
+
+        if len(self._bulk_batches) >= 64:
+            # Safety valve for feeds whose chunks are much shorter than
+            # the chaining gap (hundreds of live batches would make the
+            # per-chunk hash probes super-linear): fold the sidecar back
+            # into exact state and start fresh.  Promotion preserves
+            # byte-identical behavior; only the speedup degrades.
+            self._materialize_bulk()
+        if self._bulk_batches:
+            # Records matching a sidecar singleton's hash replay through
+            # the exact machine, and every matching sidecar entry is
+            # promoted into the real state first so the probes see it.
+            # A hash collision just promotes and replays spuriously —
+            # both harmless.  Dead (evicted) entries stay parked.
+            now = self._now
+            minimum = np.minimum
+            for batch in self._bulk_batches:
+                if batch.dl_last <= now:
+                    continue  # all evicted; retired by the end-of-chunk GC
+                hsorted = batch.hsorted
+                slots = np.searchsorted(hsorted, hashes)
+                hits = hsorted[minimum(slots, len(hsorted) - 1)] == hashes
+                if bool(hits.any()):
+                    replay_np |= hits
+                    for slot in np.unique(slots[hits]).tolist():
+                        self._maybe_promote(batch, int(batch.hpos[slot]),
+                                            now)
+
+        # Per-record python values, materialized once at C speed.
+        ts_list = ts_np.tolist()
+        ttl_list = ttls.tolist()
+        pf_list = prefixes.tolist()
+        masked_bytes = masked.tobytes()
+        if self._singletons:
+            # A record can also interact with a REAL-state singleton of
+            # the same masked key (replay-inserted or just promoted).
+            # Probing at chunk start over-approximates — a singleton
+            # evicted or consumed mid-chunk just means a harmless extra
+            # replay through the exact machine.
+            replay_np |= np.fromiter(
+                map(self._singletons.__contains__,
+                    (masked_bytes[i * length:(i + 1) * length]
+                     for i in range(n))),
+                dtype=bool, count=n,
+            )
+        replay_list = replay_np.tolist()
+        bulk_mask = ~replay_np
+        view = memoryview(chunk.data)
+        first = chunk.offsets[0]
+        index0 = self._index
+        self._index = index0 + n
+        hist_pairs = list(zip(ts_list, range(index0, index0 + n)))
+
+        replay_positions = replay_np.nonzero()[0].tolist()
+        replay_positions.append(n)
+        rpi = 0
+        records0 = self.stats.records
+        next_prune = (-records0 - 1) % 20_000
+
+        emitted: list[RoutingLoop] = []
+        self._emitted = emitted
+        stats = self.stats
+        history = self._history
+        stream_deadlines = self._stream_deadlines
+        loop_deadlines = self._loop_deadlines
+        searchsorted = np.searchsorted
+        # Bulk singletons inserted so far this chunk (positions below
+        # _chunk_scan_upto) are visible to mid-chunk merge-window scans
+        # through these columns before the batch object exists.
+        self._chunk_scan = (ts_np, dl_np, prefixes, bulk_mask)
+        self._chunk_scan_upto = 0
+
+        pos = 0
+        while pos < n:
+            # A bulk stretch runs until the next stream/loop deadline,
+            # replay survivor, or pruning tick.  Singleton evictions
+            # never break stretches: real-heap entries are drained
+            # lazily at the next event (and at chunk end), and sidecar
+            # entries are evicted arithmetically — indistinguishable
+            # from the reference, because a pending-eviction key can
+            # only be probed or re-inserted by a replayed record, and
+            # ``_singleton_may_merge`` only runs inside loop-close
+            # events after the drain.
+            stop = n
+            bound = None
+            if stream_deadlines:
+                bound = stream_deadlines[0][0]
+            if loop_deadlines and (bound is None
+                                   or loop_deadlines[0][0] < bound):
+                bound = loop_deadlines[0][0]
+            if bound is not None:
+                stop = int(searchsorted(ts_np, bound, side="left"))
+                if stop < pos:
+                    stop = pos
+            if next_prune < stop:
+                stop = next_prune
+            if replay_positions[rpi] < stop:
+                stop = replay_positions[rpi]
+
+            if stop > pos:
+                # Bulk records: counters and history update here; the
+                # singleton bookkeeping is deferred to the sidecar batch
+                # built at chunk end.  Nothing in a stretch can pair,
+                # complete, or expire before ``stop``.
+                stats.records += stop - pos
+                self._deadline_seq += stop - pos
+                self._now = ts_list[stop - 1]
+                seg = prefixes[pos:stop]
+                if bool((seg == seg[0]).all()):
+                    # Single-prefix stretch (the common shape of steady
+                    # traffic): one C-speed list extend.
+                    prefix_net = pf_list[pos]
+                    bucket = history.get(prefix_net)
+                    if bucket is None:
+                        history[prefix_net] = hist_pairs[pos:stop]
+                    else:
+                        bucket.extend(hist_pairs[pos:stop])
+                else:
+                    for i in range(pos, stop):
+                        prefix_net = pf_list[i]
+                        bucket = history.get(prefix_net)
+                        if bucket is None:
+                            history[prefix_net] = [hist_pairs[i]]
+                        else:
+                            bucket.append(hist_pairs[i])
+                pos = stop
+                continue
+
+            # Event record: replicate process() exactly — expire, prune
+            # on the 20k boundary, then chain (or count a deferred bulk
+            # insert when the record only stopped here for a deadline or
+            # pruning tick).
+            timestamp = ts_list[pos]
+            self._now = timestamp
+            stats.records += 1
+            self._chunk_scan_upto = pos
+            self._expire(timestamp)
+            if pos == next_prune:
+                for prefix_net in list(history):
+                    if prefix_net not in self._open_loops:
+                        self._prune_history(prefix_net, timestamp)
+                next_prune += 20_000
+            prefix_net = pf_list[pos]
+            bucket = history.get(prefix_net)
+            if bucket is None:
+                history[prefix_net] = [hist_pairs[pos]]
+            else:
+                bucket.append(hist_pairs[pos])
+            if replay_list[pos]:
+                off = first + pos * stride
+                key_off = pos * length
+                self._chain(index0 + pos, timestamp,
+                            view[off:off + length],
+                            key=masked_bytes[key_off:key_off + length],
+                            ttl=ttl_list[pos])
+                if pos == replay_positions[rpi]:
+                    rpi += 1
+            else:
+                self._deadline_seq += 1
+            pos += 1
+
+        # Park this chunk's bulk singletons as one columnar batch.  The
+        # per-record columns stay full-chunk (replay positions read -1
+        # in ``pf``, so they are dead by construction); only the hash
+        # probe columns are compacted to the bulk entries.
+        if bool(bulk_mask.any()):
+            bulk_hashes = hashes[bulk_mask]
+            order = np.argsort(bulk_hashes)
+            batch = _BulkBatch(
+                keys=masked_bytes,
+                ts=ts_np,
+                dl=dl_np,
+                ttls=ttls,
+                pf=np.where(bulk_mask, prefixes, np.int64(-1)),
+                hsorted=bulk_hashes[order],
+                hpos=bulk_mask.nonzero()[0][order],
+                dl_last=float(dl_np[-1]),
+                data=chunk.data,
+                first=first,
+                stride=stride,
+                length=length,
+                index0=index0,
+            )
+            self._bulk_batches.append(batch)
+        self._chunk_scan = None
+        self._chunk_scan_upto = 0
+
+        # Catch-up drain: the reference ran the singleton sweep at every
+        # record, so by the last record everything due has been evicted.
+        now = self._now
+        heappop = heapq.heappop
+        singletons = self._singletons
+        singleton_deadlines = self._singleton_deadlines
+        while singleton_deadlines and singleton_deadlines[0][0] <= now:
+            _, key, index = heappop(singleton_deadlines)
+            current = singletons.get(key)
+            if current is not None and current[0] == index:
+                del singletons[key]
+                self._drop_singleton_key(self._prefix_net(current[3]), key)
+
+        # Retire batches whose every entry is past its deadline.
+        batches = self._bulk_batches
+        while batches and batches[0].dl_last <= now:
+            batches.pop(0)
+        return emitted
+
+    # -- batched-tier sidecar ---------------------------------------------------
+
+    def _maybe_promote(self, batch: _BulkBatch, pos: int,
+                       now: float) -> None:
+        if batch.pf[pos] >= 0 and batch.dl[pos] > now:
+            self._promote(batch, pos)
+
+    def _promote(self, batch: _BulkBatch, pos: int) -> None:
+        """Move one live sidecar singleton into the exact per-record
+        state (dict, prefix set, deadline heap), tombstoning the sidecar
+        entry.  The heap push is valid at any time: heap operations
+        never assume global ordering of pushed values."""
+        length = batch.length
+        key_off = pos * length
+        key = batch.keys[key_off:key_off + length]
+        index = batch.index0 + pos
+        off = batch.first + pos * batch.stride
+        data = memoryview(batch.data)[off:off + length]
+        self._singletons[key] = (
+            index, float(batch.ts[pos]), int(batch.ttls[pos]), data
+        )
+        self._singleton_prefixes.setdefault(
+            int(batch.pf[pos]), set()
+        ).add(key)
+        heapq.heappush(
+            self._singleton_deadlines, (float(batch.dl[pos]), key, index)
+        )
+        batch.pf[pos] = -1
+
+    def _materialize_bulk(self) -> None:
+        """Promote every live sidecar singleton into the exact state —
+        a per-record feed (or snapshot restore) is about to probe
+        ``_singletons`` directly."""
+        np = vectorize.np
+        now = self._now
+        for batch in self._bulk_batches:
+            start = int(np.searchsorted(batch.dl, now, side="right"))
+            live = np.flatnonzero(batch.pf[start:] >= 0)
+            for pos in (live + start).tolist():
+                self._promote(batch, pos)
+        self._bulk_batches.clear()
+
+    def _bulk_live_count(self) -> int:
+        """Sidecar singletons still pending eviction at ``_now``."""
+        np = vectorize.np
+        now = self._now
+        count = 0
+        for batch in self._bulk_batches:
+            start = int(np.searchsorted(batch.dl, now, side="right"))
+            if start < len(batch.pf):
+                count += int((batch.pf[start:] >= 0).sum())
+        return count
+
+    def _bulk_singleton_may_merge(self, prefix_net: int, horizon: float,
+                                  now: float) -> bool:
+        """Sidecar arm of :meth:`_singleton_may_merge`: scan parked
+        batches (and the in-flight chunk's columns) for a live singleton
+        on this prefix inside the merge window.  Tombstoned entries have
+        ``pf == -1`` and can never match a real prefix."""
+        np = vectorize.np
+        for batch in self._bulk_batches:
+            start = int(np.searchsorted(batch.dl, now, side="right"))
+            if start == len(batch.pf):
+                continue
+            if bool(((batch.pf[start:] == prefix_net)
+                     & (batch.ts[start:] < horizon)).any()):
+                return True
+        scan = self._chunk_scan
+        if scan is not None:
+            upto = self._chunk_scan_upto
+            if upto:
+                ts_np, dl_np, prefixes, bulk_mask = scan
+                if bool((bulk_mask[:upto]
+                         & (prefixes[:upto] == prefix_net)
+                         & (dl_np[:upto] > now)
+                         & (ts_np[:upto] < horizon)).any()):
+                    return True
+        return False
 
     def process_trace_columnar(self, ctrace) -> list[RoutingLoop]:
         """Feed a whole :class:`~repro.net.columnar.ColumnarTrace`;
@@ -191,6 +626,10 @@ class StreamingLoopDetector:
         self._emitted = []
         infinity = float("inf")
         self._expire(infinity)
+        if self._bulk_batches:
+            # Every sidecar singleton is past its deadline at +inf —
+            # the arithmetic twin of the eviction sweep above.
+            self._bulk_batches.clear()
         return self._emitted
 
     def state_snapshot(self) -> dict:
@@ -223,9 +662,12 @@ class StreamingLoopDetector:
             for loop in self._open_loops.values()
         ]
         stats = self.stats
+        singleton_count = len(self._singletons)
+        if self._bulk_batches:
+            singleton_count += self._bulk_live_count()
         return {
             "now": None if self._now == float("-inf") else self._now,
-            "singletons": len(self._singletons),
+            "singletons": singleton_count,
             "open_streams": open_streams,
             "open_loops": open_loops,
             "tracked_prefixes": len(self._history),
@@ -271,10 +713,15 @@ class StreamingLoopDetector:
 
     # -- step 1: chaining -------------------------------------------------------
 
-    def _chain(self, index: int, timestamp: float, data: bytes) -> None:
+    def _chain(self, index: int, timestamp: float, data: bytes,
+               key: bytes | None = None, ttl: int | None = None) -> None:
         config = self.config
-        key = mask_mutable_fields(data)
-        ttl = data[8]
+        if key is None:
+            # The batched tier passes the key and TTL it already
+            # extracted from the masked slab; the per-record path
+            # computes them here.
+            key = mask_mutable_fields(data)
+            ttl = data[8]
 
         streams = self._open_streams.get(key)
         if streams is not None:
@@ -383,7 +830,7 @@ class StreamingLoopDetector:
             if deadline > now:
                 continue  # extended since this entry was pushed
             if (self._open_stream_count.get(prefix_net, 0) > 0
-                    or self._singleton_may_merge(prefix_net, loop)):
+                    or self._singleton_may_merge(prefix_net, loop, now)):
                 # A candidate stream for this prefix is still chaining
                 # (or a singleton inside the merge window could still
                 # start one); re-check once it resolves.
@@ -400,15 +847,25 @@ class StreamingLoopDetector:
             if not keys:
                 del self._singleton_prefixes[prefix_net]
 
-    def _singleton_may_merge(self, prefix_net: int, loop: _OpenLoop) -> bool:
+    def _singleton_may_merge(self, prefix_net: int, loop: _OpenLoop,
+                             now: float) -> bool:
         """True while a live singleton on this prefix sits inside the
         loop's merge window: if it chains, the resulting stream starts at
         the singleton's timestamp and would merge into the loop, so the
         loop cannot close yet.  (Singletons past the window can only seed
-        streams that start a new loop — those never block emission.)"""
+        streams that start a new loop — those never block emission.)
+
+        Checks the exact per-record state first, then the batched tier's
+        sidecar, whose entries are live while their deadline is still
+        ahead of ``now``.
+        """
         horizon = loop.end + self.config.merge_gap
-        return any(self._singletons[key][1] < horizon
-                   for key in self._singleton_prefixes.get(prefix_net, ()))
+        if any(self._singletons[key][1] < horizon
+               for key in self._singleton_prefixes.get(prefix_net, ())):
+            return True
+        if self._bulk_batches or self._chunk_scan is not None:
+            return self._bulk_singleton_may_merge(prefix_net, horizon, now)
+        return False
 
     def _push_loop_deadline(self, prefix_net: int, now: float) -> None:
         loop = self._open_loops.get(prefix_net)

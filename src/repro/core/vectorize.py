@@ -87,6 +87,48 @@ def hash_row_bytes(key) -> int:
     return int(hash_rows(row)[0])
 
 
+#: IPv4 header offsets mirrored from :mod:`repro.core.replica` — the
+#: mutable fields the masked key zeroes (TTL, header checksum).
+_TTL_OFFSET = 8
+_CHECKSUM_OFFSET = 10
+
+
+def masked_rows(data, first: int, n: int, stride: int, length: int):
+    """View a stride-regular slab as records and mask the mutable fields.
+
+    Returns ``(rows, masked, ttls)``: ``rows`` is a zero-copy strided
+    ``(n, length)`` uint8 view of the slab starting at byte ``first``;
+    ``masked`` is a contiguous copy with the TTL and checksum bytes
+    zeroed, so ``masked[i].tobytes()`` equals
+    :func:`~repro.core.replica.mask_mutable_fields` of record ``i``; and
+    ``ttls`` is the original TTL column.  This is the shared pass-1 slab
+    preparation of the vectorized offline kernel and the batched
+    streaming tier.
+    """
+    span = (n - 1) * stride + length
+    region = np.frombuffer(data, dtype=np.uint8, offset=first, count=span)
+    rows = np.lib.stride_tricks.as_strided(
+        region, shape=(n, length), strides=(stride, 1)
+    )
+    # .copy() (not ascontiguousarray) — the region buffer is read-only
+    # and an already-contiguous view would be returned as-is.
+    masked = rows.copy()
+    ttls = masked[:, _TTL_OFFSET].copy()
+    masked[:, _TTL_OFFSET] = 0
+    masked[:, _CHECKSUM_OFFSET] = 0
+    masked[:, _CHECKSUM_OFFSET + 1] = 0
+    return rows, masked, ttls
+
+
+def dst_prefixes(masked, shift: int):
+    """Per-row destination /N prefix of a ``(n, length)`` uint8 record
+    matrix: the big-endian uint32 at bytes 16..20 shifted right by
+    ``shift`` — one value per record, matching the scalar
+    ``int.from_bytes(data[16:20], "big") >> shift``."""
+    dst = np.ascontiguousarray(masked[:, 16:20]).view(">u4").ravel()
+    return (dst.astype(np.uint32) >> np.uint32(shift)).astype(np.int64)
+
+
 def crc32_table():
     """The reflected CRC-32 (poly 0xEDB88320) byte table as uint32."""
     global _crc_table

@@ -16,9 +16,12 @@ long-running multi-link service:
   streaming detection → windowed recorder chain, rebuilt fresh on every
   (re)start;
 * :mod:`repro.fleet.supervisor` — owns N concurrent link pipelines;
+* :mod:`repro.fleet.workers` — the ``process`` backend: links fanned
+  out across supervised worker processes, relayed over command pipes;
 * :mod:`repro.fleet.api` — the fleet-wide HTTP API (``/links``,
   per-link ``/state`` and ``/dashboard``, label-aggregated
-  ``/metrics``, ``POST /links/<id>/restart``).
+  ``/metrics``, ``POST /links/<id>/restart``) — identical under both
+  backends.
 
 ``repro-loops fleet <config>`` is the CLI entry point.
 """
@@ -28,6 +31,7 @@ from repro.fleet.config import FleetConfig, FleetConfigError, LinkConfig
 from repro.fleet.pipeline import LinkPipeline
 from repro.fleet.supervisor import FleetSupervisor
 from repro.fleet.task import RestartPolicy, SupervisedTask, TaskState
+from repro.fleet.workers import ProcessFleetSupervisor, build_supervisor
 
 __all__ = [
     "FleetConfig",
@@ -36,7 +40,9 @@ __all__ = [
     "FleetSupervisor",
     "LinkConfig",
     "LinkPipeline",
+    "ProcessFleetSupervisor",
     "RestartPolicy",
     "SupervisedTask",
     "TaskState",
+    "build_supervisor",
 ]

@@ -24,6 +24,13 @@ thread via ``call_soon_threadsafe`` inside
 202 means "handed to the supervisor", not "already restarted" — poll
 ``/links`` for the transition.
 
+The handler is backend-agnostic: it consumes only the supervisor's
+read surface (``pipelines``/``tasks``/``snapshot``/``render_metrics``/
+``request_restart``), which
+:class:`~repro.fleet.workers.ProcessFleetSupervisor` duck-types over
+worker-relayed documents — every endpoint serves the identical shape
+under both backends.
+
 ``POST /links/<id>/profile`` runs a
 :class:`~repro.obs.perf.SamplingProfiler` *in the handler thread* for a
 bounded duration (default 2 s, capped at 30 s) and returns collapsed
@@ -151,7 +158,8 @@ class _FleetHandler(JSONRequestHandler):
                                       "link": link_id})
                 return
             self._send(200, "text/html; charset=utf-8",
-                       render_html(monitor, title=f"link {link_id}"))
+                       render_html(monitor, title=f"link {link_id}",
+                                   records_per_s=pipeline.records_per_s()))
         elif action == "metrics":
             registry = pipeline.registry
             body = "" if registry is None else registry.render_prometheus()

@@ -11,6 +11,8 @@ lowest common denominator — the two spell the identical structure:
     [fleet]
     host = "127.0.0.1"
     port = 9470
+    backend = "thread"   # or "process": link pipelines in workers
+    workers = 0          # process backend: worker count (0 = auto)
 
     [fleet.restart]
     max_restarts = 5
@@ -30,6 +32,7 @@ lowest common denominator — the two spell the identical structure:
     [[links]]
     id = "ny-to-sj"
     source = { kind = "watch", directory = "captures/ny-sj" }
+    prefetch = 4   # deeper source read-ahead for this link
 
     [[links]]
     id = "lab"
@@ -194,19 +197,28 @@ def _detector_config(data: Mapping[str, Any],
 
 @dataclass(frozen=True)
 class LinkConfig:
-    """One monitored link: identity, source, detection, and alerting."""
+    """One monitored link: identity, source, detection, and alerting.
+
+    ``prefetch`` is the link's source read-ahead depth — how many
+    batches :func:`~repro.fleet.sources.prefetch_batches` may queue
+    ahead of the detector before the reader stalls.  Deeper queues
+    smooth bursty sources (directory watches, paced replays) at the
+    cost of holding more chunks in memory.
+    """
 
     id: str
     source: SourceConfig
     detector: DetectorConfig = field(default_factory=DetectorConfig)
     alerts: AlertPolicy = field(default_factory=AlertPolicy)
+    prefetch: int = 2
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any],
                   fleet_alerts: AlertPolicy) -> "LinkConfig":
         link_id = data.get("id")
         context = f"link {link_id!r}" if link_id else "link"
-        data = _take(data, context, ("id", "source", "detector", "alerts"))
+        data = _take(data, context,
+                     ("id", "source", "detector", "alerts", "prefetch"))
         if not link_id or not isinstance(link_id, str):
             raise FleetConfigError("every link needs a string id")
         if not _ID_RE.match(link_id):
@@ -216,12 +228,19 @@ class LinkConfig:
             )
         if "source" not in data:
             raise FleetConfigError(f"{context}: missing source")
+        prefetch = data.get("prefetch", 2)
+        if not isinstance(prefetch, int) or isinstance(prefetch, bool) \
+                or prefetch < 1:
+            raise FleetConfigError(
+                f"{context}: prefetch must be an integer >= 1"
+            )
         return cls(
             id=link_id,
             source=SourceConfig.from_dict(data["source"], context),
             detector=_detector_config(data.get("detector", {}), context),
             alerts=AlertPolicy.from_dict(data.get("alerts", {}), context,
                                          base=fleet_alerts),
+            prefetch=prefetch,
         )
 
 
@@ -235,21 +254,36 @@ def _restart_policy(data: Mapping[str, Any]) -> RestartPolicy:
         raise FleetConfigError(f"fleet.restart: {error}") from error
 
 
+BACKENDS = ("thread", "process")
+
+
 @dataclass(frozen=True)
 class FleetConfig:
-    """The whole fleet: links plus service-level policy."""
+    """The whole fleet: links plus service-level policy.
+
+    ``backend`` picks where link pipelines run: ``thread`` (the
+    default) keeps every pipeline on the daemon's event loop with
+    detection on the thread executor; ``process`` fans the links out
+    across ``workers`` supervised worker processes (see
+    :mod:`repro.fleet.workers`), so N links detect on N cores instead
+    of sharing one GIL.  ``workers = 0`` sizes the pool automatically
+    (one per link, capped at the machine's CPU count).
+    """
 
     links: tuple[LinkConfig, ...]
     host: str = "127.0.0.1"
     port: int = 9470
     restart: RestartPolicy = field(default_factory=RestartPolicy)
     alerts: AlertPolicy = field(default_factory=AlertPolicy)
+    backend: str = "thread"
+    workers: int = 0
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "FleetConfig":
         data = _take(data, "top-level", ("fleet", "links"))
         fleet = _take(data.get("fleet", {}), "fleet",
-                      ("host", "port", "restart", "alerts"))
+                      ("host", "port", "restart", "alerts", "backend",
+                       "workers"))
         alerts = AlertPolicy.from_dict(fleet.get("alerts", {}), "fleet")
         raw_links = data.get("links", [])
         if not raw_links:
@@ -261,12 +295,26 @@ class FleetConfig:
             if link.id in seen:
                 raise FleetConfigError(f"duplicate link id {link.id!r}")
             seen.add(link.id)
+        backend = fleet.get("backend", "thread")
+        if backend not in BACKENDS:
+            raise FleetConfigError(
+                f"fleet.backend must be one of {', '.join(BACKENDS)}; "
+                f"got {backend!r}"
+            )
+        workers = fleet.get("workers", 0)
+        if not isinstance(workers, int) or isinstance(workers, bool) \
+                or workers < 0:
+            raise FleetConfigError(
+                "fleet.workers must be an integer >= 0 (0 = auto)"
+            )
         return cls(
             links=links,
             host=str(fleet.get("host", "127.0.0.1")),
             port=int(fleet.get("port", 9470)),
             restart=_restart_policy(fleet.get("restart", {})),
             alerts=alerts,
+            backend=backend,
+            workers=workers,
         )
 
     @classmethod

@@ -4,8 +4,10 @@
 SupervisedTask` runs: source batches → streaming detection → windowed
 recorder/alerts, using the exact same monitored feed as ``repro-loops
 monitor`` (:func:`~repro.obs.live.attach_detector` /
-:func:`~repro.obs.live.feed_pairs`), so a fleet link's loop counts are
+:func:`~repro.obs.live.feed_chunk`), so a fleet link's loop counts are
 byte-identical to an independent ``detect`` run over the same records.
+Columnar source batches engage the streaming detector's batched tier;
+irregular batches degrade to the per-record feed with identical output.
 
 Every (re)start builds the whole chain fresh — registry, recorder,
 alert engine, detector.  That is what makes restarts sound: the
@@ -31,8 +33,9 @@ from repro.core.replica import resolve_kernel
 from repro.core.streaming import StreamingLoopDetector
 from repro.fleet.config import LinkConfig
 from repro.fleet.sources import build_source, prefetch_batches
+from repro.net.columnar import ColumnarChunk
 from repro.obs.alerts import AlertEngine, HysteresisConfig, default_rules
-from repro.obs.live import LiveMonitor, attach_detector, feed_pairs
+from repro.obs.live import LiveMonitor, attach_detector, feed_chunk, feed_pairs
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.perf import PipelineProfile
 from repro.obs.tracing import NULL_TRACER
@@ -50,6 +53,58 @@ class RunArtifacts:
     started_at: float
     loops: list = field(default_factory=list)
     finished: bool = False
+
+
+def _feed_batch(streaming, monitor, batch) -> tuple[list, int]:
+    """Feed one source batch through the detector; returns ``(closed
+    loops, byte count)``.
+
+    Runs on the executor, never the event loop: both the detection work
+    and the per-record byte accounting happen here, so the loop only
+    schedules.  Columnar chunks take the batched tier via
+    :func:`~repro.obs.live.feed_chunk` and read their byte count from
+    the length column in one C-speed ``sum``; anything else (a plain
+    iterable of pairs — kept for tests and custom sources) falls back to
+    the per-record feed.
+    """
+    if isinstance(batch, ColumnarChunk):
+        return (feed_chunk(streaming, monitor, batch),
+                sum(batch.lengths))
+    batch = list(batch)
+    return (feed_pairs(streaming, monitor, batch),
+            sum(len(data) for _, data in batch))
+
+
+class _RateTracker:
+    """Differences a monotonically growing counter against the wall
+    clock, so ``/links`` rows can report instantaneous records/s.
+
+    Two consecutive reads closer than ``min_interval`` return the
+    previous rate instead of amplifying timer noise; a counter reset
+    (fresh run after a restart) re-anchors instead of reporting a
+    negative rate.
+    """
+
+    __slots__ = ("min_interval", "_at", "_total", "rate")
+
+    def __init__(self, min_interval: float = 0.2) -> None:
+        self.min_interval = min_interval
+        self._at: float | None = None
+        self._total = 0
+        self.rate = 0.0
+
+    def update(self, now: float, total: int) -> float:
+        if self._at is None or total < self._total:
+            self._at = now
+            self._total = total
+            self.rate = 0.0
+            return self.rate
+        elapsed = now - self._at
+        if elapsed >= self.min_interval:
+            self.rate = (total - self._total) / elapsed
+            self._at = now
+            self._total = total
+        return self.rate
 
 
 def _build_monitor(config: LinkConfig, tracer) -> tuple[
@@ -82,6 +137,7 @@ class LinkPipeline:
         self.tracer = tracer
         self._clock = clock
         self.current: RunArtifacts | None = None
+        self._rate = _RateTracker()
 
     # -- the supervised body ---------------------------------------------------
 
@@ -104,7 +160,9 @@ class LinkPipeline:
         self.current = artifacts
         source = build_source(self.config.source)
         loop = asyncio.get_running_loop()
-        batches = prefetch_batches(source, profile)
+        batches = prefetch_batches(source, profile,
+                                   depth=self.config.prefetch)
+        feeding: asyncio.Future | None = None
         try:
             while True:
                 # source.wait is the time this pipeline spent starved
@@ -117,15 +175,31 @@ class LinkPipeline:
                         break
                 with profile.stage("detect.feed",
                                    records=len(batch)) as span:
-                    span.add(bytes=sum(len(data) for _, data in batch))
-                    closed = await loop.run_in_executor(
-                        None, feed_pairs, streaming, monitor, batch
+                    # Shielded: cancelling this coroutine (restart or
+                    # stop) cannot stop the executor thread mid-feed, so
+                    # the feed must be awaited to completion either way
+                    # — flushing a detector another thread is still
+                    # feeding corrupts its state.
+                    feeding = loop.run_in_executor(
+                        None, _feed_batch, streaming, monitor, batch
                     )
+                    closed, nbytes = await asyncio.shield(feeding)
+                    feeding = None
+                    span.add(bytes=nbytes)
                 artifacts.loops.extend(closed)
         finally:
             # Close the books even on cancellation so the final partial
             # windows are visible; a crashed run is replaced wholesale
             # by the next run's fresh artifacts anyway.
+            if feeding is not None and not feeding.done():
+                while not feeding.done():
+                    try:
+                        await asyncio.wait({feeding})
+                    except asyncio.CancelledError:
+                        continue  # the feed is finite; keep reaping
+            if feeding is not None and not feeding.cancelled() \
+                    and feeding.exception() is None:
+                artifacts.loops.extend(feeding.result()[0])
             await batches.aclose()
             with profile.stage("detect.flush"):
                 artifacts.loops.extend(streaming.flush())
@@ -152,6 +226,16 @@ class LinkPipeline:
             return {"stages": [], "queues": {}}
         return current.profile.snapshot()
 
+    def records_per_s(self) -> float:
+        """Instantaneous feed rate, differenced from the detector's
+        record counter between reads (0.0 before the run starts and
+        once the feed has drained)."""
+        current = self.current
+        if current is None:
+            return 0.0
+        return self._rate.update(self._clock(),
+                                 current.streaming.stats.records)
+
     def row(self) -> dict[str, Any]:
         """The ``/links`` summary row for this pipeline."""
         current = self.current
@@ -159,6 +243,7 @@ class LinkPipeline:
             "id": self.config.id,
             "source": self.config.source.describe(),
             "records": 0,
+            "records_per_s": 0.0,
             "loops": 0,
             "alerts_active": 0,
             "run_started_at": None,
@@ -169,6 +254,7 @@ class LinkPipeline:
         stats = current.streaming.stats
         row.update(
             records=stats.records,
+            records_per_s=round(self.records_per_s(), 1),
             loops=stats.loops_emitted,
             alerts_active=len(current.monitor.alerts.active_rules()),
             run_started_at=current.started_at,

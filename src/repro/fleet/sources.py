@@ -2,15 +2,18 @@
 
 Every source exposes one coroutine-friendly surface::
 
-    async for batch in source.batches():
-        # batch is a list of (timestamp, packet_bytes) pairs,
-        # time-ordered within and across batches
+    async for chunk in source.batches():
+        # chunk is a ColumnarChunk, time-ordered within and across
+        # batches
 
-Batches are columnar chunks — the zero-copy ``(timestamp, memoryview)``
-pairs of :class:`~repro.net.columnar.ColumnarChunk` — so the per-record
-async overhead is amortized over tens of thousands of records.  All
-blocking work (pcap parsing, simulator execution, directory listing)
-runs on the default executor; the event loop only ever awaits.
+Batches are :class:`~repro.net.columnar.ColumnarChunk` objects — one
+contiguous slab plus parallel columns — so the per-record async
+overhead is amortized over tens of thousands of records and the
+streaming detector's batched tier can consume the chunk without ever
+materializing per-record pairs (``chunk.iter_views()`` recovers the
+pair form when a consumer wants it).  All blocking work (pcap parsing,
+simulator execution, directory listing) runs on the default executor;
+the event loop only ever awaits.
 
 Source errors (truncated pcap, bad scenario name) propagate out of
 ``batches()`` — crash handling is the supervisor's job, not the
@@ -24,11 +27,11 @@ from pathlib import Path
 from typing import Any, AsyncIterator, Callable, Iterator
 
 from repro.fleet.config import SourceConfig
-from repro.net.columnar import ColumnarTrace
+from repro.net.columnar import ColumnarChunk, ColumnarTrace
 from repro.net.pcap import iter_pcap_columnar
 from repro.obs.perf import NULL_PROFILE
 
-Batch = list  # list[tuple[float, memoryview]]
+Batch = ColumnarChunk
 
 _SENTINEL = object()
 
@@ -124,7 +127,7 @@ async def _pcap_batches(path: Path, pacer: _Pacer) -> AsyncIterator[Batch]:
     ):
         if len(chunk):
             await pacer.pace_to(chunk.timestamps[-1])
-        yield list(chunk.iter_views())
+        yield chunk
 
 
 class PcapFileSource:
@@ -204,7 +207,7 @@ class SimulatorSource:
         for chunk in columnar.chunks:
             if len(chunk):
                 await pacer.pace_to(chunk.timestamps[-1])
-            yield list(chunk.iter_views())
+            yield chunk
             await asyncio.sleep(0)  # yield the loop between chunks
 
 

@@ -1,0 +1,573 @@
+"""Process-parallel fleet backend: link pipelines in worker processes.
+
+The thread backend (:class:`~repro.fleet.supervisor.FleetSupervisor`)
+runs every link pipeline on one event loop, with detection on the
+default thread executor — simple, but the GIL caps aggregate fleet
+throughput at roughly one core of per-record Python no matter how many
+links are configured.  This module fans the links out across worker
+*processes* instead:
+
+* Links are partitioned round-robin over ``workers`` processes.  Each
+  worker runs a complete, ordinary :class:`FleetSupervisor` over its
+  slice of the config — source, streaming detector, recorder, alert
+  engine, and per-link ``SupervisedTask`` restart machinery all live
+  wholly inside the worker, so per-link crash/backoff semantics are
+  *identical* to the thread backend.
+* Each worker ships a periodic bundle per link over a duplex command
+  pipe — task lifecycle snapshot, ``/links`` row, full ``/state``
+  document, ``/perf`` profile, dashboard samples, and a lossless
+  metrics dump (:meth:`~repro.obs.metrics.MetricsRegistry.dump`).  The
+  parent caches the latest bundle and serves every HTTP endpoint from
+  it, so ``/links``, ``/state``, ``/metrics``, ``/perf``, and ``POST
+  /restart`` keep their exact document shapes under both backends.
+* The parent wraps each worker in its own
+  :class:`~repro.fleet.task.SupervisedTask` whose body is "spawn the
+  process and relay its pipe".  A worker that dies — nonzero exit or
+  lost pipe — is a crash: the parent transitions the worker (and its
+  links' reported lifecycle) through ``degraded``, backs off, and
+  respawns; the fresh worker replays its links from scratch exactly
+  like a restarted thread-backend pipeline.
+
+Restart requests for one link are forwarded over the pipe and executed
+by the worker's inner supervisor, so a manual restart never tears down
+the process (or its sibling links).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+from dataclasses import replace
+from typing import Any
+
+from repro.fleet.config import FleetConfig, LinkConfig
+from repro.fleet.supervisor import FleetSupervisor
+from repro.fleet.task import HISTORY_LIMIT, SupervisedTask, TaskState
+from repro.obs.metrics import (
+    MetricsRegistry,
+    merged_registry,
+    registry_from_dump,
+)
+
+#: Seconds between bundle publications from a worker.
+DEFAULT_RELAY_INTERVAL = 0.2
+
+
+def resolve_workers(config: FleetConfig) -> int:
+    """The worker-process count for ``config``: the explicit
+    ``fleet.workers`` if set, else one per link capped at the CPU
+    count; never more workers than links, never fewer than one."""
+    count = config.workers or min(len(config.links),
+                                  os.cpu_count() or 1)
+    return max(1, min(count, len(config.links)))
+
+
+def partition_links(links, workers: int) -> list[list[LinkConfig]]:
+    """Round-robin ``links`` into ``workers`` non-empty groups (the
+    deterministic assignment keeps a link on the same worker across
+    daemon restarts with an unchanged config)."""
+    groups: list[list[LinkConfig]] = [[] for _ in range(workers)]
+    for position, link in enumerate(links):
+        groups[position % workers].append(link)
+    return [group for group in groups if group]
+
+
+# -- the worker process --------------------------------------------------------
+
+
+def _publish(conn, supervisor: FleetSupervisor) -> None:
+    links: dict[str, dict[str, Any]] = {}
+    for link_id, task in supervisor.tasks.items():
+        pipeline = supervisor.pipelines[link_id]
+        monitor = pipeline.monitor
+        registry = pipeline.registry
+        links[link_id] = {
+            "task": task.snapshot(),
+            "row": pipeline.row(),
+            "state": pipeline.state(),
+            "perf": pipeline.perf(),
+            "samples": None if monitor is None else monitor.samples(),
+            "metrics": None if registry is None else registry.dump(),
+        }
+    try:
+        conn.send(("links", links))
+    except (BrokenPipeError, OSError):
+        pass
+
+
+async def _worker_async(conn, config: FleetConfig,
+                        interval: float) -> None:
+    supervisor = FleetSupervisor(config)
+    loop = asyncio.get_running_loop()
+    shutdown = asyncio.Event()
+
+    def _on_command() -> None:
+        try:
+            while conn.poll():
+                kind, payload = conn.recv()
+                if kind == "restart":
+                    supervisor.request_restart(payload)
+                elif kind == "shutdown":
+                    shutdown.set()
+        except (EOFError, OSError):
+            # Parent went away: there is nobody left to serve.
+            shutdown.set()
+
+    loop.add_reader(conn.fileno(), _on_command)
+    supervisor.start()
+    stopper = asyncio.ensure_future(shutdown.wait())
+    try:
+        while not stopper.done():
+            await asyncio.wait({stopper}, timeout=interval)
+            _publish(conn, supervisor)
+            tasks = supervisor.tasks.values()
+            landed = all(task._task is not None and task._task.done()
+                         for task in tasks)
+            failed = any(task.state is TaskState.FAILED
+                         for task in tasks)
+            # All sources drained cleanly: the worker's job is done.
+            # A FAILED link keeps the worker alive (publishing, command
+            # -responsive) so ``POST /restart`` can still re-arm it —
+            # same as a failed link under the thread backend's daemon.
+            if landed and not failed:
+                break
+        if stopper.done():
+            await supervisor.stop()
+        _publish(conn, supervisor)
+        try:
+            conn.send(("done", None))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        stopper.cancel()
+        loop.remove_reader(conn.fileno())
+        conn.close()
+
+
+def _worker_main(conn, config: FleetConfig, interval: float) -> None:
+    """Entry point of one worker process (spawn-safe: module level,
+    picklable arguments)."""
+    try:
+        import faulthandler
+        import signal
+
+        # A wedged worker can be asked for a stack dump without being
+        # killed: kill -USR1 <worker pid>.
+        faulthandler.register(signal.SIGUSR1)
+    except (ImportError, AttributeError, ValueError):
+        pass
+    asyncio.run(_worker_async(conn, config, interval))
+
+
+# -- parent-side relays --------------------------------------------------------
+
+
+class _WorkerHandle:
+    """One worker process: spawn, relay, command, reap.
+
+    :meth:`body` is the parent-side :class:`SupervisedTask` body — it
+    completes normally only when the worker reports ``done`` (clean
+    shutdown or every finite source drained) and exits 0; any other
+    process death raises, which is exactly what drives the supervised
+    degraded → backoff → respawn cycle.
+    """
+
+    def __init__(self, name: str, config: FleetConfig,
+                 interval: float) -> None:
+        self.name = name
+        self.config = config
+        self.interval = interval
+        self.link_ids = [link.id for link in config.links]
+        #: link id → latest relayed bundle entry (stale across a worker
+        #: crash until the respawned worker publishes fresh state).
+        self.docs: dict[str, dict[str, Any] | None] = {
+            link_id: None for link_id in self.link_ids
+        }
+        self._conn = None
+        #: OS pid of the live worker process (None while down).
+        self.pid: int | None = None
+
+    def send_command(self, command: tuple) -> None:
+        """Forward a command tuple to the worker; silently dropped when
+        the worker is down (the respawned worker starts fresh anyway).
+        Must run on the event-loop thread."""
+        conn = self._conn
+        if conn is None:
+            return
+        try:
+            conn.send(command)
+        except (BrokenPipeError, OSError):
+            pass
+
+    async def body(self) -> None:
+        loop = asyncio.get_running_loop()
+        context = multiprocessing.get_context("spawn")
+        parent_conn, child_conn = context.Pipe()
+        process = context.Process(
+            target=_worker_main,
+            args=(child_conn, self.config, self.interval),
+            name=f"repro-fleet-{self.name}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        self._conn = parent_conn
+        self.pid = process.pid
+        closed = asyncio.Event()
+        outcome = {"done": False}
+
+        def _on_readable() -> None:
+            try:
+                while parent_conn.poll():
+                    kind, payload = parent_conn.recv()
+                    if kind == "links":
+                        self.docs.update(payload)
+                    elif kind == "done":
+                        outcome["done"] = True
+            except (EOFError, OSError):
+                closed.set()
+
+        loop.add_reader(parent_conn.fileno(), _on_readable)
+        try:
+            await closed.wait()
+        except asyncio.CancelledError:
+            self._stop_process(process, parent_conn)
+            raise
+        finally:
+            loop.remove_reader(parent_conn.fileno())
+            self._conn = None
+            self.pid = None
+            # Drain what the worker managed to send before it exited —
+            # the final bundle carries the links' landed (stopped)
+            # state, which snapshot() must reflect after a shutdown.
+            _on_readable()
+            parent_conn.close()
+        await loop.run_in_executor(None, process.join, 5.0)
+        exitcode = process.exitcode
+        if outcome["done"] and exitcode == 0:
+            return
+        raise RuntimeError(
+            f"worker {self.name} died"
+            + (f" (exit {exitcode})" if exitcode is not None
+               else " (pipe lost)")
+        )
+
+    def _stop_process(self, process, conn) -> None:
+        """Bounded synchronous shutdown from the cancellation path."""
+        try:
+            conn.send(("shutdown", None))
+        except (BrokenPipeError, OSError):
+            pass
+        process.join(3.0)
+        if process.is_alive():
+            process.terminate()
+            process.join(2.0)
+        if process.is_alive():
+            process.kill()
+            process.join(1.0)
+
+
+class _MonitorRelay:
+    """Duck-types the :class:`~repro.obs.live.LiveMonitor` read surface
+    the dashboard renderer touches, backed by relayed documents."""
+
+    def __init__(self, state: dict[str, Any],
+                 samples: dict[str, tuple]) -> None:
+        self._state = state
+        self._samples = samples
+
+    def state(self) -> dict[str, Any]:
+        return self._state
+
+    def samples(self) -> dict[str, tuple]:
+        return self._samples
+
+
+class _LinkRelay:
+    """Duck-types the :class:`~repro.fleet.pipeline.LinkPipeline` read
+    surface (``row``/``state``/``perf``/``registry``/``monitor``),
+    serving the latest bundle its worker relayed."""
+
+    def __init__(self, config: LinkConfig, handle: _WorkerHandle) -> None:
+        self.config = config
+        self.handle = handle
+
+    def _doc(self) -> dict[str, Any] | None:
+        return self.handle.docs.get(self.config.id)
+
+    @property
+    def registry(self) -> MetricsRegistry | None:
+        doc = self._doc()
+        if doc is None or doc.get("metrics") is None:
+            return None
+        return registry_from_dump(doc["metrics"])
+
+    @property
+    def monitor(self) -> _MonitorRelay | None:
+        doc = self._doc()
+        if doc is None or doc.get("samples") is None:
+            return None
+        return _MonitorRelay(doc["state"], doc["samples"])
+
+    def records_per_s(self) -> float:
+        doc = self._doc()
+        if doc is None:
+            return 0.0
+        return doc["row"].get("records_per_s", 0.0)
+
+    def perf(self) -> dict[str, Any]:
+        doc = self._doc()
+        if doc is None:
+            return {"stages": [], "queues": {}}
+        return doc["perf"]
+
+    def row(self) -> dict[str, Any]:
+        doc = self._doc()
+        if doc is None:
+            return {
+                "id": self.config.id,
+                "source": self.config.source.describe(),
+                "records": 0,
+                "records_per_s": 0.0,
+                "loops": 0,
+                "alerts_active": 0,
+                "run_started_at": None,
+                "run_finished": False,
+            }
+        return dict(doc["row"])
+
+    def state(self) -> dict[str, Any]:
+        doc = self._doc()
+        if doc is None:
+            return {"id": self.config.id,
+                    "source": self.config.source.describe(),
+                    "run": None}
+        return dict(doc["state"])
+
+
+class _TaskRelay:
+    """Duck-types the ``SupervisedTask`` snapshot surface for one link,
+    overlaying the owning worker's parent-side lifecycle."""
+
+    def __init__(self, supervisor: "ProcessFleetSupervisor",
+                 link_id: str) -> None:
+        self._supervisor = supervisor
+        self._link_id = link_id
+
+    def snapshot(self) -> dict[str, Any]:
+        return self._supervisor._task_snapshot(self._link_id)
+
+
+class ProcessFleetSupervisor:
+    """Drop-in :class:`FleetSupervisor` replacement running link
+    pipelines in supervised worker processes.
+
+    Exposes the same surface the HTTP API and CLI consume —
+    ``pipelines``, ``tasks``, ``snapshot()``, ``render_metrics()``,
+    ``request_restart()``, and the ``start/wait/stop/run/shutdown``
+    lifecycle — with identical document shapes, so
+    :class:`~repro.fleet.api.FleetServer` works unchanged.
+    """
+
+    def __init__(self, config: FleetConfig, tracer=None,
+                 interval: float = DEFAULT_RELAY_INTERVAL) -> None:
+        # ``tracer`` is accepted for signature parity with
+        # FleetSupervisor but cannot cross the process boundary;
+        # workers run with the null tracer.
+        self.config = config
+        self.workers = resolve_workers(config)
+        self.handles: dict[str, _WorkerHandle] = {}
+        self._owner: dict[str, _WorkerHandle] = {}
+        for index, group in enumerate(
+                partition_links(config.links, self.workers)):
+            sub = replace(config, links=tuple(group),
+                          backend="thread", workers=0)
+            handle = _WorkerHandle(f"worker-{index}", sub, interval)
+            self.handles[handle.name] = handle
+            for link in group:
+                self._owner[link.id] = handle
+        self.pipelines: dict[str, _LinkRelay] = {
+            link.id: _LinkRelay(link, self._owner[link.id])
+            for link in config.links
+        }
+        self.tasks: dict[str, _TaskRelay] = {
+            link.id: _TaskRelay(self, link.id) for link in config.links
+        }
+        self._worker_tasks: dict[str, SupervisedTask] = {
+            name: SupervisedTask(name, handle.body,
+                                 policy=config.restart)
+            for name, handle in self.handles.items()
+        }
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._shutdown_requested = False
+        self._shutdown_event: asyncio.Event | None = None
+
+    # -- lifecycle (event-loop thread) -----------------------------------------
+
+    def start(self) -> None:
+        """Spawn every worker process on the running event loop."""
+        self._loop = asyncio.get_running_loop()
+        self._shutdown_event = asyncio.Event()
+        if self._shutdown_requested:
+            self._shutdown_event.set()
+        for task in self._worker_tasks.values():
+            task.start()
+
+    async def wait(self) -> None:
+        """Block until every worker task reaches a terminal state."""
+        pending = [task._task for task in self._worker_tasks.values()
+                   if task._task is not None]
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+
+    async def stop(self) -> None:
+        """Stop every worker and wait for all of them to land."""
+        await asyncio.gather(
+            *(task.stop() for task in self._worker_tasks.values()),
+            return_exceptions=True,
+        )
+
+    async def run(self, run_for: float | None = None) -> None:
+        """Start the fleet and wait — for completion, ``run_for``
+        seconds, or a :meth:`shutdown` request, whichever comes
+        first."""
+        self.start()
+        waiter = asyncio.ensure_future(self.wait())
+        stopper = asyncio.ensure_future(self._shutdown_event.wait())
+        try:
+            await asyncio.wait({waiter, stopper}, timeout=run_for,
+                               return_when=asyncio.FIRST_COMPLETED)
+        except asyncio.CancelledError:
+            waiter.cancel()
+            raise
+        finally:
+            stopper.cancel()
+        if waiter.done():
+            return
+        await self.stop()
+        await waiter
+
+    # -- control (any thread) --------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Ask a running :meth:`run` to stop the fleet and return."""
+        self._shutdown_requested = True
+        if self._shutdown_event is not None:
+            self._shutdown_event.set()
+
+    def request_restart(self, link_id: str) -> bool:
+        """Forward a restart request to the owning worker's inner
+        supervisor; False for unknown links or before :meth:`start`."""
+        handle = self._owner.get(link_id)
+        loop = self._loop
+        if handle is None or loop is None:
+            return False
+        loop.call_soon_threadsafe(handle.send_command,
+                                  ("restart", link_id))
+        return True
+
+    # -- reporting (any thread) ------------------------------------------------
+
+    def _task_snapshot(self, link_id: str) -> dict[str, Any]:
+        """The link's lifecycle snapshot: the worker-relayed inner
+        ``SupervisedTask`` state, overlaid with the parent-side worker
+        lifecycle whenever the process itself is down (starting,
+        degraded-and-backing-off, or failed), so a dead worker's links
+        read as degraded instead of frozen-at-running."""
+        handle = self._owner[link_id]
+        worker_task = self._worker_tasks[handle.name]
+        doc = handle.docs.get(link_id)
+        if doc is None:
+            snapshot: dict[str, Any] = {
+                "name": link_id,
+                "state": TaskState.STARTING.value,
+                "since": worker_task.since,
+                "crashes": 0,
+                "crashes_total": 0,
+                "restarts_total": 0,
+                "runs_completed": 0,
+                "last_error": None,
+                "history": [],
+            }
+        else:
+            snapshot = dict(doc["task"])
+        if worker_task.state in (TaskState.STARTING, TaskState.DEGRADED,
+                                 TaskState.FAILED):
+            snapshot["state"] = worker_task.state.value
+            snapshot["since"] = worker_task.since
+            if worker_task.last_error:
+                snapshot["last_error"] = worker_task.last_error
+        # Worker-process deaths count against the links they took down;
+        # adding the parent-side tally keeps crashes_total monotonic
+        # across respawns (the fresh inner supervisor restarts at 0).
+        snapshot["crashes_total"] = (snapshot.get("crashes_total", 0)
+                                     + worker_task.crashes_total)
+        # Same for the transition history: a respawned worker relays a
+        # fresh inner history, so the degraded/failed transitions the
+        # parent recorded while the process was down would vanish from
+        # the API.  Merge them in by timestamp.
+        worker_events = [
+            entry for entry in worker_task.history
+            if entry["state"] in (TaskState.DEGRADED.value,
+                                  TaskState.FAILED.value)
+        ]
+        if worker_events:
+            merged = sorted(
+                list(snapshot.get("history", ())) + worker_events,
+                key=lambda entry: entry["at"],
+            )
+            snapshot["history"] = merged[-HISTORY_LIMIT:]
+        return snapshot
+
+    def snapshot(self) -> dict[str, Any]:
+        """The ``/links`` document, shape-identical to
+        :meth:`FleetSupervisor.snapshot`."""
+        rows = []
+        tally: dict[str, int] = {}
+        for link in self.config.links:
+            row = self._task_snapshot(link.id)
+            row.update(self.pipelines[link.id].row())
+            rows.append(row)
+            tally[row["state"]] = tally.get(row["state"], 0) + 1
+        return {"links": rows, "states": dict(sorted(tally.items()))}
+
+    def render_metrics(self) -> str:
+        """Fleet-wide Prometheus exposition from the relayed per-link
+        registry dumps, merged under the ``link`` label exactly like
+        the thread backend."""
+        named: dict[str, MetricsRegistry] = {}
+        for link in self.config.links:
+            doc = self._owner[link.id].docs.get(link.id)
+            if doc is not None and doc.get("metrics") is not None:
+                named[link.id] = registry_from_dump(doc["metrics"])
+        merged = merged_registry(named, label="link")
+        merged.gauge(
+            "fleet_links", "Number of links this fleet supervises."
+        ).set(len(self.pipelines))
+        for link in self.config.links:
+            snapshot = self._task_snapshot(link.id)
+            labels = {"link": link.id}
+            merged.counter(
+                "fleet_task_crashes_total",
+                "Pipeline crashes caught by the supervisor.", labels,
+            ).set(snapshot["crashes_total"])
+            merged.counter(
+                "fleet_task_restarts_total",
+                "Manual restart requests honoured.", labels,
+            ).set(snapshot["restarts_total"])
+            merged.gauge(
+                "fleet_task_up",
+                "1 while the pipeline task is running, else 0.", labels,
+            ).set(1.0 if snapshot["state"] == "running" else 0.0)
+        return merged.render_prometheus()
+
+
+def build_supervisor(config: FleetConfig, tracer=None):
+    """The configured backend's supervisor: a
+    :class:`ProcessFleetSupervisor` for ``backend = "process"``, else
+    the in-process :class:`FleetSupervisor`."""
+    if config.backend == "process":
+        return ProcessFleetSupervisor(config)
+    from repro.obs.tracing import NULL_TRACER
+    return FleetSupervisor(config, tracer=tracer or NULL_TRACER)

@@ -98,6 +98,32 @@ class ColumnarChunk:
             return self.indices[i]
         return self.base_index + i
 
+    def slice(self, start: int, stop: int) -> "ColumnarChunk":
+        """A sub-chunk covering records ``start:stop``.
+
+        Columns are sliced; the data slab is shared (no copy), so the
+        slice stays zero-copy and keeps the parent's ``stride``
+        guarantee — offsets are absolute into the shared slab, so
+        ``offsets[i] == offsets[0] + i * stride`` still holds.  Used by
+        window-boundary feeders that split a chunk at sampling points.
+        """
+        if start < 0 or stop > len(self) or start > stop:
+            raise ColumnarError(
+                f"slice [{start}:{stop}] outside chunk of {len(self)}"
+            )
+        return ColumnarChunk(
+            data=self.data,
+            timestamps=self.timestamps[start:stop],
+            offsets=self.offsets[start:stop],
+            lengths=self.lengths[start:stop],
+            wire_lengths=(None if self.wire_lengths is None
+                          else self.wire_lengths[start:stop]),
+            base_index=self.base_index + start,
+            indices=(None if self.indices is None
+                     else self.indices[start:stop]),
+            stride=self.stride,
+        )
+
     def record_view(self, i: int) -> memoryview:
         """Zero-copy view of record ``i``'s captured bytes."""
         offset = self.offsets[i]

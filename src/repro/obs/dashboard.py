@@ -558,8 +558,13 @@ def _loops_table(loops: Sequence[Mapping[str, Any]]) -> str:
 
 
 def render_html(monitor: LiveMonitor,
-                title: str = "Routing-loop live monitor") -> str:
-    """The dashboard as one self-contained HTML document."""
+                title: str = "Routing-loop live monitor",
+                records_per_s: float | None = None) -> str:
+    """The dashboard as one self-contained HTML document.
+
+    ``records_per_s`` (when the caller tracks one — the fleet API does)
+    adds a live feed-rate tile; standalone monitors omit it.
+    """
     state = monitor.state()
     samples = monitor.samples()
     recorder = state["recorder"]
@@ -567,13 +572,16 @@ def render_html(monitor: LiveMonitor,
     minutes = recorder["minutes"]
     now = recorder["now"]
 
-    tiles = "".join([
+    tile_list = [
         _tile(f"{recorder['records']:,}", "records seen"),
         _tile(f"{len(recorder['loops']):,}", "loops detected"),
         _tile(f"{recorder['peak_looped_share']:.2%}",
               "peak looped share / min"),
         _tile(str(len(alerts)), "alerts fired"),
-    ])
+    ]
+    if records_per_s is not None:
+        tile_list.insert(1, _tile(f"{records_per_s:,.0f}", "records/s"))
+    tiles = "".join(tile_list)
 
     panels = [
         _panel(

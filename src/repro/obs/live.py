@@ -27,6 +27,7 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable
 
+from repro.core import vectorize
 from repro.obs.alerts import Alert, AlertEngine
 from repro.obs.recorder import WindowedRecorder
 from repro.obs.tracing import NULL_TRACER
@@ -254,4 +255,45 @@ def feed_pairs(streaming, monitor: LiveMonitor, pairs) -> list:
         if timestamp >= boundary:
             boundary = sample(timestamp)
         extend(process(timestamp, data))
+    return loops
+
+
+def feed_chunk(streaming, monitor: LiveMonitor, chunk) -> list:
+    """Chunk-native :func:`feed_pairs`: feed one
+    :class:`~repro.net.columnar.ColumnarChunk` with window-boundary
+    sampling; returns the loops that closed.
+
+    Keeps the exact sampling contract of the per-record loop — one
+    float compare per boundary decision, :meth:`LiveMonitor.sample`
+    called with the first record timestamp at or past the boundary,
+    *before* that record is processed — by splitting the chunk at
+    boundary crossings (a ``searchsorted`` per crossing) and feeding
+    each zero-copy sub-chunk through
+    :meth:`~repro.core.streaming.StreamingLoopDetector.process_chunk`,
+    so the detector's batched tier stays engaged between crossings.
+    Unsorted chunks (and numpy-less interpreters) delegate to
+    :func:`feed_pairs`, which behaves identically record by record.
+    """
+    n = len(chunk)
+    if n == 0:
+        return []
+    if not vectorize.HAVE_NUMPY:
+        return feed_pairs(streaming, monitor, chunk.iter_views())
+    np = vectorize.np
+    ts = np.frombuffer(chunk.timestamps, dtype=np.float64, count=n)
+    if n > 1 and bool((np.diff(ts) < 0).any()):
+        return feed_pairs(streaming, monitor, chunk.iter_views())
+    boundary = monitor.next_boundary
+    loops: list = []
+    pos = 0
+    while pos < n:
+        first = float(ts[pos])
+        if first >= boundary:
+            boundary = monitor.sample(first)
+        stop = int(np.searchsorted(ts, boundary, side="left"))
+        if stop <= pos:
+            stop = pos + 1
+        sub = chunk if stop - pos == n else chunk.slice(pos, stop)
+        loops.extend(streaming.process_chunk(sub))
+        pos = stop
     return loops

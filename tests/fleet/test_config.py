@@ -155,3 +155,48 @@ class TestFleetConfig:
         assert config.link("a").id == "a"
         with pytest.raises(KeyError):
             config.link("zz")
+
+
+class TestBackendAndPrefetch:
+    def test_defaults(self):
+        config = FleetConfig.from_dict(minimal())
+        assert config.backend == "thread"
+        assert config.workers == 0
+        assert config.link("a").prefetch == 2
+
+    def test_process_backend_with_workers(self):
+        data = minimal()
+        data["fleet"] = {"backend": "process", "workers": 3}
+        config = FleetConfig.from_dict(data)
+        assert config.backend == "process"
+        assert config.workers == 3
+
+    def test_unknown_backend_rejected(self):
+        data = minimal()
+        data["fleet"] = {"backend": "fork"}
+        with pytest.raises(FleetConfigError, match="backend must be one of"):
+            FleetConfig.from_dict(data)
+
+    def test_negative_workers_rejected(self):
+        data = minimal()
+        data["fleet"] = {"backend": "process", "workers": -1}
+        with pytest.raises(FleetConfigError, match="workers must be"):
+            FleetConfig.from_dict(data)
+
+    def test_bool_workers_rejected(self):
+        data = minimal()
+        data["fleet"] = {"workers": True}
+        with pytest.raises(FleetConfigError, match="workers must be"):
+            FleetConfig.from_dict(data)
+
+    def test_prefetch_depth_accepted(self):
+        data = minimal()
+        data["links"][0]["prefetch"] = 8
+        assert FleetConfig.from_dict(data).link("a").prefetch == 8
+
+    @pytest.mark.parametrize("bad", [0, -2, 1.5, True, "4"])
+    def test_bad_prefetch_rejected(self, bad):
+        data = minimal()
+        data["links"][0]["prefetch"] = bad
+        with pytest.raises(FleetConfigError, match="prefetch must be"):
+            FleetConfig.from_dict(data)

@@ -1,0 +1,255 @@
+"""Tests for the process backend: worker fan-out, relay parity, and
+crash recovery when the crashing thing is a whole worker process.
+
+Process spawns are slow (~0.5 s each on CI), so the live tests share
+small fleets and generous-but-bounded polling helpers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import random
+import signal
+
+import pytest
+
+from repro.fleet.config import FleetConfig
+from repro.fleet.supervisor import FleetSupervisor
+from repro.fleet.workers import (
+    ProcessFleetSupervisor,
+    build_supervisor,
+    partition_links,
+    resolve_workers,
+)
+from repro.net.addr import IPv4Prefix
+from repro.net.pcap import write_pcap
+from repro.obs.metrics import parse_prometheus
+from repro.traffic.synthetic import SyntheticTraceBuilder
+
+
+def build_trace(seed: int = 7):
+    builder = SyntheticTraceBuilder(rng=random.Random(seed))
+    builder.add_background(200, 0.0, 60.0,
+                           prefixes=[IPv4Prefix.parse("198.51.100.0/24")])
+    builder.add_loop(10.0, IPv4Prefix.parse("192.0.2.0/24"), n_packets=3,
+                     replicas_per_packet=6, spacing=0.02, entry_ttl=40)
+    builder.add_loop(35.0, IPv4Prefix.parse("203.0.113.0/24"), n_packets=2,
+                     replicas_per_packet=5, spacing=0.05, entry_ttl=50)
+    return builder.build()
+
+
+@pytest.fixture(scope="module")
+def good_pcap(tmp_path_factory):
+    path = tmp_path_factory.mktemp("workers") / "good.pcap"
+    write_pcap(build_trace(), path)
+    return path
+
+
+def fleet_config(*links, workers=1, max_restarts=5, backoff=0.1):
+    return FleetConfig.from_dict({
+        "fleet": {"backend": "process", "workers": workers,
+                  "restart": {"max_restarts": max_restarts,
+                              "backoff_base": backoff,
+                              "backoff_cap": 0.5,
+                              "jitter": 0.0}},
+        "links": list(links),
+    })
+
+
+def pcap_link(link_id, path):
+    return {"id": link_id, "source": {"kind": "pcap", "path": str(path)}}
+
+
+def watch_link(link_id, directory):
+    return {"id": link_id,
+            "source": {"kind": "watch", "directory": str(directory)}}
+
+
+async def poll_until(supervisor, predicate, timeout=30.0, interval=0.1):
+    """Poll ``predicate(snapshot)`` until it holds; False on timeout."""
+    for _ in range(int(timeout / interval)):
+        if predicate(supervisor.snapshot()):
+            return True
+        await asyncio.sleep(interval)
+    return False
+
+
+def link_row(snapshot, link_id):
+    return next(row for row in snapshot["links"] if row["id"] == link_id)
+
+
+class TestPartitioning:
+    def test_round_robin_groups(self):
+        config = fleet_config(
+            pcap_link("a", "x.pcap"), pcap_link("b", "x.pcap"),
+            pcap_link("c", "x.pcap"), workers=2)
+        groups = partition_links(config.links, 2)
+        assert [[link.id for link in group] for group in groups] \
+            == [["a", "c"], ["b"]]
+
+    def test_never_more_workers_than_links(self):
+        config = fleet_config(pcap_link("a", "x.pcap"), workers=8)
+        assert resolve_workers(config) == 1
+
+    def test_auto_workers_capped_by_cpu_count(self):
+        config = FleetConfig.from_dict({
+            "fleet": {"backend": "process"},
+            "links": [pcap_link(f"l{i}", "x.pcap") for i in range(64)],
+        })
+        assert resolve_workers(config) == min(64, os.cpu_count() or 1)
+
+    def test_empty_groups_dropped(self):
+        config = fleet_config(pcap_link("a", "x.pcap"), workers=1)
+        assert len(partition_links(config.links, 1)) == 1
+
+
+class TestBuildSupervisor:
+    def test_thread_backend_default(self, good_pcap):
+        config = FleetConfig.from_dict(
+            {"links": [pcap_link("a", good_pcap)]})
+        assert isinstance(build_supervisor(config), FleetSupervisor)
+
+    def test_process_backend(self, good_pcap):
+        config = fleet_config(pcap_link("a", good_pcap))
+        assert isinstance(build_supervisor(config),
+                          ProcessFleetSupervisor)
+
+
+class TestEndpointParity:
+    """Both backends must serve byte-compatible document *shapes* —
+    the parity criterion the HTTP API relies on."""
+
+    def run_both(self, good_pcap):
+        config_thread = FleetConfig.from_dict(
+            {"links": [pcap_link("a", good_pcap)]})
+        thread = FleetSupervisor(config_thread)
+        asyncio.run(thread.run())
+        process = ProcessFleetSupervisor(fleet_config(
+            pcap_link("a", good_pcap)))
+        asyncio.run(process.run())
+        return thread, process
+
+    def test_snapshot_and_metrics_shapes_match(self, good_pcap):
+        thread, process = self.run_both(good_pcap)
+        snap_thread = thread.snapshot()
+        snap_process = process.snapshot()
+        assert sorted(snap_thread) == sorted(snap_process)
+        row_thread = link_row(snap_thread, "a")
+        row_process = link_row(snap_process, "a")
+        assert sorted(row_thread) == sorted(row_process)
+        assert row_process["state"] == "stopped"
+        assert row_process["records"] == row_thread["records"]
+        assert row_process["loops"] == row_thread["loops"] == 2
+        # Same per-link document keys.
+        state_thread = thread.pipelines["a"].state()
+        state_process = process.pipelines["a"].state()
+        assert sorted(state_thread) == sorted(state_process)
+        assert (state_process["recorder"]["records"]
+                == state_thread["recorder"]["records"])
+        # Same metric series on both sides of the process boundary.
+        parsed_thread = parse_prometheus(thread.render_metrics())
+        parsed_process = parse_prometheus(process.render_metrics())
+        for kind in ("counters", "gauges", "histograms"):
+            assert sorted(parsed_thread[kind]) \
+                == sorted(parsed_process[kind]), kind
+
+    def test_perf_and_rate_surface(self, good_pcap):
+        _, process = self.run_both(good_pcap)
+        perf = process.pipelines["a"].perf()
+        assert {stage["name"] for stage in perf["stages"]} \
+            >= {"detect.feed", "detect.flush"}
+        assert process.pipelines["a"].records_per_s() == pytest.approx(
+            link_row(process.snapshot(), "a")["records_per_s"])
+        monitor = process.pipelines["a"].monitor
+        assert monitor is not None
+        assert monitor.state()["recorder"]["records"] > 0
+        assert set(monitor.samples()) == {
+            "stream_sizes", "stream_durations", "replica_spacings",
+            "loop_durations"}
+
+
+class TestLifecycle:
+    def test_placeholder_rows_before_first_bundle(self, good_pcap):
+        supervisor = ProcessFleetSupervisor(fleet_config(
+            pcap_link("a", good_pcap)))
+        snapshot = supervisor.snapshot()
+        row = link_row(snapshot, "a")
+        assert row["state"] == "starting"
+        assert row["records"] == 0
+        assert supervisor.pipelines["a"].monitor is None
+        assert supervisor.pipelines["a"].registry is None
+
+    def test_finite_sources_complete_naturally(self, good_pcap):
+        supervisor = ProcessFleetSupervisor(fleet_config(
+            pcap_link("a", good_pcap), pcap_link("b", good_pcap),
+            workers=2))
+        asyncio.run(supervisor.run())
+        snapshot = supervisor.snapshot()
+        assert snapshot["states"] == {"stopped": 2}
+        assert all(row["records"] > 0 for row in snapshot["links"])
+
+    def test_restart_relays_to_the_owning_worker(self, tmp_path,
+                                                 good_pcap):
+        watch = tmp_path / "captures"
+        watch.mkdir()
+        write_pcap(build_trace(), watch / "w-0001.pcap")
+        supervisor = ProcessFleetSupervisor(fleet_config(
+            watch_link("w", watch)))
+
+        async def scenario():
+            run = asyncio.ensure_future(supervisor.run())
+            assert await poll_until(
+                supervisor,
+                lambda s: (link_row(s, "w")["state"] == "running"
+                           and link_row(s, "w")["records"] > 0))
+            assert supervisor.request_restart("w") is True
+            assert supervisor.request_restart("nope") is False
+            assert await poll_until(
+                supervisor,
+                lambda s: link_row(s, "w")["restarts_total"] >= 1)
+            supervisor.shutdown()
+            await run
+
+        asyncio.run(scenario())
+        assert link_row(supervisor.snapshot(), "w")["state"] == "stopped"
+
+    def test_killed_worker_degrades_then_recovers(self, tmp_path):
+        watch = tmp_path / "captures"
+        watch.mkdir()
+        write_pcap(build_trace(), watch / "w-0001.pcap")
+        supervisor = ProcessFleetSupervisor(fleet_config(
+            watch_link("w", watch)))
+        seen = {"degraded": False}
+
+        async def scenario():
+            run = asyncio.ensure_future(supervisor.run())
+            assert await poll_until(
+                supervisor,
+                lambda s: (link_row(s, "w")["state"] == "running"
+                           and link_row(s, "w")["records"] > 0))
+            pid = supervisor.handles["worker-0"].pid
+            assert pid is not None
+            os.kill(pid, signal.SIGKILL)
+
+            def recovered(snapshot):
+                state = link_row(snapshot, "w")["state"]
+                if state == "degraded":
+                    seen["degraded"] = True
+                return seen["degraded"] and state == "running"
+
+            assert await poll_until(supervisor, recovered)
+            supervisor.shutdown()
+            await run
+
+        asyncio.run(scenario())
+        row = link_row(supervisor.snapshot(), "w")
+        # The worker's death is charged to the links it took down, and
+        # stays visible after the respawned worker starts fresh.
+        assert row["crashes_total"] >= 1
+        assert row["state"] == "stopped"
+        # The degraded transition survives the respawned worker's fresh
+        # inner history, and the recovery shows after it.
+        history = [entry["state"] for entry in row["history"]]
+        assert "degraded" in history
+        assert history.index("degraded") < len(history) - 1

@@ -161,3 +161,67 @@ class TestState:
 
     def test_render_prometheus_empty_without_registry(self):
         assert LiveMonitor().render_prometheus() == ""
+
+
+class TestChunkFeed:
+    """feed_chunk must keep the exact sampling contract of feed_pairs
+    while letting the detector's batched tier run between boundaries."""
+
+    def _trace(self):
+        import random
+
+        from repro.net.addr import IPv4Prefix
+        from repro.traffic.synthetic import SyntheticTraceBuilder
+
+        builder = SyntheticTraceBuilder(rng=random.Random(11))
+        builder.add_background(
+            400, 0.0, 300.0,
+            prefixes=[IPv4Prefix.parse("198.51.100.0/24")])
+        builder.add_loop(30.0, IPv4Prefix.parse("192.0.2.0/24"),
+                         n_packets=3, replicas_per_packet=6,
+                         spacing=0.01, entry_ttl=40)
+        builder.add_loop(150.0, IPv4Prefix.parse("203.0.113.0/24"),
+                         n_packets=2, replicas_per_packet=5,
+                         spacing=0.05, entry_ttl=50)
+        return builder.build()
+
+    def _chain(self):
+        from repro.core.streaming import StreamingLoopDetector
+        from repro.obs.live import attach_detector
+
+        monitor = LiveMonitor(registry=MetricsRegistry(enabled=True))
+        streaming = StreamingLoopDetector()
+        attach_detector(monitor, streaming)
+        return streaming, monitor
+
+    def test_matches_pair_feed_exactly(self):
+        from repro.net.columnar import ColumnarTrace
+        from repro.obs.live import feed_chunk, feed_pairs
+
+        trace = self._trace()
+        columnar = ColumnarTrace.from_trace(trace, chunk_records=128)
+
+        ref_streaming, ref_monitor = self._chain()
+        ref_loops = []
+        for chunk in columnar.chunks:
+            ref_loops.extend(
+                feed_pairs(ref_streaming, ref_monitor,
+                           chunk.iter_views()))
+        ref_loops.extend(ref_streaming.flush())
+        ref_monitor.finish()
+
+        streaming, monitor = self._chain()
+        loops = []
+        for chunk in columnar.chunks:
+            loops.extend(feed_chunk(streaming, monitor, chunk))
+        loops.extend(streaming.flush())
+        monitor.finish()
+
+        assert len(loops) == len(ref_loops) == 2
+        assert [l.prefix for l in loops] == [l.prefix for l in ref_loops]
+        assert monitor.recorder.records == ref_monitor.recorder.records
+        assert monitor.recorder.minute_records \
+            == ref_monitor.recorder.minute_records
+        assert monitor.state() == ref_monitor.state()
+        assert streaming.state_snapshot() \
+            == ref_streaming.state_snapshot()

@@ -1,0 +1,129 @@
+"""Property suite: the chunk-level batched tier is byte-identical.
+
+Hypothesis drives loop geometry, background volume, and — the axis the
+batched tier actually cares about — the chunking of the feed.  For
+every generated trace, the same ordered records go through
+
+* the per-record reference (``process`` one record at a time),
+* the batched tier (``process_chunk`` over columnar chunks), and
+* the offline :class:`~repro.core.detector.LoopDetector`,
+
+and all three must agree: same loop set, and for the two streaming
+feeds identical stats and ``state_snapshot`` documents both before and
+after the flush.
+
+Every example runs twice: once as imported (numpy present on CI's main
+matrix) and once with the vectorized tier force-disabled, so the
+per-record fallback is exercised against the same adversarial inputs.
+The no-numpy CI job runs this file with numpy genuinely absent.
+"""
+
+import random
+from dataclasses import asdict
+from unittest import mock
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import vectorize
+from repro.core.detector import DetectorConfig, LoopDetector
+from repro.core.streaming import StreamingLoopDetector
+from repro.net.addr import IPv4Prefix
+from repro.net.columnar import ColumnarTrace
+from repro.traffic.synthetic import SyntheticTraceBuilder
+
+BACKGROUND_PREFIX = IPv4Prefix.parse("198.51.100.0/24")
+
+params = st.fixed_dictionaries(
+    {
+        "seed": st.integers(0, 5000),
+        "n_loops": st.integers(0, 3),
+        "ttl_delta": st.integers(2, 5),
+        "replicas": st.integers(2, 8),
+        "spacing": st.floats(0.002, 0.5),
+        "gap_between_loops": st.floats(1.0, 200.0),
+        "background": st.integers(0, 300),
+        "span": st.sampled_from([50.0, 500.0, 5000.0]),
+        "merge_gap": st.floats(5.0, 120.0),
+        # Chunk sizes straddle the n >= 32 fast-tier gate and force
+        # cross-chunk promotion when smaller than a loop's footprint.
+        "chunk_records": st.sampled_from([1, 16, 31, 32, 33, 64, 500,
+                                          65_536]),
+    }
+)
+
+
+def _build(p):
+    builder = SyntheticTraceBuilder(rng=random.Random(p["seed"]))
+    if p["background"]:
+        builder.add_background(p["background"], 0.0, p["span"],
+                               prefixes=[BACKGROUND_PREFIX])
+    entry = p["ttl_delta"] * (p["replicas"] - 1) + 2
+    when = 10.0
+    for i in range(p["n_loops"]):
+        builder.add_loop(
+            when,
+            IPv4Prefix((192 << 24) | ((i % 2) << 8), 24),
+            ttl_delta=p["ttl_delta"],
+            n_packets=2,
+            replicas_per_packet=p["replicas"],
+            spacing=p["spacing"],
+            packet_gap=p["spacing"] * 2,
+            entry_ttl=entry,
+        )
+        when += p["gap_between_loops"]
+    return builder.build()
+
+
+def _key(loop):
+    return (loop.prefix, round(loop.start, 6), round(loop.end, 6),
+            loop.stream_count, loop.replica_count)
+
+
+def _feed_reference(trace, config):
+    detector = StreamingLoopDetector(config)
+    loops = []
+    for record in trace:
+        loops.extend(detector.process(record.timestamp, record.data))
+    return detector, loops
+
+
+def _feed_chunks(trace, chunk_records, config):
+    detector = StreamingLoopDetector(config)
+    loops = []
+    for chunk in ColumnarTrace.from_trace(trace, chunk_records).chunks:
+        loops.extend(detector.process_chunk(chunk))
+    return detector, loops
+
+
+def _check_example(p):
+    trace = _build(p)
+    config = DetectorConfig(merge_gap=p["merge_gap"])
+
+    ref, ref_loops = _feed_reference(trace, config)
+    fast, fast_loops = _feed_chunks(trace, p["chunk_records"], config)
+
+    assert asdict(fast.stats) == asdict(ref.stats)
+    assert fast.state_snapshot() == ref.state_snapshot()
+
+    ref_loops.extend(ref.flush())
+    fast_loops.extend(fast.flush())
+    assert list(map(_key, fast_loops)) == list(map(_key, ref_loops))
+    assert asdict(fast.stats) == asdict(ref.stats)
+    assert fast.state_snapshot() == ref.state_snapshot()
+
+    offline = LoopDetector(config).detect(trace)
+    assert sorted(map(_key, fast_loops)) \
+        == sorted(map(_key, offline.loops))
+
+
+class TestChunkTierEquivalence:
+    @given(params)
+    @settings(max_examples=40, deadline=None)
+    def test_three_feeds_byte_identical(self, p):
+        _check_example(p)
+        if vectorize.HAVE_NUMPY:
+            # Same example through the per-record fallback: numpy
+            # present must not be a behavioral switch, only a speedup.
+            with mock.patch.object(vectorize, "HAVE_NUMPY", False):
+                _check_example(p)
